@@ -1,0 +1,66 @@
+//! End-to-end dataflow throughput: the fusion ablation (§III-D's "Fusion
+//! operators … give significant decrease of latency and increase in
+//! throughput") measured on the real engine with a fixed tuple budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spca_core::PcaConfig;
+use spca_engine::{AppConfig, ParallelPcaApp, SyncStrategy};
+use spca_spectra::PlantedSubspace;
+use spca_streams::ops::GeneratorSource;
+use spca_streams::Engine;
+use std::sync::Arc;
+
+const DIM: usize = 250;
+const TUPLES: u64 = 2000;
+
+fn run_once(n_engines: usize, fuse: bool) -> u64 {
+    let pca = PcaConfig::new(DIM, 5).with_memory(5000).with_init_size(20);
+    let mut cfg = AppConfig::new(n_engines, pca);
+    cfg.fuse = fuse;
+    cfg.sync = SyncStrategy::None;
+    let w = PlantedSubspace::new(DIM, 5, 0.05);
+    let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(3)));
+    let source = Box::new(
+        GeneratorSource::new(move |_| Some((w.sample(&mut *rng.lock()), None)))
+            .with_max_tuples(TUPLES),
+    );
+    let (g, _h) = ParallelPcaApp::build(&cfg, source);
+    let report = Engine::run(g);
+    report.tuples_in_matching("pca-")
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_fusion");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(TUPLES));
+    for (name, fuse) in [("fused", true), ("unfused", false)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &fuse, |b, &fuse| {
+            b.iter(|| {
+                let n = run_once(2, fuse);
+                assert_eq!(n, TUPLES);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_counts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_parallelism");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(TUPLES));
+    for n in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let got = run_once(n, false);
+                assert_eq!(got, TUPLES);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fusion, bench_engine_counts);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Fig. 1 companion bench: what robustness costs per tuple, across
+//! ρ-functions and contamination levels — the ρ/δ ablation DESIGN.md calls
+//! out. Robust weighting adds one residual evaluation per tuple but *skips*
+//! the SVD entirely for hard-rejected outliers, so heavier contamination
+//! can make the robust path cheaper, not slower.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spca_core::{PcaConfig, RhoKind, RobustPca};
+use spca_spectra::outliers::{OutlierInjector, OutlierKind};
+use spca_spectra::PlantedSubspace;
+
+const D: usize = 500;
+const P: usize = 5;
+
+fn stream(contamination: f64, n: usize) -> Vec<Vec<f64>> {
+    let w = PlantedSubspace::new(D, P, 0.05);
+    let inj = OutlierInjector::new(contamination).only(OutlierKind::CosmicRay);
+    let mut rng = StdRng::seed_from_u64(9);
+    (0..n)
+        .map(|_| {
+            let mut x = w.sample(&mut rng);
+            inj.maybe_contaminate(&mut rng, &mut x);
+            x
+        })
+        .collect()
+}
+
+fn prepared(rho: RhoKind) -> RobustPca {
+    let cfg = PcaConfig::new(D, P)
+        .with_memory(5000)
+        .with_init_size(2 * P + 10)
+        .with_rho(rho);
+    let mut pca = RobustPca::new(cfg);
+    let warm = stream(0.0, 2 * P + 20);
+    for x in &warm {
+        pca.update(x).expect("finite");
+    }
+    pca
+}
+
+fn bench_rho_kinds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("update_by_rho");
+    g.sample_size(20);
+    let clean = stream(0.0, 256);
+    for (name, rho) in [
+        ("classical", RhoKind::Classical),
+        ("bisquare", RhoKind::Bisquare(9.0)),
+        ("huber", RhoKind::Huber(9.0)),
+        ("welsch", RhoKind::Welsch(9.0)),
+    ] {
+        let mut pca = prepared(rho);
+        let mut i = 0usize;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let x = &clean[i % clean.len()];
+                i += 1;
+                pca.update(x).expect("finite")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_contamination(c: &mut Criterion) {
+    let mut g = c.benchmark_group("update_by_contamination");
+    g.sample_size(20);
+    for pct in [0usize, 10, 50] {
+        let data = stream(pct as f64 / 100.0, 256);
+        let mut pca = prepared(RhoKind::Bisquare(9.0));
+        let mut i = 0usize;
+        g.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, _| {
+            b.iter(|| {
+                let x = &data[i % data.len()];
+                i += 1;
+                pca.update(x).expect("finite")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rho_kinds, bench_contamination);
+criterion_main!(benches);

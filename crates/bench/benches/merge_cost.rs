@@ -1,0 +1,52 @@
+//! Cost of synchronizing two eigensystems (paper eq. 15–16) — §III-B: "the
+//! synchronization implies the computation time overhead caused by solving
+//! the eigenproblem of joined matrices, which is the most
+//! computation-intensive operation of the algorithm". This number fixes
+//! the cluster simulator's `sync_anchor_s`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spca_core::batch::batch_pca;
+use spca_core::{merge, EigenSystem};
+use spca_spectra::PlantedSubspace;
+
+fn eigensystem(d: usize, p: usize, seed: u64) -> EigenSystem {
+    let w = PlantedSubspace::new(d, p, 0.05);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = w.sample_batch(&mut rng, 3 * p + 30);
+    batch_pca(&data, p).expect("batch fit")
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eigensystem_merge");
+    g.sample_size(20);
+    for d in [250usize, 1000, 2000] {
+        for p in [5usize, 10] {
+            let a = eigensystem(d, p, 1);
+            let b2 = eigensystem(d, p, 2);
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("d{d}_p{p}")),
+                &(a, b2),
+                |bch, (a, b2)| bch.iter(|| merge(a, b2).expect("compatible")),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_merge_chain(c: &mut Criterion) {
+    // A full ring pass: n-1 sequential merges (what the hub does for the
+    // global estimate).
+    let mut g = c.benchmark_group("merge_chain");
+    g.sample_size(10);
+    let d = 500;
+    let systems: Vec<EigenSystem> = (0..8).map(|i| eigensystem(d, 5, 10 + i)).collect();
+    g.bench_function("eight_way", |b| {
+        b.iter(|| spca_core::merge::merge_all(&systems).expect("compatible"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_merge, bench_merge_chain);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Cost of the low-rank SVD that sits inside every streaming update
+//! (`A ∈ R^{d×(p+1)}`, paper eq. 1–3) — "the most computation-intensive
+//! operation of the algorithm" per §III-B. Also benches the QR
+//! re-orthonormalization the merge path relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spca_linalg::rng::fill_standard_normal;
+use spca_linalg::{qr, svd, Mat};
+
+fn nearly_orthogonal_factor(d: usize, p: usize, seed: u64) -> Mat {
+    // The streaming factor's leading p columns come from an orthonormal
+    // basis; build that shape rather than a generic random matrix.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut raw = Mat::zeros(d, p);
+    fill_standard_normal(&mut rng, raw.as_mut_slice());
+    let q = qr::orthonormalize(&raw).expect("full rank");
+    let mut a = Mat::zeros(d, p + 1);
+    for j in 0..p {
+        let scale = 2.0 * 0.8f64.powi(j as i32);
+        for (o, &v) in a.col_mut(j).iter_mut().zip(q.col(j)) {
+            *o = scale * v;
+        }
+    }
+    let mut last = vec![0.0; d];
+    fill_standard_normal(&mut rng, &mut last);
+    a.col_mut(p).copy_from_slice(&last);
+    a
+}
+
+fn bench_update_svd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thin_svd_update_factor");
+    g.sample_size(30);
+    for d in [250usize, 1000, 2000] {
+        for p in [5usize, 20] {
+            let a = nearly_orthogonal_factor(d, p, 1);
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("d{d}_p{p}")),
+                &a,
+                |b, a| b.iter(|| svd::thin_svd(a).expect("converges")),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_merge_factor_svd(c: &mut Criterion) {
+    // Merge factor: d × (2p + 2).
+    let mut g = c.benchmark_group("thin_svd_merge_factor");
+    g.sample_size(20);
+    for d in [250usize, 1000] {
+        let p = 5;
+        let left = nearly_orthogonal_factor(d, p, 2);
+        let right = nearly_orthogonal_factor(d, p, 3);
+        let a = left.hcat(&right).expect("same rows");
+        g.bench_with_input(BenchmarkId::from_parameter(d), &a, |b, a| {
+            b.iter(|| svd::thin_svd(a).expect("converges"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thin_qr");
+    g.sample_size(30);
+    for d in [250usize, 1000] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut a = Mat::zeros(d, 8);
+        fill_standard_normal(&mut rng, a.as_mut_slice());
+        g.bench_with_input(BenchmarkId::from_parameter(d), &a, |b, a| {
+            b.iter(|| qr::thin_qr(a).expect("full rank"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_svd(c: &mut Criterion) {
+    // The paper's future-work item: multithreaded SVD for high-dimensional
+    // streams. Compare serial vs Brent–Luk parallel Jacobi at the largest
+    // figure-7 dimension. (On a single-core host the parallel kernel falls
+    // back or breaks even; the bench records whichever reality applies.)
+    let mut g = c.benchmark_group("thin_svd_parallel");
+    g.sample_size(10);
+    let a = nearly_orthogonal_factor(2000, 20, 7);
+    g.bench_function("serial", |b| b.iter(|| svd::thin_svd(&a).expect("converges")));
+    for threads in [2usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("par{threads}")),
+            &threads,
+            |b, &t| {
+                b.iter(|| spca_linalg::par_svd::par_thin_svd(&a, t).expect("converges"))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_update_svd,
+    bench_merge_factor_svd,
+    bench_qr,
+    bench_parallel_svd
+);
+criterion_main!(benches);

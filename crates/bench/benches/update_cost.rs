@@ -1,0 +1,81 @@
+//! Per-tuple cost of the streaming update — the number the whole system
+//! design revolves around ("upon receiving a new input tuple, its internal
+//! states are continuously updated by computationally inexpensive algebraic
+//! operations") and the calibration input for the cluster simulator.
+//!
+//! Sweeps the paper's dimension range (Fig. 7's 250–2000) and the
+//! eigensystem size p.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spca_core::{PcaConfig, RobustPca};
+use spca_spectra::PlantedSubspace;
+
+fn prepared_pca(d: usize, p: usize) -> (RobustPca, Vec<Vec<f64>>) {
+    let cfg = PcaConfig::new(d, p).with_memory(5000).with_init_size(2 * p + 10);
+    let mut pca = RobustPca::new(cfg);
+    let w = PlantedSubspace::new(d, p, 0.05);
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..(2 * p + 20) {
+        pca.update(&w.sample(&mut rng)).expect("finite");
+    }
+    let samples = w.sample_batch(&mut rng, 256);
+    (pca, samples)
+}
+
+fn bench_dimension(c: &mut Criterion) {
+    let mut g = c.benchmark_group("robust_update_vs_dim");
+    g.sample_size(20);
+    for d in [250usize, 500, 1000, 2000] {
+        let (mut pca, samples) = prepared_pca(d, 5);
+        let mut i = 0usize;
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                let s = &samples[i % samples.len()];
+                i += 1;
+                pca.update(s).expect("finite")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("robust_update_vs_p");
+    g.sample_size(20);
+    for p in [2usize, 5, 10, 20] {
+        let (mut pca, samples) = prepared_pca(500, p);
+        let mut i = 0usize;
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| {
+                let s = &samples[i % samples.len()];
+                i += 1;
+                pca.update(s).expect("finite")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_masked_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("masked_update");
+    g.sample_size(20);
+    let d = 500;
+    let (mut pca, samples) = prepared_pca(d, 5);
+    // 30% missing mask.
+    let mask: Vec<bool> = (0..d).map(|i| i % 10 >= 3).collect();
+    let mut i = 0usize;
+    g.bench_function("gap_fill_30pct", |b| {
+        b.iter(|| {
+            let s = &samples[i % samples.len()];
+            i += 1;
+            pca.update_masked(s, &mask).expect("finite")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dimension, bench_components, bench_masked_update);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Ablation: missing-data handling (§II-D).
+//!
+//! The paper's gap treatment has two pieces: (1) patch missing bins from
+//! the current eigenbasis instead of leaving garbage/zeros; (2) correct
+//! the residual with `q` extra components, because patching "artificially
+//! removed the residuals in the bins of the missing entries", which would
+//! hand gappy spectra inflated robust weights.
+//!
+//! Variants compared on the same gappy galaxy stream:
+//!   A. zero-fill gaps (no patching, no correction) — the naive baseline;
+//!   B. eigenbasis patching, q = 0 (no residual correction);
+//!   C. eigenbasis patching, q = 2 (the paper's full treatment).
+//!
+//! Metrics: subspace distance to a batch reference computed on *complete*
+//! spectra, and the weight bias of gappy observations (mean robust weight
+//! of heavily-gapped vs complete observations — the §II-D bias is weights
+//! inflating with gap size).
+//!
+//! Output: `target/figures/ablate_gaps.csv`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use spca_bench::{print_table, write_csv};
+use spca_core::metrics::subspace_distance;
+use spca_core::{batch, PcaConfig, RobustPca};
+use spca_spectra::normalize::unit_norm_masked;
+use spca_spectra::GalaxyGenerator;
+
+const N_PIXELS: usize = 200;
+const P: usize = 4;
+const N_OBS: usize = 8000;
+/// Fraction of pixels dropped per gappy spectrum.
+const GAP_FRAC: f64 = 0.35;
+
+#[derive(Clone, Copy, Debug)]
+enum Variant {
+    ZeroFill,
+    PatchNoCorrection,
+    PatchCorrected,
+}
+
+struct Outcome {
+    dist: f64,
+    weight_gappy: f64,
+    weight_complete: f64,
+}
+
+fn run(variant: Variant, reference: &spca_core::EigenSystem) -> Outcome {
+    let gen = GalaxyGenerator::new(N_PIXELS, 0.0);
+    let mut rng = StdRng::seed_from_u64(77);
+    let q = match variant {
+        Variant::PatchCorrected => 2,
+        _ => 0,
+    };
+    let cfg = PcaConfig::new(N_PIXELS, P)
+        .with_memory(20_000)
+        .with_init_size(60)
+        .with_extra(q);
+    let mut pca = RobustPca::new(cfg);
+
+    let mut w_gappy = (0.0, 0u64);
+    let mut w_complete = (0.0, 0u64);
+    for i in 0..N_OBS {
+        let mut s = gen.sample(&mut rng);
+        let mask_full = vec![true; N_PIXELS];
+        unit_norm_masked(&mut s.flux, &mask_full);
+        // Every other spectrum gets a contiguous gap of GAP_FRAC pixels.
+        let gappy = i % 2 == 1;
+        let outcome = if gappy {
+            let len = (N_PIXELS as f64 * GAP_FRAC) as usize;
+            let start = rng.gen_range(0..N_PIXELS - len);
+            let mut mask = vec![true; N_PIXELS];
+            for m in &mut mask[start..start + len] {
+                *m = false;
+            }
+            match variant {
+                Variant::ZeroFill => {
+                    let mut x = s.flux.clone();
+                    for (v, &m) in x.iter_mut().zip(&mask) {
+                        if !m {
+                            *v = 0.0;
+                        }
+                    }
+                    pca.update(&x)
+                }
+                _ => pca.update_masked(&s.flux, &mask),
+            }
+        } else {
+            pca.update(&s.flux)
+        };
+        let outcome = outcome.expect("valid spectrum");
+        if outcome.initialized && i > N_OBS / 2 {
+            let slot = if gappy { &mut w_gappy } else { &mut w_complete };
+            slot.0 += outcome.weight;
+            slot.1 += 1;
+        }
+    }
+
+    let eig = pca.eigensystem();
+    // Compare the three well-separated leading components; the 4th galaxy
+    // eigenvalue is nearly degenerate with the tail, so the max principal
+    // angle over all 4 saturates for every estimator.
+    Outcome {
+        dist: subspace_distance(
+            &eig.truncated(3).basis,
+            &reference.truncated(3).basis,
+        )
+        .expect("shapes"),
+        weight_gappy: w_gappy.0 / w_gappy.1.max(1) as f64,
+        weight_complete: w_complete.0 / w_complete.1.max(1) as f64,
+    }
+}
+
+fn main() {
+    println!("Gap-handling ablation ({N_PIXELS} px, {:.0}% gaps on half the stream)\n", GAP_FRAC * 100.0);
+
+    // Batch reference on complete spectra.
+    let gen = GalaxyGenerator::new(N_PIXELS, 0.0);
+    let mut rng = StdRng::seed_from_u64(78);
+    let reference_data: Vec<Vec<f64>> = (0..3000)
+        .map(|_| {
+            let mut s = gen.sample(&mut rng);
+            unit_norm_masked(&mut s.flux, &vec![true; N_PIXELS]);
+            s.flux
+        })
+        .collect();
+    let reference = batch::batch_pca(&reference_data, P).expect("reference");
+
+    let mut rows = Vec::new();
+    for (code, variant) in [
+        (0.0, Variant::ZeroFill),
+        (1.0, Variant::PatchNoCorrection),
+        (2.0, Variant::PatchCorrected),
+    ] {
+        let o = run(variant, &reference);
+        println!(
+            "{variant:?}: subspace error {:.4}, mean weight gappy {:.4} vs complete {:.4}",
+            o.dist, o.weight_gappy, o.weight_complete
+        );
+        rows.push(vec![code, o.dist, o.weight_gappy, o.weight_complete]);
+    }
+
+    let path = write_csv(
+        "ablate_gaps.csv",
+        &["variant", "subspace_error", "weight_gappy", "weight_complete"],
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+    print_table(
+        "gap ablation (0 = zero-fill, 1 = patch q=0, 2 = patch q=2)",
+        &["variant", "error", "w gappy", "w complete"],
+        &rows,
+    );
+
+    let zero = &rows[0];
+    let plain = &rows[1];
+    let corrected = &rows[2];
+    assert!(
+        corrected[1] < zero[1],
+        "patching must beat zero-fill: {} vs {}",
+        corrected[1],
+        zero[1]
+    );
+    // §II-D's bias: without the correction, gappy spectra get *larger*
+    // weights than complete ones; the correction narrows that gap.
+    let bias_plain = plain[2] / plain[3];
+    let bias_corrected = corrected[2] / corrected[3];
+    assert!(
+        (bias_corrected - 1.0).abs() <= (bias_plain - 1.0).abs() + 0.02,
+        "q-correction should not worsen the weight bias: {bias_corrected} vs {bias_plain}"
+    );
+    println!("\nshape check PASSED: patching beats zero-fill; residual correction tames the weight bias.");
+}

@@ -1,0 +1,127 @@
+//! Figure 1: eigenvalue traces of classic vs robust streaming PCA on
+//! random test data with artificially generated outliers.
+//!
+//! The paper's plot shows the classic eigensystem failing to converge —
+//! each outlier "takes over the top eigenvector creating a rainbow effect"
+//! — while the robust variant converges quickly and flags the outliers
+//! (black points on top of the plot).
+//!
+//! This binary regenerates both series (eigenvalue trajectories sampled
+//! every 50 observations, plus the outlier-flag track) and prints summary
+//! statistics that make the contrast quantitative: trace variance of the
+//! top eigenvalue after burn-in, final subspace error, detection counts.
+//!
+//! Output: `target/figures/fig1_classic.csv`, `fig1_robust.csv`,
+//! `fig1_flags.csv`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spca_bench::{print_table, write_csv};
+use spca_core::metrics::{subspace_distance, Trace};
+use spca_core::{PcaConfig, RhoKind, RobustPca};
+use spca_spectra::outliers::{OutlierInjector, OutlierKind};
+use spca_spectra::PlantedSubspace;
+
+const DIM: usize = 100;
+const RANK: usize = 5;
+const N: usize = 12_000;
+const OUTLIER_RATE: f64 = 0.05;
+
+fn run(rho: RhoKind) -> (Trace, Vec<(u64, bool)>, f64, u64) {
+    let truth = PlantedSubspace::new(DIM, RANK, 0.05);
+    let injector = OutlierInjector::new(OUTLIER_RATE).only(OutlierKind::CosmicRay);
+    let cfg = PcaConfig::new(DIM, RANK)
+        .with_memory(2000)
+        .with_init_size(60)
+        .with_rho(rho);
+    let mut pca = RobustPca::new(cfg);
+    let mut rng = StdRng::seed_from_u64(20120101);
+    let mut trace = Trace::new(50);
+    let mut flags = Vec::new();
+    let mut n_flagged = 0;
+    for i in 0..N {
+        let mut x = truth.sample(&mut rng);
+        let contaminated = injector.maybe_contaminate(&mut rng, &mut x).is_some();
+        let out = pca.update(&x).expect("finite");
+        if out.outlier {
+            n_flagged += 1;
+        }
+        flags.push((i as u64, contaminated && out.outlier));
+        trace.offer(i as u64, || {
+            if pca.is_initialized() {
+                pca.eigensystem().values.clone()
+            } else {
+                vec![0.0; RANK]
+            }
+        });
+    }
+    let dist = subspace_distance(&pca.eigensystem().basis, truth.basis()).expect("shapes");
+    (trace, flags, dist, n_flagged)
+}
+
+/// Variance of the top-eigenvalue series after burn-in, normalized by its
+/// mean — the quantitative form of "does the eigensystem converge".
+fn trace_instability(trace: &Trace) -> f64 {
+    let series: Vec<f64> = trace
+        .series(0)
+        .into_iter()
+        .filter(|(n, _)| *n > (N / 3) as u64)
+        .map(|(_, v)| v)
+        .collect();
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    let var = series.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        / series.len() as f64;
+    var.sqrt() / mean.max(1e-12)
+}
+
+fn main() {
+    println!("Fig. 1 reproduction: classic vs robust eigenvalue traces");
+    println!("dim {DIM}, rank {RANK}, {N} observations, {:.0}% spike outliers\n", OUTLIER_RATE * 100.0);
+
+    let (classic_trace, _, classic_dist, classic_flags) = run(RhoKind::Classical);
+    let (robust_trace, robust_flags, robust_dist, n_flagged) = run(RhoKind::Bisquare(9.0));
+
+    for (name, trace) in [("fig1_classic.csv", &classic_trace), ("fig1_robust.csv", &robust_trace)] {
+        let rows: Vec<Vec<f64>> = trace
+            .samples
+            .iter()
+            .map(|(n, vals)| {
+                let mut row = vec![*n as f64];
+                row.extend(vals.iter());
+                row
+            })
+            .collect();
+        let path = write_csv(name, &["n_obs", "l1", "l2", "l3", "l4", "l5"], &rows);
+        println!("wrote {}", path.display());
+    }
+    let flag_rows: Vec<Vec<f64>> = robust_flags
+        .iter()
+        .filter(|(_, f)| *f)
+        .map(|(n, _)| vec![*n as f64, 1.0])
+        .collect();
+    let path = write_csv("fig1_flags.csv", &["n_obs", "flagged"], &flag_rows);
+    println!("wrote {}", path.display());
+
+    let classic_inst = trace_instability(&classic_trace);
+    let robust_inst = trace_instability(&robust_trace);
+
+    print_table(
+        "Fig. 1 summary (paper: classic fails to converge, robust converges & flags outliers)",
+        &["metric", "classic", "robust"],
+        &[
+            vec![1.0, classic_inst, robust_inst],
+            vec![2.0, classic_dist, robust_dist],
+            vec![3.0, classic_flags as f64, n_flagged as f64],
+        ],
+    );
+    println!("  row 1: top-eigenvalue instability (σ/µ after burn-in)");
+    println!("  row 2: final subspace error vs planted basis");
+    println!("  row 3: observations flagged as outliers");
+
+    assert!(
+        robust_inst < classic_inst,
+        "robust trace should be steadier: {robust_inst} vs {classic_inst}"
+    );
+    assert!(robust_dist < classic_dist, "robust should end closer to truth");
+    println!("\nshape check PASSED: robust converges, classic is captured by outliers.");
+}

@@ -1,0 +1,83 @@
+//! Figure 6: throughput vs number of parallel engines, single node vs
+//! distributed over the 10-node cluster (d = 250, throttle 0.5 s,
+//! N = 5000 — the paper's §III-D settings).
+//!
+//! The paper's findings this must reproduce in *shape*:
+//!   * distributed placement rises with engine count, peaks around 20
+//!     engines (2 per node), and **degrades at 30**;
+//!   * single-node placement is flat-ish — fusion helps a single engine,
+//!     but extra engines on one quad-core node buy little;
+//!   * a single distributed engine *underperforms* a single fused engine
+//!     (cross-node messaging overhead).
+//!
+//! The cluster simulator is calibrated in two steps (see `spca-cluster`
+//! docs): the absolute anchor comes from the paper's published operating
+//! points, the dimension-scaling shape from *real measurements* of this
+//! repo's PCA update, taken here before the sweep.
+//!
+//! Output: `target/figures/fig6_scaling.csv`.
+
+use spca_bench::{calibrate_dimension_curve, print_table, write_csv};
+use spca_cluster::{ClusterSim, ClusterSpec, CostModel, Placement, SimConfig};
+
+const DIM: usize = 250;
+const THREADS: &[usize] = &[1, 2, 5, 10, 15, 20, 25, 30];
+
+fn main() {
+    println!("Fig. 6 reproduction: tuples/s vs parallel engines (d = {DIM})");
+    println!("calibrating per-tuple update cost on this machine ...");
+    let measured = calibrate_dimension_curve(&[125, 250, 500, 1000], 5);
+    for (d, t) in &measured {
+        println!("  d = {d:>5}: {:.1} µs/tuple (this machine)", t * 1e6);
+    }
+    let cost = CostModel::paper().with_measurements(measured);
+    let spec = ClusterSpec::paper();
+    let cfg = SimConfig { dim: DIM, ..Default::default() };
+
+    let mut rows = Vec::new();
+    for &n in THREADS {
+        let distributed = ClusterSim::new(
+            spec.clone(),
+            cost.clone(),
+            Placement::round_robin(n, spec.n_nodes),
+            cfg.clone(),
+        )
+        .run();
+        let single = ClusterSim::new(
+            spec.clone(),
+            cost.clone(),
+            Placement::single_node(n),
+            cfg.clone(),
+        )
+        .run();
+        rows.push(vec![n as f64, distributed.throughput, single.throughput]);
+    }
+
+    let path = write_csv("fig6_scaling.csv", &["threads", "distributed_tps", "single_tps"], &rows);
+    println!("\nwrote {}", path.display());
+    print_table(
+        "Fig. 6: tuples/second (simulated 10-node cluster)",
+        &["threads", "distributed", "single"],
+        &rows,
+    );
+
+    // Shape checks against the paper's claims.
+    let tp = |n: usize, col: usize| {
+        rows.iter().find(|r| r[0] == n as f64).expect("row present")[col]
+    };
+    let d1 = tp(1, 1);
+    let d10 = tp(10, 1);
+    let d20 = tp(20, 1);
+    let d30 = tp(30, 1);
+    let s1 = tp(1, 2);
+    let s4 = tp(2, 2).max(tp(5, 2));
+    let s20 = tp(20, 2);
+
+    assert!(s1 > d1, "fused single engine must beat a remote one: {s1} vs {d1}");
+    assert!(d10 > 2.0 * tp(5, 1) * 0.8, "distributed should scale 5→10");
+    assert!(d20 > d10, "distributed should still gain 10→20");
+    assert!(d30 < d20, "30 engines must degrade below 20 (interconnect saturation)");
+    assert!(s20 < s4 * 1.5, "single node must plateau, not scale");
+    assert!(d20 > 2.5 * s20, "distributed peak must clearly beat single-node");
+    println!("\nshape check PASSED: rise to 2 engines/node, degradation at 30, flat single node.");
+}

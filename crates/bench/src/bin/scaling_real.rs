@@ -1,0 +1,109 @@
+//! Real-hardware cross-check for Fig. 6: throughput of the *actual*
+//! dataflow engine on this machine's cores, for 1..=N parallel PCA
+//! engines, fused (single PE "node") vs one-PE-per-operator (threads +
+//! channels).
+//!
+//! The cluster simulator regenerates the paper's 10-node shape; this
+//! binary validates the part of that shape a single machine can exhibit:
+//! throughput grows with engines until the physical cores saturate, and
+//! the channel (unfused) configuration pays a visible per-tuple cost
+//! relative to fusion at low engine counts.
+//!
+//! Output: `target/figures/scaling_real.csv`.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spca_bench::{print_table, write_csv};
+use spca_core::PcaConfig;
+use spca_engine::{AppConfig, ParallelPcaApp, SyncStrategy};
+use spca_spectra::PlantedSubspace;
+use spca_streams::ops::GeneratorSource;
+use spca_streams::Engine;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIM: usize = 250;
+const P: usize = 5;
+
+fn throughput(n_engines: usize, fuse: bool, measure: Duration) -> f64 {
+    let pca = PcaConfig::new(DIM, P).with_memory(5000).with_init_size(30);
+    let mut cfg = AppConfig::new(n_engines, pca);
+    cfg.fuse = fuse;
+    cfg.sync = SyncStrategy::Ring;
+    cfg.sync_period = Duration::from_millis(500);
+    let w = PlantedSubspace::new(DIM, P, 0.05);
+    let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(7)));
+    let source =
+        Box::new(GeneratorSource::new(move |_| Some((w.sample(&mut *rng.lock()), None))));
+    let (g, _h) = ParallelPcaApp::build(&cfg, source);
+    let running = Engine::start(g);
+    // Warm-up, then measure over a window (the paper averages 30 s after
+    // 5 min; we scale down) using the shared RateProbe utility.
+    std::thread::sleep(measure / 2);
+    let names: Vec<String> =
+        running.op_snapshots().iter().map(|(n, _)| n.clone()).collect();
+    let probe = spca_streams::metrics::RateProbe::start(
+        running.op_snapshots().into_iter().map(|(_, s)| s).collect(),
+    );
+    std::thread::sleep(measure);
+    let now: Vec<_> = running.op_snapshots().into_iter().map(|(_, s)| s).collect();
+    let rate = probe.total_rate_in(&now, |i| names[i].starts_with("pca-"));
+    running.stop();
+    running.join();
+    rate
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    println!("real-engine scaling cross-check: d = {DIM}, {cores} cores on this machine\n");
+    let counts: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&c| c <= 2 * cores.max(4))
+        .collect();
+    let window = Duration::from_millis(900);
+
+    let mut rows = Vec::new();
+    for &n in &counts {
+        let fused = throughput(n, true, window);
+        let unfused = throughput(n, false, window);
+        rows.push(vec![n as f64, fused, unfused]);
+        println!("  {n:>2} engines: fused {fused:>10.0} t/s   unfused {unfused:>10.0} t/s");
+    }
+    let path = write_csv("scaling_real.csv", &["engines", "fused_tps", "unfused_tps"], &rows);
+    println!("\nwrote {}", path.display());
+    print_table("real engine throughput", &["engines", "fused", "unfused"], &rows);
+
+    // Shape checks, scaled to the machine: with several physical cores,
+    // parallel engines must beat one engine; on a single core no speedup
+    // is physically possible, so the check degrades to stability — adding
+    // engines must not collapse throughput (the paper's single-node
+    // plateau, which is exactly what a core-starved box exhibits).
+    let best_one = rows[0][1].max(rows[0][2]);
+    let best_many = rows
+        .iter()
+        .skip(1)
+        .map(|r| r[1].max(r[2]))
+        .fold(0.0_f64, f64::max);
+    let worst_many = rows
+        .iter()
+        .skip(1)
+        .map(|r| r[1].min(r[2]))
+        .fold(f64::INFINITY, f64::min);
+    if cores >= 3 {
+        assert!(
+            best_many > 1.4 * best_one,
+            "parallel engines should scale past one: {best_many} vs {best_one}"
+        );
+        println!("\nshape check PASSED: real engine scales with parallel PCA instances.");
+    } else {
+        assert!(
+            worst_many > 0.5 * best_one,
+            "over-subscription must plateau, not collapse: {worst_many} vs {best_one}"
+        );
+        println!(
+            "\nshape check PASSED (single-core machine): throughput plateaus instead of \
+             scaling — re-run on a multi-core box for the scaling curve."
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the cluster simulator: conservation, determinism,
+//! and monotone responses to resource changes.
+
+use proptest::prelude::*;
+use spca_cluster::{ClusterSim, ClusterSpec, CostModel, Placement, SimConfig};
+
+fn quick_cfg(dim: usize, seed: u64) -> SimConfig {
+    SimConfig { dim, duration: 6.0, warmup: 1.0, seed, ..Default::default() }
+}
+
+fn placement_strategy() -> impl Strategy<Value = Placement> {
+    (1usize..12, 0u8..3).prop_map(|(n, kind)| match kind {
+        0 => Placement::single_node(n),
+        1 => Placement::round_robin(n, 10),
+        _ => Placement::grouped(n, 2, 10),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Completed work never exceeds generated work, per-engine counts sum
+    /// consistently, and throughput is non-negative and finite.
+    #[test]
+    fn conservation(p in placement_strategy(), dim in 100usize..1000, seed in 0u64..1000) {
+        let r = ClusterSim::new(
+            ClusterSpec::paper(),
+            CostModel::paper(),
+            p,
+            quick_cfg(dim, seed),
+        )
+        .run();
+        prop_assert!(r.tuples_done <= r.generated);
+        let per_sum: u64 = r.per_engine.iter().sum();
+        prop_assert!(per_sum <= r.generated);
+        prop_assert!(r.tuples_done <= per_sum);
+        prop_assert!(r.throughput.is_finite() && r.throughput >= 0.0);
+        prop_assert!(r.network_bytes >= 0.0);
+    }
+
+    /// Identical configuration ⇒ identical result (the DES is a pure
+    /// function of its inputs).
+    #[test]
+    fn determinism(p in placement_strategy(), seed in 0u64..1000) {
+        let run = || {
+            ClusterSim::new(
+                ClusterSpec::paper(),
+                CostModel::paper(),
+                p.clone(),
+                quick_cfg(250, seed),
+            )
+            .run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.tuples_done, b.tuples_done);
+        prop_assert_eq!(a.per_engine, b.per_engine);
+        prop_assert_eq!(a.syncs, b.syncs);
+    }
+
+    /// Slower engines (higher service anchor) never increase throughput.
+    #[test]
+    fn monotone_in_service_time(p in placement_strategy(), factor in 1.1f64..4.0) {
+        let base = CostModel::paper();
+        let mut slow = base.clone();
+        slow.service_anchor_s *= factor;
+        let fast_r = ClusterSim::new(
+            ClusterSpec::paper(),
+            base,
+            p.clone(),
+            quick_cfg(250, 7),
+        )
+        .run();
+        let slow_r = ClusterSim::new(
+            ClusterSpec::paper(),
+            slow,
+            p,
+            quick_cfg(250, 7),
+        )
+        .run();
+        // Allow a sliver of queueing noise at the boundary.
+        prop_assert!(
+            slow_r.throughput <= fast_r.throughput * 1.01,
+            "slower engines produced more: {} vs {}",
+            slow_r.throughput,
+            fast_r.throughput
+        );
+    }
+
+    /// More cores per node never hurt.
+    #[test]
+    fn monotone_in_cores(n_engines in 2usize..10) {
+        let small = ClusterSpec { cores_per_node: 1, ..ClusterSpec::paper() };
+        let big = ClusterSpec { cores_per_node: 8, ..ClusterSpec::paper() };
+        let p = Placement::single_node(n_engines);
+        let r_small = ClusterSim::new(small, CostModel::paper(), p.clone(), quick_cfg(250, 9)).run();
+        let r_big = ClusterSim::new(big, CostModel::paper(), p, quick_cfg(250, 9)).run();
+        prop_assert!(r_big.throughput >= r_small.throughput * 0.99);
+    }
+}

@@ -1,0 +1,403 @@
+//! Offline baselines: classical batch PCA and iterative robust batch PCA.
+//!
+//! The streaming estimators approximate these; the test-suite and the
+//! experiment harness use them as ground truth. The robust batch variant is
+//! the Maronna (2005) alternating scheme the paper cites: iterate
+//! {residuals → M-scale → weights → weighted mean/covariance → eigensystem}
+//! to a fixed point.
+
+use crate::classic::decayed_count;
+use crate::eigensystem::EigenSystem;
+use crate::rho::Rho;
+use crate::robust::mscale_fixed_point;
+use crate::{PcaError, Result};
+use spca_linalg::{eigen, gemm, svd, vecops, Mat};
+
+/// Classical batch PCA: exact eigensystem of the sample covariance,
+/// truncated to `p` components. Running sums are seeded as if the batch had
+/// streamed through with α = 1.
+pub fn batch_pca(data: &[Vec<f64>], p: usize) -> Result<EigenSystem> {
+    let n = data.len();
+    if n == 0 {
+        return Err(PcaError::IncompatibleMerge("empty batch".into()));
+    }
+    let d = data[0].len();
+    for x in data {
+        if x.len() != d {
+            return Err(PcaError::DimensionMismatch { expected: d, got: x.len() });
+        }
+        if !vecops::all_finite(x) {
+            return Err(PcaError::NotFinite);
+        }
+    }
+    let mut mean = vec![0.0; d];
+    for x in data {
+        vecops::axpy(1.0, x, &mut mean);
+    }
+    vecops::scale(&mut mean, 1.0 / n as f64);
+
+    let (basis, values) = covariance_eigensystem(data, &mean, None, p)?;
+
+    let mut eig = EigenSystem {
+        mean,
+        basis,
+        values,
+        sigma2: 0.0,
+        sum_u: n as f64,
+        sum_v: n as f64,
+        sum_q: 0.0,
+        n_obs: n as u64,
+    };
+    let mean_r2 =
+        data.iter().map(|x| eig.residual_sq_truncated(x, p)).sum::<f64>() / n as f64;
+    eig.sigma2 = mean_r2;
+    eig.sum_q = n as f64 * mean_r2;
+    Ok(eig)
+}
+
+/// Spherical (spatial-sign) PCA: the eigensystem of the covariance of the
+/// unit-normalized, median-centered observations. Every point's influence
+/// is bounded by construction, so the estimate survives heavy
+/// contamination — the standard robust *initializer* for Maronna's M-scale
+/// iteration, which otherwise has contaminated fixed points.
+pub fn spherical_pca(data: &[Vec<f64>], p: usize) -> Result<EigenSystem> {
+    let n = data.len();
+    if n == 0 {
+        return Err(PcaError::IncompatibleMerge("empty batch".into()));
+    }
+    let d = data[0].len();
+    // Coordinate-wise median center.
+    let mut center = vec![0.0; d];
+    let mut scratch: Vec<f64> = Vec::with_capacity(n);
+    for i in 0..d {
+        scratch.clear();
+        for x in data {
+            if x.len() != d {
+                return Err(PcaError::DimensionMismatch { expected: d, got: x.len() });
+            }
+            scratch.push(x[i]);
+        }
+        scratch.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+        center[i] = if n % 2 == 1 {
+            scratch[n / 2]
+        } else {
+            0.5 * (scratch[n / 2 - 1] + scratch[n / 2])
+        };
+    }
+    // Spatial signs.
+    let signs: Vec<Vec<f64>> = data
+        .iter()
+        .map(|x| {
+            let mut s = vecops::sub(x, &center);
+            vecops::normalize(&mut s);
+            s
+        })
+        .collect();
+    let zero = vec![0.0; d];
+    let (basis, values) = covariance_eigensystem(&signs, &zero, None, p)?;
+    let mut eig = EigenSystem {
+        mean: center,
+        basis,
+        values,
+        sigma2: 0.0,
+        sum_u: n as f64,
+        sum_v: n as f64,
+        sum_q: 0.0,
+        n_obs: n as u64,
+    };
+    let mean_r2 =
+        data.iter().map(|x| eig.residual_sq_truncated(x, p)).sum::<f64>() / n as f64;
+    eig.sigma2 = mean_r2;
+    eig.sum_q = n as f64 * mean_r2;
+    Ok(eig)
+}
+
+/// Iterative robust batch PCA (Maronna-style M-scale PCA), initialized from
+/// [`spherical_pca`] so the iteration starts in the basin of the
+/// uncontaminated fixed point.
+///
+/// Returns the converged eigensystem and the number of iterations taken.
+pub fn batch_robust_pca(
+    data: &[Vec<f64>],
+    p: usize,
+    rho: &dyn Rho,
+    delta: f64,
+    max_iters: usize,
+) -> Result<(EigenSystem, usize)> {
+    let n = data.len();
+    if n == 0 {
+        return Err(PcaError::IncompatibleMerge("empty batch".into()));
+    }
+    let mut eig = spherical_pca(data, p)?;
+    let mut sigma2 = {
+        let r2: Vec<f64> = data.iter().map(|x| eig.residual_sq_truncated(x, p)).collect();
+        mscale_fixed_point(&r2, delta, rho, 50)
+    };
+
+    let mut iters = 0;
+    for it in 0..max_iters {
+        iters = it + 1;
+        // Weights from the current fit.
+        let r2: Vec<f64> = data.iter().map(|x| eig.residual_sq_truncated(x, p)).collect();
+        let sig = sigma2.max(1e-300);
+        let w: Vec<f64> = r2.iter().map(|&r| rho.weight(r / sig)).collect();
+        let wsum: f64 = w.iter().sum();
+        if wsum <= 0.0 {
+            // Everything rejected — degenerate contamination; bail with the
+            // current estimate rather than dividing by zero.
+            break;
+        }
+
+        // Weighted mean (eq. 6).
+        let d = eig.dim();
+        let mut mean = vec![0.0; d];
+        for (x, &wi) in data.iter().zip(&w) {
+            vecops::axpy(wi, x, &mut mean);
+        }
+        vecops::scale(&mut mean, 1.0 / wsum);
+
+        // Weighted covariance eigensystem (eq. 7 up to the σ² prefactor,
+        // which only rescales eigenvalues, not eigenvectors).
+        let (basis, values) = covariance_eigensystem(data, &mean, Some(&w), p)?;
+        let old_basis = std::mem::replace(&mut eig.basis, basis);
+        eig.mean = mean;
+        eig.values = values;
+
+        // New scale.
+        let r2_new: Vec<f64> = data.iter().map(|x| eig.residual_sq_truncated(x, p)).collect();
+        let sigma2_new = mscale_fixed_point(&r2_new, delta, rho, 50);
+
+        let basis_drift = crate::metrics::subspace_distance(&old_basis, &eig.basis)?;
+        let scale_drift =
+            if sigma2 > 0.0 { ((sigma2_new - sigma2) / sigma2).abs() } else { 1.0 };
+        sigma2 = sigma2_new;
+        if basis_drift < 1e-8 && scale_drift < 1e-10 {
+            break;
+        }
+    }
+    eig.sigma2 = sigma2;
+    // Seed running sums consistently with the final weights.
+    let r2: Vec<f64> = data.iter().map(|x| eig.residual_sq_truncated(x, p)).collect();
+    let sig = sigma2.max(1e-300);
+    let w: Vec<f64> = r2.iter().map(|&r| rho.weight(r / sig)).collect();
+    eig.sum_u = decayed_count(1.0, n);
+    eig.sum_v = w.iter().sum();
+    eig.sum_q = w.iter().zip(&r2).map(|(wi, ri)| wi * ri).sum();
+    eig.n_obs = n as u64;
+    Ok((eig, iters))
+}
+
+/// Completes any (near-)zero columns of `basis` with directions orthonormal
+/// to the rest, so downstream invariants (orthonormal tracked basis) hold
+/// even when the data rank is below the requested component count.
+fn complete_basis(basis: &mut Mat) {
+    let (d, total) = basis.shape();
+    let mut axis = 0;
+    for j in 0..total {
+        if vecops::norm(basis.col(j)) > 0.5 {
+            continue;
+        }
+        while axis < d {
+            let mut cand = vec![0.0; d];
+            cand[axis] = 1.0;
+            axis += 1;
+            for other in 0..total {
+                if other == j {
+                    continue;
+                }
+                let proj = vecops::dot(&cand, basis.col(other));
+                vecops::axpy(-proj, basis.col(other), &mut cand);
+            }
+            if vecops::normalize(&mut cand) > 1e-6 {
+                basis.col_mut(j).copy_from_slice(&cand);
+                break;
+            }
+        }
+    }
+}
+
+/// Top-`p` eigensystem of the (optionally weighted) sample covariance.
+///
+/// Chooses between the Gram trick (n < d: SVD of the `n`-column centered
+/// data matrix) and the explicit `d × d` covariance eigensolve (n ≥ d),
+/// both exact.
+fn covariance_eigensystem(
+    data: &[Vec<f64>],
+    mean: &[f64],
+    weights: Option<&[f64]>,
+    p: usize,
+) -> Result<(Mat, Vec<f64>)> {
+    let n = data.len();
+    let d = mean.len();
+    let wsum: f64 = match weights {
+        Some(w) => w.iter().sum(),
+        None => n as f64,
+    };
+    if d >= n {
+        // Thin SVD of weighted centered columns: C = Y Yᵀ / wsum.
+        let mut y = Mat::zeros(d, n);
+        for (j, x) in data.iter().enumerate() {
+            let wj = weights.map_or(1.0, |w| w[j]);
+            let s = (wj / wsum).max(0.0).sqrt();
+            let col = y.col_mut(j);
+            for ((o, &xi), &mi) in col.iter_mut().zip(x).zip(mean) {
+                *o = s * (xi - mi);
+            }
+        }
+        let f = svd::thin_svd(&y)?;
+        let k = p.min(f.s.len());
+        let mut basis = Mat::zeros(d, p);
+        let mut values = vec![0.0; p];
+        for j in 0..k {
+            basis.col_mut(j).copy_from_slice(f.u.col(j));
+            values[j] = f.s[j] * f.s[j];
+        }
+        complete_basis(&mut basis);
+        Ok((basis, values))
+    } else {
+        // Explicit covariance + symmetric eigensolve.
+        let mut y = Mat::zeros(d, n);
+        for (j, x) in data.iter().enumerate() {
+            let wj = weights.map_or(1.0, |w| w[j]);
+            let s = (wj / wsum).max(0.0).sqrt();
+            let col = y.col_mut(j);
+            for ((o, &xi), &mi) in col.iter_mut().zip(x).zip(mean) {
+                *o = s * (xi - mi);
+            }
+        }
+        let cov = gemm::par_gemm(&y, &y.transpose(), num_threads())?;
+        // Full Jacobi is O(d³) per sweep; for large covariances with few
+        // requested components, block subspace iteration gets the same
+        // eigenpairs in O(d²p) per step.
+        let (vals, vecs) = if d > 128 && 8 * p < d {
+            let r = spca_linalg::subspace::top_k_symmetric(&cov, p, 1e-11, 400)?;
+            (r.values, r.vectors)
+        } else {
+            let e = eigen::sym_eigen(&cov)?;
+            e.top_k(p)
+        };
+        let mut values = vals;
+        values.resize(p, 0.0);
+        let mut basis = Mat::zeros(d, p);
+        for j in 0..vecs.cols() {
+            basis.col_mut(j).copy_from_slice(vecs.col(j));
+        }
+        complete_basis(&mut basis);
+        Ok((basis, values.into_iter().map(|v| v.max(0.0)).collect()))
+    }
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rho::Bisquare;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use spca_linalg::rng::standard_normal_vec;
+
+    const D: usize = 10;
+
+    fn planted(rng: &mut StdRng, n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                let c = standard_normal_vec(rng, 2);
+                let mut x = vec![0.0; D];
+                x[0] = 3.0 * c[0];
+                x[1] = 1.5 * c[1];
+                for xi in x.iter_mut() {
+                    *xi += 0.02 * spca_linalg::rng::standard_normal(rng);
+                }
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_pca_finds_planted_axes() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let data = planted(&mut rng, 800);
+        let e = batch_pca(&data, 2).unwrap();
+        assert!(e.basis[(0, 0)].abs() > 0.99);
+        assert!(e.basis[(1, 1)].abs() > 0.99);
+        assert!((e.values[0] - 9.0).abs() < 1.0, "λ1={}", e.values[0]);
+        assert!((e.values[1] - 2.25).abs() < 0.4, "λ2={}", e.values[1]);
+    }
+
+    #[test]
+    fn gram_trick_and_covariance_paths_agree() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let data = planted(&mut rng, 60); // n > d → covariance path
+        let small = &data[..8]; // n < d → Gram path
+        let e1 = batch_pca(small, 2).unwrap();
+        // Re-run the same data through the covariance branch by faking a
+        // smaller d? Instead, just check both paths on their natural data
+        // satisfy the residual identity: total variance = Σλ + mean r².
+        for (e, set) in [(e1, small.to_vec()), (batch_pca(&data, 2).unwrap(), data.clone())] {
+            let n = set.len() as f64;
+            let total_var: f64 = set
+                .iter()
+                .map(|x| {
+                    let y = e.center(x);
+                    vecops::norm_sq(&y)
+                })
+                .sum::<f64>()
+                / n;
+            let explained: f64 = e.values.iter().sum();
+            let resid: f64 =
+                set.iter().map(|x| e.residual_sq_truncated(x, 2)).sum::<f64>() / n;
+            assert!(
+                (total_var - explained - resid).abs() < 1e-6 * total_var.max(1.0),
+                "variance bookkeeping: {total_var} vs {explained}+{resid}"
+            );
+        }
+    }
+
+    #[test]
+    fn robust_batch_resists_contamination() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut data = planted(&mut rng, 500);
+        // 15% gross outliers along axis 7.
+        for _ in 0..75 {
+            let mut x = vec![0.0; D];
+            x[7] = 60.0 + 10.0 * rng.gen::<f64>();
+            data.push(x);
+        }
+        let classic = batch_pca(&data, 2).unwrap();
+        let (robust, iters) =
+            batch_robust_pca(&data, 2, &Bisquare::default(), 0.5, 50).unwrap();
+        assert!(iters >= 1);
+        let plane = |e: &EigenSystem| {
+            let c = e.basis.col(0);
+            c[0] * c[0] + c[1] * c[1]
+        };
+        assert!(plane(&robust) > 0.98, "robust plane energy {}", plane(&robust));
+        assert!(plane(&classic) < 0.5, "classic should be captured: {}", plane(&classic));
+    }
+
+    #[test]
+    fn robust_equals_classic_on_clean_data() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let data = planted(&mut rng, 400);
+        let classic = batch_pca(&data, 2).unwrap();
+        let (robust, _) = batch_robust_pca(&data, 2, &Bisquare::default(), 0.5, 50).unwrap();
+        let dist = crate::metrics::subspace_distance(&classic.basis, &robust.basis).unwrap();
+        assert!(dist < 0.02, "clean-data disagreement {dist}");
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        assert!(batch_pca(&[], 2).is_err());
+        assert!(batch_robust_pca(&[], 2, &Bisquare::default(), 0.5, 10).is_err());
+    }
+
+    #[test]
+    fn ragged_batch_rejected() {
+        let data = vec![vec![0.0; 4], vec![0.0; 5]];
+        assert!(matches!(batch_pca(&data, 1), Err(PcaError::DimensionMismatch { .. })));
+    }
+}

@@ -1,0 +1,430 @@
+//! Classical incremental PCA (paper eq. 1–3).
+//!
+//! Maintains the truncated eigensystem of the covariance matrix through the
+//! low-rank identity
+//!
+//! ```text
+//! C ≈ γ E Λ Eᵀ + (1−γ) y yᵀ = A Aᵀ,   A = [ e_k √(γ λ_k) | y √(1−γ) ]
+//! ```
+//!
+//! so each arriving vector costs one thin SVD of a `d × (k+1)` factor
+//! instead of an `O(d²)` covariance update. This is the non-robust
+//! baseline whose failure under contamination Fig. 1 (left) demonstrates.
+
+use crate::config::PcaConfig;
+use crate::eigensystem::EigenSystem;
+use crate::{PcaError, Result};
+use spca_linalg::{svd, vecops, Mat};
+
+/// Classical streaming PCA with exponential forgetting.
+#[derive(Debug, Clone)]
+pub struct ClassicIncrementalPca {
+    cfg: PcaConfig,
+    state: State,
+}
+
+#[derive(Debug, Clone)]
+enum State {
+    /// Buffering the warm-up batch.
+    WarmUp(Vec<Vec<f64>>),
+    /// Streaming with an initialized eigensystem.
+    Running(EigenSystem),
+}
+
+impl ClassicIncrementalPca {
+    /// Creates an estimator in warm-up state.
+    pub fn new(cfg: PcaConfig) -> Self {
+        ClassicIncrementalPca { cfg, state: State::WarmUp(Vec::new()) }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &PcaConfig {
+        &self.cfg
+    }
+
+    /// True once the warm-up batch has been consumed.
+    pub fn is_initialized(&self) -> bool {
+        matches!(self.state, State::Running(_))
+    }
+
+    /// Total observations consumed (including warm-up).
+    pub fn n_obs(&self) -> u64 {
+        match &self.state {
+            State::WarmUp(buf) => buf.len() as u64,
+            State::Running(e) => e.n_obs,
+        }
+    }
+
+    /// Processes one observation. Returns the squared residual relative to
+    /// the pre-update eigensystem (0.0 during warm-up).
+    pub fn update(&mut self, x: &[f64]) -> Result<f64> {
+        validate(&self.cfg, x)?;
+        match &mut self.state {
+            State::WarmUp(buf) => {
+                buf.push(x.to_vec());
+                if buf.len() >= self.cfg.init_size {
+                    let batch = std::mem::take(buf);
+                    self.state = State::Running(init_from_batch(&self.cfg, &batch)?);
+                }
+                Ok(0.0)
+            }
+            State::Running(eig) => {
+                let r2 = eig.residual_sq_truncated(x, self.cfg.p);
+                classic_step(eig, x, self.cfg.alpha)?;
+                eig.n_obs += 1;
+                Ok(r2)
+            }
+        }
+    }
+
+    /// The current eigensystem truncated to the reported `p` components.
+    ///
+    /// Panics if called before initialization; check
+    /// [`is_initialized`](Self::is_initialized) when the stream may still be
+    /// in warm-up.
+    pub fn eigensystem(&self) -> EigenSystem {
+        match &self.state {
+            State::WarmUp(_) => panic!("eigensystem requested before warm-up completed"),
+            State::Running(e) => e.truncated(self.cfg.p),
+        }
+    }
+
+    /// The full internally-tracked eigensystem (`p + q` components).
+    pub fn full_eigensystem(&self) -> Option<&EigenSystem> {
+        match &self.state {
+            State::WarmUp(_) => None,
+            State::Running(e) => Some(e),
+        }
+    }
+
+    /// Replaces the internal eigensystem (used by the synchronization layer
+    /// after a merge). The replacement must match dim and component count.
+    pub fn install_eigensystem(&mut self, eig: EigenSystem) -> Result<()> {
+        if eig.dim() != self.cfg.dim || eig.n_components() != self.cfg.p_total() {
+            return Err(PcaError::IncompatibleMerge(format!(
+                "install: got dim {} k {}, want dim {} k {}",
+                eig.dim(),
+                eig.n_components(),
+                self.cfg.dim,
+                self.cfg.p_total()
+            )));
+        }
+        self.state = State::Running(eig);
+        Ok(())
+    }
+}
+
+pub(crate) fn validate(cfg: &PcaConfig, x: &[f64]) -> Result<()> {
+    if x.len() != cfg.dim {
+        return Err(PcaError::DimensionMismatch { expected: cfg.dim, got: x.len() });
+    }
+    if !vecops::all_finite(x) {
+        return Err(PcaError::NotFinite);
+    }
+    Ok(())
+}
+
+/// One classical incremental step on an initialized eigensystem: updates
+/// mean, then eigensystem via the `A = [E√(γΛ) | y√(1−γ)]` SVD.
+pub(crate) fn classic_step(eig: &mut EigenSystem, x: &[f64], alpha: f64) -> Result<()> {
+    // γ from the decayed observation count (eq. 14 analogue): with every
+    // weight equal to one, u, v and q all share this recursion.
+    let u_new = alpha * eig.sum_u + 1.0;
+    let gamma = alpha * eig.sum_u / u_new;
+    eig.sum_u = u_new;
+    eig.sum_v = u_new;
+
+    // Mean recursion (eq. 9 with w ≡ 1).
+    for (m, &xi) in eig.mean.iter_mut().zip(x) {
+        *m = gamma * *m + (1.0 - gamma) * xi;
+    }
+
+    let y = eig.center(x);
+    low_rank_update(eig, &y, gamma, 1.0 - gamma)?;
+    eig.sum_q = u_new; // classical: w·r² sums degenerate to the count
+    Ok(())
+}
+
+/// Shared low-rank eigensystem update: replaces `{E, Λ}` with the top-k of
+/// the SVD of `A = [e_j·√(g_hist·λ_j) | y·√(g_new)]`.
+pub(crate) fn low_rank_update(
+    eig: &mut EigenSystem,
+    y: &[f64],
+    g_hist: f64,
+    g_new: f64,
+) -> Result<()> {
+    let d = eig.dim();
+    let k = eig.n_components();
+    let mut a = Mat::zeros(d, k + 1);
+    for j in 0..k {
+        let s = (g_hist * eig.values[j]).max(0.0).sqrt();
+        let src = eig.basis.col(j);
+        let dst = a.col_mut(j);
+        for (o, &i) in dst.iter_mut().zip(src) {
+            *o = s * i;
+        }
+    }
+    {
+        let s = g_new.max(0.0).sqrt();
+        let dst = a.col_mut(k);
+        for (o, &i) in dst.iter_mut().zip(y) {
+            *o = s * i;
+        }
+    }
+    let f = svd::thin_svd(&a)?;
+    for j in 0..k {
+        eig.basis.col_mut(j).copy_from_slice(f.u.col(j));
+        eig.values[j] = f.s[j] * f.s[j];
+    }
+    Ok(())
+}
+
+/// Initializes an eigensystem from a warm-up batch with plain batch PCA.
+pub(crate) fn init_from_batch(cfg: &PcaConfig, batch: &[Vec<f64>]) -> Result<EigenSystem> {
+    let n = batch.len();
+    assert!(n > 0, "warm-up batch must be non-empty");
+    let d = cfg.dim;
+    let k = cfg.p_total().min(n.saturating_sub(1)).max(1);
+
+    let mut mean = vec![0.0; d];
+    for x in batch {
+        vecops::axpy(1.0, x, &mut mean);
+    }
+    vecops::scale(&mut mean, 1.0 / n as f64);
+
+    // Thin SVD of the centered data matrix (columns = observations) gives
+    // the eigensystem of the sample covariance directly.
+    let mut data = Mat::zeros(d, n);
+    for (j, x) in batch.iter().enumerate() {
+        let col = data.col_mut(j);
+        for ((o, &xi), &mi) in col.iter_mut().zip(x).zip(&mean) {
+            *o = xi - mi;
+        }
+    }
+    // thin_svd requires rows >= cols; warm-up batches are small (n << d) in
+    // the intended regime, but guard the other case by Gram eigensolve.
+    let (basis, values) = if d >= n {
+        let f = svd::thin_svd(&data)?;
+        let mut basis = Mat::zeros(d, cfg.p_total());
+        let mut values = vec![0.0; cfg.p_total()];
+        for j in 0..k.min(f.s.len()) {
+            basis.col_mut(j).copy_from_slice(f.u.col(j));
+            values[j] = f.s[j] * f.s[j] / n as f64;
+        }
+        fill_orthonormal_tail(&mut basis, k);
+        (basis, values)
+    } else {
+        let f = svd::thin_svd(&data.transpose())?;
+        // data = (V S Uᵀ)ᵀ = U S Vᵀ with roles swapped: left vectors of
+        // dataᵀ are right vectors of data.
+        let mut basis = Mat::zeros(d, cfg.p_total());
+        let mut values = vec![0.0; cfg.p_total()];
+        for j in 0..k.min(f.s.len()).min(d) {
+            basis.col_mut(j).copy_from_slice(f.v.col(j));
+            values[j] = f.s[j] * f.s[j] / n as f64;
+        }
+        fill_orthonormal_tail(&mut basis, k);
+        (basis, values)
+    };
+
+    // Decayed count of the warm-up batch: Σ_{i=0}^{n-1} α^i.
+    let u0 = decayed_count(cfg.alpha, n);
+
+    let mut eig = EigenSystem {
+        mean,
+        basis,
+        values,
+        sigma2: 0.0,
+        sum_u: u0,
+        sum_v: u0,
+        sum_q: 0.0,
+        n_obs: n as u64,
+    };
+    // Mean residual over the batch seeds σ² (the robust path re-solves the
+    // M-scale on top of this).
+    let mean_r2 = batch.iter().map(|x| eig.residual_sq_truncated(x, cfg.p)).sum::<f64>() / n as f64;
+    eig.sigma2 = mean_r2;
+    eig.sum_q = u0 * mean_r2;
+    Ok(eig)
+}
+
+/// Geometric series Σ_{i=0}^{n-1} α^i.
+pub(crate) fn decayed_count(alpha: f64, n: usize) -> f64 {
+    if (alpha - 1.0).abs() < 1e-15 {
+        n as f64
+    } else {
+        (1.0 - alpha.powi(n as i32)) / (1.0 - alpha)
+    }
+}
+
+/// Completes columns `[k, basis.cols())` with arbitrary orthonormal
+/// directions so the tracked basis always has full column rank.
+fn fill_orthonormal_tail(basis: &mut Mat, k: usize) {
+    let (d, total) = basis.shape();
+    let mut axis = 0;
+    for j in k..total {
+        'search: while axis < d {
+            let mut cand = vec![0.0; d];
+            cand[axis] = 1.0;
+            axis += 1;
+            for other in 0..j {
+                let proj = vecops::dot(&cand, basis.col(other));
+                vecops::axpy(-proj, basis.col(other), &mut cand);
+            }
+            if vecops::normalize(&mut cand) > 1e-6 {
+                basis.col_mut(j).copy_from_slice(&cand);
+                break 'search;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PcaConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spca_linalg::rng::standard_normal_vec;
+
+    /// Stream from a planted 2D subspace in 10 dims plus tiny noise.
+    fn planted_stream(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = 10;
+        (0..n)
+            .map(|_| {
+                let c = standard_normal_vec(&mut rng, 2);
+                let noise = standard_normal_vec(&mut rng, d);
+                let mut x = vec![0.0; d];
+                x[0] = 3.0 * c[0];
+                x[1] = 1.5 * c[1];
+                for (xi, ni) in x.iter_mut().zip(&noise) {
+                    *xi += 0.01 * ni;
+                }
+                x
+            })
+            .collect()
+    }
+
+    fn cfg() -> PcaConfig {
+        PcaConfig::new(10, 2).with_alpha(1.0).with_extra(0).with_init_size(20)
+    }
+
+    #[test]
+    fn warm_up_then_running() {
+        let mut pca = ClassicIncrementalPca::new(cfg());
+        for (i, x) in planted_stream(19, 1).iter().enumerate() {
+            pca.update(x).unwrap();
+            assert!(!pca.is_initialized(), "i={i}");
+        }
+        pca.update(&planted_stream(1, 2)[0]).unwrap();
+        assert!(pca.is_initialized());
+        assert_eq!(pca.n_obs(), 20);
+    }
+
+    #[test]
+    fn recovers_planted_subspace() {
+        let mut pca = ClassicIncrementalPca::new(cfg());
+        for x in planted_stream(2000, 3) {
+            pca.update(&x).unwrap();
+        }
+        let eig = pca.eigensystem();
+        eig.check_invariants().unwrap();
+        // Top eigenvector should align with axis 0 (variance 9), second
+        // with axis 1 (variance 2.25).
+        assert!(eig.basis[(0, 0)].abs() > 0.99, "e1 = {:?}", eig.basis.col(0));
+        assert!(eig.basis[(1, 1)].abs() > 0.99, "e2 = {:?}", eig.basis.col(1));
+        assert!((eig.values[0] - 9.0).abs() < 1.5, "λ1 = {}", eig.values[0]);
+        assert!((eig.values[1] - 2.25).abs() < 0.6, "λ2 = {}", eig.values[1]);
+    }
+
+    #[test]
+    fn residuals_shrink_as_model_converges() {
+        let mut pca = ClassicIncrementalPca::new(cfg());
+        let stream = planted_stream(1000, 4);
+        let mut early = 0.0;
+        let mut late = 0.0;
+        for (i, x) in stream.iter().enumerate() {
+            let r2 = pca.update(x).unwrap();
+            if (20..120).contains(&i) {
+                early += r2;
+            }
+            if i >= 900 {
+                late += r2;
+            }
+        }
+        assert!(late / 100.0 <= early / 100.0 + 1e-6, "early {early} late {late}");
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut pca = ClassicIncrementalPca::new(cfg());
+        assert!(matches!(
+            pca.update(&[1.0, 2.0]),
+            Err(PcaError::DimensionMismatch { expected: 10, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let mut pca = ClassicIncrementalPca::new(cfg());
+        let mut x = vec![0.0; 10];
+        x[3] = f64::NAN;
+        assert_eq!(pca.update(&x).unwrap_err(), PcaError::NotFinite);
+    }
+
+    #[test]
+    fn decayed_count_limits() {
+        assert_eq!(decayed_count(1.0, 7), 7.0);
+        // Σ α^i → 1/(1-α): the paper's footnote "u rapidly converges to
+        // 1/(1−α)".
+        let alpha = 0.99;
+        assert!((decayed_count(alpha, 10_000) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_tracks_stream_mean() {
+        let mut pca = ClassicIncrementalPca::new(cfg());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1500 {
+            let mut x = standard_normal_vec(&mut rng, 10);
+            x[0] += 5.0;
+            pca.update(&x).unwrap();
+        }
+        let eig = pca.eigensystem();
+        assert!((eig.mean[0] - 5.0).abs() < 0.2, "mean {:?}", eig.mean[0]);
+        assert!(eig.mean[1].abs() < 0.2);
+    }
+
+    #[test]
+    fn forgetting_tracks_subspace_drift() {
+        // With a short memory the estimator must follow a subspace that
+        // rotates from axis 0 to axis 2 halfway through.
+        let cfg = PcaConfig::new(10, 1).with_memory(200).with_extra(0).with_init_size(20);
+        let mut pca = ClassicIncrementalPca::new(cfg);
+        let mut rng = StdRng::seed_from_u64(6);
+        for phase in 0..2 {
+            for _ in 0..2000 {
+                let c: f64 = spca_linalg::rng::standard_normal(&mut rng);
+                let mut x = vec![0.0; 10];
+                x[if phase == 0 { 0 } else { 2 }] = 4.0 * c;
+                for xi in x.iter_mut() {
+                    *xi += 0.01 * spca_linalg::rng::standard_normal(&mut rng);
+                }
+                pca.update(&x).unwrap();
+            }
+        }
+        let eig = pca.eigensystem();
+        assert!(eig.basis[(2, 0)].abs() > 0.95, "should have rotated: {:?}", eig.basis.col(0));
+    }
+
+    #[test]
+    fn install_eigensystem_validates_shape() {
+        let mut pca = ClassicIncrementalPca::new(cfg());
+        let wrong = EigenSystem::zeros(9, 2);
+        assert!(pca.install_eigensystem(wrong).is_err());
+        let right = EigenSystem::zeros(10, 2);
+        assert!(pca.install_eigensystem(right).is_ok());
+        assert!(pca.is_initialized());
+    }
+}

@@ -1,0 +1,285 @@
+//! Missing-data handling (§II-D).
+//!
+//! Spectra arrive with gaps — masked pixels, and redshift-dependent
+//! wavelength coverage. Following Connolly & Szalay (1999) as extended by
+//! the paper, each incomplete vector is *patched* by an unbiased
+//! reconstruction from the current eigenbasis before entering the streaming
+//! update. Patching removes the residual in the missing bins, which would
+//! bias the robust weights toward gappy spectra; the fix (paper §II-D, last
+//! paragraph) is to solve for `p + q` components and estimate the missing
+//! bins' residual from the difference between the `p`- and `(p+q)`-term
+//! reconstructions.
+
+use crate::eigensystem::EigenSystem;
+use crate::{PcaError, Result};
+use spca_linalg::solve::spd_solve;
+use spca_linalg::Mat;
+
+/// Result of patching an incomplete observation.
+#[derive(Debug, Clone)]
+pub struct GapFill {
+    /// The observation with missing bins replaced by the eigenbasis
+    /// reconstruction `µ + E c` evaluated at those bins.
+    pub filled: Vec<f64>,
+    /// Bias-corrected squared residual: observed-bin residual plus the
+    /// higher-order estimate of the missing-bin residual.
+    pub residual_sq: f64,
+}
+
+/// Patches the missing entries of `x` using the eigensystem's top `p + q`
+/// components and returns the filled vector along with a bias-corrected
+/// squared residual for the robust weighting.
+///
+/// `mask[i] == true` marks an observed bin.
+pub fn fill_gaps(
+    eig: &EigenSystem,
+    x: &[f64],
+    mask: &[bool],
+    p: usize,
+    q: usize,
+) -> Result<GapFill> {
+    let d = eig.dim();
+    if x.len() != d || mask.len() != d {
+        return Err(PcaError::DimensionMismatch { expected: d, got: x.len() });
+    }
+    let n_obs = mask.iter().filter(|&&m| m).count();
+    if n_obs == 0 {
+        return Err(PcaError::AllMissing);
+    }
+    let k = (p + q).min(eig.n_components());
+    let p = p.min(k);
+
+    // Solve the masked least squares (Eᵀ M E) c = Eᵀ M y over the top-k
+    // basis, where M zeroes the missing bins.
+    let coeffs = masked_coefficients(eig, x, mask, k)?;
+
+    // Reconstructions restricted to the two truncated bases.
+    let mut filled = x.to_vec();
+    let mut r2_obs = 0.0; // residual over observed bins w.r.t. p components
+    let mut r2_miss = 0.0; // higher-order residual estimate over missing bins
+    for i in 0..d {
+        // p-term and k-term reconstructions of bin i.
+        let mut rec_p = eig.mean[i];
+        let mut rec_k = eig.mean[i];
+        for (j, &c) in coeffs.iter().enumerate() {
+            let e_ij = eig.basis[(i, j)];
+            if j < p {
+                rec_p += c * e_ij;
+            }
+            rec_k += c * e_ij;
+        }
+        if mask[i] {
+            let r = x[i] - rec_p;
+            r2_obs += r * r;
+        } else {
+            filled[i] = rec_k;
+            // The missing bin's unknown residual is approximated by the
+            // spread between the two truncations (§II-D).
+            let dr = rec_k - rec_p;
+            r2_miss += dr * dr;
+        }
+    }
+
+    Ok(GapFill { filled, residual_sq: r2_obs + r2_miss })
+}
+
+/// Least-squares coefficients of `x − µ` on the top-`k` eigenvectors
+/// restricted to the observed bins.
+pub fn masked_coefficients(
+    eig: &EigenSystem,
+    x: &[f64],
+    mask: &[bool],
+    k: usize,
+) -> Result<Vec<f64>> {
+    let d = eig.dim();
+    let k = k.min(eig.n_components());
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    // Build G = EᵀME (k×k) and b = EᵀM(x−µ) over observed bins only.
+    let mut g = Mat::zeros(k, k);
+    let mut b = vec![0.0; k];
+    for i in 0..d {
+        if !mask[i] {
+            continue;
+        }
+        let yi = x[i] - eig.mean[i];
+        for a in 0..k {
+            let ea = eig.basis[(i, a)];
+            b[a] += ea * yi;
+            for c in a..k {
+                g[(a, c)] += ea * eig.basis[(i, c)];
+            }
+        }
+    }
+    for a in 0..k {
+        for c in 0..a {
+            g[(a, c)] = g[(c, a)];
+        }
+    }
+    Ok(spd_solve(&g, &b)?)
+}
+
+/// Fits an overall normalization shift together with the gap fill (Wild et
+/// al. 2007 extension): finds scalar `s` and coefficients `c` minimizing
+/// `Σ_observed (x_i − s·µ_i − Σ_j c_j E_ij)²`, and returns `(s, c)`.
+///
+/// Spectra are normalized before entering PCA (§II-D); when bins are
+/// missing the normalization itself is biased, and jointly fitting the
+/// scale of the mean spectrum removes that bias.
+pub fn masked_scale_and_coefficients(
+    eig: &EigenSystem,
+    x: &[f64],
+    mask: &[bool],
+    k: usize,
+) -> Result<(f64, Vec<f64>)> {
+    let d = eig.dim();
+    if x.len() != d || mask.len() != d {
+        return Err(PcaError::DimensionMismatch { expected: d, got: x.len() });
+    }
+    let k = k.min(eig.n_components());
+    // Augmented design: columns [µ | e_1 .. e_k] restricted to observed bins.
+    let m = k + 1;
+    let mut g = Mat::zeros(m, m);
+    let mut b = vec![0.0; m];
+    let col = |j: usize, i: usize| -> f64 {
+        if j == 0 {
+            eig.mean[i]
+        } else {
+            eig.basis[(i, j - 1)]
+        }
+    };
+    let mut any = false;
+    for i in 0..d {
+        if !mask[i] {
+            continue;
+        }
+        any = true;
+        for a in 0..m {
+            let ca = col(a, i);
+            b[a] += ca * x[i];
+            for c in a..m {
+                g[(a, c)] += ca * col(c, i);
+            }
+        }
+    }
+    if !any {
+        return Err(PcaError::AllMissing);
+    }
+    for a in 0..m {
+        for c in 0..a {
+            g[(a, c)] = g[(c, a)];
+        }
+    }
+    let sol = spd_solve(&g, &b)?;
+    Ok((sol[0], sol[1..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Eigensystem spanning axes 0 and 1 of R⁵ with mean (1,..,1).
+    fn system() -> EigenSystem {
+        let mut e = EigenSystem::zeros(5, 3);
+        e.basis[(0, 0)] = 1.0;
+        e.basis[(1, 1)] = 1.0;
+        e.basis[(2, 2)] = 1.0; // extra (q) component on axis 2
+        e.values = vec![4.0, 2.0, 0.5];
+        e.mean = vec![1.0; 5];
+        e.sigma2 = 0.1;
+        e
+    }
+
+    #[test]
+    fn complete_mask_reproduces_plain_residual() {
+        let e = system();
+        let x = vec![3.0, 2.0, 1.5, 1.2, 0.8];
+        let mask = vec![true; 5];
+        let gf = fill_gaps(&e, &x, &mask, 2, 1).unwrap();
+        assert_eq!(gf.filled, x);
+        assert!((gf.residual_sq - e.residual_sq_truncated(&x, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_bin_filled_from_basis() {
+        let e = system();
+        // True point: mean + 2·e0 + 1·e1 → (3, 2, 1, 1, 1). Hide bin 0.
+        let x = vec![999.0, 2.0, 1.0, 1.0, 1.0];
+        let mask = vec![false, true, true, true, true];
+        let gf = fill_gaps(&e, &x, &mask, 2, 1).unwrap();
+        // Bin 0 can only be explained by e0, whose coefficient is
+        // unconstrained by the observed bins → least squares sets it to 0,
+        // so the fill equals the mean.
+        assert!((gf.filled[0] - 1.0).abs() < 1e-9, "filled {:?}", gf.filled);
+        // Observed bins exactly on the model → zero residual.
+        assert!(gf.residual_sq < 1e-12, "r² = {}", gf.residual_sq);
+    }
+
+    #[test]
+    fn fill_recovers_in_plane_point() {
+        let e = system();
+        // Point with correlated structure: e1 coefficient visible in bin 1.
+        let x = vec![1.0, 4.0, 1.0, 1.0, 1.0]; // mean + 3·e1
+        let mask = vec![true, false, true, true, true];
+        // Hide bin 1: coefficient of e1 is unconstrained → fill = mean.
+        let gf = fill_gaps(&e, &x, &mask, 2, 1).unwrap();
+        assert!((gf.filled[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_order_residual_counts_missing_energy() {
+        let e = system();
+        // Observed bins carry energy on the extra axis-2 component: the
+        // p=2 reconstruction misses it, the k=3 one captures it.
+        let x = vec![1.0, 1.0, 3.0, 1.0, 999.0];
+        let mask = vec![true, true, true, true, false];
+        let gf = fill_gaps(&e, &x, &mask, 2, 1).unwrap();
+        // Observed residual w.r.t. p=2: bin 2 deviates by 2.
+        assert!((gf.residual_sq - 4.0).abs() < 1e-9, "r² = {}", gf.residual_sq);
+        // Missing bin 4 is off-basis entirely: filled with the k-term
+        // reconstruction = mean there.
+        assert!((gf.filled[4] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_missing_is_error() {
+        let e = system();
+        let x = vec![0.0; 5];
+        assert_eq!(
+            fill_gaps(&e, &x, &[false; 5], 2, 1).unwrap_err(),
+            PcaError::AllMissing
+        );
+    }
+
+    #[test]
+    fn scale_fit_recovers_brightness() {
+        let e = system();
+        // A twice-as-bright version of the mean, partially observed.
+        let x: Vec<f64> = e.mean.iter().map(|m| 2.0 * m).collect();
+        let mask = vec![true, true, true, false, true];
+        let (s, _c) = masked_scale_and_coefficients(&e, &x, &mask, 2).unwrap();
+        assert!((s - 2.0).abs() < 1e-6, "scale {s}");
+    }
+
+    #[test]
+    fn masked_coefficients_match_projection_when_complete() {
+        let e = system();
+        let x = vec![2.5, 0.5, 1.0, 1.0, 1.0];
+        let mask = vec![true; 5];
+        let c = masked_coefficients(&e, &x, &mask, 2).unwrap();
+        let y = e.center(&x);
+        let proj = e.project(&y);
+        assert!((c[0] - proj[0]).abs() < 1e-9);
+        assert!((c[1] - proj[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let e = system();
+        assert!(matches!(
+            fill_gaps(&e, &[0.0; 4], &[true; 4], 2, 1),
+            Err(PcaError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,216 @@
+//! Convergence and agreement diagnostics.
+//!
+//! The figures of the paper are all statements about convergence (Fig. 1,
+//! 4, 5) or agreement between independently-evolving estimates (the sync
+//! criterion of §II-C). These metrics quantify both: principal angles
+//! between subspaces, eigenvalue errors, and the smoothness measure the
+//! paper invokes for Fig. 5 ("the smoothness of these curves is a sign of
+//! robustness as PCA has no notion of where the pixels are relative to each
+//! other").
+
+use crate::eigensystem::EigenSystem;
+use crate::Result;
+use spca_linalg::{gemm, svd, Mat};
+
+/// Cosines of the principal angles between the column spans of `a` and `b`
+/// (descending). Both must have the same row count; the number of angles is
+/// the smaller column count.
+pub fn principal_angle_cosines(a: &Mat, b: &Mat) -> Result<Vec<f64>> {
+    // cos θ_i are the singular values of AᵀB for orthonormal A, B.
+    let atb = gemm::gemm(&a.transpose(), b)?;
+    // thin_svd needs rows >= cols; transpose if necessary.
+    let f = if atb.rows() >= atb.cols() {
+        svd::thin_svd(&atb)?
+    } else {
+        svd::thin_svd(&atb.transpose())?
+    };
+    Ok(f.s.iter().map(|&s| s.min(1.0)).collect())
+}
+
+/// Distance between subspaces: `sin` of the largest principal angle, in
+/// `[0, 1]`. Zero iff the spans coincide.
+pub fn subspace_distance(a: &Mat, b: &Mat) -> Result<f64> {
+    let cos = principal_angle_cosines(a, b)?;
+    let min_cos = cos.last().copied().unwrap_or(1.0);
+    Ok((1.0 - min_cos * min_cos).max(0.0).sqrt())
+}
+
+/// Mean-square distance: average of `sin²θ_i` over all principal angles —
+/// a smoother convergence signal than the max angle.
+pub fn mean_square_subspace_distance(a: &Mat, b: &Mat) -> Result<f64> {
+    let cos = principal_angle_cosines(a, b)?;
+    if cos.is_empty() {
+        return Ok(0.0);
+    }
+    Ok(cos.iter().map(|c| 1.0 - c * c).sum::<f64>() / cos.len() as f64)
+}
+
+/// Maximum relative eigenvalue error `|λ̂ − λ| / max(λ, floor)` over the
+/// common prefix of the two spectra.
+pub fn eigenvalue_relative_error(estimate: &[f64], truth: &[f64], floor: f64) -> f64 {
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t).abs() / t.abs().max(floor))
+        .fold(0.0, f64::max)
+}
+
+/// Whether two eigensystems are "statistically independent enough" to merge
+/// usefully: the paper gates synchronization on observation counts, and
+/// additionally engines "verify every time that the eigensystems are
+/// statistically independent". We quantify dependence as subspace
+/// closeness: returns `true` when the subspace distance exceeds `threshold`
+/// — i.e. the systems have drifted apart and a sync is worthwhile.
+pub fn eigensystems_diverged(a: &EigenSystem, b: &EigenSystem, threshold: f64) -> Result<bool> {
+    Ok(subspace_distance(&a.basis, &b.basis)? > threshold)
+}
+
+/// Second-difference roughness of a curve: `Σ (x[i+1] − 2x[i] + x[i−1])²`,
+/// normalized by the curve's variance. Physical eigenspectra are smooth;
+/// noise-dominated ones are rough. Used to quantify the Fig. 4 → Fig. 5
+/// improvement.
+pub fn roughness(curve: &[f64]) -> f64 {
+    if curve.len() < 3 {
+        return 0.0;
+    }
+    let mean = curve.iter().sum::<f64>() / curve.len() as f64;
+    let var = curve.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / curve.len() as f64;
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let mut s = 0.0;
+    for w in curve.windows(3) {
+        let d2 = w[2] - 2.0 * w[1] + w[0];
+        s += d2 * d2;
+    }
+    s / (var * (curve.len() - 2) as f64)
+}
+
+/// A convergence trace: records a scalar diagnostic every `stride`
+/// observations, for plotting eigenvalue histories (Fig. 1).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    stride: u64,
+    next: u64,
+    /// `(n_obs, values)` samples.
+    pub samples: Vec<(u64, Vec<f64>)>,
+}
+
+impl Trace {
+    /// A trace sampling every `stride` observations (`stride ≥ 1`).
+    pub fn new(stride: u64) -> Self {
+        assert!(stride >= 1);
+        Trace { stride, next: 0, samples: Vec::new() }
+    }
+
+    /// Offers the current observation count and a lazily-computed value
+    /// vector; records it if the stride boundary has been reached.
+    pub fn offer(&mut self, n_obs: u64, values: impl FnOnce() -> Vec<f64>) {
+        if n_obs >= self.next {
+            self.samples.push((n_obs, values()));
+            self.next = n_obs + self.stride;
+        }
+    }
+
+    /// The recorded series for component `k` as `(n_obs, value)` pairs.
+    pub fn series(&self, k: usize) -> Vec<(u64, f64)> {
+        self.samples
+            .iter()
+            .filter_map(|(n, vals)| vals.get(k).map(|&v| (*n, v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axes(d: usize, which: &[usize]) -> Mat {
+        let mut m = Mat::zeros(d, which.len());
+        for (j, &ax) in which.iter().enumerate() {
+            m[(ax, j)] = 1.0;
+        }
+        m
+    }
+
+    #[test]
+    fn identical_subspaces_have_zero_distance() {
+        let a = axes(6, &[0, 1]);
+        assert!(subspace_distance(&a, &a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_subspaces_have_distance_one() {
+        let a = axes(6, &[0, 1]);
+        let b = axes(6, &[2, 3]);
+        assert!((subspace_distance(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_invariance() {
+        // Span{e0, e1} expressed in a rotated basis is the same subspace.
+        let a = axes(4, &[0, 1]);
+        let mut b = Mat::zeros(4, 2);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        b[(0, 0)] = s;
+        b[(1, 0)] = s;
+        b[(0, 1)] = s;
+        b[(1, 1)] = -s;
+        assert!(subspace_distance(&a, &b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_distance() {
+        let a = axes(6, &[0, 1]);
+        let b = axes(6, &[0, 2]);
+        // One shared direction, one orthogonal → max angle 90°.
+        assert!((subspace_distance(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        // Mean-square distance averages: (0 + 1)/2.
+        assert!((mean_square_subspace_distance(&a, &b).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvalue_error_basics() {
+        assert_eq!(eigenvalue_relative_error(&[2.0], &[1.0], 1e-12), 1.0);
+        assert_eq!(eigenvalue_relative_error(&[1.0, 2.0], &[1.0, 2.0], 1e-12), 0.0);
+    }
+
+    #[test]
+    fn smooth_curve_less_rough_than_noise() {
+        let smooth: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut noisy = smooth.clone();
+        for (i, v) in noisy.iter_mut().enumerate() {
+            *v += if i % 2 == 0 { 0.3 } else { -0.3 };
+        }
+        assert!(roughness(&smooth) < 0.1 * roughness(&noisy));
+    }
+
+    #[test]
+    fn roughness_degenerate_inputs() {
+        assert_eq!(roughness(&[]), 0.0);
+        assert_eq!(roughness(&[1.0, 2.0]), 0.0);
+        assert_eq!(roughness(&[5.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn trace_strides() {
+        let mut t = Trace::new(10);
+        for n in 0..35 {
+            t.offer(n, || vec![n as f64]);
+        }
+        let s = t.series(0);
+        assert_eq!(s.len(), 4); // n = 0, 10, 20, 30
+        assert_eq!(s[1], (10, 10.0));
+    }
+
+    #[test]
+    fn diverged_flag() {
+        let mut a = EigenSystem::zeros(6, 2);
+        a.basis = axes(6, &[0, 1]);
+        a.values = vec![1.0, 0.5];
+        let mut b = a.clone();
+        assert!(!eigensystems_diverged(&a, &b, 0.1).unwrap());
+        b.basis = axes(6, &[2, 3]);
+        assert!(eigensystems_diverged(&a, &b, 0.1).unwrap());
+    }
+}

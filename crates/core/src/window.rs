@@ -1,0 +1,348 @@
+//! Sliding-window PCA (§II-B).
+//!
+//! "When dealing with the online arrival of data, there are several options
+//! to maintain the eigensystem over varying temporal extents, including a
+//! damping factor or time-based windows … Both approaches can be
+//! implemented, exploiting sharing strategies for sliding window
+//! scenarios."
+//!
+//! [`RobustPca`] with α < 1 is the damping factor. This
+//! module is the windowed alternative, built on the classic *paned* sharing
+//! strategy: the window of the last `W` observations is covered by `k`
+//! tumbling panes of `W/k` observations each. Every pane is a small,
+//! independent robust eigensystem built with infinite memory (α = 1); a
+//! query merges the live pane with the sealed ones (paper eq. 15–16 — the
+//! same machinery that synchronizes parallel engines also composes window
+//! panes, which is exactly the sharing the paper alludes to). When the
+//! live pane fills, the oldest sealed pane is dropped — observations older
+//! than the window stop influencing the estimate *entirely*, the hard
+//! cutoff a damping factor cannot provide.
+
+use crate::config::PcaConfig;
+use crate::eigensystem::EigenSystem;
+use crate::merge::merge_all;
+use crate::robust::{RobustPca, UpdateOutcome};
+use crate::{PcaError, Result};
+use std::collections::VecDeque;
+
+/// What advances the window: observation counts or stream time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rotation {
+    /// Rotate after this many observations per pane.
+    Count(u64),
+    /// Rotate when the pane spans this many nanoseconds of stream time.
+    Time(u64),
+}
+
+/// Robust PCA over a sliding window of the most recent observations.
+pub struct WindowedPca {
+    cfg: PcaConfig,
+    rotation: Rotation,
+    n_panes: usize,
+    sealed: VecDeque<EigenSystem>,
+    live: RobustPca,
+    live_count: u64,
+    pane_start_ns: Option<u64>,
+    total: u64,
+}
+
+impl WindowedPca {
+    /// A window of `n_panes × pane_size` observations. The PCA
+    /// configuration's forgetting factor is overridden to α = 1 (each pane
+    /// is an exact batch; the *window* does the forgetting).
+    pub fn new(cfg: PcaConfig, pane_size: u64, n_panes: usize) -> Self {
+        assert!(pane_size >= cfg.init_size as u64, "pane must cover the warm-up");
+        assert!(n_panes >= 1);
+        let cfg = cfg.with_alpha(1.0);
+        let live = RobustPca::new(cfg.clone());
+        WindowedPca {
+            cfg,
+            rotation: Rotation::Count(pane_size),
+            n_panes,
+            sealed: VecDeque::new(),
+            live,
+            live_count: 0,
+            pane_start_ns: None,
+            total: 0,
+        }
+    }
+
+    /// A *time-based* window of `n_panes × pane_duration_ns` nanoseconds of
+    /// stream time (§II-B's literal "time-based windows"). Feed it through
+    /// [`update_at`](Self::update_at) with each observation's timestamp;
+    /// panes rotate when their time span elapses, whatever the tuple rate.
+    pub fn new_time_based(cfg: PcaConfig, pane_duration_ns: u64, n_panes: usize) -> Self {
+        assert!(pane_duration_ns > 0);
+        assert!(n_panes >= 1);
+        let cfg = cfg.with_alpha(1.0);
+        let live = RobustPca::new(cfg.clone());
+        WindowedPca {
+            cfg,
+            rotation: Rotation::Time(pane_duration_ns),
+            n_panes,
+            sealed: VecDeque::new(),
+            live,
+            live_count: 0,
+            pane_start_ns: None,
+            total: 0,
+        }
+    }
+
+    /// Window span in observations (count mode) or nanoseconds (time mode).
+    pub fn window_len(&self) -> u64 {
+        match self.rotation {
+            Rotation::Count(n) => n * self.n_panes as u64,
+            Rotation::Time(ns) => ns * self.n_panes as u64,
+        }
+    }
+
+    /// Processes one timestamped observation (time-based windows).
+    /// Timestamps must be non-decreasing; a pane rotates when the incoming
+    /// timestamp leaves its span.
+    pub fn update_at(&mut self, x: &[f64], t_ns: u64) -> Result<UpdateOutcome> {
+        let Rotation::Time(pane_ns) = self.rotation else {
+            return Err(PcaError::IncompatibleMerge(
+                "update_at requires a time-based window (new_time_based)".into(),
+            ));
+        };
+        let start = *self.pane_start_ns.get_or_insert(t_ns);
+        if t_ns.saturating_sub(start) >= pane_ns {
+            self.rotate();
+            // A long silence may skip several pane spans; the new pane
+            // starts at the current observation.
+            self.pane_start_ns = Some(t_ns);
+        }
+        let out = self.live.update(x)?;
+        self.live_count += 1;
+        self.total += 1;
+        Ok(out)
+    }
+
+    /// Total observations consumed.
+    pub fn n_obs(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of sealed panes currently retained.
+    pub fn sealed_panes(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Processes one observation (count-based windows).
+    pub fn update(&mut self, x: &[f64]) -> Result<UpdateOutcome> {
+        let out = self.live.update(x)?;
+        self.live_count += 1;
+        self.total += 1;
+        if let Rotation::Count(n) = self.rotation {
+            if self.live_count >= n {
+                self.rotate();
+            }
+        }
+        Ok(out)
+    }
+
+    /// Processes a gappy observation (count-based windows).
+    pub fn update_masked(&mut self, x: &[f64], mask: &[bool]) -> Result<UpdateOutcome> {
+        let out = self.live.update_masked(x, mask)?;
+        self.live_count += 1;
+        self.total += 1;
+        if let Rotation::Count(n) = self.rotation {
+            if self.live_count >= n {
+                self.rotate();
+            }
+        }
+        Ok(out)
+    }
+
+    fn rotate(&mut self) {
+        if let Some(eig) = self.live.full_eigensystem() {
+            self.sealed.push_back(eig.clone());
+            while self.sealed.len() >= self.n_panes {
+                self.sealed.pop_front();
+            }
+        }
+        self.live = RobustPca::new(self.cfg.clone());
+        self.live_count = 0;
+    }
+
+    /// The eigensystem of the current window: the merge of every sealed
+    /// pane with the live pane (if initialized), truncated to `p`.
+    pub fn eigensystem(&self) -> Result<EigenSystem> {
+        let mut parts: Vec<EigenSystem> = self.sealed.iter().cloned().collect();
+        if let Some(live) = self.live.full_eigensystem() {
+            parts.push(live.clone());
+        }
+        if parts.is_empty() {
+            return Err(PcaError::IncompatibleMerge(
+                "window has no initialized pane yet".into(),
+            ));
+        }
+        Ok(merge_all(&parts)?.truncated(self.cfg.p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::subspace_distance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spca_linalg::rng::standard_normal;
+
+    const D: usize = 12;
+
+    fn axis_sample(rng: &mut StdRng, axis: usize) -> Vec<f64> {
+        let mut x = vec![0.0; D];
+        x[axis] = 4.0 * standard_normal(rng);
+        x[(axis + 1) % D] = 1.5 * standard_normal(rng);
+        for v in x.iter_mut() {
+            *v += 0.02 * standard_normal(rng);
+        }
+        x
+    }
+
+    fn cfg() -> PcaConfig {
+        PcaConfig::new(D, 2).with_init_size(30).with_extra(0)
+    }
+
+    #[test]
+    fn window_learns_stationary_stream() {
+        let mut w = WindowedPca::new(cfg(), 200, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1500 {
+            w.update(&axis_sample(&mut rng, 0)).unwrap();
+        }
+        let eig = w.eigensystem().unwrap();
+        eig.check_invariants().unwrap();
+        assert!(eig.basis[(0, 0)].abs() > 0.98, "{:?}", eig.basis.col(0));
+        assert_eq!(w.n_obs(), 1500);
+    }
+
+    #[test]
+    fn window_forgets_old_regime_completely() {
+        let mut w = WindowedPca::new(cfg(), 200, 3); // window = 600
+        let mut rng = StdRng::seed_from_u64(2);
+        // Phase A on axes (0,1).
+        for _ in 0..1000 {
+            w.update(&axis_sample(&mut rng, 0)).unwrap();
+        }
+        // Phase B on axes (5,6), long enough to flush the window.
+        for _ in 0..800 {
+            w.update(&axis_sample(&mut rng, 5)).unwrap();
+        }
+        let eig = w.eigensystem().unwrap();
+        // The top component must be on axis 5; axes 0/1 must carry nothing.
+        assert!(eig.basis[(5, 0)].abs() > 0.95, "{:?}", eig.basis.col(0));
+        let stale: f64 = (0..2).map(|k| eig.basis[(0, k)].abs() + eig.basis[(1, k)].abs()).sum();
+        assert!(stale < 0.1, "old regime leaked into the window: {stale}");
+    }
+
+    #[test]
+    fn damping_retains_what_window_drops() {
+        // Contrast test: α-damped PCA with a long memory still remembers
+        // phase A after the window variant has dropped it.
+        let mut windowed = WindowedPca::new(cfg(), 150, 2); // window = 300
+        let mut damped = RobustPca::new(cfg().with_memory(5000));
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1200 {
+            let x = axis_sample(&mut rng, 0);
+            windowed.update(&x).unwrap();
+            damped.update(&x).unwrap();
+        }
+        for _ in 0..400 {
+            let x = axis_sample(&mut rng, 5);
+            windowed.update(&x).unwrap();
+            damped.update(&x).unwrap();
+        }
+        let we = windowed.eigensystem().unwrap();
+        let de = damped.eigensystem();
+        // Windowed: axis 5 on top. Damped (memory 5000 ≫ 400): axis 0 on top.
+        assert!(we.basis[(5, 0)].abs() > 0.9, "windowed {:?}", we.basis.col(0));
+        assert!(de.basis[(0, 0)].abs() > 0.9, "damped {:?}", de.basis.col(0));
+    }
+
+    #[test]
+    fn pane_count_bounded() {
+        let mut w = WindowedPca::new(cfg(), 100, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..2000 {
+            w.update(&axis_sample(&mut rng, 0)).unwrap();
+        }
+        assert!(w.sealed_panes() < 3);
+    }
+
+    #[test]
+    fn query_before_any_pane_errors() {
+        let w = WindowedPca::new(cfg(), 100, 3);
+        assert!(w.eigensystem().is_err());
+    }
+
+    #[test]
+    fn windowed_matches_damped_on_stationary_data() {
+        let mut windowed = WindowedPca::new(cfg(), 200, 4);
+        let mut damped = RobustPca::new(cfg().with_memory(800));
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..2000 {
+            let x = axis_sample(&mut rng, 0);
+            windowed.update(&x).unwrap();
+            damped.update(&x).unwrap();
+        }
+        let we = windowed.eigensystem().unwrap();
+        let de = damped.eigensystem();
+        let d = subspace_distance(&we.basis, &de.basis).unwrap();
+        assert!(d < 0.1, "stationary disagreement {d}");
+    }
+
+    #[test]
+    fn time_window_rotates_by_stream_time() {
+        // 10 obs/“second” for 3 seconds; 1-second panes, 2 retained.
+        let mut w = WindowedPca::new_time_based(cfg().with_init_size(5), 1_000_000_000, 2);
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..30u64 {
+            let t = i * 100_000_000; // 0.1 s apart
+            w.update_at(&axis_sample(&mut rng, 0), t).unwrap();
+        }
+        // 3 pane spans crossed → ≤ 1 sealed pane retained (n_panes−1).
+        assert!(w.sealed_panes() <= 1);
+        assert_eq!(w.n_obs(), 30);
+        w.eigensystem().unwrap().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn time_window_forgets_old_regime() {
+        let mut w = WindowedPca::new_time_based(cfg().with_init_size(10), 1_000, 2);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut t = 0u64;
+        for _ in 0..300 {
+            t += 10;
+            w.update_at(&axis_sample(&mut rng, 0), t).unwrap();
+        }
+        // Phase B much later in stream time: old panes rotate away.
+        for _ in 0..300 {
+            t += 10;
+            w.update_at(&axis_sample(&mut rng, 5), t).unwrap();
+        }
+        let eig = w.eigensystem().unwrap();
+        assert!(eig.basis[(5, 0)].abs() > 0.9, "{:?}", eig.basis.col(0));
+    }
+
+    #[test]
+    fn update_at_on_count_window_errors() {
+        let mut w = WindowedPca::new(cfg(), 100, 2);
+        assert!(w.update_at(&vec![0.0; D], 5).is_err());
+    }
+
+    #[test]
+    fn masked_updates_flow_through_panes() {
+        let mut w = WindowedPca::new(cfg().with_extra(1), 150, 3);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut mask = vec![true; D];
+        mask[3] = false;
+        for _ in 0..600 {
+            let x = axis_sample(&mut rng, 0);
+            w.update_masked(&x, &mask).unwrap();
+        }
+        let eig = w.eigensystem().unwrap();
+        eig.check_invariants().unwrap();
+    }
+}

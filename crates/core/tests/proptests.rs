@@ -1,0 +1,183 @@
+//! Property-based tests for the streaming-PCA invariants.
+
+use proptest::prelude::*;
+use spca_core::batch::batch_pca;
+use spca_core::merge::merge;
+use spca_core::metrics::subspace_distance;
+use spca_core::{ClassicIncrementalPca, PcaConfig, RhoKind, RobustPca};
+
+/// A stream living (mostly) on a planted low-rank subspace.
+fn stream_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    // Latent coefficients for 60-200 observations in 6 dims, rank 2.
+    proptest::collection::vec((-3.0f64..3.0, -3.0f64..3.0, -0.02f64..0.02), 60..200).prop_map(
+        |coeffs| {
+            coeffs
+                .into_iter()
+                .map(|(c1, c2, eps)| {
+                    let mut x = vec![0.0; 6];
+                    x[0] = 3.0 * c1;
+                    x[1] = 1.5 * c2;
+                    x[2] = eps;
+                    x[3] = -eps;
+                    x
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The eigensystem state never violates its structural invariants, no
+    /// matter what (finite) data streams through.
+    #[test]
+    fn robust_invariants_always_hold(stream in stream_strategy()) {
+        let cfg = PcaConfig::new(6, 2).with_init_size(10).with_extra(1).with_memory(100);
+        let mut pca = RobustPca::new(cfg);
+        for x in &stream {
+            pca.update(x).unwrap();
+        }
+        if pca.is_initialized() {
+            pca.full_eigensystem().unwrap().check_invariants().unwrap();
+        }
+    }
+
+    /// Classic incremental with α = 1 converges toward the batch solution.
+    #[test]
+    fn incremental_tracks_batch(stream in stream_strategy()) {
+        let cfg = PcaConfig::new(6, 2).with_alpha(1.0).with_extra(0).with_init_size(10);
+        let mut inc = ClassicIncrementalPca::new(cfg);
+        for x in &stream {
+            inc.update(x).unwrap();
+        }
+        let batch = batch_pca(&stream, 2).unwrap();
+        let e = inc.eigensystem();
+        // Truncation during streaming discards residual directions, so the
+        // agreement is approximate; the planted geometry keeps it tight.
+        let dist = subspace_distance(&e.basis, &batch.basis).unwrap();
+        prop_assert!(dist < 0.2, "distance {dist}");
+    }
+
+    /// Robust PCA with the classical ρ produces the same mean trajectory as
+    /// classic incremental PCA (the recursions coincide for w ≡ 1).
+    #[test]
+    fn classical_rho_matches_classic_mean(stream in stream_strategy()) {
+        let cfg = PcaConfig::new(6, 2)
+            .with_alpha(0.995)
+            .with_extra(0)
+            .with_init_size(10)
+            .with_rho(RhoKind::Classical);
+        let mut robust = RobustPca::new(cfg.clone());
+        let mut classic = ClassicIncrementalPca::new(cfg);
+        for x in &stream {
+            robust.update(x).unwrap();
+            classic.update(x).unwrap();
+        }
+        if robust.is_initialized() && classic.is_initialized() {
+            let er = robust.eigensystem();
+            let ec = classic.eigensystem();
+            for (a, b) in er.mean.iter().zip(&ec.mean) {
+                prop_assert!((a - b).abs() < 1e-6, "means diverged: {a} vs {b}");
+            }
+        }
+    }
+
+    /// Merging a split stream approximates the unsplit batch eigensystem.
+    #[test]
+    fn merge_split_consistency(stream in stream_strategy()) {
+        prop_assume!(stream.len() >= 80);
+        let (a, b) = stream.split_at(stream.len() / 2);
+        let ea = batch_pca(a, 2).unwrap();
+        let eb = batch_pca(b, 2).unwrap();
+        let whole = batch_pca(&stream, 2).unwrap();
+        let merged = merge(&ea, &eb).unwrap();
+        let dist = subspace_distance(&merged.basis, &whole.basis).unwrap();
+        prop_assert!(dist < 0.35, "split/merge distance {dist}");
+        // Eigenvalue mass is conserved to first order.
+        let m: f64 = merged.values.iter().sum();
+        let w: f64 = whole.values.iter().sum();
+        prop_assert!((m - w).abs() < 0.5 * w.max(0.1), "mass {m} vs {w}");
+    }
+
+    /// Merge is commutative up to numerical noise.
+    #[test]
+    fn merge_commutes(stream in stream_strategy()) {
+        prop_assume!(stream.len() >= 80);
+        let (a, b) = stream.split_at(stream.len() / 2);
+        let ea = batch_pca(a, 2).unwrap();
+        let eb = batch_pca(b, 2).unwrap();
+        let ab = merge(&ea, &eb).unwrap();
+        let ba = merge(&eb, &ea).unwrap();
+        let dist = subspace_distance(&ab.basis, &ba.basis).unwrap();
+        prop_assert!(dist < 1e-4, "commutativity violated: {dist}");
+        for (x, y) in ab.mean.iter().zip(&ba.mean) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+        prop_assert!((ab.sum_v - ba.sum_v).abs() < 1e-9);
+    }
+
+    /// Outlier weights are monotone: a larger residual never gets a larger
+    /// weight.
+    #[test]
+    fn weights_monotone_in_residual(scale in 1.0f64..100.0) {
+        let rho = RhoKind::Bisquare(9.0).build();
+        let mut prev = f64::INFINITY;
+        for i in 0..100 {
+            let t = scale * i as f64 / 100.0;
+            let w = rho.weight(t);
+            prop_assert!(w <= prev + 1e-12);
+            prev = w;
+        }
+    }
+
+    /// Gap filling with a complete mask is the identity, and its
+    /// bias-corrected residual equals the plain truncated residual.
+    #[test]
+    fn gap_fill_identity_on_complete_mask(stream in stream_strategy()) {
+        prop_assume!(stream.len() >= 60);
+        let eig = batch_pca(&stream, 3).unwrap();
+        let mask = vec![true; 6];
+        for x in stream.iter().take(20) {
+            let gf = spca_core::gaps::fill_gaps(&eig, x, &mask, 2, 1).unwrap();
+            prop_assert_eq!(&gf.filled, x);
+            let want = eig.residual_sq_truncated(x, 2);
+            prop_assert!((gf.residual_sq - want).abs() < 1e-9 * (1.0 + want));
+        }
+    }
+
+    /// Gap filling never produces non-finite values, and observed bins are
+    /// never modified, for any mask with at least one observed bin.
+    #[test]
+    fn gap_fill_preserves_observed_bins(stream in stream_strategy(), mask_bits in 1u8..63) {
+        prop_assume!(stream.len() >= 60);
+        let eig = batch_pca(&stream, 3).unwrap();
+        let mask: Vec<bool> = (0..6).map(|i| mask_bits & (1 << i) != 0).collect();
+        for x in stream.iter().take(10) {
+            let gf = spca_core::gaps::fill_gaps(&eig, x, &mask, 2, 1).unwrap();
+            prop_assert!(gf.filled.iter().all(|v| v.is_finite()));
+            prop_assert!(gf.residual_sq.is_finite() && gf.residual_sq >= 0.0);
+            for i in 0..6 {
+                if mask[i] {
+                    prop_assert_eq!(gf.filled[i], x[i], "observed bin {} modified", i);
+                }
+            }
+        }
+    }
+
+    /// The windowed estimator maintains invariants and bounded pane count
+    /// over arbitrary streams.
+    #[test]
+    fn window_invariants(stream in stream_strategy(), pane in 20u64..60, panes in 1usize..4) {
+        let cfg = PcaConfig::new(6, 2).with_init_size(10).with_extra(0);
+        let mut w = spca_core::WindowedPca::new(cfg, pane, panes);
+        for x in &stream {
+            w.update(x).unwrap();
+        }
+        prop_assert!(w.sealed_panes() < panes.max(1));
+        if let Ok(eig) = w.eigensystem() {
+            eig.check_invariants().unwrap();
+        }
+        prop_assert_eq!(w.n_obs(), stream.len() as u64);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! The parallel streaming-PCA application (paper Fig. 2).
+//!
+//! Wires the pieces into the paper's analysis graph:
+//!
+//! ```text
+//!                    ┌──────────────► StreamingPca 0 ──► monitor
+//!  source ──► split ─┼──────────────► StreamingPca 1 ──► monitor
+//!                    └──────────────► StreamingPca n ──► monitor
+//!        sync controller ─► throttle ─► (control ports)
+//!        StreamingPca i ──(state)──► StreamingPca j   (ring/broadcast/…)
+//! ```
+//!
+//! * [`pca_operator::StreamingPcaOp`] — the stateful operator holding the
+//!   robust incremental eigensystem (the paper's custom C++ operator).
+//! * [`sync`] — the synchronization controller and its strategies
+//!   (circular/ring as in Fig. 3, broadcast, groups), the throttle pacing,
+//!   and the `1.5·N` independence gate.
+//! * [`app`] — the application builder assembling the full graph with
+//!   fusion/placement options.
+//! * [`results`] — the in-flight results hub: latest per-engine
+//!   eigensystems, merged global estimates, outlier feed.
+
+pub mod app;
+pub mod messages;
+pub mod pca_operator;
+pub mod persist;
+pub mod results;
+pub mod sync;
+
+pub use app::{AppConfig, AppHandles, ParallelPcaApp};
+pub use messages::{PeerState, SyncCommand, KIND_PEER_STATE, KIND_SYNC_COMMAND};
+pub use pca_operator::StreamingPcaOp;
+pub use persist::{read_snapshot, write_snapshot, SnapshotWriter};
+pub use results::ResultsHub;
+pub use sync::{SyncController, SyncStrategy};

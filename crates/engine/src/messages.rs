@@ -1,0 +1,64 @@
+//! Control-port message payloads of the PCA application.
+
+use spca_core::EigenSystem;
+
+/// Control tuple kind: a synchronization command from the controller
+/// telling an engine to share its state (§III-B: "the PCA component shares
+/// the current eigensystem state with a set of other instances defined in
+/// the control message").
+pub const KIND_SYNC_COMMAND: u32 = 1;
+
+/// Control tuple kind: an eigensystem arriving from a peer engine.
+pub const KIND_PEER_STATE: u32 = 2;
+
+/// Control tuple kind: a monitoring snapshot of an engine's eigensystem.
+pub const KIND_SNAPSHOT: u32 = 3;
+
+/// Payload of a [`KIND_SYNC_COMMAND`]: which of the engine's peer-state
+/// output ports to share on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncCommand {
+    /// Peer-port indices the engine should send its eigensystem to.
+    pub share_ports: Vec<usize>,
+}
+
+/// Payload of a [`KIND_PEER_STATE`] or [`KIND_SNAPSHOT`]: an eigensystem
+/// with provenance.
+#[derive(Debug, Clone)]
+pub struct PeerState {
+    /// Index of the engine that produced the state.
+    pub engine: u32,
+    /// The shared eigensystem (truncated to `p + q` tracked components).
+    pub eigensystem: EigenSystem,
+    /// Observations the sender had folded in when sharing.
+    pub n_obs: u64,
+    /// State messages this engine has sent so far (diagnostics).
+    pub shares_sent: u64,
+    /// Peer states this engine has merged so far (diagnostics).
+    pub merges_applied: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn payloads_round_trip_through_control_tuples() {
+        let cmd = SyncCommand { share_ports: vec![0, 2] };
+        let t = spca_streams::ControlTuple::new(KIND_SYNC_COMMAND, 7, Arc::new(cmd.clone()));
+        assert_eq!(t.payload_as::<SyncCommand>().unwrap(), &cmd);
+
+        let st = PeerState {
+            engine: 3,
+            eigensystem: EigenSystem::zeros(4, 2),
+            n_obs: 10,
+            shares_sent: 1,
+            merges_applied: 2,
+        };
+        let t2 = spca_streams::ControlTuple::new(KIND_PEER_STATE, 3, Arc::new(st));
+        let back = t2.payload_as::<PeerState>().unwrap();
+        assert_eq!(back.engine, 3);
+        assert_eq!(back.eigensystem.dim(), 4);
+    }
+}

@@ -1,0 +1,536 @@
+//! The stateful streaming-PCA operator (§III-A's custom C++ operator).
+//!
+//! "The stateful Streaming PCA operator stores the eigenvalues and
+//! eigenvectors (the eigensystem) as well as other state variables as
+//! class members. Upon receiving a new input tuple, its internal states
+//! are continuously updated by computationally inexpensive algebraic
+//! operations."
+//!
+//! Port layout (configured by the application builder):
+//!
+//! * output ports `0 .. n_peer_ports` — peer-state ports: on a sync
+//!   command the operator sends its eigensystem out of the commanded
+//!   subset of these.
+//! * output port `n_peer_ports` — monitor port: periodic eigensystem
+//!   snapshots (the paper's "intermediate calculation results are
+//!   periodically saved to the disk") plus the final state on finish.
+//! * output port `n_peer_ports + 1` — outcome port (optional feed of
+//!   per-tuple `[seq, r², t, w, outlier]` rows, the in-flight results /
+//!   outlier flags the introduction motivates).
+//! * output port `n_peer_ports + 2` — quarantine port (optional): flagged
+//!   observations are forwarded *verbatim* for downstream processing —
+//!   "often the goal is to flag outliers for further processing" (§II-C);
+//!   rejected tuples carry zero weight in the eigensystem but are never
+//!   dropped from the quarantine feed.
+//!
+//! The operator state is guarded by a `parking_lot::Mutex` exactly as the
+//! paper guards its operator with an InfoSphere mutex — the engine never
+//! calls one operator concurrently, but the lock documents and enforces
+//! the invariant cheaply, and lets diagnostics peek at live state.
+
+use crate::messages::{PeerState, SyncCommand, KIND_PEER_STATE, KIND_SNAPSHOT, KIND_SYNC_COMMAND};
+use parking_lot::Mutex;
+use spca_core::{merge, PcaConfig, RobustPca};
+use spca_streams::{ControlTuple, DataTuple, OpContext, Operator};
+use std::sync::Arc;
+
+/// The streaming PCA operator.
+pub struct StreamingPcaOp {
+    /// Engine index within the application (used in message provenance).
+    pub engine_id: u32,
+    state: Arc<Mutex<RobustPca>>,
+    n_peer_ports: usize,
+    snapshot_every: u64,
+    emit_outcomes: bool,
+    emit_quarantine: bool,
+    /// Observations processed since the last synchronization share or
+    /// merge — the paper's independence gate counter.
+    obs_since_sync: u64,
+    /// Gate threshold: share only when `obs_since_sync > 1.5 · N`.
+    sync_gate: u64,
+    /// Optional data-driven gate: share only when the subspace distance to
+    /// the most recently received peer state exceeds this (None = always).
+    divergence_gate: Option<f64>,
+    /// Basis of the last peer state received, for the divergence check.
+    last_peer: Option<spca_core::EigenSystem>,
+    processed: u64,
+    outliers_flagged: u64,
+    dropped: u64,
+    merges_applied: u64,
+    shares_sent: u64,
+}
+
+impl StreamingPcaOp {
+    /// Creates an engine with the given PCA configuration and `n_peer_ports`
+    /// state outputs. The sync gate follows the paper: `1.5 · N` where
+    /// `N = 1/(1−α)` (falls back to `u64::MAX` for α = 1, i.e. never
+    /// independent, so never gated *open*... which would disable sync; for
+    /// α = 1 the gate is instead pinned to `1.5 · init_size`).
+    pub fn new(engine_id: u32, cfg: PcaConfig, n_peer_ports: usize) -> Self {
+        let mem = cfg.effective_memory();
+        let sync_gate = if mem.is_finite() {
+            (1.5 * mem) as u64
+        } else {
+            (1.5 * cfg.init_size as f64) as u64
+        };
+        StreamingPcaOp {
+            engine_id,
+            state: Arc::new(Mutex::new(RobustPca::new(cfg))),
+            n_peer_ports,
+            snapshot_every: 0,
+            emit_outcomes: false,
+            emit_quarantine: false,
+            obs_since_sync: 0,
+            sync_gate,
+            divergence_gate: None,
+            last_peer: None,
+            processed: 0,
+            outliers_flagged: 0,
+            dropped: 0,
+            merges_applied: 0,
+            shares_sent: 0,
+        }
+    }
+
+    /// Emits an eigensystem snapshot on the monitor port every `n` tuples
+    /// (0 = only the final snapshot).
+    pub fn with_snapshots_every(mut self, n: u64) -> Self {
+        self.snapshot_every = n;
+        self
+    }
+
+    /// Enables the per-tuple outcome feed on the outcome port.
+    pub fn with_outcomes(mut self) -> Self {
+        self.emit_outcomes = true;
+        self
+    }
+
+    /// Enables the quarantine feed: observations flagged as outliers are
+    /// forwarded verbatim on the quarantine port.
+    pub fn with_quarantine(mut self) -> Self {
+        self.emit_quarantine = true;
+        self
+    }
+
+    /// Overrides the sync gate (tests / ablations).
+    pub fn with_sync_gate(mut self, gate: u64) -> Self {
+        self.sync_gate = gate;
+        self
+    }
+
+    /// Enables the data-driven synchronization check (§I's "data-driven
+    /// synchronization", §II-C's "the nodes verify every time that the
+    /// eigensystems are statistically independent"): on a sync command,
+    /// the engine shares only if its basis has drifted more than
+    /// `threshold` (subspace distance) from the last peer state it saw.
+    /// Engines that have never heard from a peer always share.
+    pub fn with_divergence_gate(mut self, threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold));
+        self.divergence_gate = Some(threshold);
+        self
+    }
+
+    /// Warm-starts the engine from a previously persisted eigensystem:
+    /// the warm-up phase is skipped and streaming resumes from the given
+    /// state. Fails if the state's shape does not match the configuration.
+    pub fn with_initial_state(self, eig: spca_core::EigenSystem) -> spca_core::Result<Self> {
+        self.state.lock().install_eigensystem(eig)?;
+        Ok(self)
+    }
+
+    /// Shared handle to the live PCA state (diagnostics).
+    pub fn state_handle(&self) -> Arc<Mutex<RobustPca>> {
+        Arc::clone(&self.state)
+    }
+
+    fn monitor_port(&self) -> usize {
+        self.n_peer_ports
+    }
+
+    fn outcome_port(&self) -> usize {
+        self.n_peer_ports + 1
+    }
+
+    fn quarantine_port(&self) -> usize {
+        self.n_peer_ports + 2
+    }
+
+    fn snapshot(&self, ctx: &mut OpContext<'_>) {
+        let st = self.state.lock();
+        if !st.is_initialized() {
+            return;
+        }
+        let msg = PeerState {
+            engine: self.engine_id,
+            eigensystem: st.full_eigensystem().expect("initialized").clone(),
+            n_obs: st.n_obs(),
+            shares_sent: self.shares_sent,
+            merges_applied: self.merges_applied,
+        };
+        drop(st);
+        ctx.emit_control(
+            self.monitor_port(),
+            ControlTuple::new(KIND_SNAPSHOT, self.engine_id, Arc::new(msg)),
+        );
+    }
+}
+
+impl Operator for StreamingPcaOp {
+    fn process(&mut self, tuple: DataTuple, ctx: &mut OpContext<'_>) {
+        let outcome = {
+            let mut st = self.state.lock();
+            match tuple.mask.as_deref() {
+                Some(mask) => st.update_masked(&tuple.values, mask),
+                None => st.update(&tuple.values),
+            }
+        };
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(e) => {
+                // Malformed observations are data-quality events, not engine
+                // failures: count and continue, like any production stream
+                // processor. Log the first few and then once per thousand,
+                // so a persistently dirty feed cannot flood stderr.
+                self.dropped += 1;
+                if self.dropped <= 5 || self.dropped % 1000 == 0 {
+                    eprintln!(
+                        "engine {}: dropped tuple {} ({} dropped so far): {e}",
+                        self.engine_id, tuple.seq, self.dropped
+                    );
+                }
+                return;
+            }
+        };
+        self.processed += 1;
+        self.obs_since_sync += 1;
+        if outcome.outlier {
+            self.outliers_flagged += 1;
+        }
+        if self.emit_outcomes && outcome.initialized {
+            let row = vec![
+                tuple.seq as f64,
+                outcome.residual_sq,
+                outcome.scaled_residual,
+                outcome.weight,
+                if outcome.outlier { 1.0 } else { 0.0 },
+            ];
+            ctx.emit_data(self.outcome_port(), DataTuple::new(tuple.seq, row));
+        }
+        if self.emit_quarantine && outcome.outlier {
+            // Forward the flagged observation itself (values are shared via
+            // Arc, so this is pointer-cheap).
+            ctx.emit_data(self.quarantine_port(), tuple.clone());
+        }
+        if self.snapshot_every > 0 && self.processed % self.snapshot_every == 0 {
+            self.snapshot(ctx);
+        }
+    }
+
+    fn on_control(&mut self, tuple: ControlTuple, ctx: &mut OpContext<'_>) {
+        match tuple.kind {
+            KIND_SYNC_COMMAND => {
+                // Independence gate (§II-C): share only when enough new
+                // observations have accumulated since the last exchange.
+                if self.obs_since_sync <= self.sync_gate {
+                    return;
+                }
+                let Some(cmd) = tuple.payload_as::<SyncCommand>() else {
+                    return;
+                };
+                let st = self.state.lock();
+                if !st.is_initialized() {
+                    return;
+                }
+                // Data-driven gate: skip the exchange when this engine's
+                // estimate still agrees with what its peers last reported —
+                // nothing informative to send.
+                if let (Some(threshold), Some(peer)) = (self.divergence_gate, &self.last_peer) {
+                    let own = st.full_eigensystem().expect("initialized");
+                    match spca_core::metrics::subspace_distance(&own.basis, &peer.basis) {
+                        Ok(d) if d <= threshold => return,
+                        _ => {}
+                    }
+                }
+                let msg = PeerState {
+                    engine: self.engine_id,
+                    eigensystem: st.full_eigensystem().expect("initialized").clone(),
+                    n_obs: st.n_obs(),
+                    shares_sent: self.shares_sent,
+                    merges_applied: self.merges_applied,
+                };
+                drop(st);
+                let payload: Arc<PeerState> = Arc::new(msg);
+                for &port in &cmd.share_ports {
+                    if port < self.n_peer_ports {
+                        ctx.emit_control(
+                            port,
+                            ControlTuple::new(
+                                KIND_PEER_STATE,
+                                self.engine_id,
+                                Arc::clone(&payload) as Arc<_>,
+                            ),
+                        );
+                        self.shares_sent += 1;
+                    }
+                }
+                self.obs_since_sync = 0;
+            }
+            KIND_PEER_STATE => {
+                let Some(peer) = tuple.payload_as::<PeerState>() else {
+                    return;
+                };
+                self.last_peer = Some(peer.eigensystem.clone());
+                let mut st = self.state.lock();
+                let merged = match st.full_eigensystem() {
+                    Some(own) => merge(own, &peer.eigensystem),
+                    // Not initialized yet: adopt the peer's state outright.
+                    None => Ok(peer.eigensystem.clone()),
+                };
+                match merged.and_then(|m| st.install_eigensystem(m)) {
+                    Ok(()) => {
+                        self.merges_applied += 1;
+                        // A merge resets the independence clock too.
+                        self.obs_since_sync = 0;
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "engine {}: rejected peer state from {}: {e}",
+                            self.engine_id, peer.engine
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_finish(&mut self, ctx: &mut OpContext<'_>) {
+        self.snapshot(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spca_spectra::PlantedSubspace;
+    use spca_streams::operator::testing::with_ctx;
+    use spca_streams::Tuple;
+
+    const D: usize = 16;
+
+    fn cfg() -> PcaConfig {
+        PcaConfig::new(D, 2).with_memory(200).with_init_size(20).with_extra(0)
+    }
+
+    fn feed(op: &mut StreamingPcaOp, n: usize, seed: u64) -> u64 {
+        let w = PlantedSubspace::new(D, 2, 0.05);
+        let mut rng = StdRng::seed_from_u64(seed);
+        with_ctx(op.n_peer_ports + 2, |ctx| {
+            for seq in 0..n {
+                op.process(DataTuple::new(seq as u64, w.sample(&mut rng)), ctx);
+            }
+        });
+        op.processed
+    }
+
+    #[test]
+    fn operator_learns_subspace() {
+        let mut op = StreamingPcaOp::new(0, cfg(), 1);
+        feed(&mut op, 1000, 1);
+        let st = op.state_handle();
+        let guard = st.lock();
+        assert!(guard.is_initialized());
+        let eig = guard.eigensystem();
+        let dist = spca_core::metrics::subspace_distance(
+            &eig.basis,
+            PlantedSubspace::new(D, 2, 0.05).basis(),
+        )
+        .unwrap();
+        assert!(dist < 0.2, "distance {dist}");
+    }
+
+    #[test]
+    fn sync_command_gated_until_enough_observations() {
+        let mut op = StreamingPcaOp::new(0, cfg(), 1); // gate = 1.5·200 = 300
+        feed(&mut op, 100, 2);
+        let sink = with_ctx(3, |ctx| {
+            op.on_control(
+                ControlTuple::new(
+                    KIND_SYNC_COMMAND,
+                    99,
+                    Arc::new(SyncCommand { share_ports: vec![0] }),
+                ),
+                ctx,
+            );
+        });
+        assert!(sink.ports[0].is_empty(), "gate should have blocked the share");
+        assert_eq!(op.shares_sent, 0);
+    }
+
+    #[test]
+    fn sync_command_shares_after_gate_passes() {
+        let mut op = StreamingPcaOp::new(0, cfg(), 2);
+        feed(&mut op, 400, 3); // beyond the 300 gate
+        let sink = with_ctx(4, |ctx| {
+            op.on_control(
+                ControlTuple::new(
+                    KIND_SYNC_COMMAND,
+                    99,
+                    Arc::new(SyncCommand { share_ports: vec![1] }),
+                ),
+                ctx,
+            );
+        });
+        assert!(sink.ports[0].is_empty());
+        assert_eq!(sink.ports[1].len(), 1);
+        match &sink.ports[1][0] {
+            Tuple::Control(c) => {
+                assert_eq!(c.kind, KIND_PEER_STATE);
+                let st = c.payload_as::<PeerState>().unwrap();
+                assert_eq!(st.engine, 0);
+                assert_eq!(st.eigensystem.dim(), D);
+            }
+            other => panic!("expected control tuple, got {other:?}"),
+        }
+        assert_eq!(op.obs_since_sync, 0, "share resets the gate clock");
+    }
+
+    #[test]
+    fn peer_state_merges_into_local() {
+        let mut a = StreamingPcaOp::new(0, cfg(), 1);
+        let mut b = StreamingPcaOp::new(1, cfg(), 1);
+        feed(&mut a, 500, 4);
+        feed(&mut b, 500, 5);
+        let sb = b.state_handle();
+        let peer = PeerState {
+            engine: 1,
+            eigensystem: sb.lock().full_eigensystem().unwrap().clone(),
+            n_obs: 500,
+            shares_sent: 0,
+            merges_applied: 0,
+        };
+        let n_before = a.state_handle().lock().full_eigensystem().unwrap().n_obs;
+        with_ctx(3, |ctx| {
+            a.on_control(ControlTuple::new(KIND_PEER_STATE, 1, Arc::new(peer)), ctx);
+        });
+        assert_eq!(a.merges_applied, 1);
+        let after = a.state_handle().lock().full_eigensystem().unwrap().clone();
+        assert_eq!(after.n_obs, n_before + 500, "merge sums observation counts");
+        after.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn outcome_feed_reports_outliers() {
+        let mut op = StreamingPcaOp::new(0, cfg(), 0).with_outcomes();
+        let w = PlantedSubspace::new(D, 2, 0.05);
+        let mut rng = StdRng::seed_from_u64(6);
+        let sink = with_ctx(2, |ctx| {
+            for seq in 0..300u64 {
+                op.process(DataTuple::new(seq, w.sample(&mut rng)), ctx);
+            }
+            // A gross outlier.
+            let mut spike = vec![0.0; D];
+            spike[7] = 500.0;
+            op.process(DataTuple::new(300, spike), ctx);
+        });
+        let outcomes = sink.data_at(1);
+        assert!(!outcomes.is_empty());
+        let last = outcomes.last().unwrap();
+        assert_eq!(last.seq, 300);
+        assert_eq!(last.values[4], 1.0, "outlier flag expected: {:?}", last.values);
+        assert!(op.outliers_flagged >= 1);
+    }
+
+    #[test]
+    fn final_snapshot_on_finish() {
+        let mut op = StreamingPcaOp::new(2, cfg(), 0);
+        feed(&mut op, 100, 7);
+        let sink = with_ctx(2, |ctx| op.on_finish(ctx));
+        assert_eq!(sink.ports[0].len(), 1);
+        match &sink.ports[0][0] {
+            Tuple::Control(c) => assert_eq!(c.kind, KIND_SNAPSHOT),
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn divergence_gate_suppresses_redundant_shares() {
+        // Engine whose state matches its peer's must not share; an engine
+        // that drifted must.
+        let mut a = StreamingPcaOp::new(0, cfg(), 1).with_divergence_gate(0.2);
+        feed(&mut a, 800, 30); // past the 1.5N gate of 300
+        // Tell it about a peer that has the SAME state (itself).
+        let own = a.state_handle().lock().full_eigensystem().unwrap().clone();
+        let same_peer = PeerState {
+            engine: 1,
+            eigensystem: own,
+            n_obs: 800,
+            shares_sent: 0,
+            merges_applied: 0,
+        };
+        with_ctx(3, |ctx| {
+            a.on_control(ControlTuple::new(KIND_PEER_STATE, 1, Arc::new(same_peer)), ctx);
+        });
+        // Accumulate past the obs gate again (the merge reset it).
+        feed(&mut a, 400, 31);
+        let sink = with_ctx(3, |ctx| {
+            a.on_control(
+                ControlTuple::new(
+                    KIND_SYNC_COMMAND,
+                    99,
+                    Arc::new(SyncCommand { share_ports: vec![0] }),
+                ),
+                ctx,
+            );
+        });
+        assert!(
+            sink.ports[0].is_empty(),
+            "share should be suppressed when agreeing with the peer"
+        );
+
+        // Now hand it a peer living on a different subspace: divergence
+        // check must open the gate. (Merging rotates our state toward the
+        // peer, so inject the peer as `last_peer` via a fresh op and feed
+        // it data from a different plane.)
+        let mut b = StreamingPcaOp::new(2, cfg(), 1).with_divergence_gate(0.2);
+        feed(&mut b, 800, 32);
+        let mut off_basis = spca_core::EigenSystem::zeros(D, 2);
+        off_basis.basis[(D - 1, 0)] = 1.0;
+        off_basis.basis[(D - 2, 1)] = 1.0;
+        off_basis.values = vec![1.0, 0.5];
+        off_basis.sum_v = 1e-9; // negligible weight: merge barely moves us
+        let far_peer = PeerState {
+            engine: 3,
+            eigensystem: off_basis,
+            n_obs: 1,
+            shares_sent: 0,
+            merges_applied: 0,
+        };
+        with_ctx(3, |ctx| {
+            b.on_control(ControlTuple::new(KIND_PEER_STATE, 3, Arc::new(far_peer)), ctx);
+        });
+        feed(&mut b, 400, 33);
+        let sink = with_ctx(3, |ctx| {
+            b.on_control(
+                ControlTuple::new(
+                    KIND_SYNC_COMMAND,
+                    99,
+                    Arc::new(SyncCommand { share_ports: vec![0] }),
+                ),
+                ctx,
+            );
+        });
+        assert_eq!(sink.ports[0].len(), 1, "divergent engine must share");
+    }
+
+    #[test]
+    fn malformed_tuple_dropped_not_fatal() {
+        let mut op = StreamingPcaOp::new(0, cfg(), 0);
+        with_ctx(2, |ctx| {
+            op.process(DataTuple::new(0, vec![1.0; 3]), ctx); // wrong dim
+        });
+        assert_eq!(op.processed, 0);
+    }
+}

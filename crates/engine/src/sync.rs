@@ -1,0 +1,203 @@
+//! The synchronization controller (§III-B, Fig. 3).
+//!
+//! "The synchronization control subsystem contains the C class generating
+//! the sequence of output tuples with sender and receiver number. In our
+//! basic case of circular synchronization, receiver number = sender number
+//! + 1. When the largest sender number is reached … loops the cycle."
+//!
+//! The controller is a *source* operator: it produces one sync command per
+//! drive, paced either internally (its own period) or by wiring a
+//! [`spca_streams::ops::Throttle`] between the controller and the engines'
+//! control ports, exactly as the paper uses the SPL `Throttle`. Output
+//! port `i` connects to engine `i`'s control port; the command tells that
+//! engine which of *its* peer-state ports to share on.
+
+use crate::messages::{SyncCommand, KIND_SYNC_COMMAND};
+use spca_streams::{ControlTuple, DataTuple, OpContext, Operator, SourceState};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Synchronization topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncStrategy {
+    /// Circular pattern (Fig. 3): each tick, engine `cursor` sends its
+    /// state to engine `cursor + 1 (mod n)`. "A simple circular
+    /// synchronization pattern can achieve reasonable global solutions
+    /// while minimizing the network traffic."
+    Ring,
+    /// Each tick, engine `cursor` broadcasts to every other engine.
+    Broadcast,
+    /// Engines are partitioned into groups of the given size; each tick,
+    /// the cursor engine shares with its whole group.
+    Groups(usize),
+    /// No synchronization at all (ablation baseline).
+    None,
+}
+
+impl SyncStrategy {
+    /// The peer-state ports engine `sender` must be wired to, out of `n`
+    /// engines: the application builder uses this to create exactly the
+    /// edges each strategy needs, and the controller to index them.
+    pub fn peers_of(&self, sender: usize, n: usize) -> Vec<usize> {
+        match *self {
+            SyncStrategy::Ring => {
+                if n <= 1 {
+                    Vec::new()
+                } else {
+                    vec![(sender + 1) % n]
+                }
+            }
+            SyncStrategy::Broadcast => (0..n).filter(|&j| j != sender).collect(),
+            SyncStrategy::Groups(g) => {
+                let g = g.max(1);
+                let group = sender / g;
+                (group * g..((group + 1) * g).min(n)).filter(|&j| j != sender).collect()
+            }
+            SyncStrategy::None => Vec::new(),
+        }
+    }
+}
+
+/// The controller operator. Drives one command per period, addressed to a
+/// rotating sender.
+pub struct SyncController {
+    strategy: SyncStrategy,
+    n_engines: usize,
+    period: Duration,
+    cursor: usize,
+    last: Option<Instant>,
+    /// Commands issued so far.
+    pub issued: u64,
+}
+
+impl SyncController {
+    /// A controller over `n_engines` engines firing every `period`.
+    pub fn new(strategy: SyncStrategy, n_engines: usize, period: Duration) -> Self {
+        SyncController { strategy, n_engines, period, cursor: 0, last: None, issued: 0 }
+    }
+
+    /// The command that will be sent to `sender`: share on all of its peer
+    /// ports (the builder wires exactly the strategy's peers).
+    fn command_for(&self, sender: usize) -> SyncCommand {
+        let n_ports = self.strategy.peers_of(sender, self.n_engines).len();
+        SyncCommand { share_ports: (0..n_ports).collect() }
+    }
+}
+
+impl Operator for SyncController {
+    fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {}
+
+    fn drive(&mut self, ctx: &mut OpContext<'_>) -> SourceState {
+        if matches!(self.strategy, SyncStrategy::None) || self.n_engines <= 1 {
+            return SourceState::Done;
+        }
+        if let Some(last) = self.last {
+            if last.elapsed() < self.period {
+                return SourceState::Idle;
+            }
+        }
+        self.last = Some(Instant::now());
+        let sender = self.cursor;
+        self.cursor = (self.cursor + 1) % self.n_engines;
+        let cmd = self.command_for(sender);
+        if cmd.share_ports.is_empty() {
+            return SourceState::Idle;
+        }
+        ctx.emit_control(
+            sender,
+            ControlTuple::new(KIND_SYNC_COMMAND, sender as u32, Arc::new(cmd)),
+        );
+        self.issued += 1;
+        SourceState::Emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spca_streams::operator::testing::with_ctx;
+    use spca_streams::Tuple;
+
+    #[test]
+    fn ring_peers_follow_circle() {
+        let s = SyncStrategy::Ring;
+        assert_eq!(s.peers_of(0, 4), vec![1]);
+        assert_eq!(s.peers_of(3, 4), vec![0]);
+        assert!(s.peers_of(0, 1).is_empty());
+    }
+
+    #[test]
+    fn broadcast_peers_are_everyone_else() {
+        let s = SyncStrategy::Broadcast;
+        assert_eq!(s.peers_of(1, 4), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn groups_partition_correctly() {
+        let s = SyncStrategy::Groups(2);
+        assert_eq!(s.peers_of(0, 6), vec![1]);
+        assert_eq!(s.peers_of(1, 6), vec![0]);
+        assert_eq!(s.peers_of(4, 6), vec![5]);
+        // Trailing partial group.
+        let s3 = SyncStrategy::Groups(4);
+        assert_eq!(s3.peers_of(5, 6), vec![4]);
+    }
+
+    #[test]
+    fn controller_rotates_senders() {
+        let mut c = SyncController::new(SyncStrategy::Ring, 3, Duration::from_millis(1));
+        let sink = with_ctx(3, |ctx| {
+            for _ in 0..3 {
+                // Wait out the period between drives.
+                while c.drive(ctx) == SourceState::Idle {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        });
+        // One command per engine port, in rotation.
+        for (port, q) in sink.ports.iter().enumerate() {
+            assert_eq!(q.len(), 1, "port {port} got {} commands", q.len());
+            match &q[0] {
+                Tuple::Control(c) => {
+                    assert_eq!(c.kind, KIND_SYNC_COMMAND);
+                    assert_eq!(c.sender as usize, port);
+                    let cmd = c.payload_as::<SyncCommand>().unwrap();
+                    assert_eq!(cmd.share_ports, vec![0]); // ring: one peer port
+                }
+                other => panic!("expected control, got {other:?}"),
+            }
+        }
+        assert_eq!(c.issued, 3);
+    }
+
+    #[test]
+    fn none_strategy_finishes_immediately() {
+        let mut c = SyncController::new(SyncStrategy::None, 4, Duration::from_millis(1));
+        with_ctx(4, |ctx| {
+            assert_eq!(c.drive(ctx), SourceState::Done);
+        });
+    }
+
+    #[test]
+    fn single_engine_needs_no_sync() {
+        let mut c = SyncController::new(SyncStrategy::Ring, 1, Duration::from_millis(1));
+        with_ctx(1, |ctx| {
+            assert_eq!(c.drive(ctx), SourceState::Done);
+        });
+    }
+
+    #[test]
+    fn broadcast_command_lists_all_ports() {
+        let mut c = SyncController::new(SyncStrategy::Broadcast, 4, Duration::from_micros(1));
+        let sink = with_ctx(4, |ctx| {
+            while c.drive(ctx) == SourceState::Idle {}
+        });
+        match &sink.ports[0][0] {
+            Tuple::Control(ct) => {
+                let cmd = ct.payload_as::<SyncCommand>().unwrap();
+                assert_eq!(cmd.share_ports, vec![0, 1, 2]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

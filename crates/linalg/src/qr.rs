@@ -1,0 +1,201 @@
+//! Householder thin QR factorization.
+//!
+//! Used to (re-)orthonormalize eigenbases after merges and gap-filled
+//! updates, where accumulated floating-point drift would otherwise let the
+//! basis lose orthogonality over millions of streaming updates.
+
+use crate::mat::Mat;
+use crate::vecops;
+use crate::{LinalgError, Result};
+
+/// Thin QR factorization `A = Q R` with `Q` `m × n` column-orthonormal and
+/// `R` `n × n` upper-triangular (requires `m ≥ n`).
+#[derive(Debug, Clone)]
+pub struct ThinQr {
+    /// Column-orthonormal factor, same shape as the input.
+    pub q: Mat,
+    /// Upper-triangular factor.
+    pub r: Mat,
+}
+
+/// Computes the thin QR of `a` by Householder reflections.
+///
+/// Returns an error for wide matrices (`rows < cols`) or non-finite input.
+pub fn thin_qr(a: &Mat) -> Result<ThinQr> {
+    let (m, n) = a.shape();
+    if m < n {
+        return Err(LinalgError::ShapeMismatch {
+            expected: "rows >= cols for thin QR".to_string(),
+            got: (m, n),
+        });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NotFinite);
+    }
+
+    // Work in-place on a copy; store Householder vectors in the strictly
+    // lower triangle plus a separate beta array.
+    let mut w = a.clone();
+    let mut betas = vec![0.0; n];
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+
+    for k in 0..n {
+        // Build the Householder vector for column k, rows k..m.
+        let col = w.col(k);
+        let x = &col[k..];
+        let alpha = -x[0].signum() * vecops::norm(x);
+        let mut v = x.to_vec();
+        if alpha != 0.0 {
+            v[0] -= alpha;
+        }
+        let vnorm2 = vecops::norm_sq(&v);
+        let beta = if vnorm2 > 0.0 { 2.0 / vnorm2 } else { 0.0 };
+        betas[k] = beta;
+
+        // Apply the reflector to the remaining columns (k..n).
+        if beta > 0.0 {
+            for j in k..n {
+                let cj = &mut w.col_mut(j)[k..];
+                let t = beta * vecops::dot(&v, cj);
+                vecops::axpy(-t, &v, cj);
+            }
+        }
+        vs.push(v);
+    }
+
+    // Extract R (upper n × n block of the transformed matrix).
+    let mut r = Mat::zeros(n, n);
+    for j in 0..n {
+        for i in 0..=j {
+            r[(i, j)] = w[(i, j)];
+        }
+    }
+
+    // Form the thin Q by applying the reflectors, in reverse, to the first
+    // n columns of the identity.
+    let mut q = Mat::zeros(m, n);
+    for j in 0..n {
+        q[(j, j)] = 1.0;
+    }
+    for k in (0..n).rev() {
+        let beta = betas[k];
+        if beta == 0.0 {
+            continue;
+        }
+        let v = &vs[k];
+        for j in 0..n {
+            let cj = &mut q.col_mut(j)[k..];
+            let t = beta * vecops::dot(v, cj);
+            vecops::axpy(-t, v, cj);
+        }
+    }
+
+    Ok(ThinQr { q, r })
+}
+
+/// Orthonormalizes the columns of `a` (thin Q of its QR), fixing signs so
+/// the diagonal of R is non-negative — this makes the result deterministic
+/// and keeps eigenvector signs stable across repeated renormalizations.
+pub fn orthonormalize(a: &Mat) -> Result<Mat> {
+    let ThinQr { mut q, r } = thin_qr(a)?;
+    for j in 0..q.cols() {
+        if r[(j, j)] < 0.0 {
+            vecops::scale(q.col_mut(j), -1.0);
+        }
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::fill_standard_normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Mat::zeros(rows, cols);
+        fill_standard_normal(&mut rng, m.as_mut_slice());
+        m
+    }
+
+    fn assert_orthonormal(q: &Mat, tol: f64) {
+        let g = q.gram();
+        for i in 0..q.cols() {
+            for j in 0..q.cols() {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (g[(i, j)] - want).abs() < tol,
+                    "G[{i},{j}] = {} (want {want})",
+                    g[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = random(20, 6, 11);
+        let ThinQr { q, r } = thin_qr(&a).unwrap();
+        let qr = q.matmul(&r).unwrap();
+        assert!(qr.sub(&a).unwrap().max_abs() < 1e-10);
+        assert_orthonormal(&q, 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = random(10, 5, 12);
+        let ThinQr { r, .. } = thin_qr(&a).unwrap();
+        for j in 0..5 {
+            for i in (j + 1)..5 {
+                assert!(r[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn square_qr_works() {
+        let a = random(6, 6, 13);
+        let ThinQr { q, r } = thin_qr(&a).unwrap();
+        assert!(q.matmul(&r).unwrap().sub(&a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = Mat::zeros(2, 5);
+        assert!(thin_qr(&a).is_err());
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut a = Mat::zeros(3, 2);
+        a[(0, 0)] = f64::NAN;
+        assert_eq!(thin_qr(&a).unwrap_err(), LinalgError::NotFinite);
+    }
+
+    #[test]
+    fn orthonormalize_preserves_span_and_signs() {
+        // A matrix whose columns are already orthonormal should come back
+        // unchanged (up to tolerance) thanks to the sign fix.
+        let a = random(30, 4, 14);
+        let q1 = orthonormalize(&a).unwrap();
+        let q2 = orthonormalize(&q1).unwrap();
+        assert!(q2.sub(&q1).unwrap().max_abs() < 1e-10);
+        assert_orthonormal(&q1, 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_input_yields_finite_q() {
+        // Two identical columns: Q must still be finite and orthonormal in
+        // its leading column.
+        let mut a = Mat::zeros(5, 2);
+        for i in 0..5 {
+            a[(i, 0)] = (i + 1) as f64;
+            a[(i, 1)] = (i + 1) as f64;
+        }
+        let ThinQr { q, .. } = thin_qr(&a).unwrap();
+        assert!(q.is_finite());
+        assert!((vecops::norm(q.col(0)) - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,308 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! The streaming eigensystem update (paper eq. 1–3) needs the SVD of a tall,
+//! very thin factor `A ∈ R^{d×(p+1)}` on every tuple, and the merge step
+//! (eq. 16) the SVD of `R^{d×2p}`. One-sided Jacobi is the right tool for
+//! these shapes: it works directly on columns (contiguous in our layout),
+//! converges in a handful of sweeps for nearly-orthogonal inputs — and the
+//! streaming factors *are* nearly orthogonal, since their leading `p`
+//! columns come from the previous orthonormal eigenbasis — and it delivers
+//! high relative accuracy on the small singular values that decide where
+//! the eigenspectrum is truncated.
+
+use crate::mat::Mat;
+use crate::vecops;
+use crate::{LinalgError, Result};
+
+/// Thin SVD `A = U · diag(s) · Vᵀ` with `U` `m × n` column-orthonormal,
+/// `s` non-negative and sorted descending, `V` `n × n` orthogonal.
+#[derive(Debug, Clone)]
+pub struct ThinSvd {
+    /// Left singular vectors (`m × n`).
+    pub u: Mat,
+    /// Singular values, descending.
+    pub s: Vec<f64>,
+    /// Right singular vectors (`n × n`).
+    pub v: Mat,
+}
+
+impl ThinSvd {
+    /// Reconstructs `U · diag(s) · Vᵀ`.
+    pub fn reconstruct(&self) -> Mat {
+        let mut us = self.u.clone();
+        for (j, &sj) in self.s.iter().enumerate() {
+            vecops::scale(us.col_mut(j), sj);
+        }
+        us.matmul(&self.v.transpose()).expect("shapes agree by construction")
+    }
+
+    /// Numerical rank at relative tolerance `rtol` (relative to `s[0]`).
+    pub fn rank(&self, rtol: f64) -> usize {
+        let cutoff = self.s.first().copied().unwrap_or(0.0) * rtol;
+        self.s.iter().take_while(|&&sv| sv > cutoff).count()
+    }
+}
+
+/// Maximum number of Jacobi sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 60;
+
+/// Relative off-diagonal tolerance for declaring a column pair orthogonal.
+const TOL: f64 = 5e-13;
+
+/// Computes the thin SVD of `a` (requires `rows ≥ cols`).
+///
+/// Zero columns are tolerated (they yield zero singular values with
+/// arbitrary-but-orthonormal left vectors filled from the identity
+/// completion).
+pub fn thin_svd(a: &Mat) -> Result<ThinSvd> {
+    let (m, n) = a.shape();
+    if m < n {
+        return Err(LinalgError::ShapeMismatch {
+            expected: "rows >= cols for thin SVD".to_string(),
+            got: (m, n),
+        });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NotFinite);
+    }
+    if n == 0 {
+        return Ok(ThinSvd { u: Mat::zeros(m, 0), s: Vec::new(), v: Mat::zeros(0, 0) });
+    }
+
+    let mut u = a.clone();
+    let mut v = Mat::identity(n);
+
+    let mut converged = false;
+    let mut sweeps = 0;
+    while sweeps < MAX_SWEEPS {
+        sweeps += 1;
+        // Columns whose norm is below numerical rank (relative to the
+        // largest column) contribute singular values ≤ eps·‖A‖ and must be
+        // excluded from rotations: rotating two noise columns against each
+        // other never converges because their inner products are pure
+        // rounding error.
+        let max_nrm2 = (0..n).map(|j| vecops::norm_sq(u.col(j))).fold(0.0, f64::max);
+        let negligible = max_nrm2 * (f64::EPSILON * f64::EPSILON);
+        if max_nrm2 == 0.0 {
+            converged = true;
+            break;
+        }
+        let mut off = 0.0_f64;
+        for p in 0..n - 1 {
+            for q in (p + 1)..n {
+                // Gather the 2x2 Gram block for columns p, q.
+                let (app, aqq, apq) = {
+                    let cp = u.col(p);
+                    let cq = u.col(q);
+                    (vecops::norm_sq(cp), vecops::norm_sq(cq), vecops::dot(cp, cq))
+                };
+                if app <= negligible || aqq <= negligible {
+                    continue;
+                }
+                let denom = (app * aqq).sqrt();
+                let rel = apq.abs() / denom;
+                off = off.max(rel);
+                if rel <= TOL {
+                    continue;
+                }
+                // Jacobi rotation that zeroes the (p,q) Gram entry.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_cols(&mut u, p, q, c, s);
+                rotate_cols(&mut v, p, q, c, s);
+            }
+        }
+        if off <= TOL {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        // One-sided Jacobi stalls only on pathological inputs; the state is
+        // still usable (columns are orthogonal to ~sqrt(eps)), but callers
+        // should know.
+        return Err(LinalgError::NoConvergence { routine: "thin_svd", sweeps });
+    }
+
+    // Singular values are the column norms; normalize U. Columns below
+    // numerical rank are pure rounding noise: normalizing them would yield
+    // unit vectors with O(1) overlap against the true singular vectors, so
+    // they are zeroed here and re-completed orthonormally below.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n).map(|j| vecops::norm(u.col(j))).collect();
+    let max_nrm = norms.iter().fold(0.0_f64, |a, &b| a.max(b));
+    let noise_floor = max_nrm * f64::EPSILON * (m as f64).sqrt();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("finite norms"));
+
+    let mut su = Mat::zeros(m, n);
+    let mut sv = Mat::zeros(n, n);
+    let mut s = Vec::with_capacity(n);
+    for (dst, &src) in order.iter().enumerate() {
+        let nrm = norms[src];
+        if nrm > noise_floor {
+            s.push(nrm);
+            let inv = 1.0 / nrm;
+            for (o, &i) in su.col_mut(dst).iter_mut().zip(u.col(src)) {
+                *o = i * inv;
+            }
+        } else {
+            s.push(0.0);
+        }
+        sv.col_mut(dst).copy_from_slice(v.col(src));
+    }
+
+    // Complete zero columns of U with unit vectors orthogonal to the rest so
+    // U stays column-orthonormal even for rank-deficient input.
+    complete_zero_columns(&mut su, &s);
+
+    Ok(ThinSvd { u: su, s, v: sv })
+}
+
+/// Applies the rotation `[c -s; s c]` to columns `(p, q)` of `m`.
+#[inline]
+fn rotate_cols(m: &mut Mat, p: usize, q: usize, c: f64, s: f64) {
+    let (cp, cq) = m.two_cols_mut(p, q);
+    for (a, b) in cp.iter_mut().zip(cq.iter_mut()) {
+        let x = *a;
+        let y = *b;
+        *a = c * x - s * y;
+        *b = s * x + c * y;
+    }
+}
+
+/// Replaces zero columns of `u` (those with `s[j] == 0`) by unit vectors
+/// orthonormal to all existing columns, via Gram–Schmidt against the basis.
+fn complete_zero_columns(u: &mut Mat, s: &[f64]) {
+    let (m, n) = u.shape();
+    for j in 0..n {
+        if s[j] > 0.0 {
+            continue;
+        }
+        // Try coordinate axes until one survives projection.
+        'axes: for axis in 0..m {
+            let mut cand = vec![0.0; m];
+            cand[axis] = 1.0;
+            for k in 0..n {
+                if k == j || (s.get(k).copied().unwrap_or(0.0) == 0.0 && k > j) {
+                    continue;
+                }
+                let proj = vecops::dot(&cand, u.col(k));
+                vecops::axpy(-proj, u.col(k), &mut cand);
+            }
+            if vecops::normalize(&mut cand) > 1e-8 {
+                u.col_mut(j).copy_from_slice(&cand);
+                break 'axes;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::fill_standard_normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Mat::zeros(rows, cols);
+        fill_standard_normal(&mut rng, m.as_mut_slice());
+        m
+    }
+
+    fn assert_orthonormal_cols(q: &Mat, tol: f64) {
+        let g = q.gram();
+        for i in 0..q.cols() {
+            for j in 0..q.cols() {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((g[(i, j)] - want).abs() < tol, "G[{i},{j}]={}", g[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_random_tall() {
+        let a = random(40, 6, 21);
+        let svd = thin_svd(&a).unwrap();
+        assert!(svd.reconstruct().sub(&a).unwrap().max_abs() < 1e-9);
+        assert_orthonormal_cols(&svd.u, 1e-10);
+        assert_orthonormal_cols(&svd.v, 1e-10);
+    }
+
+    #[test]
+    fn singular_values_sorted_nonnegative() {
+        let a = random(25, 8, 22);
+        let svd = thin_svd(&a).unwrap();
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(svd.s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn known_diagonal_case() {
+        // A = diag(3, 2) padded: singular values are exactly 3 and 2.
+        let mut a = Mat::zeros(4, 2);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = 2.0;
+        let svd = thin_svd(&a).unwrap();
+        assert!((svd.s[0] - 3.0).abs() < 1e-12);
+        assert!((svd.s[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_deficient_input() {
+        // Second column is 2x the first: rank 1.
+        let mut a = Mat::zeros(5, 2);
+        for i in 0..5 {
+            a[(i, 0)] = (i + 1) as f64;
+            a[(i, 1)] = 2.0 * (i + 1) as f64;
+        }
+        let svd = thin_svd(&a).unwrap();
+        assert!(svd.s[1] < 1e-10 * svd.s[0]);
+        assert_eq!(svd.rank(1e-8), 1);
+        assert_orthonormal_cols(&svd.u, 1e-8);
+        assert!(svd.reconstruct().sub(&a).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Mat::zeros(6, 3);
+        let svd = thin_svd(&a).unwrap();
+        assert!(svd.s.iter().all(|&x| x == 0.0));
+        assert_orthonormal_cols(&svd.u, 1e-12);
+    }
+
+    #[test]
+    fn single_column() {
+        let mut a = Mat::zeros(3, 1);
+        a[(0, 0)] = 3.0;
+        a[(1, 0)] = 4.0;
+        let svd = thin_svd(&a).unwrap();
+        assert!((svd.s[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_rejected() {
+        assert!(thin_svd(&Mat::zeros(2, 4)).is_err());
+    }
+
+    #[test]
+    fn singular_values_match_frobenius_norm() {
+        let a = random(30, 5, 23);
+        let svd = thin_svd(&a).unwrap();
+        // sum of squared singular values == squared Frobenius norm
+        let ss: f64 = svd.s.iter().map(|x| x * x).sum();
+        let fro2 = a.fro_norm().powi(2);
+        assert!((ss - fro2).abs() < 1e-8 * fro2);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let svd = thin_svd(&Mat::zeros(5, 0)).unwrap();
+        assert!(svd.s.is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Galaxy continuum models.
+//!
+//! Real galaxy continua interpolate between two templates: a blue,
+//! star-forming spectrum rising toward short wavelengths, and a red,
+//! passive spectrum with a pronounced 4000 Å break. One latent "age"
+//! parameter sliding between the two captures most continuum variance —
+//! which is precisely the low-rank structure streaming PCA exploits.
+
+/// Smooth 4000 Å break: a logistic step from `lo` (blue side) to `hi`
+/// (red side) with transition width `width` Å.
+fn break4000(lambda: f64, lo: f64, hi: f64, width: f64) -> f64 {
+    let s = 1.0 / (1.0 + (-(lambda - 4000.0) / width).exp());
+    lo + (hi - lo) * s
+}
+
+/// Blue star-forming continuum (normalized near 1 at 5500 Å): shallow
+/// power-law rising to the blue with a weak 4000 Å break.
+pub fn star_forming(lambda: f64) -> f64 {
+    let pl = (lambda / 5500.0).powf(-1.2);
+    pl * break4000(lambda, 0.85, 1.0, 150.0)
+}
+
+/// Red passive continuum (normalized near 1 at 5500 Å): declining to the
+/// blue with a strong 4000 Å break.
+pub fn passive(lambda: f64) -> f64 {
+    let pl = (lambda / 5500.0).powf(0.8);
+    pl * break4000(lambda, 0.35, 1.0, 80.0)
+}
+
+/// Interpolated continuum: `age` slides from 0 (star-forming) to 1
+/// (passive).
+pub fn continuum(lambda: f64, age: f64) -> f64 {
+    let a = age.clamp(0.0, 1.0);
+    (1.0 - a) * star_forming(lambda) + a * passive(lambda)
+}
+
+/// Evaluates the continuum over a wavelength array.
+pub fn continuum_curve(lambdas: &[f64], age: f64) -> Vec<f64> {
+    lambdas.iter().map(|&l| continuum(l, age)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_templates_normalized_near_5500() {
+        assert!((star_forming(5500.0) - 1.0).abs() < 0.1);
+        assert!((passive(5500.0) - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn star_forming_is_blue() {
+        assert!(star_forming(4000.0) > star_forming(8000.0));
+    }
+
+    #[test]
+    fn passive_is_red_with_break() {
+        assert!(passive(8000.0) > passive(4000.0));
+        // Strong break: flux at 3800 much below 4200.
+        assert!(passive(3800.0) < 0.6 * passive(4200.0));
+    }
+
+    #[test]
+    fn age_interpolates_monotonically() {
+        // At a blue wavelength the flux decreases with age.
+        let l = 3900.0;
+        let mut prev = continuum(l, 0.0);
+        for i in 1..=10 {
+            let c = continuum(l, i as f64 / 10.0);
+            assert!(c <= prev + 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn age_clamped() {
+        assert_eq!(continuum(5000.0, -1.0), continuum(5000.0, 0.0));
+        assert_eq!(continuum(5000.0, 2.0), continuum(5000.0, 1.0));
+    }
+
+    #[test]
+    fn continuum_positive_everywhere() {
+        for i in 0..100 {
+            let l = 3500.0 + 60.0 * i as f64;
+            for a in [0.0, 0.3, 0.7, 1.0] {
+                assert!(continuum(l, a) > 0.0, "λ={l} a={a}");
+            }
+        }
+    }
+}

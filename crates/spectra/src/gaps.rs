@@ -1,0 +1,149 @@
+//! Missing-data mask generators (§II-D's two gap classes).
+//!
+//! "Some cause the loss of random snippets while others correlate with
+//! physical properties of the sources." Random snippets model bad pixels
+//! and masked sky lines; the systematic class is the redshift-dependent
+//! coverage window, produced by
+//! [`GalaxyGenerator::sample_with_coverage`](crate::generator::GalaxyGenerator::sample_with_coverage).
+
+use rand::Rng;
+
+/// Generates random-snippet masks: a configurable number of contiguous
+/// runs of missing pixels at random positions.
+#[derive(Debug, Clone)]
+pub struct SnippetGaps {
+    /// Expected number of gap runs per spectrum.
+    pub runs: f64,
+    /// Length range of each run (inclusive).
+    pub run_len: (usize, usize),
+}
+
+impl SnippetGaps {
+    /// Snippet model with `runs` expected runs of `lo..=hi` pixels each.
+    pub fn new(runs: f64, lo: usize, hi: usize) -> Self {
+        assert!(runs >= 0.0 && lo >= 1 && hi >= lo);
+        SnippetGaps { runs, run_len: (lo, hi) }
+    }
+
+    /// Produces a mask of length `d` (`true` = observed) and applies no
+    /// changes to the data itself.
+    pub fn mask<R: Rng + ?Sized>(&self, rng: &mut R, d: usize) -> Vec<bool> {
+        let mut mask = vec![true; d];
+        // Poisson-ish: draw count from a simple geometric approximation by
+        // repeated Bernoulli halving around the mean.
+        let count = poisson_small(rng, self.runs);
+        for _ in 0..count {
+            let len = rng.gen_range(self.run_len.0..=self.run_len.1).min(d);
+            if len >= d {
+                continue; // never blank the whole spectrum
+            }
+            let start = rng.gen_range(0..d - len);
+            for m in &mut mask[start..start + len] {
+                *m = false;
+            }
+        }
+        mask
+    }
+
+    /// Applies a snippet mask to a spectrum's existing mask (logical AND),
+    /// so coverage gaps and snippets compose.
+    pub fn apply<R: Rng + ?Sized>(&self, rng: &mut R, mask: &mut [bool]) {
+        let extra = self.mask(rng, mask.len());
+        for (m, e) in mask.iter_mut().zip(extra) {
+            *m = *m && e;
+        }
+    }
+}
+
+/// Small-mean Poisson sampler (Knuth's product method) — adequate for gap
+/// counts of a few per spectrum.
+fn poisson_small<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let l = (-mean).exp();
+    let mut k = 0;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 1000 {
+            return k; // pathological mean guard
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_runs_leaves_complete_mask() {
+        let g = SnippetGaps::new(0.0, 3, 10);
+        let mut rng = StdRng::seed_from_u64(70);
+        let m = g.mask(&mut rng, 100);
+        assert!(m.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn masks_remove_expected_fraction() {
+        let g = SnippetGaps::new(2.0, 5, 5); // ~10 pixels of 200 expected
+        let mut rng = StdRng::seed_from_u64(71);
+        let mut missing = 0usize;
+        let trials = 2000;
+        for _ in 0..trials {
+            missing += g.mask(&mut rng, 200).iter().filter(|&&b| !b).count();
+        }
+        let frac = missing as f64 / (200.0 * trials as f64);
+        // Expected ≈ 2 runs × 5 px / 200 px = 5% (overlaps reduce slightly).
+        assert!(frac > 0.03 && frac < 0.06, "missing fraction {frac}");
+    }
+
+    #[test]
+    fn gaps_are_contiguous_runs() {
+        let g = SnippetGaps::new(1.0, 4, 4);
+        let mut rng = StdRng::seed_from_u64(72);
+        for _ in 0..100 {
+            let m = g.mask(&mut rng, 50);
+            // Every maximal false-run must have length exactly 4 (or be a
+            // merge of overlapping runs — allow multiples ≥ 4).
+            let mut run = 0;
+            for &b in m.iter().chain([true].iter()) {
+                if !b {
+                    run += 1;
+                } else {
+                    if run > 0 {
+                        assert!(run >= 4, "short run {run}");
+                    }
+                    run = 0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_composes_with_existing_mask() {
+        let g = SnippetGaps::new(5.0, 3, 8);
+        let mut rng = StdRng::seed_from_u64(73);
+        let mut mask = vec![true; 100];
+        for m in mask.iter_mut().take(20) {
+            *m = false; // pre-existing coverage gap
+        }
+        g.apply(&mut rng, &mut mask);
+        assert!(mask[..20].iter().all(|&b| !b), "pre-existing gap must survive");
+    }
+
+    #[test]
+    fn poisson_mean_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let n = 20000;
+        let total: usize = (0..n).map(|_| poisson_small(&mut rng, 3.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Catalog of the strongest optical galaxy spectral lines.
+//!
+//! These are the "physically meaningful features" the paper's Fig. 5
+//! eigenspectra develop: Balmer emission/absorption, the forbidden [O II] /
+//! [O III] / [N II] / [S II] lines of star-forming galaxies and AGN, and
+//! the stellar absorption features (Ca H&K, G-band, Mg b, Na D) of passive
+//! galaxies. Wavelengths are vacuum rest-frame, in Å.
+
+/// A spectral line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    /// Conventional identifier.
+    pub name: &'static str,
+    /// Rest-frame wavelength in Å.
+    pub lambda: f64,
+    /// Typical intrinsic velocity width (Å at rest wavelength).
+    pub width: f64,
+    /// True for emission lines, false for absorption.
+    pub emission: bool,
+}
+
+/// Emission lines of star-forming galaxies / AGN.
+pub const EMISSION_LINES: &[Line] = &[
+    Line { name: "[OII]3727", lambda: 3727.4, width: 4.0, emission: true },
+    Line { name: "Hbeta", lambda: 4861.3, width: 5.0, emission: true },
+    Line { name: "[OIII]4959", lambda: 4958.9, width: 4.0, emission: true },
+    Line { name: "[OIII]5007", lambda: 5006.8, width: 4.0, emission: true },
+    Line { name: "[NII]6548", lambda: 6548.1, width: 4.0, emission: true },
+    Line { name: "Halpha", lambda: 6562.8, width: 5.5, emission: true },
+    Line { name: "[NII]6583", lambda: 6583.4, width: 4.0, emission: true },
+    Line { name: "[SII]6716", lambda: 6716.4, width: 4.0, emission: true },
+    Line { name: "[SII]6731", lambda: 6730.8, width: 4.0, emission: true },
+];
+
+/// Stellar absorption features of passive galaxies.
+pub const ABSORPTION_LINES: &[Line] = &[
+    Line { name: "CaK", lambda: 3933.7, width: 8.0, emission: false },
+    Line { name: "CaH", lambda: 3968.5, width: 8.0, emission: false },
+    Line { name: "Gband", lambda: 4304.4, width: 10.0, emission: false },
+    Line { name: "Hbeta_abs", lambda: 4861.3, width: 9.0, emission: false },
+    Line { name: "Mgb", lambda: 5175.4, width: 12.0, emission: false },
+    Line { name: "NaD", lambda: 5893.0, width: 10.0, emission: false },
+];
+
+/// Gaussian line profile evaluated at wavelength `lambda` for a line
+/// centered at `center` with standard-deviation width `width`.
+#[inline]
+pub fn gaussian_profile(lambda: f64, center: f64, width: f64) -> f64 {
+    let d = (lambda - center) / width;
+    (-0.5 * d * d).exp()
+}
+
+/// Adds a line (scaled by `amplitude`, positive = emission) onto `flux`
+/// over the wavelengths `lambdas`.
+pub fn add_line(flux: &mut [f64], lambdas: &[f64], line: &Line, amplitude: f64) {
+    debug_assert_eq!(flux.len(), lambdas.len());
+    // A Gaussian at 5 widths is < 4e-6: restrict the loop to that window.
+    let lo = line.lambda - 5.0 * line.width;
+    let hi = line.lambda + 5.0 * line.width;
+    for (f, &l) in flux.iter_mut().zip(lambdas) {
+        if l >= lo && l <= hi {
+            *f += amplitude * gaussian_profile(l, line.lambda, line.width);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wavelength::WavelengthGrid;
+
+    #[test]
+    fn catalog_is_sorted_and_in_optical() {
+        for set in [EMISSION_LINES, ABSORPTION_LINES] {
+            for w in set.windows(2) {
+                assert!(w[1].lambda >= w[0].lambda, "{} before {}", w[1].name, w[0].name);
+            }
+            for l in set {
+                assert!(l.lambda > 3000.0 && l.lambda < 10000.0);
+                assert!(l.width > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_peaks_at_center() {
+        assert_eq!(gaussian_profile(5000.0, 5000.0, 4.0), 1.0);
+        assert!(gaussian_profile(5004.0, 5000.0, 4.0) < 1.0);
+        assert!(gaussian_profile(5100.0, 5000.0, 4.0) < 1e-8);
+    }
+
+    #[test]
+    fn add_line_injects_flux_at_right_pixel() {
+        let g = WavelengthGrid::sdss_like(2000);
+        let lambdas = g.lambdas();
+        let mut flux = vec![0.0; 2000];
+        let ha = EMISSION_LINES.iter().find(|l| l.name == "Halpha").unwrap();
+        add_line(&mut flux, &lambdas, ha, 10.0);
+        let peak = g.pixel_of(ha.lambda).unwrap();
+        assert!(flux[peak] > 9.0, "peak flux {}", flux[peak]);
+        // Energy is localized: far pixels untouched.
+        assert_eq!(flux[0], 0.0);
+        assert_eq!(flux[1999], 0.0);
+    }
+
+    #[test]
+    fn absorption_subtracts() {
+        let g = WavelengthGrid::sdss_like(2000);
+        let lambdas = g.lambdas();
+        let mut flux = vec![1.0; 2000];
+        let mgb = ABSORPTION_LINES.iter().find(|l| l.name == "Mgb").unwrap();
+        add_line(&mut flux, &lambdas, mgb, -0.5);
+        let pix = g.pixel_of(mgb.lambda).unwrap();
+        assert!(flux[pix] < 0.6);
+    }
+}

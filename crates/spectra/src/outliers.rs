@@ -1,0 +1,167 @@
+//! Contamination processes (the Fig. 1 workload).
+//!
+//! Real survey streams are littered with measurement failures; the paper's
+//! robust estimator exists to survive them. Three physically-motivated
+//! contamination models are provided, plus a mixing wrapper that
+//! contaminates a clean stream at a configurable rate.
+
+use rand::Rng;
+use spca_linalg::rng::standard_normal;
+
+/// Kinds of contamination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutlierKind {
+    /// Cosmic-ray hit: a huge spike in a handful of adjacent pixels.
+    CosmicRay,
+    /// Sky-subtraction failure: strong residuals at fixed (sky-line)
+    /// pixels across the whole spectrum.
+    SkyResidual,
+    /// Corrupted readout: the spectrum replaced by broadband junk.
+    Junk,
+}
+
+/// Configurable outlier injector.
+#[derive(Debug, Clone)]
+pub struct OutlierInjector {
+    /// Probability that a given observation is contaminated.
+    pub rate: f64,
+    /// Amplitude of the contamination relative to unit-scale data.
+    pub amplitude: f64,
+    /// Which kinds to draw from (uniformly).
+    pub kinds: Vec<OutlierKind>,
+}
+
+impl OutlierInjector {
+    /// An injector producing all three kinds at the given rate and a
+    /// default amplitude of 50× the data scale.
+    pub fn new(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        OutlierInjector {
+            rate,
+            amplitude: 50.0,
+            kinds: vec![OutlierKind::CosmicRay, OutlierKind::SkyResidual, OutlierKind::Junk],
+        }
+    }
+
+    /// Restricts to a single kind.
+    pub fn only(mut self, kind: OutlierKind) -> Self {
+        self.kinds = vec![kind];
+        self
+    }
+
+    /// Possibly contaminates `x` in place; returns the kind applied, if any.
+    pub fn maybe_contaminate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        x: &mut [f64],
+    ) -> Option<OutlierKind> {
+        if rng.gen::<f64>() >= self.rate || self.kinds.is_empty() {
+            return None;
+        }
+        let kind = self.kinds[rng.gen_range(0..self.kinds.len())];
+        self.contaminate(rng, x, kind);
+        Some(kind)
+    }
+
+    /// Applies a specific contamination to `x`.
+    pub fn contaminate<R: Rng + ?Sized>(&self, rng: &mut R, x: &mut [f64], kind: OutlierKind) {
+        let d = x.len();
+        match kind {
+            OutlierKind::CosmicRay => {
+                let center = rng.gen_range(0..d);
+                let width = rng.gen_range(1..=3.min(d));
+                for i in center.saturating_sub(width)..(center + width).min(d) {
+                    x[i] += self.amplitude * (1.0 + rng.gen::<f64>());
+                }
+            }
+            OutlierKind::SkyResidual => {
+                // Fixed "sky line" pixels at regular intervals.
+                let stride = (d / 12).max(1);
+                for i in (stride / 2..d).step_by(stride) {
+                    x[i] += self.amplitude * 0.4 * standard_normal(rng);
+                }
+            }
+            OutlierKind::Junk => {
+                for v in x.iter_mut() {
+                    *v = self.amplitude * 0.3 * standard_normal(rng);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rate_zero_never_contaminates() {
+        let inj = OutlierInjector::new(0.0);
+        let mut rng = StdRng::seed_from_u64(60);
+        let mut x = vec![0.0; 50];
+        for _ in 0..200 {
+            assert_eq!(inj.maybe_contaminate(&mut rng, &mut x), None);
+        }
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn rate_one_always_contaminates() {
+        let inj = OutlierInjector::new(1.0);
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut hits = 0;
+        for _ in 0..50 {
+            let mut x = vec![0.0; 50];
+            if inj.maybe_contaminate(&mut rng, &mut x).is_some() {
+                hits += 1;
+                assert!(x.iter().any(|&v| v != 0.0));
+            }
+        }
+        assert_eq!(hits, 50);
+    }
+
+    #[test]
+    fn cosmic_ray_is_localized() {
+        let inj = OutlierInjector::new(1.0).only(OutlierKind::CosmicRay);
+        let mut rng = StdRng::seed_from_u64(62);
+        let mut x = vec![0.0; 100];
+        inj.contaminate(&mut rng, &mut x, OutlierKind::CosmicRay);
+        let touched = x.iter().filter(|&&v| v != 0.0).count();
+        assert!(touched >= 1 && touched <= 6, "{touched} pixels hit");
+        assert!(x.iter().cloned().fold(0.0_f64, f64::max) > 40.0);
+    }
+
+    #[test]
+    fn junk_replaces_everything() {
+        let inj = OutlierInjector::new(1.0);
+        let mut rng = StdRng::seed_from_u64(63);
+        let mut x = vec![7.0; 100];
+        inj.contaminate(&mut rng, &mut x, OutlierKind::Junk);
+        // Original values gone.
+        assert!(x.iter().filter(|&&v| (v - 7.0).abs() < 1e-9).count() < 5);
+    }
+
+    #[test]
+    fn statistical_rate_matches() {
+        let inj = OutlierInjector::new(0.1);
+        let mut rng = StdRng::seed_from_u64(64);
+        let mut hits = 0;
+        let n = 5000;
+        for _ in 0..n {
+            let mut x = vec![0.0; 10];
+            if inj.maybe_contaminate(&mut rng, &mut x).is_some() {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.02, "observed rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_rate_rejected() {
+        let _ = OutlierInjector::new(1.5);
+    }
+}

@@ -1,0 +1,155 @@
+//! Wavelength grids.
+//!
+//! SDSS spectra are sampled on a uniform grid in log₁₀(λ) with pixel size
+//! 10⁻⁴ dex covering roughly 3800–9200 Å. Rest-frame analyses resample to a
+//! common rest grid; we model both with one type.
+
+/// A uniform log₁₀-wavelength grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavelengthGrid {
+    log_start: f64,
+    log_step: f64,
+    n: usize,
+}
+
+impl WavelengthGrid {
+    /// A grid of `n` pixels starting at `start_angstrom`, uniform in
+    /// log₁₀(λ) with step `log_step` dex.
+    pub fn new(start_angstrom: f64, log_step: f64, n: usize) -> Self {
+        assert!(start_angstrom > 0.0 && log_step > 0.0 && n > 0);
+        WavelengthGrid { log_start: start_angstrom.log10(), log_step, n }
+    }
+
+    /// The SDSS observed-frame grid (3800–9200 Å) at the standard 10⁻⁴ dex
+    /// pixel, downsampled to `n` pixels.
+    pub fn sdss_like(n: usize) -> Self {
+        let lo = 3800.0_f64.log10();
+        let hi = 9200.0_f64.log10();
+        WavelengthGrid { log_start: lo, log_step: (hi - lo) / n as f64, n }
+    }
+
+    /// A rest-frame grid wide enough that redshifts up to `z_max` keep the
+    /// observed window inside it.
+    pub fn rest_frame(n: usize, z_max: f64) -> Self {
+        let lo = (3800.0 / (1.0 + z_max)).log10();
+        let hi = 9200.0_f64.log10();
+        WavelengthGrid { log_start: lo, log_step: (hi - lo) / n as f64, n }
+    }
+
+    /// Number of pixels.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the grid is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Wavelength (Å) at pixel `i`.
+    pub fn lambda(&self, i: usize) -> f64 {
+        10f64.powf(self.log_start + self.log_step * i as f64)
+    }
+
+    /// All wavelengths.
+    pub fn lambdas(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.lambda(i)).collect()
+    }
+
+    /// The pixel index whose wavelength is nearest to `lambda`, or `None`
+    /// if it falls outside the grid.
+    pub fn pixel_of(&self, lambda: f64) -> Option<usize> {
+        if lambda <= 0.0 {
+            return None;
+        }
+        let f = (lambda.log10() - self.log_start) / self.log_step;
+        let i = f.round();
+        if i < 0.0 || i >= self.n as f64 {
+            None
+        } else {
+            Some(i as usize)
+        }
+    }
+
+    /// The sub-range of pixels observed when a rest-frame object at
+    /// redshift `z` is viewed through a fixed observed window
+    /// `[obs_lo, obs_hi]` Å: pixels of *this* (rest) grid falling inside
+    /// `[obs_lo/(1+z), obs_hi/(1+z)]`.
+    pub fn coverage_at_redshift(&self, z: f64, obs_lo: f64, obs_hi: f64) -> (usize, usize) {
+        let rest_lo = obs_lo / (1.0 + z);
+        let rest_hi = obs_hi / (1.0 + z);
+        let mut lo = self.n;
+        let mut hi = 0;
+        for i in 0..self.n {
+            let l = self.lambda(i);
+            if l >= rest_lo && l <= rest_hi {
+                lo = lo.min(i);
+                hi = hi.max(i + 1);
+            }
+        }
+        if lo >= hi {
+            (0, 0)
+        } else {
+            (lo, hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sdss_grid_spans_advertised_range() {
+        let g = WavelengthGrid::sdss_like(1000);
+        assert!((g.lambda(0) - 3800.0).abs() < 1.0);
+        assert!(g.lambda(999) < 9200.0);
+        assert!(g.lambda(999) > 9100.0);
+    }
+
+    #[test]
+    fn grid_is_monotone() {
+        let g = WavelengthGrid::sdss_like(200);
+        let l = g.lambdas();
+        for w in l.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn pixel_of_round_trips() {
+        let g = WavelengthGrid::sdss_like(500);
+        for i in [0, 10, 250, 499] {
+            assert_eq!(g.pixel_of(g.lambda(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn pixel_of_out_of_range() {
+        let g = WavelengthGrid::sdss_like(100);
+        assert_eq!(g.pixel_of(100.0), None);
+        assert_eq!(g.pixel_of(1e6), None);
+        assert_eq!(g.pixel_of(-5.0), None);
+    }
+
+    #[test]
+    fn redshift_coverage_shrinks_from_blue() {
+        let g = WavelengthGrid::rest_frame(1000, 0.5);
+        let (lo0, hi0) = g.coverage_at_redshift(0.0, 3800.0, 9200.0);
+        let (lo5, hi5) = g.coverage_at_redshift(0.5, 3800.0, 9200.0);
+        // Higher redshift sees bluer rest wavelengths: window moves left.
+        assert!(lo5 < lo0, "lo {lo5} vs {lo0}");
+        assert!(hi5 < hi0, "hi {hi5} vs {hi0}");
+        assert!(hi0 > lo0 && hi5 > lo5);
+    }
+
+    #[test]
+    fn rest_grid_contains_all_coverages() {
+        let g = WavelengthGrid::rest_frame(800, 0.4);
+        for zi in 0..=8 {
+            let z = zi as f64 * 0.05;
+            let (lo, hi) = g.coverage_at_redshift(z, 3800.0, 9200.0);
+            assert!(hi > lo, "empty coverage at z={z}");
+        }
+    }
+}

@@ -1,0 +1,872 @@
+//! The threaded execution engine.
+//!
+//! One OS thread per processing element (PE): operators fused into a PE
+//! dispatch tuples to each other through an in-memory queue (the analogue
+//! of InfoSphere passing "data by pointer as a variable in memory"), while
+//! cross-PE edges are bounded crossbeam channels that provide backpressure
+//! and traffic accounting. Sources are driven cooperatively by their PE's
+//! thread; end-of-stream punctuation flows edge-by-edge, so a PE (and the
+//! whole run) winds down exactly when all upstream work is drained.
+//!
+//! ## Shutdown semantics
+//!
+//! * A source finishes when its `drive` returns `Done`, or after
+//!   [`RunningEngine::stop`] requests a cooperative stop.
+//! * An operator with data inputs finishes when end-of-stream has arrived
+//!   on every data edge; control edges never gate completion (late control
+//!   tuples are dropped), which keeps control-port cycles — like the PCA
+//!   ring-synchronization mesh — deadlock-free.
+//! * An operator with only control inputs finishes when those edges close.
+//! * `on_finish` runs before the operator's own end-of-stream propagates,
+//!   so terminal operators can emit final results.
+
+use crate::graph::{GraphBuilder, LinkKind, PortKind};
+use crate::metrics::{LinkCounters, LinkSnapshot, MetricsRegistry, OpCounters, OpSnapshot};
+use crate::operator::{EmitSink, OpContext, Operator, SourceState};
+use crate::tuple::{Punctuation, Tuple};
+use crossbeam::channel::{bounded, Receiver, Select, Sender};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Where an emission goes.
+enum Target {
+    /// Same-PE operator: queued in the PE's pending deque.
+    Local { op: usize, port: PortKind },
+    /// Cross-PE channel.
+    Remote {
+        tx: Sender<Tuple>,
+        counters: Arc<LinkCounters>,
+        /// Modeled per-tuple sender-side delay (network links).
+        delay: Option<Duration>,
+    },
+}
+
+struct ChanIn {
+    rx: Receiver<Tuple>,
+    to_local: usize,
+    port: PortKind,
+    got_eos: bool,
+    alive: bool,
+}
+
+struct OpSlot {
+    #[allow(dead_code)] // retained for debugging and future per-op reporting
+    name: String,
+    op: Option<Box<dyn Operator>>,
+    counters: Arc<OpCounters>,
+    out_ports: Vec<Vec<Target>>,
+    is_source: bool,
+    data_in_degree: usize,
+    ctrl_in_degree: usize,
+    eos_data: usize,
+    eos_ctrl: usize,
+    finished: bool,
+}
+
+struct PeRuntime {
+    slots: Vec<OpSlot>,
+    inputs: Vec<ChanIn>,
+    stop: Arc<AtomicBool>,
+}
+
+/// Traffic report for one cross-PE link.
+#[derive(Debug, Clone)]
+pub struct LinkReport {
+    /// Producing operator's name.
+    pub from: String,
+    /// Consuming operator's name.
+    pub to: String,
+    /// Transfer counters.
+    pub snapshot: LinkSnapshot,
+}
+
+impl LinkReport {
+    /// Tuples transferred.
+    pub fn tuples(&self) -> u64 {
+        self.snapshot.tuples
+    }
+
+    /// Bytes transferred.
+    pub fn bytes(&self) -> u64 {
+        self.snapshot.bytes
+    }
+}
+
+/// Final report of a finished run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Per-operator name + counters, in graph insertion order.
+    pub ops: Vec<(String, OpSnapshot)>,
+    /// Per-cross-PE-link traffic, in edge insertion order.
+    pub links: Vec<LinkReport>,
+}
+
+impl RunReport {
+    /// Snapshot for the operator with the given name (first match).
+    pub fn op(&self, name: &str) -> Option<&OpSnapshot> {
+        self.ops.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Aggregate data tuples consumed by operators whose name starts with
+    /// `prefix` — convenient for summing over parallel replicas.
+    pub fn tuples_in_matching(&self, prefix: &str) -> u64 {
+        self.ops
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, s)| s.tuples_in)
+            .sum()
+    }
+}
+
+/// A running dataflow; obtain one via [`Engine::start`].
+pub struct RunningEngine {
+    handles: Vec<std::thread::JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    metrics: MetricsRegistry,
+    op_names: Vec<String>,
+    link_endpoints: Vec<(String, String)>,
+    started: Instant,
+}
+
+impl RunningEngine {
+    /// Requests a cooperative stop: sources wind down, the pipeline drains.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Live operator snapshots (name, counters).
+    pub fn op_snapshots(&self) -> Vec<(String, OpSnapshot)> {
+        self.op_names.iter().cloned().zip(self.metrics.op_snapshots()).collect()
+    }
+
+    /// Live snapshot of the operator with the given name.
+    pub fn op_snapshot(&self, name: &str) -> Option<OpSnapshot> {
+        self.op_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.metrics.op_snapshots()[i])
+    }
+
+    /// Wall-clock time since the run started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Waits for every PE thread and returns the final report.
+    pub fn join(self) -> RunReport {
+        for h in self.handles {
+            h.join().expect("PE thread panicked");
+        }
+        let links = self
+            .link_endpoints
+            .into_iter()
+            .zip(self.metrics.link_snapshots())
+            .map(|((from, to), snapshot)| LinkReport { from, to, snapshot })
+            .collect();
+        RunReport {
+            elapsed: self.started.elapsed(),
+            ops: self.op_names.into_iter().zip(self.metrics.op_snapshots()).collect(),
+            links,
+        }
+    }
+}
+
+/// Engine entry points.
+pub struct Engine;
+
+impl Engine {
+    /// Builds and launches the dataflow; returns a handle for live metrics
+    /// and stopping.
+    pub fn start(mut builder: GraphBuilder) -> RunningEngine {
+        builder.apply_placements();
+        let (op_pe, pes) = builder.resolve_pes();
+        let n_ops = builder.ops.len();
+        let mut metrics = MetricsRegistry::default();
+        let counters: Vec<Arc<OpCounters>> = (0..n_ops).map(|_| metrics.register_op()).collect();
+
+        // Per-op output port count (max wired port + 1).
+        let mut n_ports = vec![0usize; n_ops];
+        for e in &builder.edges {
+            n_ports[e.from] = n_ports[e.from].max(e.out_port + 1);
+        }
+
+        // local index of each op inside its PE
+        let mut local_idx = vec![0usize; n_ops];
+        for ops in &pes {
+            for (li, &g) in ops.iter().enumerate() {
+                local_idx[g] = li;
+            }
+        }
+
+        // Build slots per PE.
+        let op_names: Vec<String> = builder.ops.iter().map(|o| o.name.clone()).collect();
+        let mut slots_per_pe: Vec<Vec<OpSlot>> = pes
+            .iter()
+            .map(|ops| {
+                ops.iter()
+                    .map(|&g| OpSlot {
+                        name: op_names[g].clone(),
+                        op: None, // installed below
+                        counters: Arc::clone(&counters[g]),
+                        out_ports: (0..n_ports[g]).map(|_| Vec::new()).collect(),
+                        is_source: builder.ops[g].is_source,
+                        data_in_degree: 0,
+                        ctrl_in_degree: 0,
+                        eos_data: 0,
+                        eos_ctrl: 0,
+                        finished: false,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Move the operator boxes in.
+        for (g, entry) in builder.ops.drain(..).enumerate() {
+            slots_per_pe[op_pe[g]][local_idx[g]].op = Some(entry.op);
+        }
+
+        // Wire edges.
+        let mut link_endpoints: Vec<(String, String)> = Vec::new();
+        let mut inputs_per_pe: Vec<Vec<ChanIn>> = (0..pes.len()).map(|_| Vec::new()).collect();
+        for e in &builder.edges {
+            let from_pe = op_pe[e.from];
+            let to_pe = op_pe[e.to];
+            let slot = &mut slots_per_pe[from_pe][local_idx[e.from]];
+            if from_pe == to_pe {
+                slot.out_ports[e.out_port]
+                    .push(Target::Local { op: local_idx[e.to], port: e.port });
+            } else {
+                let (tx, rx) = bounded(builder.channel_capacity);
+                let link = metrics.register_link();
+                link_endpoints.push((op_names[e.from].clone(), op_names[e.to].clone()));
+                let delay = match e.kind {
+                    LinkKind::Network { model_delay_us } if model_delay_us > 0 => {
+                        Some(Duration::from_micros(model_delay_us))
+                    }
+                    _ => None,
+                };
+                slot.out_ports[e.out_port].push(Target::Remote { tx, counters: link, delay });
+                inputs_per_pe[to_pe].push(ChanIn {
+                    rx,
+                    to_local: local_idx[e.to],
+                    port: e.port,
+                    got_eos: false,
+                    alive: true,
+                });
+            }
+            // In-degrees on the destination slot.
+            let dst = &mut slots_per_pe[to_pe][local_idx[e.to]];
+            match e.port {
+                PortKind::Data => dst.data_in_degree += 1,
+                PortKind::Control => dst.ctrl_in_degree += 1,
+            }
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::with_capacity(pes.len());
+        for (slots, inputs) in slots_per_pe.into_iter().zip(inputs_per_pe) {
+            let pe = PeRuntime { slots, inputs, stop: Arc::clone(&stop) };
+            handles.push(
+                std::thread::Builder::new()
+                    .name("spca-pe".to_string())
+                    .spawn(move || run_pe(pe))
+                    .expect("spawn PE thread"),
+            );
+        }
+
+        RunningEngine {
+            handles,
+            stop,
+            metrics,
+            op_names,
+            link_endpoints,
+            started: Instant::now(),
+        }
+    }
+
+    /// Builds, runs to completion, and reports. Only meaningful for graphs
+    /// whose sources terminate on their own.
+    pub fn run(builder: GraphBuilder) -> RunReport {
+        Engine::start(builder).join()
+    }
+}
+
+/// The per-PE sink: routes emissions to local pending queue or channels.
+struct PeSink<'a> {
+    out_ports: &'a [Vec<Target>],
+    pending: &'a mut VecDeque<(usize, PortKind, Tuple)>,
+    stop: &'a AtomicBool,
+}
+
+impl EmitSink for PeSink<'_> {
+    fn emit(&mut self, port: usize, t: Tuple) {
+        let targets = &self.out_ports[port];
+        if let Some((last, init)) = targets.split_last() {
+            for target in init {
+                deliver(target, t.clone(), self.pending);
+            }
+            deliver(last, t, self.pending);
+        }
+        // An unwired port silently drops — mirrors InfoSphere streams with
+        // no subscribers.
+    }
+
+    fn try_emit(&mut self, port: usize, t: Tuple) -> Result<(), Tuple> {
+        let targets = &self.out_ports[port];
+        // All-or-nothing capacity check; local targets are never full.
+        for target in targets {
+            if let Target::Remote { tx, .. } = target {
+                if tx.is_full() {
+                    return Err(t);
+                }
+            }
+        }
+        self.emit(port, t);
+        Ok(())
+    }
+
+    fn backlog(&self, port: usize) -> Option<usize> {
+        let targets = &self.out_ports[port];
+        if targets.len() != 1 {
+            return None;
+        }
+        match &targets[0] {
+            Target::Remote { tx, .. } => Some(tx.len()),
+            Target::Local { .. } => None,
+        }
+    }
+
+    fn n_ports(&self) -> usize {
+        self.out_ports.len()
+    }
+
+    fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+fn deliver(target: &Target, t: Tuple, pending: &mut VecDeque<(usize, PortKind, Tuple)>) {
+    match target {
+        Target::Local { op, port } => pending.push_back((*op, *port, t)),
+        Target::Remote { tx, counters, delay } => {
+            if let Some(d) = delay {
+                std::thread::sleep(*d);
+            }
+            let bytes = t.wire_bytes();
+            if tx.send(t).is_ok() {
+                counters.add(bytes);
+            }
+            // A closed receiver means the consumer already finished; the
+            // tuple is intentionally dropped.
+        }
+    }
+}
+
+/// Calls a slot's operator method with a context wired to the PE's sink,
+/// timing it into the op's busy counter.
+macro_rules! with_op {
+    ($slots:expr, $pending:expr, $stop:expr, $idx:expr, |$op:ident, $ctx:ident| $body:expr) => {{
+        let mut $op = $slots[$idx].op.take().expect("operator in flight");
+        let counters = Arc::clone(&$slots[$idx].counters);
+        let t0 = Instant::now();
+        let ret = {
+            let mut sink =
+                PeSink { out_ports: &$slots[$idx].out_ports, pending: $pending, stop: $stop };
+            let $ctx = &mut OpContext::new(&mut sink, &counters);
+            $body
+        };
+        counters.add_busy(t0.elapsed().as_nanos() as u64);
+        $slots[$idx].op = Some($op);
+        ret
+    }};
+}
+
+fn run_pe(mut pe: PeRuntime) {
+    let PeRuntime { ref mut slots, ref mut inputs, ref stop } = pe;
+    let mut pending: VecDeque<(usize, PortKind, Tuple)> = VecDeque::new();
+
+    // Start hooks.
+    for i in 0..slots.len() {
+        with_op!(slots, &mut pending, stop, i, |op, ctx| op.on_start(ctx));
+    }
+    drain_pending(slots, &mut pending, stop);
+
+    // Operators with no inputs that aren't sources are trivially finished.
+    for i in 0..slots.len() {
+        let s = &slots[i];
+        if !s.is_source && s.data_in_degree == 0 && s.ctrl_in_degree == 0 {
+            finish_op(slots, &mut pending, stop, i);
+        }
+    }
+    drain_pending(slots, &mut pending, stop);
+
+    let source_idxs: Vec<usize> =
+        (0..slots.len()).filter(|&i| slots[i].is_source).collect();
+
+    loop {
+        let mut progressed = false;
+
+        // 1. Drive live sources.
+        for &i in &source_idxs {
+            if slots[i].finished {
+                continue;
+            }
+            if stop.load(Ordering::Relaxed) {
+                finish_op(slots, &mut pending, stop, i);
+                drain_pending(slots, &mut pending, stop);
+                continue;
+            }
+            let state: SourceState =
+                with_op!(slots, &mut pending, stop, i, |op, ctx| op.drive(ctx));
+            match state {
+                SourceState::Emitted => progressed = true,
+                SourceState::Idle => {}
+                SourceState::Done => {
+                    finish_op(slots, &mut pending, stop, i);
+                    progressed = true;
+                }
+            }
+            drain_pending(slots, &mut pending, stop);
+        }
+
+        let sources_alive = source_idxs.iter().any(|&i| !slots[i].finished);
+
+        // 2. Receive from cross-PE channels.
+        if sources_alive {
+            // Non-blocking sweep so sources keep producing.
+            for ci in 0..inputs.len() {
+                if !inputs[ci].alive {
+                    continue;
+                }
+                // Bounded batch per channel per iteration for fairness.
+                for _ in 0..64 {
+                    match inputs[ci].rx.try_recv() {
+                        Ok(t) => {
+                            progressed = true;
+                            route(slots, inputs, &mut pending, stop, ci, t);
+                        }
+                        Err(crossbeam::channel::TryRecvError::Empty) => break,
+                        Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                            on_disconnect(slots, inputs, &mut pending, stop, ci);
+                            break;
+                        }
+                    }
+                }
+            }
+        } else {
+            // Blocking select with timeout. The selection happens in its
+            // own scope so the immutable receiver borrows end before the
+            // mutable dispatch below.
+            let alive: Vec<usize> =
+                (0..inputs.len()).filter(|&i| inputs[i].alive).collect();
+            if !alive.is_empty() {
+                let event: Option<(usize, Option<Tuple>)> = {
+                    let mut sel = Select::new();
+                    for &i in &alive {
+                        sel.recv(&inputs[i].rx);
+                    }
+                    match sel.select_timeout(Duration::from_millis(20)) {
+                        Ok(oper) => {
+                            let ci = alive[oper.index()];
+                            match oper.recv(&inputs[ci].rx) {
+                                Ok(t) => Some((ci, Some(t))),
+                                Err(_) => Some((ci, None)),
+                            }
+                        }
+                        Err(_) => None, // timeout: fall through to exit checks
+                    }
+                };
+                match event {
+                    Some((ci, Some(t))) => {
+                        progressed = true;
+                        route(slots, inputs, &mut pending, stop, ci, t);
+                    }
+                    Some((ci, None)) => on_disconnect(slots, inputs, &mut pending, stop, ci),
+                    None => {}
+                }
+            }
+        }
+        drain_pending(slots, &mut pending, stop);
+
+        // 3. Exit when everything is finished.
+        if slots.iter().all(|s| s.finished) {
+            break;
+        }
+        // If nothing happened and no channel can ever deliver again, the
+        // remaining unfinished ops can never finish through EOS (e.g. a
+        // consumer fed only by a stopped peer that never wired EOS) —
+        // finish them defensively rather than spinning forever.
+        let channels_alive = inputs.iter().any(|c| c.alive);
+        if !progressed && !sources_alive && !channels_alive && pending.is_empty() {
+            for i in 0..slots.len() {
+                if !slots[i].finished {
+                    finish_op(slots, &mut pending, stop, i);
+                }
+            }
+            drain_pending(slots, &mut pending, stop);
+        }
+        if !progressed && sources_alive {
+            // Idle sources: yield briefly instead of spinning.
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn route(
+    slots: &mut [OpSlot],
+    inputs: &mut [ChanIn],
+    pending: &mut VecDeque<(usize, PortKind, Tuple)>,
+    stop: &AtomicBool,
+    ci: usize,
+    t: Tuple,
+) {
+    let to = inputs[ci].to_local;
+    let port = inputs[ci].port;
+    if t.is_eos() {
+        inputs[ci].got_eos = true;
+        inputs[ci].alive = false;
+    }
+    dispatch(slots, pending, stop, to, port, t);
+}
+
+fn on_disconnect(
+    slots: &mut [OpSlot],
+    inputs: &mut [ChanIn],
+    pending: &mut VecDeque<(usize, PortKind, Tuple)>,
+    stop: &AtomicBool,
+    ci: usize,
+) {
+    inputs[ci].alive = false;
+    if !inputs[ci].got_eos {
+        // Upstream dropped without punctuating (stop/panic path): treat the
+        // closure as end-of-stream so this PE can still drain and exit.
+        inputs[ci].got_eos = true;
+        let to = inputs[ci].to_local;
+        let port = inputs[ci].port;
+        dispatch(slots, pending, stop, to, port, Tuple::Punct(Punctuation::EndOfStream));
+    }
+}
+
+fn dispatch(
+    slots: &mut [OpSlot],
+    pending: &mut VecDeque<(usize, PortKind, Tuple)>,
+    stop: &AtomicBool,
+    idx: usize,
+    port: PortKind,
+    t: Tuple,
+) {
+    if slots[idx].finished {
+        return; // late tuple for a finished operator
+    }
+    match t {
+        Tuple::Punct(Punctuation::EndOfStream) => {
+            match port {
+                PortKind::Data => slots[idx].eos_data += 1,
+                PortKind::Control => slots[idx].eos_ctrl += 1,
+            }
+            let s = &slots[idx];
+            let data_done = s.eos_data >= s.data_in_degree;
+            let ready = if s.data_in_degree > 0 {
+                data_done
+            } else {
+                // Control-only consumer: wait for its control edges.
+                s.eos_ctrl >= s.ctrl_in_degree
+            };
+            // Sources with no inputs only finish via drive()/stop; a source
+            // *with* a data input (e.g. a sync controller watching the data
+            // stream) winds down when that stream ends.
+            let externally_finishable = !s.is_source || s.data_in_degree > 0;
+            if ready && externally_finishable {
+                finish_op(slots, pending, stop, idx);
+            }
+        }
+        Tuple::Data(d) => {
+            if port == PortKind::Data {
+                slots[idx].counters.add_in();
+                with_op!(slots, pending, stop, idx, |op, ctx| op.process(d, ctx));
+            }
+            // Data on a control port is a wiring error; dropped.
+        }
+        Tuple::Control(c) => {
+            slots[idx].counters.add_control();
+            with_op!(slots, pending, stop, idx, |op, ctx| op.on_control(c, ctx));
+        }
+    }
+}
+
+fn finish_op(
+    slots: &mut [OpSlot],
+    pending: &mut VecDeque<(usize, PortKind, Tuple)>,
+    stop: &AtomicBool,
+    idx: usize,
+) {
+    if slots[idx].finished {
+        return;
+    }
+    with_op!(slots, pending, stop, idx, |op, ctx| op.on_finish(ctx));
+    slots[idx].finished = true;
+    // Punctuate every out port (local + remote).
+    let n_ports = slots[idx].out_ports.len();
+    for p in 0..n_ports {
+        let mut sink = PeSink { out_ports: &slots[idx].out_ports, pending, stop };
+        sink.emit(p, Tuple::Punct(Punctuation::EndOfStream));
+    }
+    // Release channel senders so downstream PEs observe closure even if
+    // they already stopped selecting this edge.
+    for p in slots[idx].out_ports.iter_mut() {
+        p.clear();
+    }
+}
+
+fn drain_pending(
+    slots: &mut [OpSlot],
+    pending: &mut VecDeque<(usize, PortKind, Tuple)>,
+    stop: &AtomicBool,
+) {
+    while let Some((idx, port, t)) = pending.pop_front() {
+        dispatch(slots, pending, stop, idx, port, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, OpId};
+    use crate::operator::{OpContext, Operator, SourceState};
+    use crate::tuple::DataTuple;
+    use parking_lot::Mutex;
+
+    /// Source emitting `n` one-dimensional tuples then finishing.
+    struct CountSource {
+        n: u64,
+        next: u64,
+    }
+
+    impl Operator for CountSource {
+        fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {}
+        fn drive(&mut self, ctx: &mut OpContext<'_>) -> SourceState {
+            if self.next >= self.n {
+                return SourceState::Done;
+            }
+            let d = DataTuple::new(self.next, vec![self.next as f64]);
+            self.next += 1;
+            ctx.emit_data(0, d);
+            SourceState::Emitted
+        }
+    }
+
+    /// Terminal operator collecting sequence numbers.
+    #[derive(Clone)]
+    struct Collect {
+        seen: Arc<Mutex<Vec<u64>>>,
+    }
+
+    impl Operator for Collect {
+        fn process(&mut self, t: DataTuple, _ctx: &mut OpContext<'_>) {
+            self.seen.lock().push(t.seq);
+        }
+    }
+
+    /// Pass-through doubling the value.
+    struct Double;
+    impl Operator for Double {
+        fn process(&mut self, t: DataTuple, ctx: &mut OpContext<'_>) {
+            let vals: Vec<f64> = t.values.iter().map(|v| v * 2.0).collect();
+            ctx.emit_data(0, DataTuple::new(t.seq, vals));
+        }
+    }
+
+    fn pipeline(n: u64, fused: bool) -> (Vec<u64>, RunReport) {
+        let mut g = GraphBuilder::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let src = g.add_source("src", Box::new(CountSource { n, next: 0 }));
+        let mid = g.add_op("double", Box::new(Double));
+        let sink = g.add_op("collect", Box::new(Collect { seen: Arc::clone(&seen) }));
+        g.connect(src, 0, mid, PortKind::Data);
+        g.connect(mid, 0, sink, PortKind::Data);
+        if fused {
+            g.fuse(&[src, mid, sink]);
+        }
+        let report = Engine::run(g);
+        let data = seen.lock().clone();
+        (data, report)
+    }
+
+    #[test]
+    fn unfused_pipeline_delivers_everything_in_order() {
+        let (seen, report) = pipeline(1000, false);
+        assert_eq!(seen.len(), 1000);
+        assert!(seen.windows(2).all(|w| w[1] == w[0] + 1), "order violated");
+        assert_eq!(report.op("collect").unwrap().tuples_in, 1000);
+        assert_eq!(report.op("src").unwrap().tuples_out, 1000);
+        // Two cross-PE links carried traffic.
+        assert_eq!(report.links.len(), 2);
+        assert_eq!(report.links[0].tuples(), 1001); // + EOS
+        assert_eq!(report.links[0].from, "src");
+        assert_eq!(report.links[1].to, "collect");
+    }
+
+    #[test]
+    fn fused_pipeline_has_no_links() {
+        let (seen, report) = pipeline(500, true);
+        assert_eq!(seen.len(), 500);
+        assert!(report.links.is_empty());
+        assert_eq!(report.op("double").unwrap().tuples_in, 500);
+    }
+
+    #[test]
+    fn fan_out_duplicates_tuples() {
+        let mut g = GraphBuilder::new();
+        let seen_a = Arc::new(Mutex::new(Vec::new()));
+        let seen_b = Arc::new(Mutex::new(Vec::new()));
+        let src = g.add_source("src", Box::new(CountSource { n: 100, next: 0 }));
+        let a = g.add_op("a", Box::new(Collect { seen: Arc::clone(&seen_a) }));
+        let b = g.add_op("b", Box::new(Collect { seen: Arc::clone(&seen_b) }));
+        g.connect(src, 0, a, PortKind::Data);
+        g.connect(src, 0, b, PortKind::Data);
+        Engine::run(g);
+        assert_eq!(seen_a.lock().len(), 100);
+        assert_eq!(seen_b.lock().len(), 100);
+    }
+
+    #[test]
+    fn stop_terminates_infinite_source() {
+        struct Forever(u64);
+        impl Operator for Forever {
+            fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {}
+            fn drive(&mut self, ctx: &mut OpContext<'_>) -> SourceState {
+                self.0 += 1;
+                ctx.emit_data(0, DataTuple::new(self.0, vec![0.0]));
+                SourceState::Emitted
+            }
+        }
+        let mut g = GraphBuilder::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let src = g.add_source("inf", Box::new(Forever(0)));
+        let sink = g.add_op("collect", Box::new(Collect { seen: Arc::clone(&seen) }));
+        g.connect(src, 0, sink, PortKind::Data);
+        let running = Engine::start(g);
+        std::thread::sleep(Duration::from_millis(50));
+        running.stop();
+        let report = running.join();
+        let n = seen.lock().len() as u64;
+        assert!(n > 0, "nothing flowed before stop");
+        assert_eq!(report.op("collect").unwrap().tuples_in, n);
+    }
+
+    #[test]
+    fn on_finish_emits_final_results() {
+        struct Summer {
+            total: f64,
+        }
+        impl Operator for Summer {
+            fn process(&mut self, t: DataTuple, _ctx: &mut OpContext<'_>) {
+                self.total += t.values[0];
+            }
+            fn on_finish(&mut self, ctx: &mut OpContext<'_>) {
+                ctx.emit_data(0, DataTuple::new(0, vec![self.total]));
+            }
+        }
+        let mut g = GraphBuilder::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let src = g.add_source("src", Box::new(CountSource { n: 10, next: 0 }));
+        let sum = g.add_op("sum", Box::new(Summer { total: 0.0 }));
+        let out = g.add_op("out", Box::new(Collect { seen: Arc::clone(&seen) }));
+        g.connect(src, 0, sum, PortKind::Data);
+        g.connect(sum, 0, out, PortKind::Data);
+        Engine::run(g);
+        // Final tuple seq 0 carrying sum 0+1+..+9 = 45 observed by `out`.
+        assert_eq!(seen.lock().len(), 1);
+    }
+
+    #[test]
+    fn control_edges_do_not_gate_completion() {
+        // A control-only cycle between two ops must not deadlock: data EOS
+        // finishes both.
+        struct Echo;
+        impl Operator for Echo {
+            fn process(&mut self, t: DataTuple, ctx: &mut OpContext<'_>) {
+                // Send a control ping to the peer on port 1.
+                ctx.emit_control(1, crate::tuple::ControlTuple::signal(1, t.seq as u32));
+                ctx.emit_data(0, t);
+            }
+        }
+        let mut g = GraphBuilder::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let src = g.add_source("src", Box::new(CountSource { n: 50, next: 0 }));
+        let e1 = g.add_op("e1", Box::new(Echo));
+        let e2 = g.add_op("e2", Box::new(Echo));
+        let sink = g.add_op("sink", Box::new(Collect { seen: Arc::clone(&seen) }));
+        g.connect(src, 0, e1, PortKind::Data);
+        g.connect(src, 0, e2, PortKind::Data);
+        g.connect(e1, 0, sink, PortKind::Data);
+        g.connect(e2, 0, sink, PortKind::Data);
+        // Control cycle. Fusing the echoes makes control delivery
+        // deterministic (in-PE pending queue drains before data EOS);
+        // cross-PE control tuples racing EOS may legitimately be dropped.
+        g.connect(e1, 1, e2, PortKind::Control);
+        g.connect(e2, 1, e1, PortKind::Control);
+        g.fuse(&[e1, e2]);
+        let report = Engine::run(g);
+        assert_eq!(seen.lock().len(), 100);
+        // Both echoes saw control traffic, and the cycle did not deadlock.
+        assert!(report.op("e1").unwrap().control_in > 0);
+        assert!(report.op("e2").unwrap().control_in > 0);
+    }
+
+    #[test]
+    fn backpressure_does_not_lose_tuples() {
+        let mut g = GraphBuilder::new().with_channel_capacity(2);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let src = g.add_source("src", Box::new(CountSource { n: 500, next: 0 }));
+        struct Slow;
+        impl Operator for Slow {
+            fn process(&mut self, t: DataTuple, ctx: &mut OpContext<'_>) {
+                std::thread::sleep(Duration::from_micros(20));
+                ctx.emit_data(0, t);
+            }
+        }
+        let slow = g.add_op("slow", Box::new(Slow));
+        let sink = g.add_op("collect", Box::new(Collect { seen: Arc::clone(&seen) }));
+        g.connect(src, 0, slow, PortKind::Data);
+        g.connect(slow, 0, sink, PortKind::Data);
+        Engine::run(g);
+        assert_eq!(seen.lock().len(), 500);
+    }
+
+    #[test]
+    fn network_link_accounts_bytes() {
+        let mut g = GraphBuilder::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let src = g.add_source("src", Box::new(CountSource { n: 10, next: 0 }));
+        let sink = g.add_op("collect", Box::new(Collect { seen: Arc::clone(&seen) }));
+        g.connect_kind(src, 0, sink, PortKind::Data, LinkKind::Network { model_delay_us: 0 });
+        let report = Engine::run(g);
+        assert_eq!(report.links.len(), 1);
+        // 10 data tuples (16 + 8 bytes each) + EOS (8).
+        assert_eq!(report.links[0].bytes(), 10 * 24 + 8);
+    }
+
+    #[test]
+    fn empty_graph_terminates() {
+        let g = GraphBuilder::new();
+        let report = Engine::run(g);
+        assert!(report.ops.is_empty());
+    }
+
+    #[test]
+    fn isolated_non_source_terminates() {
+        let mut g = GraphBuilder::new();
+        struct Nop;
+        impl Operator for Nop {
+            fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {}
+        }
+        let _id: OpId = g.add_op("lonely", Box::new(Nop));
+        let report = Engine::run(g);
+        assert_eq!(report.ops.len(), 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! The operator abstraction and its execution context.
+//!
+//! Operators are the InfoSphere building block: stateful objects with a
+//! data port, a control port, and any number of output ports. Sources are
+//! operators that are *driven* by the engine instead of fed (InfoSphere
+//! source operators poll their underlying file/socket the same way).
+
+use crate::metrics::OpCounters;
+use crate::tuple::{ControlTuple, DataTuple, Tuple};
+
+/// What a source produced when driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceState {
+    /// Emitted at least one tuple; drive again as soon as possible.
+    Emitted,
+    /// Nothing available right now; drive again after a short yield.
+    Idle,
+    /// The source is exhausted; end-of-stream follows.
+    Done,
+}
+
+/// A dataflow operator.
+///
+/// `process` handles data-port tuples, `on_control` control-port tuples.
+/// Sources override `drive`. All methods receive an [`OpContext`] for
+/// emitting to output ports.
+pub trait Operator: Send {
+    /// Handles one data tuple.
+    fn process(&mut self, tuple: DataTuple, ctx: &mut OpContext<'_>);
+
+    /// Handles one control tuple. Default: ignore.
+    fn on_control(&mut self, _tuple: ControlTuple, _ctx: &mut OpContext<'_>) {}
+
+    /// Produces tuples when registered as a source. Default: immediately
+    /// exhausted (non-source operators never get driven anyway).
+    fn drive(&mut self, _ctx: &mut OpContext<'_>) -> SourceState {
+        SourceState::Done
+    }
+
+    /// Called once before any tuple flows.
+    fn on_start(&mut self, _ctx: &mut OpContext<'_>) {}
+
+    /// Called once when the operator's inputs have all closed (or, for a
+    /// source, when it reported `Done` / the engine stopped it), before
+    /// end-of-stream propagates downstream. Emit final results here.
+    fn on_finish(&mut self, _ctx: &mut OpContext<'_>) {}
+}
+
+/// Engine-side sink the context forwards emissions to.
+pub(crate) trait EmitSink {
+    /// Blocking emit to an output port (fans out to every connected edge).
+    fn emit(&mut self, port: usize, t: Tuple);
+    /// Non-blocking emit; returns the tuple back if *any* target edge is
+    /// full (nothing is sent in that case).
+    fn try_emit(&mut self, port: usize, t: Tuple) -> Result<(), Tuple>;
+    /// Queue depth of the cross-PE channel behind a port, if the port has
+    /// exactly one remote target (used by load-balancing splits).
+    fn backlog(&self, port: usize) -> Option<usize>;
+    /// Number of output ports wired for this operator.
+    fn n_ports(&self) -> usize;
+    /// True once the engine has requested a cooperative stop.
+    fn stop_requested(&self) -> bool;
+}
+
+/// The context passed to every operator callback.
+pub struct OpContext<'a> {
+    pub(crate) sink: &'a mut dyn EmitSink,
+    pub(crate) counters: &'a OpCounters,
+}
+
+impl<'a> OpContext<'a> {
+    pub(crate) fn new(sink: &'a mut dyn EmitSink, counters: &'a OpCounters) -> Self {
+        OpContext { sink, counters }
+    }
+
+    /// Emits a tuple on `port`, blocking if a downstream queue is full
+    /// (backpressure).
+    pub fn emit(&mut self, port: usize, t: Tuple) {
+        if matches!(t, Tuple::Data(_)) {
+            self.counters.add_out();
+        }
+        self.sink.emit(port, t);
+    }
+
+    /// Emits a data tuple on `port`.
+    pub fn emit_data(&mut self, port: usize, d: DataTuple) {
+        self.emit(port, Tuple::Data(d));
+    }
+
+    /// Emits a control tuple on `port`.
+    pub fn emit_control(&mut self, port: usize, c: ControlTuple) {
+        self.emit(port, Tuple::Control(c));
+    }
+
+    /// Non-blocking emit: if the downstream queue is full the tuple is
+    /// handed back and nothing is sent. This is the primitive behind the
+    /// threaded split's "push the data to multiple targets without blocking
+    /// the queue on one target".
+    pub fn try_emit(&mut self, port: usize, t: Tuple) -> Result<(), Tuple> {
+        let is_data = matches!(t, Tuple::Data(_));
+        match self.sink.try_emit(port, t) {
+            Ok(()) => {
+                if is_data {
+                    self.counters.add_out();
+                }
+                Ok(())
+            }
+            Err(t) => Err(t),
+        }
+    }
+
+    /// Downstream queue depth behind `port` (None for fused/fan-out ports).
+    pub fn backlog(&self, port: usize) -> Option<usize> {
+        self.sink.backlog(port)
+    }
+
+    /// Number of output ports wired to this operator.
+    pub fn n_out_ports(&self) -> usize {
+        self.sink.n_ports()
+    }
+
+    /// True once a cooperative stop was requested (long-running sources
+    /// should wind down promptly).
+    pub fn stop_requested(&self) -> bool {
+        self.sink.stop_requested()
+    }
+}
+
+/// Test harness for operator unit tests: an in-memory sink capturing
+/// emissions per port, so operators can be exercised without a running
+/// engine. Used by this crate's tests and by downstream crates
+/// (`spca-engine`) to unit-test their custom operators.
+pub mod testing {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// An in-memory sink capturing emissions per port.
+    pub struct CaptureSink {
+        /// Captured tuples, per output port.
+        pub ports: Vec<VecDeque<Tuple>>,
+        /// Ports simulated as full (try_emit fails there).
+        pub full_ports: Vec<bool>,
+        /// Simulated cooperative-stop flag.
+        pub stop: bool,
+    }
+
+    impl CaptureSink {
+        /// A sink with `n_ports` output ports.
+        pub fn new(n_ports: usize) -> Self {
+            CaptureSink {
+                ports: (0..n_ports).map(|_| VecDeque::new()).collect(),
+                full_ports: vec![false; n_ports],
+                stop: false,
+            }
+        }
+
+        /// The data tuples captured on `port`, in order.
+        pub fn data_at(&self, port: usize) -> Vec<DataTuple> {
+            self.ports[port]
+                .iter()
+                .filter_map(|t| match t {
+                    Tuple::Data(d) => Some(d.clone()),
+                    _ => None,
+                })
+                .collect()
+        }
+    }
+
+    impl EmitSink for CaptureSink {
+        fn emit(&mut self, port: usize, t: Tuple) {
+            self.ports[port].push_back(t);
+        }
+
+        fn try_emit(&mut self, port: usize, t: Tuple) -> Result<(), Tuple> {
+            if self.full_ports[port] {
+                Err(t)
+            } else {
+                self.ports[port].push_back(t);
+                Ok(())
+            }
+        }
+
+        fn backlog(&self, port: usize) -> Option<usize> {
+            Some(self.ports[port].len())
+        }
+
+        fn n_ports(&self) -> usize {
+            self.ports.len()
+        }
+
+        fn stop_requested(&self) -> bool {
+            self.stop
+        }
+    }
+
+    /// Runs a closure with a context over a capture sink and returns the
+    /// sink for inspection.
+    pub fn with_ctx<F: FnOnce(&mut OpContext<'_>)>(n_ports: usize, f: F) -> CaptureSink {
+        let counters = OpCounters::default();
+        let mut sink = CaptureSink::new(n_ports);
+        {
+            let mut ctx = OpContext::new(&mut sink, &counters);
+            f(&mut ctx);
+        }
+        sink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::*;
+    use super::*;
+
+    #[test]
+    fn emit_fans_into_capture() {
+        let sink = with_ctx(2, |ctx| {
+            ctx.emit_data(0, DataTuple::new(1, vec![1.0]));
+            ctx.emit_data(1, DataTuple::new(2, vec![2.0]));
+            ctx.emit_data(1, DataTuple::new(3, vec![3.0]));
+        });
+        assert_eq!(sink.data_at(0).len(), 1);
+        assert_eq!(sink.data_at(1).len(), 2);
+        assert_eq!(sink.data_at(1)[1].seq, 3);
+    }
+
+    #[test]
+    fn try_emit_full_port_returns_tuple() {
+        let counters = OpCounters::default();
+        let mut sink = CaptureSink::new(1);
+        sink.full_ports[0] = true;
+        let mut ctx = OpContext::new(&mut sink, &counters);
+        let res = ctx.try_emit(0, Tuple::Data(DataTuple::new(9, vec![])));
+        match res {
+            Err(Tuple::Data(d)) => assert_eq!(d.seq, 9),
+            other => panic!("expected tuple back, got {other:?}"),
+        }
+        assert_eq!(counters.snapshot().tuples_out, 0);
+    }
+
+    #[test]
+    fn counters_track_data_not_control() {
+        let counters = OpCounters::default();
+        let mut sink = CaptureSink::new(1);
+        {
+            let mut ctx = OpContext::new(&mut sink, &counters);
+            ctx.emit_data(0, DataTuple::new(0, vec![]));
+            ctx.emit_control(0, ControlTuple::signal(0, 0));
+        }
+        let s = counters.snapshot();
+        assert_eq!(s.tuples_out, 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Functor operators: map and filter over data tuples.
+//!
+//! The SPL-toolbox equivalents used for pre-processing stages (the PCA
+//! application normalizes every spectrum before analysis with a `Map`).
+
+use crate::operator::{OpContext, Operator};
+use crate::tuple::DataTuple;
+
+/// Applies a function to every data tuple and forwards the result.
+pub struct Map<F> {
+    f: F,
+}
+
+impl<F: FnMut(DataTuple) -> DataTuple + Send> Map<F> {
+    /// A mapping operator.
+    pub fn new(f: F) -> Self {
+        Map { f }
+    }
+}
+
+impl<F: FnMut(DataTuple) -> DataTuple + Send> Operator for Map<F> {
+    fn process(&mut self, t: DataTuple, ctx: &mut OpContext<'_>) {
+        let out = (self.f)(t);
+        ctx.emit_data(0, out);
+    }
+}
+
+/// Forwards only tuples satisfying the predicate.
+pub struct Filter<F> {
+    pred: F,
+    /// Tuples dropped so far.
+    pub dropped: u64,
+}
+
+impl<F: FnMut(&DataTuple) -> bool + Send> Filter<F> {
+    /// A filtering operator.
+    pub fn new(pred: F) -> Self {
+        Filter { pred, dropped: 0 }
+    }
+}
+
+impl<F: FnMut(&DataTuple) -> bool + Send> Operator for Filter<F> {
+    fn process(&mut self, t: DataTuple, ctx: &mut OpContext<'_>) {
+        if (self.pred)(&t) {
+            ctx.emit_data(0, t);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::testing::with_ctx;
+
+    #[test]
+    fn map_transforms_values() {
+        let mut m = Map::new(|t: DataTuple| {
+            DataTuple::new(t.seq, t.values.iter().map(|v| v + 1.0).collect())
+        });
+        let sink = with_ctx(1, |ctx| {
+            m.process(DataTuple::new(0, vec![1.0, 2.0]), ctx);
+        });
+        assert_eq!(*sink.data_at(0)[0].values, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn filter_drops_and_counts() {
+        let mut f = Filter::new(|t: &DataTuple| t.seq % 2 == 0);
+        let sink = with_ctx(1, |ctx| {
+            for seq in 0..10 {
+                f.process(DataTuple::new(seq, vec![]), ctx);
+            }
+        });
+        assert_eq!(sink.data_at(0).len(), 5);
+        assert_eq!(f.dropped, 5);
+    }
+}

@@ -1,0 +1,23 @@
+//! The standard operator library.
+//!
+//! Mirrors the InfoSphere toolbox pieces the paper's application uses:
+//! generator / file / piped data sources (§III-A1), the multithreaded
+//! load-balancing split (§III-A2), the `Throttle` pacing operator (§III-B),
+//! functor (map/filter) utilities, and sinks (callback, collector, CSV
+//! file with periodic snapshots).
+
+pub mod functor;
+pub mod http;
+pub mod net;
+pub mod sink;
+pub mod source;
+pub mod split;
+pub mod throttle;
+
+pub use functor::{Filter, Map};
+pub use http::HttpSource;
+pub use net::{TcpSink, TcpSource};
+pub use sink::{CallbackSink, CollectSink, CsvFileSink, NullSink};
+pub use source::{CsvFileSource, FollowFileSource, GeneratorSource};
+pub use split::{Split, SplitStrategy};
+pub use throttle::Throttle;

@@ -1,0 +1,192 @@
+//! Terminal operators: collectors, callbacks, CSV file sinks.
+
+use crate::operator::{OpContext, Operator};
+use crate::tuple::{ControlTuple, DataTuple};
+use parking_lot::Mutex;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Discards everything (throughput measurements).
+pub struct NullSink;
+
+impl Operator for NullSink {
+    fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {}
+}
+
+/// Collects data tuples into a shared vector for post-run inspection.
+pub struct CollectSink {
+    store: Arc<Mutex<Vec<DataTuple>>>,
+    cap: Option<usize>,
+}
+
+impl CollectSink {
+    /// An unbounded collector; keep a clone of the handle to read results.
+    pub fn new() -> (Self, Arc<Mutex<Vec<DataTuple>>>) {
+        let store = Arc::new(Mutex::new(Vec::new()));
+        (CollectSink { store: Arc::clone(&store), cap: None }, store)
+    }
+
+    /// A collector that keeps only the most recent `cap` tuples.
+    pub fn with_capacity(cap: usize) -> (Self, Arc<Mutex<Vec<DataTuple>>>) {
+        let store = Arc::new(Mutex::new(Vec::new()));
+        (CollectSink { store: Arc::clone(&store), cap: Some(cap) }, store)
+    }
+}
+
+impl Operator for CollectSink {
+    fn process(&mut self, t: DataTuple, _ctx: &mut OpContext<'_>) {
+        let mut s = self.store.lock();
+        s.push(t);
+        if let Some(cap) = self.cap {
+            let extra = s.len().saturating_sub(cap);
+            if extra > 0 {
+                s.drain(..extra);
+            }
+        }
+    }
+}
+
+/// Invokes closures on data / control tuples (application glue).
+pub struct CallbackSink<F, G = fn(ControlTuple)> {
+    on_data: F,
+    on_control: Option<G>,
+}
+
+impl<F: FnMut(DataTuple) + Send> CallbackSink<F> {
+    /// A sink calling `on_data` for every data tuple.
+    pub fn new(on_data: F) -> Self {
+        CallbackSink { on_data, on_control: None }
+    }
+}
+
+impl<F: FnMut(DataTuple) + Send, G: FnMut(ControlTuple) + Send> CallbackSink<F, G> {
+    /// A sink with both data and control handlers.
+    pub fn with_control(on_data: F, on_control: G) -> Self {
+        CallbackSink { on_data, on_control: Some(on_control) }
+    }
+}
+
+impl<F: FnMut(DataTuple) + Send, G: FnMut(ControlTuple) + Send> Operator for CallbackSink<F, G> {
+    fn process(&mut self, t: DataTuple, _ctx: &mut OpContext<'_>) {
+        (self.on_data)(t);
+    }
+
+    fn on_control(&mut self, t: ControlTuple, _ctx: &mut OpContext<'_>) {
+        if let Some(g) = &mut self.on_control {
+            g(t);
+        }
+    }
+}
+
+/// Appends data tuples to a CSV file, flushing every `flush_every` tuples —
+/// the paper's "intermediate calculation results are periodically saved to
+/// the disk for future reference".
+pub struct CsvFileSink {
+    path: PathBuf,
+    writer: Option<std::io::BufWriter<std::fs::File>>,
+    flush_every: u64,
+    written: u64,
+}
+
+impl CsvFileSink {
+    /// A sink writing to `path`, flushing every `flush_every` tuples.
+    pub fn new(path: impl Into<PathBuf>, flush_every: u64) -> Self {
+        CsvFileSink { path: path.into(), writer: None, flush_every: flush_every.max(1), written: 0 }
+    }
+}
+
+impl Operator for CsvFileSink {
+    fn process(&mut self, t: DataTuple, _ctx: &mut OpContext<'_>) {
+        if self.writer.is_none() {
+            match std::fs::File::create(&self.path) {
+                Ok(f) => self.writer = Some(std::io::BufWriter::new(f)),
+                Err(e) => {
+                    eprintln!("CsvFileSink: cannot create {}: {e}", self.path.display());
+                    return;
+                }
+            }
+        }
+        let w = self.writer.as_mut().expect("writer installed above");
+        let mut first = true;
+        for v in t.values.iter() {
+            if !first {
+                let _ = write!(w, ",");
+            }
+            first = false;
+            let _ = write!(w, "{v}");
+        }
+        let _ = writeln!(w);
+        self.written += 1;
+        if self.written % self.flush_every == 0 {
+            let _ = w.flush();
+        }
+    }
+
+    fn on_finish(&mut self, _ctx: &mut OpContext<'_>) {
+        if let Some(w) = self.writer.as_mut() {
+            let _ = w.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::testing::with_ctx;
+
+    #[test]
+    fn collect_sink_stores_in_order() {
+        let (mut sink, store) = CollectSink::new();
+        with_ctx(0, |ctx| {
+            for seq in 0..5 {
+                sink.process(DataTuple::new(seq, vec![seq as f64]), ctx);
+            }
+        });
+        let got = store.lock();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[3].seq, 3);
+    }
+
+    #[test]
+    fn bounded_collect_keeps_most_recent() {
+        let (mut sink, store) = CollectSink::with_capacity(3);
+        with_ctx(0, |ctx| {
+            for seq in 0..10 {
+                sink.process(DataTuple::new(seq, vec![]), ctx);
+            }
+        });
+        let got = store.lock();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].seq, 7);
+        assert_eq!(got[2].seq, 9);
+    }
+
+    #[test]
+    fn callback_sink_sees_everything() {
+        let count = Arc::new(Mutex::new(0u64));
+        let c2 = Arc::clone(&count);
+        let mut sink = CallbackSink::new(move |_t| *c2.lock() += 1);
+        with_ctx(0, |ctx| {
+            for seq in 0..7 {
+                sink.process(DataTuple::new(seq, vec![]), ctx);
+            }
+        });
+        assert_eq!(*count.lock(), 7);
+    }
+
+    #[test]
+    fn csv_sink_writes_rows_and_flushes_on_finish() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("spca_sink_test_{}.csv", std::process::id()));
+        let mut sink = CsvFileSink::new(&path, 1000);
+        with_ctx(0, |ctx| {
+            sink.process(DataTuple::new(0, vec![1.0, 2.0]), ctx);
+            sink.process(DataTuple::new(1, vec![3.0, 4.0]), ctx);
+            sink.on_finish(ctx);
+        });
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "1,2\n3,4\n");
+        std::fs::remove_file(path).ok();
+    }
+}

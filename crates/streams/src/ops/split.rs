@@ -1,0 +1,171 @@
+//! The load-balancing split (§III-A2).
+//!
+//! "We split the input stream by time to a number of streams that are
+//! rerouted to a corresponding PCA engine. The order of target instances is
+//! random and is chosen by the splitting component to equally balance and
+//! maximize the cluster nodes load. InfoSphere provides the multi-threaded
+//! Signal splitter component to push the data to multiple targets without
+//! blocking the queue on one target. Using this scheme, faster nodes will
+//! get more data than slower ones."
+//!
+//! The non-blocking behaviour is implemented with `try_emit`: the split
+//! picks a target (randomly or round-robin), and if that engine's queue is
+//! full it immediately tries the others — so slow consumers shed load to
+//! fast ones, exactly the paper's semantics. Only when *every* queue is
+//! full does the split block (backpressure to the source).
+
+use crate::operator::{OpContext, Operator};
+use crate::tuple::{DataTuple, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Target-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitStrategy {
+    /// Uniform random target per tuple (the paper's choice — it also
+    /// provides the stream randomization §II-B asks for).
+    Random,
+    /// Cycle through targets.
+    RoundRobin,
+    /// Pick the target with the shallowest downstream queue.
+    LeastLoaded,
+}
+
+/// 1-in / n-out load-balancing splitter.
+pub struct Split {
+    strategy: SplitStrategy,
+    rng: StdRng,
+    next_rr: usize,
+    /// Tuples that had to block because every target was full.
+    pub blocked: u64,
+}
+
+impl Split {
+    /// A splitter with the given strategy. Output port `i` feeds engine `i`.
+    pub fn new(strategy: SplitStrategy) -> Self {
+        Split { strategy, rng: StdRng::seed_from_u64(0x517EC7), next_rr: 0, blocked: 0 }
+    }
+
+    fn pick(&mut self, n: usize, ctx: &OpContext<'_>) -> usize {
+        match self.strategy {
+            SplitStrategy::Random => self.rng.gen_range(0..n),
+            SplitStrategy::RoundRobin => {
+                let i = self.next_rr % n;
+                self.next_rr = self.next_rr.wrapping_add(1);
+                i
+            }
+            SplitStrategy::LeastLoaded => (0..n)
+                .min_by_key(|&p| ctx.backlog(p).unwrap_or(usize::MAX))
+                .unwrap_or(0),
+        }
+    }
+}
+
+impl Operator for Split {
+    fn process(&mut self, tuple: DataTuple, ctx: &mut OpContext<'_>) {
+        let n = ctx.n_out_ports();
+        if n == 0 {
+            return;
+        }
+        let first = self.pick(n, ctx);
+        // Try the chosen target, then the rest in cyclic order; block on
+        // the original choice only if all are full.
+        let mut t = Tuple::Data(tuple);
+        for off in 0..n {
+            let port = (first + off) % n;
+            match ctx.try_emit(port, t) {
+                Ok(()) => return,
+                Err(back) => t = back,
+            }
+        }
+        self.blocked += 1;
+        ctx.emit(first, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::testing::{with_ctx, CaptureSink};
+    use crate::metrics::OpCounters;
+
+    fn feed(split: &mut Split, n_ports: usize, n_tuples: u64) -> CaptureSink {
+        with_ctx(n_ports, |ctx| {
+            for seq in 0..n_tuples {
+                split.process(DataTuple::new(seq, vec![seq as f64]), ctx);
+            }
+        })
+    }
+
+    #[test]
+    fn round_robin_balances_exactly() {
+        let mut s = Split::new(SplitStrategy::RoundRobin);
+        let sink = feed(&mut s, 4, 100);
+        for p in 0..4 {
+            assert_eq!(sink.data_at(p).len(), 25, "port {p}");
+        }
+    }
+
+    #[test]
+    fn random_balances_statistically() {
+        let mut s = Split::new(SplitStrategy::Random);
+        let sink = feed(&mut s, 4, 4000);
+        for p in 0..4 {
+            let n = sink.data_at(p).len();
+            assert!((800..1200).contains(&n), "port {p} got {n}");
+        }
+    }
+
+    #[test]
+    fn no_tuple_lost_or_duplicated() {
+        let mut s = Split::new(SplitStrategy::Random);
+        let sink = feed(&mut s, 3, 1000);
+        let mut seqs: Vec<u64> =
+            (0..3).flat_map(|p| sink.data_at(p).into_iter().map(|d| d.seq)).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_target_sheds_to_next() {
+        let mut s = Split::new(SplitStrategy::RoundRobin);
+        let counters = OpCounters::default();
+        let mut sink = CaptureSink::new(2);
+        sink.full_ports[0] = true; // engine 0 saturated
+        {
+            let mut ctx = OpContext::new(&mut sink, &counters);
+            for seq in 0..10 {
+                s.process(DataTuple::new(seq, vec![]), &mut ctx);
+            }
+        }
+        // Everything lands on port 1; nothing blocked because port 1 open.
+        assert_eq!(sink.data_at(1).len(), 10);
+        assert_eq!(s.blocked, 0);
+    }
+
+    #[test]
+    fn all_full_blocks_and_counts() {
+        let mut s = Split::new(SplitStrategy::Random);
+        let counters = OpCounters::default();
+        let mut sink = CaptureSink::new(2);
+        sink.full_ports = vec![true, true];
+        {
+            let mut ctx = OpContext::new(&mut sink, &counters);
+            s.process(DataTuple::new(0, vec![]), &mut ctx);
+        }
+        assert_eq!(s.blocked, 1);
+        // CaptureSink's blocking emit still records the tuple.
+        let total: usize = (0..2).map(|p| sink.data_at(p).len()).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn least_loaded_prefers_shallow_queue() {
+        let mut s = Split::new(SplitStrategy::LeastLoaded);
+        // CaptureSink backlog == items already emitted; feed sequentially
+        // and confirm the split alternates (keeps queues level).
+        let sink = feed(&mut s, 2, 10);
+        assert_eq!(sink.data_at(0).len(), 5);
+        assert_eq!(sink.data_at(1).len(), 5);
+    }
+}

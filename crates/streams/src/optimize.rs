@@ -1,0 +1,221 @@
+//! Profile-guided fusion advice.
+//!
+//! §III-D: "The optimisation component analyses the logs of profiler and
+//! fuses the operators together for optimized data throughput. The
+//! optimized code can be run with a profiler again to collect more
+//! information … Several steps are usually necessary to optimally layout
+//! the components."
+//!
+//! [`suggest_fusion`] implements that loop's analysis step: given a run's
+//! [`RunReport`], it greedily merges operators across the hottest links —
+//! in descending tuple-traffic order — as long as the combined group does
+//! not exceed a CPU-budget threshold (fusing two operators serializes them
+//! on one thread, so a group whose summed busy fraction exceeds ~one core
+//! would *lose* throughput). The caller applies the advice with
+//! [`crate::GraphBuilder::fuse`] and re-profiles, exactly as the paper
+//! iterates.
+
+use crate::engine::RunReport;
+use std::collections::HashMap;
+
+/// One suggested fusion group (operator names).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionGroup {
+    /// Operators to place in one PE.
+    pub ops: Vec<String>,
+    /// Tuple traffic that becomes in-memory hand-off if applied.
+    pub tuples_internalized: u64,
+    /// Combined busy fraction of the group (relative to the run's wall
+    /// clock).
+    pub busy_fraction: f64,
+}
+
+/// Tuning knobs for the advisor.
+#[derive(Debug, Clone)]
+pub struct FusionPolicy {
+    /// Maximum combined busy fraction per fused group. Groups above this
+    /// would serialize more CPU work than one core can supply.
+    pub max_group_busy: f64,
+    /// Ignore links below this tuple count (noise floor).
+    pub min_link_tuples: u64,
+}
+
+impl Default for FusionPolicy {
+    fn default() -> Self {
+        FusionPolicy { max_group_busy: 0.85, min_link_tuples: 16 }
+    }
+}
+
+/// Analyzes a run report and returns fusion groups worth applying, hottest
+/// first. Only groups with at least two operators are returned.
+pub fn suggest_fusion(report: &RunReport, policy: &FusionPolicy) -> Vec<FusionGroup> {
+    let elapsed = report.elapsed.as_secs_f64().max(1e-9);
+
+    // Busy fraction per op.
+    let busy: HashMap<&str, f64> = report
+        .ops
+        .iter()
+        .map(|(name, s)| (name.as_str(), s.busy_ns as f64 / 1e9 / elapsed))
+        .collect();
+
+    // Union-find over op names.
+    let names: Vec<&str> = report.ops.iter().map(|(n, _)| n.as_str()).collect();
+    let index: HashMap<&str, usize> = names.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut parent: Vec<usize> = (0..names.len()).collect();
+    let mut group_busy: Vec<f64> = names.iter().map(|n| busy[n]).collect();
+    let mut internalized: Vec<u64> = vec![0; names.len()];
+
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+
+    // Hottest links first.
+    let mut links: Vec<_> = report
+        .links
+        .iter()
+        .filter(|l| l.tuples() >= policy.min_link_tuples)
+        .collect();
+    links.sort_by_key(|l| std::cmp::Reverse(l.tuples()));
+
+    for link in links {
+        let (Some(&a), Some(&b)) = (index.get(link.from.as_str()), index.get(link.to.as_str()))
+        else {
+            continue;
+        };
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra == rb {
+            // Already together; the traffic is internalized anyway.
+            internalized[ra] += link.tuples();
+            continue;
+        }
+        let combined = group_busy[ra] + group_busy[rb];
+        if combined > policy.max_group_busy {
+            continue; // fusing would over-subscribe the PE's thread
+        }
+        parent[rb] = ra;
+        group_busy[ra] = combined;
+        internalized[ra] += internalized[rb] + link.tuples();
+    }
+
+    // Collect groups of size >= 2.
+    let mut members: HashMap<usize, Vec<String>> = HashMap::new();
+    for (i, &name) in names.iter().enumerate() {
+        let root = find(&mut parent, i);
+        members.entry(root).or_default().push(name.to_string());
+    }
+    let mut out: Vec<FusionGroup> = members
+        .into_iter()
+        .filter(|(_, ops)| ops.len() >= 2)
+        .map(|(root, ops)| FusionGroup {
+            ops,
+            tuples_internalized: internalized[root],
+            busy_fraction: group_busy[root],
+        })
+        .collect();
+    out.sort_by_key(|g| std::cmp::Reverse(g.tuples_internalized));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{LinkReport, RunReport};
+    use crate::metrics::{LinkSnapshot, OpSnapshot};
+    use std::time::Duration;
+
+    fn op(name: &str, busy_ms: u64) -> (String, OpSnapshot) {
+        (
+            name.to_string(),
+            OpSnapshot {
+                tuples_in: 1000,
+                tuples_out: 1000,
+                control_in: 0,
+                busy_ns: busy_ms * 1_000_000,
+            },
+        )
+    }
+
+    fn link(from: &str, to: &str, tuples: u64) -> LinkReport {
+        LinkReport {
+            from: from.to_string(),
+            to: to.to_string(),
+            snapshot: LinkSnapshot { tuples, bytes: tuples * 100 },
+        }
+    }
+
+    fn report(ops: Vec<(String, OpSnapshot)>, links: Vec<LinkReport>) -> RunReport {
+        RunReport { elapsed: Duration::from_secs(1), ops, links }
+    }
+
+    #[test]
+    fn fuses_hot_lightly_loaded_chain() {
+        // a --(hot)--> b --(hot)--> c, all lightly busy: one group of 3.
+        let r = report(
+            vec![op("a", 100), op("b", 100), op("c", 100)],
+            vec![link("a", "b", 10_000), link("b", "c", 10_000)],
+        );
+        let groups = suggest_fusion(&r, &FusionPolicy::default());
+        assert_eq!(groups.len(), 1);
+        let mut ops = groups[0].ops.clone();
+        ops.sort();
+        assert_eq!(ops, vec!["a", "b", "c"]);
+        assert_eq!(groups[0].tuples_internalized, 20_000);
+        assert!((groups[0].busy_fraction - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_cpu_budget() {
+        // Both ops nearly saturated: fusing would over-subscribe.
+        let r = report(
+            vec![op("a", 600), op("b", 600)],
+            vec![link("a", "b", 10_000)],
+        );
+        let groups = suggest_fusion(&r, &FusionPolicy::default());
+        assert!(groups.is_empty(), "{groups:?}");
+    }
+
+    #[test]
+    fn prefers_hotter_link_under_budget() {
+        // b can fuse with either a (hot) or c (cold), but not both
+        // (budget): the hot pair wins.
+        let policy = FusionPolicy { max_group_busy: 0.75, ..Default::default() };
+        let r = report(
+            vec![op("a", 300), op("b", 300), op("c", 300)],
+            vec![link("a", "b", 50_000), link("b", "c", 1_000)],
+        );
+        let groups = suggest_fusion(&r, &policy);
+        assert_eq!(groups.len(), 1);
+        let mut ops = groups[0].ops.clone();
+        ops.sort();
+        assert_eq!(ops, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn ignores_cold_links() {
+        let r = report(vec![op("a", 10), op("b", 10)], vec![link("a", "b", 3)]);
+        let groups = suggest_fusion(&r, &FusionPolicy::default());
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn empty_report_yields_nothing() {
+        let r = report(vec![], vec![]);
+        assert!(suggest_fusion(&r, &FusionPolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn multiple_independent_groups() {
+        let r = report(
+            vec![op("a", 100), op("b", 100), op("x", 100), op("y", 100)],
+            vec![link("a", "b", 9_000), link("x", "y", 4_000)],
+        );
+        let groups = suggest_fusion(&r, &FusionPolicy::default());
+        assert_eq!(groups.len(), 2);
+        // Hottest first.
+        assert!(groups[0].tuples_internalized >= groups[1].tuples_internalized);
+    }
+}

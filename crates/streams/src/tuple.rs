@@ -1,0 +1,153 @@
+//! The tuple model.
+//!
+//! "The data is a stream of structured blocks – tuples, having the data
+//! structure specified by the application." Our data tuples carry a
+//! constant-length `f64` vector (the paper's observation type) plus an
+//! optional mask for gappy observations; control tuples carry an opaque
+//! payload so applications can ship their own state (the PCA application
+//! sends whole eigensystems through them); punctuation marks end-of-stream.
+
+use std::any::Any;
+use std::sync::Arc;
+
+/// A data observation: sequence number, logical timestamp, values, and an
+/// optional observed-bin mask. Values are shared via `Arc`, so intra-PE
+/// hand-off is pointer-sized — the engine-level analogue of InfoSphere
+/// "sending the tuple memory address" between fused operators.
+#[derive(Debug, Clone)]
+pub struct DataTuple {
+    /// Monotone per-source sequence number.
+    pub seq: u64,
+    /// Logical timestamp (nanoseconds since stream start).
+    pub timestamp_ns: u64,
+    /// Observation vector.
+    pub values: Arc<Vec<f64>>,
+    /// Observed-bin mask (`None` = complete observation).
+    pub mask: Option<Arc<Vec<bool>>>,
+}
+
+impl DataTuple {
+    /// A complete observation with the given sequence number.
+    pub fn new(seq: u64, values: Vec<f64>) -> Self {
+        DataTuple { seq, timestamp_ns: 0, values: Arc::new(values), mask: None }
+    }
+
+    /// A gappy observation.
+    pub fn masked(seq: u64, values: Vec<f64>, mask: Vec<bool>) -> Self {
+        DataTuple { seq, timestamp_ns: 0, values: Arc::new(values), mask: Some(Arc::new(mask)) }
+    }
+
+    /// Approximate serialized size in bytes (used by link-traffic metrics
+    /// and the cluster simulator's bandwidth model).
+    pub fn wire_bytes(&self) -> u64 {
+        let header = 16u64;
+        let values = (self.values.len() * 8) as u64;
+        let mask = self.mask.as_ref().map_or(0, |m| m.len() as u64);
+        header + values + mask
+    }
+}
+
+/// A control-port message (synchronization signals, shared state, ...).
+#[derive(Clone)]
+pub struct ControlTuple {
+    /// Application-defined discriminator.
+    pub kind: u32,
+    /// Originating operator (application-level id, e.g. PCA engine index).
+    pub sender: u32,
+    /// Opaque payload.
+    pub payload: Arc<dyn Any + Send + Sync>,
+}
+
+impl std::fmt::Debug for ControlTuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ControlTuple {{ kind: {}, sender: {} }}", self.kind, self.sender)
+    }
+}
+
+impl ControlTuple {
+    /// A control tuple with an arbitrary payload.
+    pub fn new(kind: u32, sender: u32, payload: Arc<dyn Any + Send + Sync>) -> Self {
+        ControlTuple { kind, sender, payload }
+    }
+
+    /// A payload-free signal.
+    pub fn signal(kind: u32, sender: u32) -> Self {
+        ControlTuple { kind, sender, payload: Arc::new(()) }
+    }
+
+    /// Attempts to view the payload as `T`.
+    pub fn payload_as<T: 'static>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+}
+
+/// Stream punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Punctuation {
+    /// No more tuples will arrive on this edge.
+    EndOfStream,
+}
+
+/// Anything that can flow along an edge.
+#[derive(Debug, Clone)]
+pub enum Tuple {
+    /// A data observation.
+    Data(DataTuple),
+    /// A control message.
+    Control(ControlTuple),
+    /// Punctuation.
+    Punct(Punctuation),
+}
+
+impl Tuple {
+    /// Wire size estimate for traffic accounting.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Tuple::Data(d) => d.wire_bytes(),
+            // Control tuples are small unless they carry state; the engine
+            // that puts an eigensystem in one accounts for it separately.
+            Tuple::Control(_) => 64,
+            Tuple::Punct(_) => 8,
+        }
+    }
+
+    /// True for end-of-stream punctuation.
+    pub fn is_eos(&self) -> bool {
+        matches!(self, Tuple::Punct(Punctuation::EndOfStream))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_scale_with_dimension() {
+        let t = DataTuple::new(0, vec![0.0; 250]);
+        assert_eq!(t.wire_bytes(), 16 + 2000);
+        let m = DataTuple::masked(0, vec![0.0; 250], vec![true; 250]);
+        assert_eq!(m.wire_bytes(), 16 + 2000 + 250);
+    }
+
+    #[test]
+    fn control_payload_downcasts() {
+        let c = ControlTuple::new(7, 3, Arc::new(vec![1.0f64, 2.0]));
+        assert_eq!(c.payload_as::<Vec<f64>>().unwrap()[1], 2.0);
+        assert!(c.payload_as::<String>().is_none());
+        assert_eq!(c.kind, 7);
+        assert_eq!(c.sender, 3);
+    }
+
+    #[test]
+    fn eos_detection() {
+        assert!(Tuple::Punct(Punctuation::EndOfStream).is_eos());
+        assert!(!Tuple::Data(DataTuple::new(0, vec![])).is_eos());
+    }
+
+    #[test]
+    fn data_sharing_is_pointer_cheap() {
+        let t = DataTuple::new(0, vec![1.0; 1000]);
+        let u = t.clone();
+        assert!(Arc::ptr_eq(&t.values, &u.values));
+    }
+}

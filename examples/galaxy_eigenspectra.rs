@@ -1,0 +1,106 @@
+//! Galaxy eigenspectra from a gappy spectral stream (the Fig. 4 → Fig. 5
+//! story).
+//!
+//! Streams synthetic SDSS-like galaxy spectra — normalized, with
+//! redshift-dependent wavelength coverage and random bad-pixel snippets —
+//! through the robust incremental PCA, and shows how the leading
+//! eigenspectra sharpen from noise into physically meaningful features:
+//! the roughness of each eigenvector drops and the emission-line pixels
+//! (Hα, [O III], Hβ) emerge in the line-carrying component.
+//!
+//! Run with: `cargo run --release --example galaxy_eigenspectra`
+
+use astro_stream_pca::core::metrics::roughness;
+use astro_stream_pca::core::{PcaConfig, RobustPca};
+use astro_stream_pca::spectra::gaps::SnippetGaps;
+use astro_stream_pca::spectra::normalize::unit_norm_masked;
+use astro_stream_pca::spectra::GalaxyGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n_pixels = 400;
+    let p = 4;
+    let gen = GalaxyGenerator::new(n_pixels, 0.3);
+    let snippets = SnippetGaps::new(1.5, 4, 12);
+    let mut rng = StdRng::seed_from_u64(2012);
+
+    let cfg = PcaConfig::new(n_pixels, p)
+        .with_memory(20_000)
+        .with_init_size(60)
+        .with_extra(2);
+    let mut pca = RobustPca::new(cfg);
+
+    let checkpoints = [200u64, 1000, 5000, 20_000];
+    println!("streaming gappy galaxy spectra ({n_pixels} px, p = {p}) ...\n");
+    println!("{:>8} | {:>10} {:>10} {:>10} {:>10} | mean coverage", "n_obs", "rough e1", "rough e2", "rough e3", "rough e4");
+
+    let mut coverage_sum = 0usize;
+    let mut early_roughness = 0.0;
+    let mut late_roughness = 0.0;
+    for i in 0..checkpoints[checkpoints.len() - 1] {
+        let mut s = gen.sample_with_coverage(&mut rng);
+        snippets.apply(&mut rng, &mut s.mask);
+        if s.n_observed() == 0 {
+            continue;
+        }
+        unit_norm_masked(&mut s.flux, &s.mask);
+        coverage_sum += s.n_observed();
+        pca.update_masked(&s.flux, &s.mask).expect("valid spectrum");
+
+        if checkpoints.contains(&(i + 1)) {
+            let eig = pca.eigensystem();
+            let rough: Vec<f64> =
+                (0..p).map(|k| roughness(eig.eigenvector(k))).collect();
+            println!(
+                "{:>8} | {:>10.4} {:>10.4} {:>10.4} {:>10.4} | {:.0} px",
+                i + 1,
+                rough[0],
+                rough[1],
+                rough[2],
+                rough[3],
+                coverage_sum as f64 / (i + 1) as f64
+            );
+            let mean_rough = rough.iter().sum::<f64>() / p as f64;
+            if i + 1 == checkpoints[0] {
+                early_roughness = mean_rough;
+            }
+            if i + 1 == *checkpoints.last().unwrap() {
+                late_roughness = mean_rough;
+            }
+        }
+    }
+
+    // Line recovery: find the eigenvector with the most energy at the Hα
+    // pixel and check the other strong emission lines co-locate in it.
+    let eig = pca.eigensystem();
+    let grid = gen.grid();
+    let line_pixels: Vec<(usize, &str)> = [(6562.8, "Halpha"), (5006.8, "[OIII]5007"), (4861.3, "Hbeta")]
+        .iter()
+        .filter_map(|&(l, name)| grid.pixel_of(l).map(|p| (p, name)))
+        .collect();
+    let (ha_pix, _) = line_pixels[0];
+    let (best_k, _) = (0..p)
+        .map(|k| (k, eig.eigenvector(k)[ha_pix].abs()))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("p >= 1");
+    println!("\nemission-line component: e{}", best_k + 1);
+    let ev = eig.eigenvector(best_k);
+    let typical = ev.iter().map(|v| v.abs()).sum::<f64>() / ev.len() as f64;
+    for (pix, name) in &line_pixels {
+        let amp = ev[*pix].abs();
+        println!("  {name:<12} pixel {pix:>4}: |e| = {amp:.4}  ({:.1}x typical)", amp / typical);
+    }
+
+    println!(
+        "\neigenspectra smoothed {:.1}x from n = {} to n = {}",
+        early_roughness / late_roughness.max(1e-12),
+        checkpoints[0],
+        checkpoints.last().unwrap()
+    );
+    assert!(
+        late_roughness < early_roughness,
+        "eigenspectra should smooth out as the stream progresses"
+    );
+    println!("OK: eigenspectra developed smooth, line-bearing structure.");
+}

@@ -1,0 +1,269 @@
+//! `spca` — command-line front end for the streaming-PCA system.
+//!
+//! Subcommands:
+//!
+//! * `generate` — synthesize a survey extract (gappy galaxy spectra with
+//!   optional contaminants) to a CSV file.
+//! * `run` — stream a CSV file (or a TCP listener) through the parallel
+//!   robust-PCA application; writes an outlier report and eigensystem
+//!   snapshots.
+//! * `inspect` — pretty-print a persisted eigensystem snapshot.
+//! * `simulate` — run the calibrated cluster simulator for a placement and
+//!   report throughput (the Fig. 6/7 machinery, one configuration at a
+//!   time).
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! dependency set at the workspace's five crates.
+
+use astro_stream_pca::core::PcaConfig;
+use astro_stream_pca::engine::{persist, AppConfig, ParallelPcaApp, SyncStrategy};
+use astro_stream_pca::spectra::contaminants::{self, ContaminantKind};
+use astro_stream_pca::spectra::io;
+use astro_stream_pca::spectra::normalize::unit_norm_masked;
+use astro_stream_pca::spectra::GalaxyGenerator;
+use astro_stream_pca::streams::ops::{CsvFileSource, HttpSource, TcpSource};
+use astro_stream_pca::streams::{Engine, Operator};
+use astro_stream_pca::cluster::{ClusterSim, ClusterSpec, CostModel, Placement, SimConfig};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "run" => cmd_run(&opts),
+        "inspect" => cmd_inspect(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+spca — robust streaming PCA over parallel data streams
+
+USAGE:
+  spca generate --out extract.csv [--n 5000] [--pixels 200] [--zmax 0.2]
+                [--contamination 0.05] [--seed 42]
+  spca run      --input extract.csv | --listen 127.0.0.1:7070 |
+                --url http://host/data.csv
+                [--engines 4] [--components 4] [--memory 5000] [--dim D]
+                [--sync ring|broadcast|none] [--snapshots DIR]
+                [--report outliers.csv]
+  spca inspect  --snapshot FILE
+  spca simulate [--engines 20] [--dim 250] [--nodes 10]
+                [--placement rr|single|grouped2]
+
+Every flag is --key value; unknown flags are rejected.";
+
+struct Opts(HashMap<String, String>);
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(k) = it.next() {
+            let Some(key) = k.strip_prefix("--") else {
+                return Err(format!("expected --flag, got '{k}'"));
+            };
+            let Some(v) = it.next() else {
+                return Err(format!("flag --{key} is missing a value"));
+            };
+            map.insert(key.to_string(), v.clone());
+        }
+        Ok(Opts(map))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(|s| s.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let out = PathBuf::from(opts.get("out").ok_or("--out is required")?);
+    let n: usize = opts.num("n", 5000)?;
+    let pixels: usize = opts.num("pixels", 200)?;
+    let zmax: f64 = opts.num("zmax", 0.2)?;
+    let contamination: f64 = opts.num("contamination", 0.05)?;
+    let seed: u64 = opts.num("seed", 42)?;
+
+    let gen = GalaxyGenerator::new(pixels, zmax);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut contaminated = 0usize;
+    for _ in 0..n {
+        if rng.gen::<f64>() < contamination {
+            contaminated += 1;
+            let kind = match rng.gen_range(0..3) {
+                0 => ContaminantKind::Quasar,
+                1 => ContaminantKind::Star,
+                _ => ContaminantKind::Sky,
+            };
+            let mut flux = contaminants::draw(&mut rng, gen.grid(), kind);
+            let mask = vec![true; pixels];
+            unit_norm_masked(&mut flux, &mask);
+            rows.push((flux, mask));
+        } else {
+            let mut s = gen.sample_with_coverage(&mut rng);
+            unit_norm_masked(&mut s.flux, &s.mask);
+            rows.push((s.flux, s.mask));
+        }
+    }
+    io::write_csv_masked(&out, &rows).map_err(|e| e.to_string())?;
+    println!("wrote {n} spectra ({contaminated} contaminants) to {}", out.display());
+    Ok(())
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let engines: usize = opts.num("engines", 4)?;
+    let components: usize = opts.num("components", 4)?;
+    let memory: usize = opts.num("memory", 5000)?;
+
+    let source: Box<dyn Operator> = match (opts.get("input"), opts.get("listen"), opts.get("url"))
+    {
+        (Some(path), None, None) => {
+            if !std::path::Path::new(path).exists() {
+                return Err(format!("input file '{path}' does not exist"));
+            }
+            Box::new(CsvFileSource::new(path))
+        }
+        (None, Some(addr), None) => {
+            let src = TcpSource::listen(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            println!("listening on {}", src.local_addr().expect("bound"));
+            Box::new(src)
+        }
+        (None, None, Some(url)) => Box::new(HttpSource::get(url)?),
+        _ => return Err("exactly one of --input, --listen or --url is required".to_string()),
+    };
+
+    // Probe the dimensionality from the input when it is a file; network
+    // streams must state it.
+    let dim: usize = match opts.get("input") {
+        Some(path) => {
+            let first = io::read_csv(path).map_err(|e| e.to_string())?;
+            first.first().ok_or("input file is empty")?.0.len()
+        }
+        None => opts.num("dim", 0).and_then(|d: usize| {
+            if d == 0 {
+                Err("--dim is required with --listen/--url".to_string())
+            } else {
+                Ok(d)
+            }
+        })?,
+    };
+    if components + 2 >= dim {
+        return Err(format!("--components {components} too large for dimension {dim}"));
+    }
+
+    let pca = PcaConfig::new(dim, components).with_memory(memory).with_extra(2);
+    let mut cfg = AppConfig::new(engines, pca);
+    cfg.emit_outcomes = opts.get("report").is_some();
+    cfg.sync = match opts.get("sync").unwrap_or("ring") {
+        "ring" => SyncStrategy::Ring,
+        "broadcast" => SyncStrategy::Broadcast,
+        "none" => SyncStrategy::None,
+        other => return Err(format!("--sync: unknown strategy '{other}'")),
+    };
+    if let Some(dir) = opts.get("snapshots") {
+        cfg.snapshot_dir = Some(PathBuf::from(dir));
+    }
+
+    let (graph, handles) = ParallelPcaApp::build(&cfg, source);
+    println!("running {engines} engines (d = {dim}, p = {components}, N = {memory}) ...");
+    let report = Engine::run(graph);
+    let consumed = report.tuples_in_matching("pca-");
+    println!(
+        "processed {consumed} tuples in {:.2}s ({:.0} tuples/s)",
+        report.elapsed.as_secs_f64(),
+        consumed as f64 / report.elapsed.as_secs_f64().max(1e-9)
+    );
+
+    if let Some(path) = opts.get("report") {
+        let outcomes = handles.outcomes.expect("enabled above");
+        let rows: Vec<Vec<f64>> =
+            outcomes.lock().iter().map(|t| t.values.as_ref().clone()).collect();
+        let flagged = rows.iter().filter(|r| r[4] > 0.5).count();
+        io::write_csv(path, &rows).map_err(|e| e.to_string())?;
+        println!("outlier report: {flagged}/{} rows flagged → {path}", rows.len());
+    }
+    match handles.hub.merged_estimate() {
+        Ok(merged) => {
+            println!(
+                "merged eigenvalues: {:?}",
+                merged.values.iter().map(|v| (v * 1e4).round() / 1e4).collect::<Vec<_>>()
+            );
+            println!("variance captured by p components: {:.1}%", 100.0 * merged.variance_captured(components));
+        }
+        Err(e) => println!("no merged estimate: {e}"),
+    }
+    Ok(())
+}
+
+fn cmd_inspect(opts: &Opts) -> Result<(), String> {
+    let path = PathBuf::from(opts.get("snapshot").ok_or("--snapshot is required")?);
+    let eig = persist::read_snapshot(&path).map_err(|e| e.to_string())?;
+    println!("snapshot: {}", path.display());
+    println!("  dimension  : {}", eig.dim());
+    println!("  components : {}", eig.n_components());
+    println!("  n_obs      : {}", eig.n_obs);
+    println!("  sigma^2    : {:.6e}", eig.sigma2);
+    println!("  sums       : u {:.3}  v {:.3}  q {:.3e}", eig.sum_u, eig.sum_v, eig.sum_q);
+    println!("  eigenvalues:");
+    for (k, v) in eig.values.iter().enumerate() {
+        let frac = 100.0 * eig.variance_captured(k + 1);
+        println!("    λ{:<2} = {v:<12.6e} (cumulative variance {frac:.1}%)", k + 1);
+    }
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Opts) -> Result<(), String> {
+    let engines: usize = opts.num("engines", 20)?;
+    let dim: usize = opts.num("dim", 250)?;
+    let nodes: usize = opts.num("nodes", 10)?;
+    let spec = ClusterSpec { n_nodes: nodes, ..ClusterSpec::paper() };
+    let placement = match opts.get("placement").unwrap_or("rr") {
+        "rr" => Placement::round_robin(engines, nodes),
+        "single" => Placement::single_node(engines),
+        "grouped2" => Placement::grouped(engines, 2, nodes),
+        other => return Err(format!("--placement: unknown '{other}'")),
+    };
+    let cfg = SimConfig { dim, ..Default::default() };
+    let report = ClusterSim::new(spec, CostModel::paper(), placement, cfg).run();
+    println!("simulated {engines} engines on {nodes} nodes at d = {dim}:");
+    println!("  throughput : {:.0} tuples/s ({:.0}/thread)", report.throughput, report.per_thread());
+    println!("  network    : {:.1} MB transferred", report.network_bytes / 1e6);
+    println!("  syncs      : {}", report.syncs);
+    Ok(())
+}
