@@ -83,14 +83,14 @@ fn bench_parallel_svd(c: &mut Criterion) {
     let mut g = c.benchmark_group("thin_svd_parallel");
     g.sample_size(10);
     let a = nearly_orthogonal_factor(2000, 20, 7);
-    g.bench_function("serial", |b| b.iter(|| svd::thin_svd(&a).expect("converges")));
+    g.bench_function("serial", |b| {
+        b.iter(|| svd::thin_svd(&a).expect("converges"))
+    });
     for threads in [2usize, 4] {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("par{threads}")),
             &threads,
-            |b, &t| {
-                b.iter(|| spca_linalg::par_svd::par_thin_svd(&a, t).expect("converges"))
-            },
+            |b, &t| b.iter(|| spca_linalg::par_svd::par_thin_svd(&a, t).expect("converges")),
         );
     }
     g.finish();

@@ -13,7 +13,9 @@ use spca_core::{PcaConfig, RobustPca};
 use spca_spectra::PlantedSubspace;
 
 fn prepared_pca(d: usize, p: usize) -> (RobustPca, Vec<Vec<f64>>) {
-    let cfg = PcaConfig::new(d, p).with_memory(5000).with_init_size(2 * p + 10);
+    let cfg = PcaConfig::new(d, p)
+        .with_memory(5000)
+        .with_init_size(2 * p + 10);
     let mut pca = RobustPca::new(cfg);
     let w = PlantedSubspace::new(d, p, 0.05);
     let mut rng = StdRng::seed_from_u64(5);
@@ -77,5 +79,10 @@ fn bench_masked_update(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dimension, bench_components, bench_masked_update);
+criterion_group!(
+    benches,
+    bench_dimension,
+    bench_components,
+    bench_masked_update
+);
 criterion_main!(benches);

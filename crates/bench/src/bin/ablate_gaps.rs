@@ -102,18 +102,18 @@ fn run(variant: Variant, reference: &spca_core::EigenSystem) -> Outcome {
     // eigenvalue is nearly degenerate with the tail, so the max principal
     // angle over all 4 saturates for every estimator.
     Outcome {
-        dist: subspace_distance(
-            &eig.truncated(3).basis,
-            &reference.truncated(3).basis,
-        )
-        .expect("shapes"),
+        dist: subspace_distance(&eig.truncated(3).basis, &reference.truncated(3).basis)
+            .expect("shapes"),
         weight_gappy: w_gappy.0 / w_gappy.1.max(1) as f64,
         weight_complete: w_complete.0 / w_complete.1.max(1) as f64,
     }
 }
 
 fn main() {
-    println!("Gap-handling ablation ({N_PIXELS} px, {:.0}% gaps on half the stream)\n", GAP_FRAC * 100.0);
+    println!(
+        "Gap-handling ablation ({N_PIXELS} px, {:.0}% gaps on half the stream)\n",
+        GAP_FRAC * 100.0
+    );
 
     // Batch reference on complete spectra.
     let gen = GalaxyGenerator::new(N_PIXELS, 0.0);
@@ -121,7 +121,7 @@ fn main() {
     let reference_data: Vec<Vec<f64>> = (0..3000)
         .map(|_| {
             let mut s = gen.sample(&mut rng);
-            unit_norm_masked(&mut s.flux, &vec![true; N_PIXELS]);
+            unit_norm_masked(&mut s.flux, &[true; N_PIXELS]);
             s.flux
         })
         .collect();
@@ -143,7 +143,12 @@ fn main() {
 
     let path = write_csv(
         "ablate_gaps.csv",
-        &["variant", "subspace_error", "weight_gappy", "weight_complete"],
+        &[
+            "variant",
+            "subspace_error",
+            "weight_gappy",
+            "weight_complete",
+        ],
         &rows,
     );
     println!("\nwrote {}", path.display());

@@ -48,7 +48,9 @@ fn run_with_divergence(
     gate_mult: Option<f64>,
     divergence: Option<f64>,
 ) -> Outcome {
-    let pca = PcaConfig::new(DIM, RANK).with_memory(MEMORY).with_init_size(40);
+    let pca = PcaConfig::new(DIM, RANK)
+        .with_memory(MEMORY)
+        .with_init_size(40);
     let mut cfg = AppConfig::new(N_ENGINES, pca);
     cfg.sync = strategy;
     cfg.divergence_gate = divergence;
@@ -80,12 +82,15 @@ fn run_with_divergence(
         }
     }
     let merged = h.hub.merged_estimate().expect("engines reported");
-    let accuracy =
-        subspace_distance(&merged.truncated(RANK).basis, truth.basis()).expect("shapes");
+    let accuracy = subspace_distance(&merged.truncated(RANK).basis, truth.basis()).expect("shapes");
     // Exchanges: actual eigensystem shares, as reported in the engines'
     // final snapshots (commands blocked by the gate don't count).
     let (exchanges, _merges) = h.hub.sync_totals();
-    Outcome { consistency, accuracy, exchanges }
+    Outcome {
+        consistency,
+        accuracy,
+        exchanges,
+    }
 }
 
 fn main() {
@@ -100,7 +105,11 @@ fn main() {
         ("3.0 N", Some(3.0)),
         ("never", None::<f64>),
     ] {
-        let strategy = if mult.is_none() { SyncStrategy::None } else { SyncStrategy::Ring };
+        let strategy = if mult.is_none() {
+            SyncStrategy::None
+        } else {
+            SyncStrategy::Ring
+        };
         let o = run(strategy, mult);
         println!(
             "  {label:<14} consistency {:.4}  accuracy {:.4}  control msgs {}",
@@ -121,13 +130,20 @@ fn main() {
             "  divergence {:>5}: consistency {:.4}  accuracy {:.4}  shares {}",
             code, o.consistency, o.accuracy, o.exchanges
         );
-        rows.push(vec![100.0 + code, o.consistency, o.accuracy, o.exchanges as f64]);
+        rows.push(vec![
+            100.0 + code,
+            o.consistency,
+            o.accuracy,
+            o.exchanges as f64,
+        ]);
     }
 
     println!("\nstrategy sweep (1.5·N gate):");
-    for (code, strategy) in
-        [(1.0, SyncStrategy::Ring), (2.0, SyncStrategy::Broadcast), (3.0, SyncStrategy::Groups(2))]
-    {
+    for (code, strategy) in [
+        (1.0, SyncStrategy::Ring),
+        (2.0, SyncStrategy::Broadcast),
+        (3.0, SyncStrategy::Groups(2)),
+    ] {
         let o = run(strategy, Some(1.5));
         println!(
             "  {strategy:?}: consistency {:.4}  accuracy {:.4}  control msgs {}",
@@ -138,7 +154,12 @@ fn main() {
 
     let path = write_csv(
         "ablate_sync.csv",
-        &["gate_or_strategy", "consistency", "accuracy", "control_msgs"],
+        &[
+            "gate_or_strategy",
+            "consistency",
+            "accuracy",
+            "control_msgs",
+        ],
         &rows,
     );
     println!("\nwrote {}", path.display());
@@ -162,5 +183,7 @@ fn main() {
         paper[3] < always[3],
         "1.5N gate must exchange fewer messages than always-share"
     );
-    println!("\nshape check PASSED: the 1.5·N gate trades little consistency for far less traffic.");
+    println!(
+        "\nshape check PASSED: the 1.5·N gate trades little consistency for far less traffic."
+    );
 }

@@ -14,7 +14,11 @@ use spca_cluster::{simulate_elastic, ClusterSpec, CostModel, ElasticPolicy, SimC
 fn main() {
     let spec = ClusterSpec::paper();
     let cost = CostModel::paper();
-    let cfg = SimConfig { duration: 8.0, warmup: 2.0, ..Default::default() };
+    let cfg = SimConfig {
+        duration: 8.0,
+        warmup: 2.0,
+        ..Default::default()
+    };
 
     // 24 "hours": night (hours 0–8) at high ingest, day at trickle, with a
     // burst when a transient alert arrives at hour 20.
@@ -32,18 +36,34 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(h, r)| {
-            vec![h as f64, r.offered, r.engines as f64, r.achieved, r.satisfaction, r.action as f64]
+            vec![
+                h as f64,
+                r.offered,
+                r.engines as f64,
+                r.achieved,
+                r.satisfaction,
+                r.action as f64,
+            ]
         })
         .collect();
     let path = write_csv(
         "autoscale.csv",
-        &["hour", "offered_tps", "engines", "achieved_tps", "satisfaction", "action"],
+        &[
+            "hour",
+            "offered_tps",
+            "engines",
+            "achieved_tps",
+            "satisfaction",
+            "action",
+        ],
         &rows,
     );
     println!("wrote {}", path.display());
     print_table(
         "elastic pool over a survey day",
-        &["hour", "offered", "engines", "achieved", "satisf.", "action"],
+        &[
+            "hour", "offered", "engines", "achieved", "satisf.", "action",
+        ],
         &rows,
     );
 
@@ -52,7 +72,10 @@ fn main() {
     let night_max = reports[..9].iter().map(|r| r.engines).max().unwrap();
     let midday = reports[14].engines;
     assert!(night_max >= 6, "night pool too small: {night_max}");
-    assert!(midday < night_max, "pool failed to shrink by midday: {midday} vs {night_max}");
+    assert!(
+        midday < night_max,
+        "pool failed to shrink by midday: {midday} vs {night_max}"
+    );
     // A reactive policy lags load swings by an epoch; require ≥0.8 within
     // the night and full satisfaction once settled.
     let late_night: Vec<f64> = reports[4..9].iter().map(|r| r.satisfaction).collect();

@@ -69,19 +69,24 @@ fn trace_instability(trace: &Trace) -> f64 {
         .map(|(_, v)| v)
         .collect();
     let mean = series.iter().sum::<f64>() / series.len() as f64;
-    let var = series.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-        / series.len() as f64;
+    let var = series.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / series.len() as f64;
     var.sqrt() / mean.max(1e-12)
 }
 
 fn main() {
     println!("Fig. 1 reproduction: classic vs robust eigenvalue traces");
-    println!("dim {DIM}, rank {RANK}, {N} observations, {:.0}% spike outliers\n", OUTLIER_RATE * 100.0);
+    println!(
+        "dim {DIM}, rank {RANK}, {N} observations, {:.0}% spike outliers\n",
+        OUTLIER_RATE * 100.0
+    );
 
     let (classic_trace, _, classic_dist, classic_flags) = run(RhoKind::Classical);
     let (robust_trace, robust_flags, robust_dist, n_flagged) = run(RhoKind::Bisquare(9.0));
 
-    for (name, trace) in [("fig1_classic.csv", &classic_trace), ("fig1_robust.csv", &robust_trace)] {
+    for (name, trace) in [
+        ("fig1_classic.csv", &classic_trace),
+        ("fig1_robust.csv", &robust_trace),
+    ] {
         let rows: Vec<Vec<f64>> = trace
             .samples
             .iter()
@@ -122,6 +127,9 @@ fn main() {
         robust_inst < classic_inst,
         "robust trace should be steadier: {robust_inst} vs {classic_inst}"
     );
-    assert!(robust_dist < classic_dist, "robust should end closer to truth");
+    assert!(
+        robust_dist < classic_dist,
+        "robust should end closer to truth"
+    );
     println!("\nshape check PASSED: robust converges, classic is captured by outliers.");
 }

@@ -22,8 +22,7 @@ fn main() {
     let mut cfg = AppConfig::new(n, pca);
     cfg.sync = SyncStrategy::Ring;
     cfg.use_throttle = true; // the paper's controller → Throttle → engines path
-    let source =
-        Box::new(GeneratorSource::new(|_| Some((vec![0.0; 64], None))).with_max_tuples(1));
+    let source = Box::new(GeneratorSource::new(|_| Some((vec![0.0; 64], None))).with_max_tuples(1));
     let (g, _handles) = ParallelPcaApp::build(&cfg, source);
 
     println!("Fig. 2 reproduction: application dataflow graph ({n} engines, ring sync)\n");
@@ -33,7 +32,11 @@ fn main() {
             PortKind::Data => "data",
             PortKind::Control => "ctrl",
         };
-        lines.push(format!("{:<18} --[{k}:{port}]--> {}", g.op_name(from), g.op_name(to)));
+        lines.push(format!(
+            "{:<18} --[{k}:{port}]--> {}",
+            g.op_name(from),
+            g.op_name(to)
+        ));
     }
     lines.sort();
     for l in &lines {
@@ -52,7 +55,9 @@ fn main() {
     // Split fans out to every engine on the data path.
     let split_fanout = edges
         .iter()
-        .filter(|(f, _, t, k)| name(*f) == "split" && name(*t).starts_with("pca-") && *k == PortKind::Data)
+        .filter(|(f, _, t, k)| {
+            name(*f) == "split" && name(*t).starts_with("pca-") && *k == PortKind::Data
+        })
         .count();
     assert_eq!(split_fanout, n, "split must feed every engine");
     // Every engine receives control from a throttle (sync path in-framework).
@@ -73,8 +78,13 @@ fn main() {
         assert!(has_ring, "ring edge pca-{i} → {succ} missing");
     }
     // Every engine reports to the monitor.
-    let monitor_fanin = edges.iter().filter(|(_, _, t, _)| name(*t) == "monitor").count();
+    let monitor_fanin = edges
+        .iter()
+        .filter(|(_, _, t, _)| name(*t) == "monitor")
+        .count();
     assert_eq!(monitor_fanin, n, "every engine must report snapshots");
 
-    println!("\nstructure check PASSED: split fan-out, throttled sync, Fig. 3 ring, monitor fan-in.");
+    println!(
+        "\nstructure check PASSED: split fan-out, throttled sync, Fig. 3 ring, monitor fan-in."
+    );
 }

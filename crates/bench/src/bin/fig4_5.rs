@@ -41,8 +41,11 @@ const N_PIXELS: usize = 500;
 const P: usize = 4;
 const EARLY: u64 = 300;
 const LATE: u64 = 30_000;
-const LINES: &[(f64, &str)] =
-    &[(6562.8, "Halpha"), (5006.8, "[OIII]5007"), (4861.3, "Hbeta")];
+const LINES: &[(f64, &str)] = &[
+    (6562.8, "Halpha"),
+    (5006.8, "[OIII]5007"),
+    (4861.3, "Hbeta"),
+];
 
 fn main() {
     println!("Fig. 4/5 reproduction: eigenspectra convergence on galaxy spectra");
@@ -98,11 +101,9 @@ fn main() {
     let mut convergence = Vec::new();
     for (n, eig) in &checkpoints {
         let self_dist = subspace_distance(&eig.basis, &final_eig.basis).expect("shapes");
-        let batch_dist =
-            subspace_distance(&eig.truncated(1).basis, &reference.truncated(1).basis)
-                .expect("shapes");
-        let mean_rough =
-            (0..P).map(|k| roughness(eig.eigenvector(k))).sum::<f64>() / P as f64;
+        let batch_dist = subspace_distance(&eig.truncated(1).basis, &reference.truncated(1).basis)
+            .expect("shapes");
+        let mean_rough = (0..P).map(|k| roughness(eig.eigenvector(k))).sum::<f64>() / P as f64;
         convergence.push(vec![*n as f64, self_dist, mean_rough, batch_dist]);
     }
 
@@ -113,16 +114,24 @@ fn main() {
     let p2 = write_csv("fig5_eigenspectra_late.csv", &hdr, &late);
     let p3 = write_csv(
         "fig4_5_convergence.csv",
-        &["n_obs", "dist_to_final", "roughness", "top1_dist_to_complete_batch"],
+        &[
+            "n_obs",
+            "dist_to_final",
+            "roughness",
+            "top1_dist_to_complete_batch",
+        ],
         &convergence,
     );
-    println!("wrote {}\nwrote {}\nwrote {}", p1.display(), p2.display(), p3.display());
+    println!(
+        "wrote {}\nwrote {}\nwrote {}",
+        p1.display(),
+        p2.display(),
+        p3.display()
+    );
 
     // Quantified claims.
-    let early_rough: f64 =
-        (1..=P).map(|k| roughness(&column(&early, k))).sum::<f64>() / P as f64;
-    let late_rough: f64 =
-        (1..=P).map(|k| roughness(&column(&late, k))).sum::<f64>() / P as f64;
+    let early_rough: f64 = (1..=P).map(|k| roughness(&column(&early, k))).sum::<f64>() / P as f64;
+    let late_rough: f64 = (1..=P).map(|k| roughness(&column(&late, k))).sum::<f64>() / P as f64;
     let early_self = convergence.first().expect("nonempty")[1];
     let mid_self = convergence[convergence.len() / 2][1];
     let early_lines = line_emergence(&early, &lambdas);
@@ -141,7 +150,10 @@ fn main() {
     println!("  row 2: subspace distance to the final estimate (early vs mid-stream)");
     println!("  row 3: emission-line emergence (line-pixel energy / typical pixel)");
 
-    assert!(late_rough < early_rough, "eigenspectra should smooth with data");
+    assert!(
+        late_rough < early_rough,
+        "eigenspectra should smooth with data"
+    );
     assert!(
         mid_self < early_self,
         "running estimate should converge toward its final state: {early_self} → {mid_self}"
@@ -155,7 +167,9 @@ fn main() {
         late_lines > 3.0,
         "converged eigenspectra should carry the emission-line pattern: {late_lines}"
     );
-    println!("\nshape check PASSED: noisy early spectra → smooth, line-bearing, converged late spectra.");
+    println!(
+        "\nshape check PASSED: noisy early spectra → smooth, line-bearing, converged late spectra."
+    );
 }
 
 fn eigenspectra_rows(pca: &RobustPca, lambdas: &[f64]) -> Vec<Vec<f64>> {
@@ -187,7 +201,10 @@ fn line_emergence(rows: &[Vec<f64>], lambdas: &[f64]) -> f64 {
                 .iter()
                 .enumerate()
                 .min_by(|a, b| {
-                    (a.1 - l).abs().partial_cmp(&(b.1 - l).abs()).expect("finite")
+                    (a.1 - l)
+                        .abs()
+                        .partial_cmp(&(b.1 - l).abs())
+                        .expect("finite")
                 })
                 .map(|(i, _)| i)
         })

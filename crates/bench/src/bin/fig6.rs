@@ -32,7 +32,10 @@ fn main() {
     }
     let cost = CostModel::paper().with_measurements(measured);
     let spec = ClusterSpec::paper();
-    let cfg = SimConfig { dim: DIM, ..Default::default() };
+    let cfg = SimConfig {
+        dim: DIM,
+        ..Default::default()
+    };
 
     let mut rows = Vec::new();
     for &n in THREADS {
@@ -53,7 +56,11 @@ fn main() {
         rows.push(vec![n as f64, distributed.throughput, single.throughput]);
     }
 
-    let path = write_csv("fig6_scaling.csv", &["threads", "distributed_tps", "single_tps"], &rows);
+    let path = write_csv(
+        "fig6_scaling.csv",
+        &["threads", "distributed_tps", "single_tps"],
+        &rows,
+    );
     println!("\nwrote {}", path.display());
     print_table(
         "Fig. 6: tuples/second (simulated 10-node cluster)",
@@ -62,9 +69,8 @@ fn main() {
     );
 
     // Shape checks against the paper's claims.
-    let tp = |n: usize, col: usize| {
-        rows.iter().find(|r| r[0] == n as f64).expect("row present")[col]
-    };
+    let tp =
+        |n: usize, col: usize| rows.iter().find(|r| r[0] == n as f64).expect("row present")[col];
     let d1 = tp(1, 1);
     let d10 = tp(10, 1);
     let d20 = tp(20, 1);
@@ -73,11 +79,20 @@ fn main() {
     let s4 = tp(2, 2).max(tp(5, 2));
     let s20 = tp(20, 2);
 
-    assert!(s1 > d1, "fused single engine must beat a remote one: {s1} vs {d1}");
+    assert!(
+        s1 > d1,
+        "fused single engine must beat a remote one: {s1} vs {d1}"
+    );
     assert!(d10 > 2.0 * tp(5, 1) * 0.8, "distributed should scale 5→10");
     assert!(d20 > d10, "distributed should still gain 10→20");
-    assert!(d30 < d20, "30 engines must degrade below 20 (interconnect saturation)");
+    assert!(
+        d30 < d20,
+        "30 engines must degrade below 20 (interconnect saturation)"
+    );
     assert!(s20 < s4 * 1.5, "single node must plateau, not scale");
-    assert!(d20 > 2.5 * s20, "distributed peak must clearly beat single-node");
+    assert!(
+        d20 > 2.5 * s20,
+        "distributed peak must clearly beat single-node"
+    );
     println!("\nshape check PASSED: rise to 2 engines/node, degradation at 30, flat single node.");
 }

@@ -47,7 +47,10 @@ fn main() {
             } else {
                 Placement::round_robin(n, spec.n_nodes)
             };
-            let cfg = SimConfig { dim, ..Default::default() };
+            let cfg = SimConfig {
+                dim,
+                ..Default::default()
+            };
             let report = ClusterSim::new(spec.clone(), cost.clone(), placement, cfg).run();
             row.push(report.per_thread());
         }
@@ -56,7 +59,13 @@ fn main() {
 
     let path = write_csv(
         "fig7_dimensionality.csv",
-        &["dim", "tps_per_thread_1", "tps_per_thread_5", "tps_per_thread_10", "tps_per_thread_20"],
+        &[
+            "dim",
+            "tps_per_thread_1",
+            "tps_per_thread_5",
+            "tps_per_thread_10",
+            "tps_per_thread_20",
+        ],
         &rows,
     );
     println!("\nwrote {}", path.display());
@@ -73,21 +82,36 @@ fn main() {
     for &dim in DIMS {
         // Monotone decrease of the 5-thread line with dimension.
         if dim > DIMS[0] {
-            assert!(cell(dim, 1) < cell(DIMS[0], 1), "per-thread rate must fall with d");
+            assert!(
+                cell(dim, 1) < cell(DIMS[0], 1),
+                "per-thread rate must fall with d"
+            );
         }
     }
     // At the smallest dimension the interconnect bites: 20 threads per-thread
     // rate below the 5- and 10-thread lines.
-    assert!(cell(250, 3) < cell(250, 1), "20 threads should saturate at d=250");
-    assert!(cell(250, 3) < cell(250, 2), "20 threads below 10 threads at d=250");
+    assert!(
+        cell(250, 3) < cell(250, 1),
+        "20 threads should saturate at d=250"
+    );
+    assert!(
+        cell(250, 3) < cell(250, 2),
+        "20 threads below 10 threads at d=250"
+    );
     // 5 and 10 threads scale well (per-thread within 25% of each other).
     let r5 = cell(250, 1);
     let r10 = cell(250, 2);
-    assert!((r5 - r10).abs() / r5 < 0.25, "5 vs 10 threads per-thread gap too large");
+    assert!(
+        (r5 - r10).abs() / r5 < 0.25,
+        "5 vs 10 threads per-thread gap too large"
+    );
     // At high dimension the engines, not the network, dominate: the
     // 20-thread line converges toward the others.
     let gap_low = cell(250, 1) / cell(250, 3);
     let gap_high = cell(2000, 1) / cell(2000, 3);
-    assert!(gap_high < gap_low, "saturation penalty must shrink as d grows");
+    assert!(
+        gap_high < gap_low,
+        "saturation penalty must shrink as d grows"
+    );
     println!("\nshape check PASSED: inverse-d scaling, 5/10-thread efficiency, 20-thread saturation at low d.");
 }

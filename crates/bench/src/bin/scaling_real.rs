@@ -34,15 +34,19 @@ fn throughput(n_engines: usize, fuse: bool, measure: Duration) -> f64 {
     cfg.sync_period = Duration::from_millis(500);
     let w = PlantedSubspace::new(DIM, P, 0.05);
     let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(7)));
-    let source =
-        Box::new(GeneratorSource::new(move |_| Some((w.sample(&mut *rng.lock()), None))));
+    let source = Box::new(GeneratorSource::new(move |_| {
+        Some((w.sample(&mut *rng.lock()), None))
+    }));
     let (g, _h) = ParallelPcaApp::build(&cfg, source);
     let running = Engine::start(g);
     // Warm-up, then measure over a window (the paper averages 30 s after
     // 5 min; we scale down) using the shared RateProbe utility.
     std::thread::sleep(measure / 2);
-    let names: Vec<String> =
-        running.op_snapshots().iter().map(|(n, _)| n.clone()).collect();
+    let names: Vec<String> = running
+        .op_snapshots()
+        .iter()
+        .map(|(n, _)| n.clone())
+        .collect();
     let probe = spca_streams::metrics::RateProbe::start(
         running.op_snapshots().into_iter().map(|(_, s)| s).collect(),
     );
@@ -55,7 +59,9 @@ fn throughput(n_engines: usize, fuse: bool, measure: Duration) -> f64 {
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     println!("real-engine scaling cross-check: d = {DIM}, {cores} cores on this machine\n");
     let counts: Vec<usize> = [1usize, 2, 4, 8, 16]
         .into_iter()
@@ -70,9 +76,17 @@ fn main() {
         rows.push(vec![n as f64, fused, unfused]);
         println!("  {n:>2} engines: fused {fused:>10.0} t/s   unfused {unfused:>10.0} t/s");
     }
-    let path = write_csv("scaling_real.csv", &["engines", "fused_tps", "unfused_tps"], &rows);
+    let path = write_csv(
+        "scaling_real.csv",
+        &["engines", "fused_tps", "unfused_tps"],
+        &rows,
+    );
     println!("\nwrote {}", path.display());
-    print_table("real engine throughput", &["engines", "fused", "unfused"], &rows);
+    print_table(
+        "real engine throughput",
+        &["engines", "fused", "unfused"],
+        &rows,
+    );
 
     // Shape checks, scaled to the machine: with several physical cores,
     // parallel engines must beat one engine; on a single core no speedup

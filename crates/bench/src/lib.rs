@@ -5,10 +5,10 @@
 //! `target/figures/`. The criterion benches measure the kernel costs that
 //! calibrate the cluster simulator.
 
-use spca_core::{PcaConfig, RobustPca};
-use spca_spectra::PlantedSubspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use spca_core::{PcaConfig, RobustPca};
+use spca_spectra::PlantedSubspace;
 use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -36,7 +36,9 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<f64>]) -> PathBuf {
 /// dimension `d` with `p` components: the calibration input for the
 /// cluster simulator's dimension-scaling curve.
 pub fn measure_update_cost(d: usize, p: usize, n_tuples: usize) -> f64 {
-    let cfg = PcaConfig::new(d, p).with_memory(5000).with_init_size(2 * p + 10);
+    let cfg = PcaConfig::new(d, p)
+        .with_memory(5000)
+        .with_init_size(2 * p + 10);
     let mut pca = RobustPca::new(cfg);
     let workload = PlantedSubspace::new(d, p, 0.05);
     let mut rng = StdRng::seed_from_u64(1234);
@@ -70,8 +72,11 @@ pub fn calibrate_dimension_curve(dims: &[usize], p: usize) -> Vec<(usize, f64)> 
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<f64>]) {
     println!("\n=== {title} ===");
     let widths: Vec<usize> = header.iter().map(|h| h.len().max(12)).collect();
-    let head: Vec<String> =
-        header.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}")).collect();
+    let head: Vec<String> = header
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
     println!("{}", head.join(" "));
     for row in rows {
         let cells: Vec<String> = row

@@ -94,7 +94,11 @@ pub fn simulate_elastic(
     for &offered in offered_load {
         let cap = capacity(engines);
         let achieved = cap.min(offered);
-        let satisfaction = if offered > 0.0 { achieved / offered } else { 1.0 };
+        let satisfaction = if offered > 0.0 {
+            achieved / offered
+        } else {
+            1.0
+        };
 
         // Decide the action for the next epoch.
         let mut action = 0i64;
@@ -103,7 +107,9 @@ pub fn simulate_elastic(
             action = (next - engines) as i64;
             engines = next;
         } else if engines > policy.min_engines {
-            let smaller = engines.saturating_sub(policy.step_down).max(policy.min_engines);
+            let smaller = engines
+                .saturating_sub(policy.step_down)
+                .max(policy.min_engines);
             let smaller_cap = capacity(smaller);
             if smaller_cap >= offered * policy.scale_up_below * policy.scale_down_margin {
                 action = -((engines - smaller) as i64);
@@ -111,7 +117,13 @@ pub fn simulate_elastic(
             }
         }
 
-        reports.push(EpochReport { offered, engines: (engines as i64 - action) as usize, achieved, satisfaction, action });
+        reports.push(EpochReport {
+            offered,
+            engines: (engines as i64 - action) as usize,
+            achieved,
+            satisfaction,
+            action,
+        });
     }
     reports
 }
@@ -124,7 +136,11 @@ mod tests {
         (
             ClusterSpec::paper(),
             CostModel::paper(),
-            SimConfig { duration: 6.0, warmup: 1.0, ..Default::default() },
+            SimConfig {
+                duration: 6.0,
+                warmup: 1.0,
+                ..Default::default()
+            },
         )
     }
 
@@ -139,7 +155,11 @@ mod tests {
         assert_eq!(first.engines, 1);
         assert!(last.engines > 4, "pool never grew: {:?}", last);
         // Once scaled, late epochs should be mostly satisfied.
-        assert!(last.satisfaction > 0.8, "late satisfaction {:?}", last.satisfaction);
+        assert!(
+            last.satisfaction > 0.8,
+            "late satisfaction {:?}",
+            last.satisfaction
+        );
     }
 
     #[test]
@@ -151,14 +171,20 @@ mod tests {
         let peak = reports.iter().map(|r| r.engines).max().unwrap();
         let final_size = reports.last().unwrap().engines;
         assert!(peak >= 6, "never scaled up: peak {peak}");
-        assert!(final_size < peak, "never scaled down: {final_size} vs peak {peak}");
+        assert!(
+            final_size < peak,
+            "never scaled down: {final_size} vs peak {peak}"
+        );
     }
 
     #[test]
     fn respects_quota() {
         let (spec, cost, cfg) = setup();
         let load = vec![1e9; 6]; // impossible demand
-        let policy = ElasticPolicy { max_engines: 5, ..Default::default() };
+        let policy = ElasticPolicy {
+            max_engines: 5,
+            ..Default::default()
+        };
         let reports = simulate_elastic(&spec, &cost, &cfg, &load, &policy);
         assert!(reports.iter().all(|r| r.engines <= 5));
     }
@@ -171,7 +197,8 @@ mod tests {
         // After convergence the pool stops oscillating.
         let tail: Vec<usize> = reports.iter().rev().take(4).map(|r| r.engines).collect();
         assert!(
-            tail.windows(2).all(|w| (w[0] as i64 - w[1] as i64).abs() <= 1),
+            tail.windows(2)
+                .all(|w| (w[0] as i64 - w[1] as i64).abs() <= 1),
             "oscillating pool: {tail:?}"
         );
         assert!(reports.last().unwrap().satisfaction > 0.9);

@@ -49,7 +49,9 @@ pub fn optimize_placement(
         // Decorrelate the split's random choices from the search's; keep
         // per-candidate determinism.
         cfg.seed = sim_cfg.seed ^ salt;
-        ClusterSim::new(spec.clone(), cost.clone(), p.clone(), cfg).run().throughput
+        ClusterSim::new(spec.clone(), cost.clone(), p.clone(), cfg)
+            .run()
+            .throughput
     };
 
     let mut best = initial;
@@ -89,7 +91,11 @@ mod tests {
     use super::*;
 
     fn quick_cfg() -> SimConfig {
-        SimConfig { duration: 8.0, warmup: 2.0, ..Default::default() }
+        SimConfig {
+            duration: 8.0,
+            warmup: 2.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -118,7 +124,10 @@ mod tests {
         // moves should spread them out and beat the start clearly.
         let spec = ClusterSpec::paper();
         let cost = CostModel::paper();
-        let bad = Placement { split_node: 0, engine_nodes: vec![1; 8] };
+        let bad = Placement {
+            split_node: 0,
+            engine_nodes: vec![1; 8],
+        };
         let res = optimize_placement(&spec, &cost, bad, &quick_cfg(), 40, 2);
         assert!(
             res.throughput > 1.2 * res.initial_throughput,
@@ -127,8 +136,7 @@ mod tests {
             res.initial_throughput
         );
         // The best placement uses more than one node.
-        let used: std::collections::HashSet<_> =
-            res.placement.engine_nodes.iter().collect();
+        let used: std::collections::HashSet<_> = res.placement.engine_nodes.iter().collect();
         assert!(used.len() > 1);
     }
 

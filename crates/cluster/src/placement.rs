@@ -13,7 +13,10 @@ impl Placement {
     /// Everything on one node — the paper's "single" configuration, where
     /// engines are fused with the split and exchange tuples in memory.
     pub fn single_node(n_engines: usize) -> Self {
-        Placement { split_node: 0, engine_nodes: vec![0; n_engines] }
+        Placement {
+            split_node: 0,
+            engine_nodes: vec![0; n_engines],
+        }
     }
 
     /// Engines distributed round-robin over all nodes — the paper's

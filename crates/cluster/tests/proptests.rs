@@ -5,7 +5,13 @@ use proptest::prelude::*;
 use spca_cluster::{ClusterSim, ClusterSpec, CostModel, Placement, SimConfig};
 
 fn quick_cfg(dim: usize, seed: u64) -> SimConfig {
-    SimConfig { dim, duration: 6.0, warmup: 1.0, seed, ..Default::default() }
+    SimConfig {
+        dim,
+        duration: 6.0,
+        warmup: 1.0,
+        seed,
+        ..Default::default()
+    }
 }
 
 fn placement_strategy() -> impl Strategy<Value = Placement> {

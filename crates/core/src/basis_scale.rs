@@ -33,7 +33,13 @@ impl RobustScale {
     pub fn new(alpha: f64, delta: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0);
         assert!(delta > 0.0 && delta < 1.0);
-        RobustScale { sigma2: 0.0, sum_u: 0.0, alpha, delta, n: 0 }
+        RobustScale {
+            sigma2: 0.0,
+            sum_u: 0.0,
+            alpha,
+            delta,
+            n: 0,
+        }
     }
 
     /// Feeds one squared value `r²`.
@@ -42,7 +48,11 @@ impl RobustScale {
         let gamma3 = self.alpha * self.sum_u / u_new;
         // Before any scale exists, seed with the raw value (the fixed-point
         // iteration forgets the seed geometrically anyway).
-        let sigma = if self.sigma2 > 0.0 { self.sigma2 } else { r2.max(f64::MIN_POSITIVE) };
+        let sigma = if self.sigma2 > 0.0 {
+            self.sigma2
+        } else {
+            r2.max(f64::MIN_POSITIVE)
+        };
         let t = r2 / sigma;
         let w_star = rho.scale_weight(t);
         self.sigma2 = gamma3 * self.sigma2 + (1.0 - gamma3) * w_star * r2 / self.delta;
@@ -82,7 +92,9 @@ impl BasisScaleTracker {
             basis,
             mean: vec![0.0; d],
             mean_v: 0.0,
-            scales: (0..k).map(|_| RobustScale::new(cfg.alpha, cfg.delta)).collect(),
+            scales: (0..k)
+                .map(|_| RobustScale::new(cfg.alpha, cfg.delta))
+                .collect(),
             rho: cfg.rho.build(),
             alpha: cfg.alpha,
         }
@@ -161,7 +173,9 @@ mod tests {
     #[test]
     fn classical_rho_recovers_projection_variance() {
         // With ρ(t)=t and δ=0.5, the recursion estimates E[r²]/δ = 2·Var.
-        let cfg = PcaConfig::new(D, 2).with_memory(2000).with_rho(crate::RhoKind::Classical);
+        let cfg = PcaConfig::new(D, 2)
+            .with_memory(2000)
+            .with_rho(crate::RhoKind::Classical);
         let mut tr = BasisScaleTracker::new(axes(&[0, 1]), &cfg);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..6000 {
@@ -206,8 +220,16 @@ mod tests {
             robust.update(r2, &bi);
             classic.update(r2, &cl);
         }
-        assert!(robust.sigma2() < 50.0, "robust exploded: {}", robust.sigma2());
-        assert!(classic.sigma2() > 1e4, "classical should absorb spikes: {}", classic.sigma2());
+        assert!(
+            robust.sigma2() < 50.0,
+            "robust exploded: {}",
+            robust.sigma2()
+        );
+        assert!(
+            classic.sigma2() > 1e4,
+            "classical should absorb spikes: {}",
+            classic.sigma2()
+        );
     }
 
     #[test]
@@ -232,7 +254,11 @@ mod tests {
             streaming.update(v, &bi);
         }
         let rel = (streaming.sigma2() - batch).abs() / batch;
-        assert!(rel < 0.3, "streaming {} vs batch {batch}", streaming.sigma2());
+        assert!(
+            rel < 0.3,
+            "streaming {} vs batch {batch}",
+            streaming.sigma2()
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub fn batch_pca(data: &[Vec<f64>], p: usize) -> Result<EigenSystem> {
     let d = data[0].len();
     for x in data {
         if x.len() != d {
-            return Err(PcaError::DimensionMismatch { expected: d, got: x.len() });
+            return Err(PcaError::DimensionMismatch {
+                expected: d,
+                got: x.len(),
+            });
         }
         if !vecops::all_finite(x) {
             return Err(PcaError::NotFinite);
@@ -48,8 +51,11 @@ pub fn batch_pca(data: &[Vec<f64>], p: usize) -> Result<EigenSystem> {
         sum_q: 0.0,
         n_obs: n as u64,
     };
-    let mean_r2 =
-        data.iter().map(|x| eig.residual_sq_truncated(x, p)).sum::<f64>() / n as f64;
+    let mean_r2 = data
+        .iter()
+        .map(|x| eig.residual_sq_truncated(x, p))
+        .sum::<f64>()
+        / n as f64;
     eig.sigma2 = mean_r2;
     eig.sum_q = n as f64 * mean_r2;
     Ok(eig)
@@ -73,7 +79,10 @@ pub fn spherical_pca(data: &[Vec<f64>], p: usize) -> Result<EigenSystem> {
         scratch.clear();
         for x in data {
             if x.len() != d {
-                return Err(PcaError::DimensionMismatch { expected: d, got: x.len() });
+                return Err(PcaError::DimensionMismatch {
+                    expected: d,
+                    got: x.len(),
+                });
             }
             scratch.push(x[i]);
         }
@@ -105,8 +114,11 @@ pub fn spherical_pca(data: &[Vec<f64>], p: usize) -> Result<EigenSystem> {
         sum_q: 0.0,
         n_obs: n as u64,
     };
-    let mean_r2 =
-        data.iter().map(|x| eig.residual_sq_truncated(x, p)).sum::<f64>() / n as f64;
+    let mean_r2 = data
+        .iter()
+        .map(|x| eig.residual_sq_truncated(x, p))
+        .sum::<f64>()
+        / n as f64;
     eig.sigma2 = mean_r2;
     eig.sum_q = n as f64 * mean_r2;
     Ok(eig)
@@ -130,7 +142,10 @@ pub fn batch_robust_pca(
     }
     let mut eig = spherical_pca(data, p)?;
     let mut sigma2 = {
-        let r2: Vec<f64> = data.iter().map(|x| eig.residual_sq_truncated(x, p)).collect();
+        let r2: Vec<f64> = data
+            .iter()
+            .map(|x| eig.residual_sq_truncated(x, p))
+            .collect();
         mscale_fixed_point(&r2, delta, rho, 50)
     };
 
@@ -138,7 +153,10 @@ pub fn batch_robust_pca(
     for it in 0..max_iters {
         iters = it + 1;
         // Weights from the current fit.
-        let r2: Vec<f64> = data.iter().map(|x| eig.residual_sq_truncated(x, p)).collect();
+        let r2: Vec<f64> = data
+            .iter()
+            .map(|x| eig.residual_sq_truncated(x, p))
+            .collect();
         let sig = sigma2.max(1e-300);
         let w: Vec<f64> = r2.iter().map(|&r| rho.weight(r / sig)).collect();
         let wsum: f64 = w.iter().sum();
@@ -164,12 +182,18 @@ pub fn batch_robust_pca(
         eig.values = values;
 
         // New scale.
-        let r2_new: Vec<f64> = data.iter().map(|x| eig.residual_sq_truncated(x, p)).collect();
+        let r2_new: Vec<f64> = data
+            .iter()
+            .map(|x| eig.residual_sq_truncated(x, p))
+            .collect();
         let sigma2_new = mscale_fixed_point(&r2_new, delta, rho, 50);
 
         let basis_drift = crate::metrics::subspace_distance(&old_basis, &eig.basis)?;
-        let scale_drift =
-            if sigma2 > 0.0 { ((sigma2_new - sigma2) / sigma2).abs() } else { 1.0 };
+        let scale_drift = if sigma2 > 0.0 {
+            ((sigma2_new - sigma2) / sigma2).abs()
+        } else {
+            1.0
+        };
         sigma2 = sigma2_new;
         if basis_drift < 1e-8 && scale_drift < 1e-10 {
             break;
@@ -177,7 +201,10 @@ pub fn batch_robust_pca(
     }
     eig.sigma2 = sigma2;
     // Seed running sums consistently with the final weights.
-    let r2: Vec<f64> = data.iter().map(|x| eig.residual_sq_truncated(x, p)).collect();
+    let r2: Vec<f64> = data
+        .iter()
+        .map(|x| eig.residual_sq_truncated(x, p))
+        .collect();
     let sig = sigma2.max(1e-300);
     let w: Vec<f64> = r2.iter().map(|&r| rho.weight(r / sig)).collect();
     eig.sum_u = decayed_count(1.0, n);
@@ -248,9 +275,9 @@ fn covariance_eigensystem(
         let k = p.min(f.s.len());
         let mut basis = Mat::zeros(d, p);
         let mut values = vec![0.0; p];
-        for j in 0..k {
+        for (j, val) in values.iter_mut().enumerate().take(k) {
             basis.col_mut(j).copy_from_slice(f.u.col(j));
-            values[j] = f.s[j] * f.s[j];
+            *val = f.s[j] * f.s[j];
         }
         complete_basis(&mut basis);
         Ok((basis, values))
@@ -288,7 +315,9 @@ fn covariance_eigensystem(
 }
 
 fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -337,7 +366,10 @@ mod tests {
         // Re-run the same data through the covariance branch by faking a
         // smaller d? Instead, just check both paths on their natural data
         // satisfy the residual identity: total variance = Σλ + mean r².
-        for (e, set) in [(e1, small.to_vec()), (batch_pca(&data, 2).unwrap(), data.clone())] {
+        for (e, set) in [
+            (e1, small.to_vec()),
+            (batch_pca(&data, 2).unwrap(), data.clone()),
+        ] {
             let n = set.len() as f64;
             let total_var: f64 = set
                 .iter()
@@ -348,8 +380,11 @@ mod tests {
                 .sum::<f64>()
                 / n;
             let explained: f64 = e.values.iter().sum();
-            let resid: f64 =
-                set.iter().map(|x| e.residual_sq_truncated(x, 2)).sum::<f64>() / n;
+            let resid: f64 = set
+                .iter()
+                .map(|x| e.residual_sq_truncated(x, 2))
+                .sum::<f64>()
+                / n;
             assert!(
                 (total_var - explained - resid).abs() < 1e-6 * total_var.max(1.0),
                 "variance bookkeeping: {total_var} vs {explained}+{resid}"
@@ -368,15 +403,22 @@ mod tests {
             data.push(x);
         }
         let classic = batch_pca(&data, 2).unwrap();
-        let (robust, iters) =
-            batch_robust_pca(&data, 2, &Bisquare::default(), 0.5, 50).unwrap();
+        let (robust, iters) = batch_robust_pca(&data, 2, &Bisquare::default(), 0.5, 50).unwrap();
         assert!(iters >= 1);
         let plane = |e: &EigenSystem| {
             let c = e.basis.col(0);
             c[0] * c[0] + c[1] * c[1]
         };
-        assert!(plane(&robust) > 0.98, "robust plane energy {}", plane(&robust));
-        assert!(plane(&classic) < 0.5, "classic should be captured: {}", plane(&classic));
+        assert!(
+            plane(&robust) > 0.98,
+            "robust plane energy {}",
+            plane(&robust)
+        );
+        assert!(
+            plane(&classic) < 0.5,
+            "classic should be captured: {}",
+            plane(&classic)
+        );
     }
 
     #[test]
@@ -398,6 +440,9 @@ mod tests {
     #[test]
     fn ragged_batch_rejected() {
         let data = vec![vec![0.0; 4], vec![0.0; 5]];
-        assert!(matches!(batch_pca(&data, 1), Err(PcaError::DimensionMismatch { .. })));
+        assert!(matches!(
+            batch_pca(&data, 1),
+            Err(PcaError::DimensionMismatch { .. })
+        ));
     }
 }

@@ -13,14 +13,38 @@
 
 use crate::config::PcaConfig;
 use crate::eigensystem::EigenSystem;
+use crate::gaps::GapWorkspace;
 use crate::{PcaError, Result};
+use spca_linalg::svd::SvdWorkspace;
 use spca_linalg::{svd, vecops, Mat};
+
+/// Reusable scratch for the per-tuple streaming update.
+///
+/// Owned by [`ClassicIncrementalPca`] and [`crate::RobustPca`]: after the
+/// first few updates every buffer has reached its steady-state size and an
+/// update performs no heap allocation at all — the property the
+/// allocation-counting test in `tests/alloc_count.rs` pins down.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateWorkspace {
+    pub(crate) step: StepScratch,
+    pub(crate) gaps: GapWorkspace,
+}
+
+/// The scratch needed by one algebraic update step (centered vector, the
+/// `d × (k+1)` factor, and the SVD workspace).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StepScratch {
+    pub(crate) y: Vec<f64>,
+    pub(crate) a: Mat,
+    pub(crate) svd: SvdWorkspace,
+}
 
 /// Classical streaming PCA with exponential forgetting.
 #[derive(Debug, Clone)]
 pub struct ClassicIncrementalPca {
     cfg: PcaConfig,
     state: State,
+    ws: UpdateWorkspace,
 }
 
 #[derive(Debug, Clone)]
@@ -34,7 +58,11 @@ enum State {
 impl ClassicIncrementalPca {
     /// Creates an estimator in warm-up state.
     pub fn new(cfg: PcaConfig) -> Self {
-        ClassicIncrementalPca { cfg, state: State::WarmUp(Vec::new()) }
+        ClassicIncrementalPca {
+            cfg,
+            state: State::WarmUp(Vec::new()),
+            ws: UpdateWorkspace::default(),
+        }
     }
 
     /// The configuration in effect.
@@ -59,18 +87,20 @@ impl ClassicIncrementalPca {
     /// the pre-update eigensystem (0.0 during warm-up).
     pub fn update(&mut self, x: &[f64]) -> Result<f64> {
         validate(&self.cfg, x)?;
-        match &mut self.state {
+        let ClassicIncrementalPca { cfg, state, ws } = self;
+        match state {
             State::WarmUp(buf) => {
                 buf.push(x.to_vec());
-                if buf.len() >= self.cfg.init_size {
+                if buf.len() >= cfg.init_size {
                     let batch = std::mem::take(buf);
-                    self.state = State::Running(init_from_batch(&self.cfg, &batch)?);
+                    *state = State::Running(init_from_batch(cfg, &batch)?);
                 }
                 Ok(0.0)
             }
             State::Running(eig) => {
-                let r2 = eig.residual_sq_truncated(x, self.cfg.p);
-                classic_step(eig, x, self.cfg.alpha)?;
+                eig.center_into(x, &mut ws.step.y);
+                let r2 = eig.residual_sq_truncated_centered(&ws.step.y, cfg.p);
+                classic_step(eig, x, cfg.alpha, &mut ws.step)?;
                 eig.n_obs += 1;
                 Ok(r2)
             }
@@ -116,7 +146,10 @@ impl ClassicIncrementalPca {
 
 pub(crate) fn validate(cfg: &PcaConfig, x: &[f64]) -> Result<()> {
     if x.len() != cfg.dim {
-        return Err(PcaError::DimensionMismatch { expected: cfg.dim, got: x.len() });
+        return Err(PcaError::DimensionMismatch {
+            expected: cfg.dim,
+            got: x.len(),
+        });
     }
     if !vecops::all_finite(x) {
         return Err(PcaError::NotFinite);
@@ -126,7 +159,12 @@ pub(crate) fn validate(cfg: &PcaConfig, x: &[f64]) -> Result<()> {
 
 /// One classical incremental step on an initialized eigensystem: updates
 /// mean, then eigensystem via the `A = [E√(γΛ) | y√(1−γ)]` SVD.
-pub(crate) fn classic_step(eig: &mut EigenSystem, x: &[f64], alpha: f64) -> Result<()> {
+pub(crate) fn classic_step(
+    eig: &mut EigenSystem,
+    x: &[f64],
+    alpha: f64,
+    scratch: &mut StepScratch,
+) -> Result<()> {
     // γ from the decayed observation count (eq. 14 analogue): with every
     // weight equal to one, u, v and q all share this recursion.
     let u_new = alpha * eig.sum_u + 1.0;
@@ -139,42 +177,36 @@ pub(crate) fn classic_step(eig: &mut EigenSystem, x: &[f64], alpha: f64) -> Resu
         *m = gamma * *m + (1.0 - gamma) * xi;
     }
 
-    let y = eig.center(x);
-    low_rank_update(eig, &y, gamma, 1.0 - gamma)?;
+    eig.center_into(x, &mut scratch.y);
+    let StepScratch { y, a, svd } = scratch;
+    low_rank_update(eig, y, gamma, 1.0 - gamma, a, svd)?;
     eig.sum_q = u_new; // classical: w·r² sums degenerate to the count
     Ok(())
 }
 
 /// Shared low-rank eigensystem update: replaces `{E, Λ}` with the top-k of
-/// the SVD of `A = [e_j·√(g_hist·λ_j) | y·√(g_new)]`.
+/// the SVD of `A = [e_j·√(g_hist·λ_j) | y·√(g_new)]`, assembled in the
+/// caller-owned factor buffer `a` and decomposed into `svd`.
 pub(crate) fn low_rank_update(
     eig: &mut EigenSystem,
     y: &[f64],
     g_hist: f64,
     g_new: f64,
+    a: &mut Mat,
+    svd_ws: &mut SvdWorkspace,
 ) -> Result<()> {
     let d = eig.dim();
     let k = eig.n_components();
-    let mut a = Mat::zeros(d, k + 1);
+    a.reset_zeroed(d, k + 1);
     for j in 0..k {
         let s = (g_hist * eig.values[j]).max(0.0).sqrt();
-        let src = eig.basis.col(j);
-        let dst = a.col_mut(j);
-        for (o, &i) in dst.iter_mut().zip(src) {
-            *o = s * i;
-        }
+        a.scale_col_from(j, eig.basis.col(j), s);
     }
-    {
-        let s = g_new.max(0.0).sqrt();
-        let dst = a.col_mut(k);
-        for (o, &i) in dst.iter_mut().zip(y) {
-            *o = s * i;
-        }
-    }
-    let f = svd::thin_svd(&a)?;
+    a.scale_col_from(k, y, g_new.max(0.0).sqrt());
+    svd::thin_svd_into(a, svd_ws)?;
     for j in 0..k {
-        eig.basis.col_mut(j).copy_from_slice(f.u.col(j));
-        eig.values[j] = f.s[j] * f.s[j];
+        eig.basis.col_mut(j).copy_from_slice(svd_ws.u.col(j));
+        eig.values[j] = svd_ws.s[j] * svd_ws.s[j];
     }
     Ok(())
 }
@@ -207,9 +239,9 @@ pub(crate) fn init_from_batch(cfg: &PcaConfig, batch: &[Vec<f64>]) -> Result<Eig
         let f = svd::thin_svd(&data)?;
         let mut basis = Mat::zeros(d, cfg.p_total());
         let mut values = vec![0.0; cfg.p_total()];
-        for j in 0..k.min(f.s.len()) {
+        for (j, val) in values.iter_mut().enumerate().take(k.min(f.s.len())) {
             basis.col_mut(j).copy_from_slice(f.u.col(j));
-            values[j] = f.s[j] * f.s[j] / n as f64;
+            *val = f.s[j] * f.s[j] / n as f64;
         }
         fill_orthonormal_tail(&mut basis, k);
         (basis, values)
@@ -219,9 +251,9 @@ pub(crate) fn init_from_batch(cfg: &PcaConfig, batch: &[Vec<f64>]) -> Result<Eig
         // dataᵀ are right vectors of data.
         let mut basis = Mat::zeros(d, cfg.p_total());
         let mut values = vec![0.0; cfg.p_total()];
-        for j in 0..k.min(f.s.len()).min(d) {
+        for (j, val) in values.iter_mut().enumerate().take(k.min(f.s.len()).min(d)) {
             basis.col_mut(j).copy_from_slice(f.v.col(j));
-            values[j] = f.s[j] * f.s[j] / n as f64;
+            *val = f.s[j] * f.s[j] / n as f64;
         }
         fill_orthonormal_tail(&mut basis, k);
         (basis, values)
@@ -242,7 +274,11 @@ pub(crate) fn init_from_batch(cfg: &PcaConfig, batch: &[Vec<f64>]) -> Result<Eig
     };
     // Mean residual over the batch seeds σ² (the robust path re-solves the
     // M-scale on top of this).
-    let mean_r2 = batch.iter().map(|x| eig.residual_sq_truncated(x, cfg.p)).sum::<f64>() / n as f64;
+    let mean_r2 = batch
+        .iter()
+        .map(|x| eig.residual_sq_truncated(x, cfg.p))
+        .sum::<f64>()
+        / n as f64;
     eig.sigma2 = mean_r2;
     eig.sum_q = u0 * mean_r2;
     Ok(eig)
@@ -307,7 +343,10 @@ mod tests {
     }
 
     fn cfg() -> PcaConfig {
-        PcaConfig::new(10, 2).with_alpha(1.0).with_extra(0).with_init_size(20)
+        PcaConfig::new(10, 2)
+            .with_alpha(1.0)
+            .with_extra(0)
+            .with_init_size(20)
     }
 
     #[test]
@@ -332,8 +371,16 @@ mod tests {
         eig.check_invariants().unwrap();
         // Top eigenvector should align with axis 0 (variance 9), second
         // with axis 1 (variance 2.25).
-        assert!(eig.basis[(0, 0)].abs() > 0.99, "e1 = {:?}", eig.basis.col(0));
-        assert!(eig.basis[(1, 1)].abs() > 0.99, "e2 = {:?}", eig.basis.col(1));
+        assert!(
+            eig.basis[(0, 0)].abs() > 0.99,
+            "e1 = {:?}",
+            eig.basis.col(0)
+        );
+        assert!(
+            eig.basis[(1, 1)].abs() > 0.99,
+            "e2 = {:?}",
+            eig.basis.col(1)
+        );
         assert!((eig.values[0] - 9.0).abs() < 1.5, "λ1 = {}", eig.values[0]);
         assert!((eig.values[1] - 2.25).abs() < 0.6, "λ2 = {}", eig.values[1]);
     }
@@ -353,7 +400,10 @@ mod tests {
                 late += r2;
             }
         }
-        assert!(late / 100.0 <= early / 100.0 + 1e-6, "early {early} late {late}");
+        assert!(
+            late / 100.0 <= early / 100.0 + 1e-6,
+            "early {early} late {late}"
+        );
     }
 
     #[test]
@@ -361,7 +411,10 @@ mod tests {
         let mut pca = ClassicIncrementalPca::new(cfg());
         assert!(matches!(
             pca.update(&[1.0, 2.0]),
-            Err(PcaError::DimensionMismatch { expected: 10, got: 2 })
+            Err(PcaError::DimensionMismatch {
+                expected: 10,
+                got: 2
+            })
         ));
     }
 
@@ -400,7 +453,10 @@ mod tests {
     fn forgetting_tracks_subspace_drift() {
         // With a short memory the estimator must follow a subspace that
         // rotates from axis 0 to axis 2 halfway through.
-        let cfg = PcaConfig::new(10, 1).with_memory(200).with_extra(0).with_init_size(20);
+        let cfg = PcaConfig::new(10, 1)
+            .with_memory(200)
+            .with_extra(0)
+            .with_init_size(20);
         let mut pca = ClassicIncrementalPca::new(cfg);
         let mut rng = StdRng::seed_from_u64(6);
         for phase in 0..2 {
@@ -415,7 +471,11 @@ mod tests {
             }
         }
         let eig = pca.eigensystem();
-        assert!(eig.basis[(2, 0)].abs() > 0.95, "should have rotated: {:?}", eig.basis.col(0));
+        assert!(
+            eig.basis[(2, 0)].abs() > 0.95,
+            "should have rotated: {:?}",
+            eig.basis.col(0)
+        );
     }
 
     #[test]

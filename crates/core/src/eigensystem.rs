@@ -65,14 +65,33 @@ impl EigenSystem {
         vecops::sub(x, &self.mean)
     }
 
+    /// Centers `x` into a caller-owned buffer (no allocation once `y` has
+    /// capacity `d`).
+    pub fn center_into(&self, x: &[f64], y: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.dim(), "center_into: dimension mismatch");
+        y.clear();
+        y.extend(x.iter().zip(&self.mean).map(|(xi, mi)| xi - mi));
+    }
+
     /// Projection coefficients `c = Eᵀ y` of a centered vector.
     pub fn project(&self, y: &[f64]) -> Vec<f64> {
-        self.basis.tr_matvec(y).expect("dimension checked by caller")
+        self.basis
+            .tr_matvec(y)
+            .expect("dimension checked by caller")
+    }
+
+    /// Projection coefficients into a caller-owned buffer (no allocation
+    /// once `coeffs` has capacity `k`).
+    pub fn project_into(&self, y: &[f64], coeffs: &mut Vec<f64>) {
+        coeffs.clear();
+        coeffs.extend((0..self.n_components()).map(|j| vecops::dot(self.basis.col(j), y)));
     }
 
     /// Reconstruction `E c` from projection coefficients.
     pub fn reconstruct_centered(&self, coeffs: &[f64]) -> Vec<f64> {
-        self.basis.matvec(coeffs).expect("coefficient length matches basis")
+        self.basis
+            .matvec(coeffs)
+            .expect("coefficient length matches basis")
     }
 
     /// Full reconstruction `µ + E Eᵀ (x − µ)` of an observation.
@@ -102,11 +121,18 @@ impl EigenSystem {
     /// Squared residual using only the top `p` of the tracked components
     /// (used when extra gap-correction components are carried).
     pub fn residual_sq_truncated(&self, x: &[f64], p: usize) -> f64 {
-        let p = p.min(self.n_components());
         let y = self.center(x);
-        let mut r2 = vecops::norm_sq(&y);
+        self.residual_sq_truncated_centered(&y, p)
+    }
+
+    /// [`residual_sq_truncated`](Self::residual_sq_truncated) on an
+    /// already-centered vector — the allocation-free form the streaming
+    /// hot path uses.
+    pub fn residual_sq_truncated_centered(&self, y: &[f64], p: usize) -> f64 {
+        let p = p.min(self.n_components());
+        let mut r2 = vecops::norm_sq(y);
         for k in 0..p {
-            let c = vecops::dot(self.basis.col(k), &y);
+            let c = vecops::dot(self.basis.col(k), y);
             r2 -= c * c;
         }
         r2.max(0.0)
@@ -158,7 +184,9 @@ impl EigenSystem {
             return Err(PcaError::NotFinite);
         }
         for w in self.values.windows(2) {
-            if !(w[0] >= w[1] - 1e-9) {
+            // NaN must also fail the ordering check, hence partial_cmp.
+            let cmp = w[0].partial_cmp(&(w[1] - 1e-9));
+            if matches!(cmp, Some(std::cmp::Ordering::Less) | None) {
                 return Err(PcaError::IncompatibleMerge(format!(
                     "eigenvalues not descending: {} < {}",
                     w[0], w[1]
@@ -166,7 +194,9 @@ impl EigenSystem {
             }
         }
         if self.values.iter().any(|&v| v < -1e-9 || !v.is_finite()) {
-            return Err(PcaError::IncompatibleMerge("negative/non-finite eigenvalue".into()));
+            return Err(PcaError::IncompatibleMerge(
+                "negative/non-finite eigenvalue".into(),
+            ));
         }
         if self.sum_u < 0.0 || self.sum_v < 0.0 || self.sum_q < 0.0 {
             return Err(PcaError::IncompatibleMerge("negative running sum".into()));
@@ -236,9 +266,7 @@ mod tests {
         // residual.
         let y = e.center(&x);
         let c1 = y[1];
-        assert!(
-            (e.residual_sq_truncated(&x, 1) - (e.residual_sq(&x) + c1 * c1)).abs() < 1e-9
-        );
+        assert!((e.residual_sq_truncated(&x, 1) - (e.residual_sq(&x) + c1 * c1)).abs() < 1e-9);
     }
 
     #[test]

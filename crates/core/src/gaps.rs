@@ -12,7 +12,7 @@
 
 use crate::eigensystem::EigenSystem;
 use crate::{PcaError, Result};
-use spca_linalg::solve::spd_solve;
+use spca_linalg::solve::{spd_solve, spd_solve_into, SolveWorkspace};
 use spca_linalg::Mat;
 
 /// Result of patching an incomplete observation.
@@ -24,6 +24,16 @@ pub struct GapFill {
     /// Bias-corrected squared residual: observed-bin residual plus the
     /// higher-order estimate of the missing-bin residual.
     pub residual_sq: f64,
+}
+
+/// Reusable buffers for [`fill_gaps_into`].
+#[derive(Debug, Clone, Default)]
+pub struct GapWorkspace {
+    /// The gap-filled observation, valid after a successful call.
+    pub filled: Vec<f64>,
+    g: Mat,
+    b: Vec<f64>,
+    solve: SolveWorkspace,
 }
 
 /// Patches the missing entries of `x` using the eigensystem's top `p + q`
@@ -38,9 +48,31 @@ pub fn fill_gaps(
     p: usize,
     q: usize,
 ) -> Result<GapFill> {
+    let mut ws = GapWorkspace::default();
+    let residual_sq = fill_gaps_into(eig, x, mask, p, q, &mut ws)?;
+    Ok(GapFill {
+        filled: ws.filled,
+        residual_sq,
+    })
+}
+
+/// [`fill_gaps`] into a workspace: the patched observation lands in
+/// `ws.filled`, the bias-corrected squared residual is returned, and no
+/// allocation happens once the buffers have grown to size.
+pub fn fill_gaps_into(
+    eig: &EigenSystem,
+    x: &[f64],
+    mask: &[bool],
+    p: usize,
+    q: usize,
+    ws: &mut GapWorkspace,
+) -> Result<f64> {
     let d = eig.dim();
     if x.len() != d || mask.len() != d {
-        return Err(PcaError::DimensionMismatch { expected: d, got: x.len() });
+        return Err(PcaError::DimensionMismatch {
+            expected: d,
+            got: x.len(),
+        });
     }
     let n_obs = mask.iter().filter(|&&m| m).count();
     if n_obs == 0 {
@@ -51,10 +83,18 @@ pub fn fill_gaps(
 
     // Solve the masked least squares (Eᵀ M E) c = Eᵀ M y over the top-k
     // basis, where M zeroes the missing bins.
-    let coeffs = masked_coefficients(eig, x, mask, k)?;
+    let GapWorkspace {
+        filled,
+        g,
+        b,
+        solve,
+    } = ws;
+    masked_coefficients_into(eig, x, mask, k, g, b, solve)?;
+    let coeffs = &solve.x;
 
     // Reconstructions restricted to the two truncated bases.
-    let mut filled = x.to_vec();
+    filled.clear();
+    filled.extend_from_slice(x);
     let mut r2_obs = 0.0; // residual over observed bins w.r.t. p components
     let mut r2_miss = 0.0; // higher-order residual estimate over missing bins
     for i in 0..d {
@@ -80,7 +120,7 @@ pub fn fill_gaps(
         }
     }
 
-    Ok(GapFill { filled, residual_sq: r2_obs + r2_miss })
+    Ok(r2_obs + r2_miss)
 }
 
 /// Least-squares coefficients of `x − µ` on the top-`k` eigenvectors
@@ -91,14 +131,39 @@ pub fn masked_coefficients(
     mask: &[bool],
     k: usize,
 ) -> Result<Vec<f64>> {
-    let d = eig.dim();
     let k = k.min(eig.n_components());
     if k == 0 {
         return Ok(Vec::new());
     }
+    let mut g = Mat::default();
+    let mut b = Vec::new();
+    let mut solve = SolveWorkspace::default();
+    masked_coefficients_into(eig, x, mask, k, &mut g, &mut b, &mut solve)?;
+    Ok(solve.x)
+}
+
+/// [`masked_coefficients`] into caller-owned buffers: the Gram matrix and
+/// right-hand side are built in `g`/`b`, the coefficients land in
+/// `solve.x`.
+fn masked_coefficients_into(
+    eig: &EigenSystem,
+    x: &[f64],
+    mask: &[bool],
+    k: usize,
+    g: &mut Mat,
+    b: &mut Vec<f64>,
+    solve: &mut SolveWorkspace,
+) -> Result<()> {
+    let d = eig.dim();
+    let k = k.min(eig.n_components());
+    if k == 0 {
+        solve.x.clear();
+        return Ok(());
+    }
     // Build G = EᵀME (k×k) and b = EᵀM(x−µ) over observed bins only.
-    let mut g = Mat::zeros(k, k);
-    let mut b = vec![0.0; k];
+    g.reset_zeroed(k, k);
+    b.clear();
+    b.resize(k, 0.0);
     for i in 0..d {
         if !mask[i] {
             continue;
@@ -117,7 +182,8 @@ pub fn masked_coefficients(
             g[(a, c)] = g[(c, a)];
         }
     }
-    Ok(spd_solve(&g, &b)?)
+    spd_solve_into(g, b, solve)?;
+    Ok(())
 }
 
 /// Fits an overall normalization shift together with the gap fill (Wild et
@@ -135,7 +201,10 @@ pub fn masked_scale_and_coefficients(
 ) -> Result<(f64, Vec<f64>)> {
     let d = eig.dim();
     if x.len() != d || mask.len() != d {
-        return Err(PcaError::DimensionMismatch { expected: d, got: x.len() });
+        return Err(PcaError::DimensionMismatch {
+            expected: d,
+            got: x.len(),
+        });
     }
     let k = k.min(eig.n_components());
     // Augmented design: columns [µ | e_1 .. e_k] restricted to observed bins.
@@ -236,7 +305,11 @@ mod tests {
         let mask = vec![true, true, true, true, false];
         let gf = fill_gaps(&e, &x, &mask, 2, 1).unwrap();
         // Observed residual w.r.t. p=2: bin 2 deviates by 2.
-        assert!((gf.residual_sq - 4.0).abs() < 1e-9, "r² = {}", gf.residual_sq);
+        assert!(
+            (gf.residual_sq - 4.0).abs() < 1e-9,
+            "r² = {}",
+            gf.residual_sq
+        );
         // Missing bin 4 is off-basis entirely: filled with the k-term
         // reconstruction = mean there.
         assert!((gf.filled[4] - 1.0).abs() < 1e-9);

@@ -55,7 +55,7 @@ pub mod robust;
 pub mod window;
 
 pub use basis_scale::{BasisScaleTracker, RobustScale};
-pub use classic::ClassicIncrementalPca;
+pub use classic::{ClassicIncrementalPca, UpdateWorkspace};
 pub use config::{PcaConfig, RhoKind};
 pub use eigensystem::EigenSystem;
 pub use merge::merge;

@@ -48,10 +48,12 @@ pub fn merge(s1: &EigenSystem, s2: &EigenSystem) -> Result<EigenSystem> {
     };
 
     // Combined mean.
-    let mut mean = vec![0.0; d];
-    for i in 0..d {
-        mean[i] = g1 * s1.mean[i] + g2 * s2.mean[i];
-    }
+    let mean: Vec<f64> = s1
+        .mean
+        .iter()
+        .zip(&s2.mean)
+        .map(|(&m1, &m2)| g1 * m1 + g2 * m2)
+        .collect();
 
     // Low-rank factor with mean-shift correction columns.
     let k1 = s1.n_components();
@@ -87,9 +89,9 @@ pub fn merge(s1: &EigenSystem, s2: &EigenSystem) -> Result<EigenSystem> {
     let f = svd::thin_svd(&a)?;
     let mut basis = Mat::zeros(d, k_out);
     let mut values = vec![0.0; k_out];
-    for j in 0..k_out.min(f.s.len()) {
+    for (j, val) in values.iter_mut().enumerate().take(k_out.min(f.s.len())) {
         basis.col_mut(j).copy_from_slice(f.u.col(j));
-        values[j] = f.s[j] * f.s[j];
+        *val = f.s[j] * f.s[j];
     }
 
     // Scales combine v-weighted; running sums add (both engines' decayed
@@ -134,9 +136,9 @@ fn pad_components(e: &EigenSystem, k: usize) -> EigenSystem {
             let d = e.dim();
             let mut basis = Mat::zeros(d, k);
             let mut values = vec![0.0; k];
-            for j in 0..e.n_components() {
+            for (j, &v) in e.values.iter().enumerate().take(e.n_components()) {
                 basis.col_mut(j).copy_from_slice(e.basis.col(j));
-                values[j] = e.values[j];
+                values[j] = v;
             }
             // Orthonormal completion for the tail.
             let mut axis = 0;
@@ -155,7 +157,11 @@ fn pad_components(e: &EigenSystem, k: usize) -> EigenSystem {
                     }
                 }
             }
-            EigenSystem { basis, values, ..e.clone() }
+            EigenSystem {
+                basis,
+                values,
+                ..e.clone()
+            }
         }
     }
 }
@@ -202,7 +208,12 @@ mod tests {
         assert!(dist < 0.05, "merged basis off by {dist}");
         for k in 0..2 {
             let rel = (merged.values[k] - ew.values[k]).abs() / ew.values[k];
-            assert!(rel < 0.15, "λ{k}: merged {} vs whole {}", merged.values[k], ew.values[k]);
+            assert!(
+                rel < 0.15,
+                "λ{k}: merged {} vs whole {}",
+                merged.values[k],
+                ew.values[k]
+            );
         }
         // Means agree.
         for i in 0..D {
@@ -221,7 +232,11 @@ mod tests {
         light.mean = vec![10.0; D];
         let merged = merge(&heavy, &light).unwrap();
         // Mean must stay close to the heavy side.
-        assert!((merged.mean[2] - heavy.mean[2]).abs() < 0.1, "{:?}", &merged.mean[..3]);
+        assert!(
+            (merged.mean[2] - heavy.mean[2]).abs() < 0.1,
+            "{:?}",
+            &merged.mean[..3]
+        );
     }
 
     #[test]
@@ -242,7 +257,10 @@ mod tests {
         let eb = batch_pca(&b, 2).unwrap();
         let merged = merge(&ea, &eb).unwrap();
         let top = merged.basis.col(0);
-        assert!(top[3].abs() > 0.95, "between-group direction missed: {top:?}");
+        assert!(
+            top[3].abs() > 0.95,
+            "between-group direction missed: {top:?}"
+        );
     }
 
     #[test]
@@ -280,8 +298,9 @@ mod tests {
     #[test]
     fn merge_all_associates() {
         let mut rng = StdRng::seed_from_u64(25);
-        let parts: Vec<EigenSystem> =
-            (0..4).map(|_| batch_pca(&planted(&mut rng, 200), 2).unwrap()).collect();
+        let parts: Vec<EigenSystem> = (0..4)
+            .map(|_| batch_pca(&planted(&mut rng, 200), 2).unwrap())
+            .collect();
         let left = merge_all(&parts).unwrap();
         // Pairwise tree merge.
         let t1 = merge(&parts[0], &parts[1]).unwrap();

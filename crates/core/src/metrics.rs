@@ -100,7 +100,11 @@ impl Trace {
     /// A trace sampling every `stride` observations (`stride ≥ 1`).
     pub fn new(stride: u64) -> Self {
         assert!(stride >= 1);
-        Trace { stride, next: 0, samples: Vec::new() }
+        Trace {
+            stride,
+            next: 0,
+            samples: Vec::new(),
+        }
     }
 
     /// Offers the current observation count and a lazily-computed value
@@ -172,7 +176,10 @@ mod tests {
     #[test]
     fn eigenvalue_error_basics() {
         assert_eq!(eigenvalue_relative_error(&[2.0], &[1.0], 1e-12), 1.0);
-        assert_eq!(eigenvalue_relative_error(&[1.0, 2.0], &[1.0, 2.0], 1e-12), 0.0);
+        assert_eq!(
+            eigenvalue_relative_error(&[1.0, 2.0], &[1.0, 2.0], 1e-12),
+            0.0
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl WindowedPca {
     /// configuration's forgetting factor is overridden to α = 1 (each pane
     /// is an exact batch; the *window* does the forgetting).
     pub fn new(cfg: PcaConfig, pane_size: u64, n_panes: usize) -> Self {
-        assert!(pane_size >= cfg.init_size as u64, "pane must cover the warm-up");
+        assert!(
+            pane_size >= cfg.init_size as u64,
+            "pane must cover the warm-up"
+        );
         assert!(n_panes >= 1);
         let cfg = cfg.with_alpha(1.0);
         let live = RobustPca::new(cfg.clone());
@@ -233,7 +236,9 @@ mod tests {
         let eig = w.eigensystem().unwrap();
         // The top component must be on axis 5; axes 0/1 must carry nothing.
         assert!(eig.basis[(5, 0)].abs() > 0.95, "{:?}", eig.basis.col(0));
-        let stale: f64 = (0..2).map(|k| eig.basis[(0, k)].abs() + eig.basis[(1, k)].abs()).sum();
+        let stale: f64 = (0..2)
+            .map(|k| eig.basis[(0, k)].abs() + eig.basis[(1, k)].abs())
+            .sum();
         assert!(stale < 0.1, "old regime leaked into the window: {stale}");
     }
 
@@ -257,7 +262,11 @@ mod tests {
         let we = windowed.eigensystem().unwrap();
         let de = damped.eigensystem();
         // Windowed: axis 5 on top. Damped (memory 5000 ≫ 400): axis 0 on top.
-        assert!(we.basis[(5, 0)].abs() > 0.9, "windowed {:?}", we.basis.col(0));
+        assert!(
+            we.basis[(5, 0)].abs() > 0.9,
+            "windowed {:?}",
+            we.basis.col(0)
+        );
         assert!(de.basis[(0, 0)].abs() > 0.9, "damped {:?}", de.basis.col(0));
     }
 
@@ -329,7 +338,7 @@ mod tests {
     #[test]
     fn update_at_on_count_window_errors() {
         let mut w = WindowedPca::new(cfg(), 100, 2);
-        assert!(w.update_at(&vec![0.0; D], 5).is_err());
+        assert!(w.update_at(&[0.0; D], 5).is_err());
     }
 
     #[test]

@@ -126,7 +126,9 @@ impl ParallelPcaApp {
         let data_link = if cfg.fuse || cfg.network_delay_us == 0 {
             LinkKind::Local
         } else {
-            LinkKind::Network { model_delay_us: cfg.network_delay_us }
+            LinkKind::Network {
+                model_delay_us: cfg.network_delay_us,
+            }
         };
 
         let src = g.add_source("source", source);
@@ -278,7 +280,15 @@ impl ParallelPcaApp {
             g.fuse(&all);
         }
 
-        (g, AppHandles { hub, outcomes, quarantined, engine_states })
+        (
+            g,
+            AppHandles {
+                hub,
+                outcomes,
+                quarantined,
+                engine_states,
+            },
+        )
     }
 }
 
@@ -295,7 +305,10 @@ mod tests {
     const D: usize = 16;
 
     fn pca_cfg() -> PcaConfig {
-        PcaConfig::new(D, 2).with_memory(300).with_init_size(20).with_extra(0)
+        PcaConfig::new(D, 2)
+            .with_memory(300)
+            .with_init_size(20)
+            .with_extra(0)
     }
 
     fn planted_source(n: u64, seed: u64) -> Box<dyn Operator> {

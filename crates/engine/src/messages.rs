@@ -45,7 +45,9 @@ mod tests {
 
     #[test]
     fn payloads_round_trip_through_control_tuples() {
-        let cmd = SyncCommand { share_ports: vec![0, 2] };
+        let cmd = SyncCommand {
+            share_ports: vec![0, 2],
+        };
         let t = spca_streams::ControlTuple::new(KIND_SYNC_COMMAND, 7, Arc::new(cmd.clone()));
         assert_eq!(t.payload_as::<SyncCommand>().unwrap(), &cmd);
 

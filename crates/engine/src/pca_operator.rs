@@ -156,18 +156,24 @@ impl StreamingPcaOp {
     }
 
     fn snapshot(&self, ctx: &mut OpContext<'_>) {
-        let st = self.state.lock();
-        if !st.is_initialized() {
-            return;
-        }
+        // The lock covers only the state read: clone the eigensystem (and
+        // observation count) under it, then assemble the message and send
+        // with the lock released, so a slow or blocking downstream port can
+        // never stall the per-tuple update path of a concurrent reader.
+        let (eigensystem, n_obs) = {
+            let st = self.state.lock();
+            match st.full_eigensystem() {
+                Some(eig) => (eig.clone(), st.n_obs()),
+                None => return,
+            }
+        };
         let msg = PeerState {
             engine: self.engine_id,
-            eigensystem: st.full_eigensystem().expect("initialized").clone(),
-            n_obs: st.n_obs(),
+            eigensystem,
+            n_obs,
             shares_sent: self.shares_sent,
             merges_applied: self.merges_applied,
         };
-        drop(st);
         ctx.emit_control(
             self.monitor_port(),
             ControlTuple::new(KIND_SNAPSHOT, self.engine_id, Arc::new(msg)),
@@ -192,7 +198,7 @@ impl Operator for StreamingPcaOp {
                 // processor. Log the first few and then once per thousand,
                 // so a persistently dirty feed cannot flood stderr.
                 self.dropped += 1;
-                if self.dropped <= 5 || self.dropped % 1000 == 0 {
+                if self.dropped <= 5 || self.dropped.is_multiple_of(1000) {
                     eprintln!(
                         "engine {}: dropped tuple {} ({} dropped so far): {e}",
                         self.engine_id, tuple.seq, self.dropped
@@ -221,7 +227,7 @@ impl Operator for StreamingPcaOp {
             // Arc, so this is pointer-cheap).
             ctx.emit_data(self.quarantine_port(), tuple.clone());
         }
-        if self.snapshot_every > 0 && self.processed % self.snapshot_every == 0 {
+        if self.snapshot_every > 0 && self.processed.is_multiple_of(self.snapshot_every) {
             self.snapshot(ctx);
         }
     }
@@ -237,29 +243,34 @@ impl Operator for StreamingPcaOp {
                 let Some(cmd) = tuple.payload_as::<SyncCommand>() else {
                     return;
                 };
-                let st = self.state.lock();
-                if !st.is_initialized() {
-                    return;
-                }
-                // Data-driven gate: skip the exchange when this engine's
-                // estimate still agrees with what its peers last reported —
-                // nothing informative to send.
-                if let (Some(threshold), Some(peer)) = (self.divergence_gate, &self.last_peer) {
-                    let own = st.full_eigensystem().expect("initialized");
-                    match spca_core::metrics::subspace_distance(&own.basis, &peer.basis) {
-                        Ok(d) if d <= threshold => return,
-                        _ => {}
+                // Lock scope: the divergence check and the eigensystem
+                // clone only. Message assembly and the port sends happen
+                // after release (sends can block on backpressure; holding
+                // the state lock there would couple downstream congestion
+                // to the update hot path).
+                let (eigensystem, n_obs) = {
+                    let st = self.state.lock();
+                    let Some(own) = st.full_eigensystem() else {
+                        return;
+                    };
+                    // Data-driven gate: skip the exchange when this engine's
+                    // estimate still agrees with what its peers last
+                    // reported — nothing informative to send.
+                    if let (Some(threshold), Some(peer)) = (self.divergence_gate, &self.last_peer) {
+                        match spca_core::metrics::subspace_distance(&own.basis, &peer.basis) {
+                            Ok(d) if d <= threshold => return,
+                            _ => {}
+                        }
                     }
-                }
-                let msg = PeerState {
+                    (own.clone(), st.n_obs())
+                };
+                let payload: Arc<PeerState> = Arc::new(PeerState {
                     engine: self.engine_id,
-                    eigensystem: st.full_eigensystem().expect("initialized").clone(),
-                    n_obs: st.n_obs(),
+                    eigensystem,
+                    n_obs,
                     shares_sent: self.shares_sent,
                     merges_applied: self.merges_applied,
-                };
-                drop(st);
-                let payload: Arc<PeerState> = Arc::new(msg);
+                });
                 for &port in &cmd.share_ports {
                     if port < self.n_peer_ports {
                         ctx.emit_control(
@@ -315,13 +326,16 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use spca_spectra::PlantedSubspace;
-    use spca_streams::operator::testing::with_ctx;
+    use spca_streams::operator::testing::{with_ctx, with_sink, CaptureSink};
     use spca_streams::Tuple;
 
     const D: usize = 16;
 
     fn cfg() -> PcaConfig {
-        PcaConfig::new(D, 2).with_memory(200).with_init_size(20).with_extra(0)
+        PcaConfig::new(D, 2)
+            .with_memory(200)
+            .with_init_size(20)
+            .with_extra(0)
     }
 
     fn feed(op: &mut StreamingPcaOp, n: usize, seed: u64) -> u64 {
@@ -360,12 +374,17 @@ mod tests {
                 ControlTuple::new(
                     KIND_SYNC_COMMAND,
                     99,
-                    Arc::new(SyncCommand { share_ports: vec![0] }),
+                    Arc::new(SyncCommand {
+                        share_ports: vec![0],
+                    }),
                 ),
                 ctx,
             );
         });
-        assert!(sink.ports[0].is_empty(), "gate should have blocked the share");
+        assert!(
+            sink.ports[0].is_empty(),
+            "gate should have blocked the share"
+        );
         assert_eq!(op.shares_sent, 0);
     }
 
@@ -378,7 +397,9 @@ mod tests {
                 ControlTuple::new(
                     KIND_SYNC_COMMAND,
                     99,
-                    Arc::new(SyncCommand { share_ports: vec![1] }),
+                    Arc::new(SyncCommand {
+                        share_ports: vec![1],
+                    }),
                 ),
                 ctx,
             );
@@ -439,7 +460,11 @@ mod tests {
         assert!(!outcomes.is_empty());
         let last = outcomes.last().unwrap();
         assert_eq!(last.seq, 300);
-        assert_eq!(last.values[4], 1.0, "outlier flag expected: {:?}", last.values);
+        assert_eq!(
+            last.values[4], 1.0,
+            "outlier flag expected: {:?}",
+            last.values
+        );
         assert!(op.outliers_flagged >= 1);
     }
 
@@ -461,7 +486,7 @@ mod tests {
         // that drifted must.
         let mut a = StreamingPcaOp::new(0, cfg(), 1).with_divergence_gate(0.2);
         feed(&mut a, 800, 30); // past the 1.5N gate of 300
-        // Tell it about a peer that has the SAME state (itself).
+                               // Tell it about a peer that has the SAME state (itself).
         let own = a.state_handle().lock().full_eigensystem().unwrap().clone();
         let same_peer = PeerState {
             engine: 1,
@@ -471,7 +496,10 @@ mod tests {
             merges_applied: 0,
         };
         with_ctx(3, |ctx| {
-            a.on_control(ControlTuple::new(KIND_PEER_STATE, 1, Arc::new(same_peer)), ctx);
+            a.on_control(
+                ControlTuple::new(KIND_PEER_STATE, 1, Arc::new(same_peer)),
+                ctx,
+            );
         });
         // Accumulate past the obs gate again (the merge reset it).
         feed(&mut a, 400, 31);
@@ -480,7 +508,9 @@ mod tests {
                 ControlTuple::new(
                     KIND_SYNC_COMMAND,
                     99,
-                    Arc::new(SyncCommand { share_ports: vec![0] }),
+                    Arc::new(SyncCommand {
+                        share_ports: vec![0],
+                    }),
                 ),
                 ctx,
             );
@@ -509,7 +539,10 @@ mod tests {
             merges_applied: 0,
         };
         with_ctx(3, |ctx| {
-            b.on_control(ControlTuple::new(KIND_PEER_STATE, 3, Arc::new(far_peer)), ctx);
+            b.on_control(
+                ControlTuple::new(KIND_PEER_STATE, 3, Arc::new(far_peer)),
+                ctx,
+            );
         });
         feed(&mut b, 400, 33);
         let sink = with_ctx(3, |ctx| {
@@ -517,12 +550,68 @@ mod tests {
                 ControlTuple::new(
                     KIND_SYNC_COMMAND,
                     99,
-                    Arc::new(SyncCommand { share_ports: vec![0] }),
+                    Arc::new(SyncCommand {
+                        share_ports: vec![0],
+                    }),
                 ),
                 ctx,
             );
         });
         assert_eq!(sink.ports[0].len(), 1, "divergent engine must share");
+    }
+
+    #[test]
+    fn state_lock_never_held_across_port_sends() {
+        // Port sends can block on downstream backpressure; the operator
+        // must have released its state mutex by then or a congested output
+        // would stall every reader of the live state. The capture sink's
+        // emit hook checks the mutex at the exact moment of each send,
+        // across all emitting paths: outcome feed, quarantine feed,
+        // periodic snapshot, sync-command share, and the final snapshot.
+        let mut op = StreamingPcaOp::new(0, cfg(), 1)
+            .with_outcomes()
+            .with_quarantine()
+            .with_snapshots_every(50)
+            .with_sync_gate(0);
+        let handle = op.state_handle();
+        let mut sink = CaptureSink::new(op.n_peer_ports + 3);
+        let watched = Arc::clone(&handle);
+        sink.on_emit = Some(Box::new(move |port, _| {
+            assert!(
+                !watched.is_locked(),
+                "state mutex held during send on port {port}"
+            );
+        }));
+        let w = PlantedSubspace::new(D, 2, 0.05);
+        let mut rng = StdRng::seed_from_u64(8);
+        with_sink(&mut sink, |ctx| {
+            for seq in 0..400u64 {
+                op.process(DataTuple::new(seq, w.sample(&mut rng)), ctx);
+            }
+            // A gross outlier to force the quarantine path.
+            let mut spike = vec![0.0; D];
+            spike[3] = 500.0;
+            op.process(DataTuple::new(400, spike), ctx);
+            op.on_control(
+                ControlTuple::new(
+                    KIND_SYNC_COMMAND,
+                    99,
+                    Arc::new(SyncCommand {
+                        share_ports: vec![0],
+                    }),
+                ),
+                ctx,
+            );
+            op.on_finish(ctx);
+        });
+        // Every path must actually have emitted, or the hook proved nothing.
+        assert!(!sink.ports[0].is_empty(), "peer share expected");
+        assert!(
+            sink.ports[1].len() >= 2,
+            "periodic + final snapshots expected"
+        );
+        assert!(!sink.ports[2].is_empty(), "outcome feed expected");
+        assert!(!sink.ports[3].is_empty(), "quarantine feed expected");
     }
 
     #[test]

@@ -52,7 +52,11 @@ fn bad(msg: impl Into<String>) -> std::io::Error {
 pub fn read_snapshot(path: &Path) -> std::io::Result<EigenSystem> {
     let f = std::fs::File::open(path)?;
     let mut lines = std::io::BufReader::new(f).lines();
-    let mut next = || lines.next().unwrap_or_else(|| Err(bad("truncated snapshot")));
+    let mut next = || {
+        lines
+            .next()
+            .unwrap_or_else(|| Err(bad("truncated snapshot")))
+    };
 
     if next()? != MAGIC {
         return Err(bad("not an spca eigensystem snapshot"));
@@ -99,7 +103,16 @@ pub fn read_snapshot(path: &Path) -> std::io::Result<EigenSystem> {
     }
     let mean = parse_row(next()?, "mean", dim)?;
 
-    let eig = EigenSystem { mean, basis, values, sigma2, sum_u, sum_v, sum_q, n_obs };
+    let eig = EigenSystem {
+        mean,
+        basis,
+        values,
+        sigma2,
+        sum_u,
+        sum_v,
+        sum_q,
+        n_obs,
+    };
     eig.check_invariants()
         .map_err(|e| bad(format!("snapshot violates invariants: {e}")))?;
     Ok(eig)
@@ -117,7 +130,10 @@ pub struct SnapshotWriter {
 impl SnapshotWriter {
     /// Writes snapshots under `dir` (created if missing).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        SnapshotWriter { dir: dir.into(), written: 0 }
+        SnapshotWriter {
+            dir: dir.into(),
+            written: 0,
+        }
     }
 
     /// The latest-snapshot path for an engine.
@@ -201,8 +217,7 @@ mod tests {
         let path = tmp("trunc.snapshot");
         write_snapshot(&path, &eig).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
-        let cut: String =
-            content.lines().take(4).map(|l| format!("{l}\n")).collect();
+        let cut: String = content.lines().take(4).map(|l| format!("{l}\n")).collect();
         std::fs::write(&path, cut).unwrap();
         assert!(read_snapshot(&path).is_err());
         std::fs::remove_file(path).ok();

@@ -46,12 +46,22 @@ impl ResultsHub {
 
     /// Latest eigensystem of one engine, if it has reported.
     pub fn engine_state(&self, engine: usize) -> Option<EigenSystem> {
-        self.inner.lock().latest.get(engine)?.as_ref().map(|s| s.eigensystem.clone())
+        self.inner
+            .lock()
+            .latest
+            .get(engine)?
+            .as_ref()
+            .map(|s| s.eigensystem.clone())
     }
 
     /// Number of engines that have reported at least once.
     pub fn engines_reporting(&self) -> usize {
-        self.inner.lock().latest.iter().filter(|s| s.is_some()).count()
+        self.inner
+            .lock()
+            .latest
+            .iter()
+            .filter(|s| s.is_some())
+            .count()
     }
 
     /// Total snapshots recorded.
@@ -92,9 +102,9 @@ impl ResultsHub {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spca_core::batch::batch_pca;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use spca_core::batch::batch_pca;
     use spca_spectra::PlantedSubspace;
 
     fn state_of(engine: u32, n: usize, seed: u64) -> PeerState {

@@ -51,7 +51,9 @@ impl SyncStrategy {
             SyncStrategy::Groups(g) => {
                 let g = g.max(1);
                 let group = sender / g;
-                (group * g..((group + 1) * g).min(n)).filter(|&j| j != sender).collect()
+                (group * g..((group + 1) * g).min(n))
+                    .filter(|&j| j != sender)
+                    .collect()
             }
             SyncStrategy::None => Vec::new(),
         }
@@ -73,14 +75,23 @@ pub struct SyncController {
 impl SyncController {
     /// A controller over `n_engines` engines firing every `period`.
     pub fn new(strategy: SyncStrategy, n_engines: usize, period: Duration) -> Self {
-        SyncController { strategy, n_engines, period, cursor: 0, last: None, issued: 0 }
+        SyncController {
+            strategy,
+            n_engines,
+            period,
+            cursor: 0,
+            last: None,
+            issued: 0,
+        }
     }
 
     /// The command that will be sent to `sender`: share on all of its peer
     /// ports (the builder wires exactly the strategy's peers).
     fn command_for(&self, sender: usize) -> SyncCommand {
         let n_ports = self.strategy.peers_of(sender, self.n_engines).len();
-        SyncCommand { share_ports: (0..n_ports).collect() }
+        SyncCommand {
+            share_ports: (0..n_ports).collect(),
+        }
     }
 }
 
@@ -189,9 +200,7 @@ mod tests {
     #[test]
     fn broadcast_command_lists_all_ports() {
         let mut c = SyncController::new(SyncStrategy::Broadcast, 4, Duration::from_micros(1));
-        let sink = with_ctx(4, |ctx| {
-            while c.drive(ctx) == SourceState::Idle {}
-        });
+        let sink = with_ctx(4, |ctx| while c.drive(ctx) == SourceState::Idle {});
         match &sink.ports[0][0] {
             Tuple::Control(ct) => {
                 let cmd = ct.payload_as::<SyncCommand>().unwrap();

@@ -27,7 +27,8 @@ impl SymEigen {
         for (j, &l) in self.values.iter().enumerate() {
             vecops::scale(vl.col_mut(j), l);
         }
-        vl.matmul(&self.vectors.transpose()).expect("square shapes agree")
+        vl.matmul(&self.vectors.transpose())
+            .expect("square shapes agree")
     }
 
     /// The top-`k` eigenpairs as `(values, d×k vector matrix)`.
@@ -47,13 +48,19 @@ const MAX_SWEEPS: usize = 100;
 pub fn sym_eigen(a: &Mat) -> Result<SymEigen> {
     let (m, n) = a.shape();
     if m != n {
-        return Err(LinalgError::ShapeMismatch { expected: "square matrix".to_string(), got: (m, n) });
+        return Err(LinalgError::ShapeMismatch {
+            expected: "square matrix".to_string(),
+            got: (m, n),
+        });
     }
     if !a.is_finite() {
         return Err(LinalgError::NotFinite);
     }
     if n == 0 {
-        return Ok(SymEigen { values: Vec::new(), vectors: Mat::zeros(0, 0) });
+        return Ok(SymEigen {
+            values: Vec::new(),
+            vectors: Mat::zeros(0, 0),
+        });
     }
 
     // Symmetrize.
@@ -112,7 +119,10 @@ pub fn sym_eigen(a: &Mat) -> Result<SymEigen> {
         }
         sweeps += 1;
         if sweeps >= MAX_SWEEPS {
-            return Err(LinalgError::NoConvergence { routine: "sym_eigen", sweeps });
+            return Err(LinalgError::NoConvergence {
+                routine: "sym_eigen",
+                sweeps,
+            });
         }
     }
 

@@ -19,15 +19,30 @@ pub fn gemm(a: &Mat, b: &Mat) -> Result<Mat> {
     Ok(out)
 }
 
+/// Minimum `m·n·k` flop count before [`par_gemm`] spawns worker threads.
+///
+/// Below this, thread spawn and join overhead (tens of microseconds)
+/// exceeds the multiply itself, so the serial kernel wins. 2^18 ≈ 262k
+/// multiply-adds is roughly the crossover on commodity cores.
+pub const PAR_GEMM_MIN_WORK: usize = 1 << 18;
+
 /// Multi-threaded GEMM: `a * b` with output columns partitioned over
-/// `threads` workers. Falls back to the serial kernel for small outputs
-/// where thread spawn overhead would dominate.
+/// `threads` workers. Falls back to the serial kernel for outputs smaller
+/// than [`PAR_GEMM_MIN_WORK`], where thread spawn overhead would dominate.
+/// Passing `threads == 0` uses the machine's available parallelism.
 pub fn par_gemm(a: &Mat, b: &Mat, threads: usize) -> Result<Mat> {
     check(a, b)?;
     let (m, n) = (a.rows(), b.cols());
     let work = m * n * a.cols();
-    let threads = threads.max(1).min(n.max(1));
-    if threads == 1 || work < 1 << 18 {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let threads = threads.min(n.max(1));
+    if threads == 1 || work < PAR_GEMM_MIN_WORK {
         return gemm(a, b);
     }
     let mut out = Mat::zeros(m, n);
@@ -134,7 +149,10 @@ mod tests {
         let serial = gemm(&a, &b).unwrap();
         for threads in [1, 2, 3, 8] {
             let par = par_gemm(&a, &b, threads).unwrap();
-            assert!(par.sub(&serial).unwrap().max_abs() < 1e-10, "threads={threads}");
+            assert!(
+                par.sub(&serial).unwrap().max_abs() < 1e-10,
+                "threads={threads}"
+            );
         }
     }
 
@@ -151,6 +169,34 @@ mod tests {
         let a = Mat::zeros(2, 3);
         let b = Mat::zeros(4, 2);
         assert!(gemm(&a, &b).is_err());
+    }
+
+    #[test]
+    fn par_gemm_zero_threads_uses_available_parallelism() {
+        let a = random(64, 96, 7);
+        let b = random(96, 80, 8);
+        let serial = gemm(&a, &b).unwrap();
+        let par = par_gemm(&a, &b, 0).unwrap();
+        assert!(par.sub(&serial).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn par_gemm_cutoff_boundary() {
+        // Shapes straddling PAR_GEMM_MIN_WORK: just below stays serial, just
+        // above goes parallel; both must agree with the serial kernel.
+        let k = 64;
+        let m = 64;
+        let n_below = (PAR_GEMM_MIN_WORK / (m * k)).saturating_sub(1); // work < cutoff
+        let n_above = PAR_GEMM_MIN_WORK / (m * k); // work == cutoff
+        assert!(m * n_below * k < PAR_GEMM_MIN_WORK);
+        assert!(m * n_above * k >= PAR_GEMM_MIN_WORK);
+        for n in [n_below, n_above] {
+            let a = random(m, k, 9);
+            let b = random(k, n, 10);
+            let serial = gemm(&a, &b).unwrap();
+            let par = par_gemm(&a, &b, 4).unwrap();
+            assert!(par.sub(&serial).unwrap().max_abs() < 1e-10, "n={n}");
+        }
     }
 
     #[test]

@@ -44,8 +44,8 @@ pub mod vecops;
 
 pub use eigen::{sym_eigen, SymEigen};
 pub use mat::Mat;
-pub use qr::{thin_qr, ThinQr};
-pub use svd::{thin_svd, ThinSvd};
+pub use qr::{thin_qr, thin_qr_into, QrWorkspace, ThinQr};
+pub use svd::{thin_svd, thin_svd_into, SvdWorkspace, ThinSvd};
 
 /// Errors produced by decomposition routines.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,7 +72,11 @@ impl std::fmt::Display for LinalgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LinalgError::ShapeMismatch { expected, got } => {
-                write!(f, "shape mismatch: expected {expected}, got {}x{}", got.0, got.1)
+                write!(
+                    f,
+                    "shape mismatch: expected {expected}, got {}x{}",
+                    got.0, got.1
+                )
             }
             LinalgError::NoConvergence { routine, sweeps } => {
                 write!(f, "{routine} failed to converge after {sweeps} sweeps")

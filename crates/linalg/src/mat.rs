@@ -41,7 +41,11 @@ impl std::fmt::Debug for Mat {
 impl Mat {
     /// Creates a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -83,7 +87,50 @@ impl Mat {
             assert_eq!(c.len(), rows, "all columns must have equal length");
             data.extend_from_slice(c);
         }
-        Mat { rows, cols: cols.len(), data }
+        Mat {
+            rows,
+            cols: cols.len(),
+            data,
+        }
+    }
+
+    /// Reshapes `self` to `rows × cols`, zero-filled, reusing the existing
+    /// allocation whenever its capacity suffices.
+    ///
+    /// This is the workhorse of the preallocated-workspace path: after the
+    /// first call at a given size, subsequent calls perform no heap
+    /// allocation.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes `self` to the `n × n` identity, reusing the allocation.
+    pub fn reset_identity(&mut self, n: usize) {
+        self.reset_zeroed(n, n);
+        for i in 0..n {
+            self.data[i * n + i] = 1.0;
+        }
+    }
+
+    /// Makes `self` an exact copy of `other` (shape and contents), reusing
+    /// the existing allocation whenever its capacity suffices.
+    pub fn copy_from(&mut self, other: &Mat) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Overwrites column `c` with `src * s`. Panics on length mismatch.
+    pub fn scale_col_from(&mut self, c: usize, src: &[f64], s: f64) {
+        let col = self.col_mut(c);
+        assert_eq!(col.len(), src.len(), "scale_col_from: length mismatch");
+        for (dst, x) in col.iter_mut().zip(src) {
+            *dst = x * s;
+        }
     }
 
     /// Number of rows.
@@ -171,8 +218,7 @@ impl Mat {
             });
         }
         let mut y = vec![0.0; self.rows];
-        for c in 0..self.cols {
-            let xc = x[c];
+        for (c, &xc) in x.iter().enumerate() {
             if xc != 0.0 {
                 vecops::axpy(xc, self.col(c), &mut y);
             }
@@ -189,7 +235,9 @@ impl Mat {
                 got: (x.len(), 1),
             });
         }
-        Ok((0..self.cols).map(|c| vecops::dot(self.col(c), x)).collect())
+        Ok((0..self.cols)
+            .map(|c| vecops::dot(self.col(c), x))
+            .collect())
     }
 
     /// Matrix product `self * other` using the blocked serial kernel.
@@ -247,8 +295,8 @@ impl Mat {
                 got: (x.len(), y.len()),
             });
         }
-        for c in 0..self.cols {
-            let syc = s * y[c];
+        for (c, &yc) in y.iter().enumerate() {
+            let syc = s * yc;
             if syc != 0.0 {
                 vecops::axpy(syc, x, self.col_mut(c));
             }
@@ -292,7 +340,11 @@ impl Mat {
         let mut data = Vec::with_capacity((self.cols + other.cols) * self.rows);
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Ok(Mat { rows: self.rows, cols: self.cols + other.cols, data })
+        Ok(Mat {
+            rows: self.rows,
+            cols: self.cols + other.cols,
+            data,
+        })
     }
 
     /// Gram matrix `selfᵀ · self` (`cols × cols`), the thin-SVD workhorse.
@@ -317,6 +369,14 @@ impl Mat {
             });
         }
         Ok(())
+    }
+}
+
+impl Default for Mat {
+    /// An empty `0 × 0` matrix — the natural seed for workspace buffers
+    /// that grow on first use.
+    fn default() -> Self {
+        Mat::zeros(0, 0)
     }
 }
 
@@ -387,7 +447,10 @@ mod tests {
     #[test]
     fn matvec_shape_error() {
         let m = sample();
-        assert!(matches!(m.matvec(&[1.0]), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            m.matvec(&[1.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -448,5 +511,49 @@ mod tests {
     #[test]
     fn fro_norm_of_identity() {
         assert!((Mat::identity(9).fro_norm() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroed_reuses_allocation() {
+        let mut m = Mat::zeros(10, 10);
+        m[(3, 3)] = 7.0;
+        let cap = m.data.capacity();
+        m.reset_zeroed(8, 4);
+        assert_eq!(m.shape(), (8, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(
+            m.data.capacity(),
+            cap,
+            "reset within capacity must not realloc"
+        );
+    }
+
+    #[test]
+    fn reset_identity_matches_identity() {
+        let mut m = Mat::zeros(6, 6);
+        m.reset_identity(4);
+        assert_eq!(m, Mat::identity(4));
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let src = sample();
+        let mut dst = Mat::zeros(9, 9);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn scale_col_from_writes_scaled_column() {
+        let mut m = Mat::zeros(3, 2);
+        m.scale_col_from(1, &[1.0, 2.0, 3.0], -2.0);
+        assert_eq!(m.col(1), &[-2.0, -4.0, -6.0]);
+        assert_eq!(m.col(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let m = Mat::default();
+        assert_eq!(m.shape(), (0, 0));
     }
 }

@@ -91,8 +91,8 @@ pub fn par_thin_svd(a: &Mat, threads: usize) -> Result<ThinSvd> {
             }
 
             // Take the paired columns out and rotate them in parallel.
-            let mut tasks: Vec<(usize, usize, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)> =
-                Vec::with_capacity(pairs.len());
+            type PairTask = (usize, usize, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+            let mut tasks: Vec<PairTask> = Vec::with_capacity(pairs.len());
             for &(p, q) in &pairs {
                 let up = u[p].take().expect("column double-booked");
                 let uq = u[q].take().expect("column double-booked");
@@ -115,7 +115,10 @@ pub fn par_thin_svd(a: &Mat, threads: usize) -> Result<ThinSvd> {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("svd worker")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("svd worker"))
+                    .collect()
             })
             .expect("svd scope");
             sweep_off = offs.into_iter().fold(sweep_off, f64::max);
@@ -133,16 +136,23 @@ pub fn par_thin_svd(a: &Mat, threads: usize) -> Result<ThinSvd> {
         }
     }
     if !converged {
-        return Err(LinalgError::NoConvergence { routine: "par_thin_svd", sweeps });
+        return Err(LinalgError::NoConvergence {
+            routine: "par_thin_svd",
+            sweeps,
+        });
     }
 
     // Assemble, reusing the serial code path for sorting/normalization by
     // round-tripping through a Mat and its (cheap, already-converged) SVD.
     let u_mat = Mat::from_columns(
-        &u.into_iter().map(|c| c.expect("column present")).collect::<Vec<_>>(),
+        &u.into_iter()
+            .map(|c| c.expect("column present"))
+            .collect::<Vec<_>>(),
     );
     let v_mat = Mat::from_columns(
-        &v.into_iter().map(|c| c.expect("column present")).collect::<Vec<_>>(),
+        &v.into_iter()
+            .map(|c| c.expect("column present"))
+            .collect::<Vec<_>>(),
     );
     finalize(u_mat, v_mat)
 }
@@ -213,8 +223,8 @@ fn finalize(u: Mat, v: Mat) -> Result<ThinSvd> {
         sv.col_mut(dst).copy_from_slice(v.col(src));
     }
     // Complete zero columns orthonormally (rank-deficient inputs).
-    for j in 0..n {
-        if s[j] > 0.0 {
+    for (j, &sj) in s.iter().enumerate() {
+        if sj > 0.0 {
             continue;
         }
         for axis in 0..m {

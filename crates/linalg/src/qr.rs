@@ -18,10 +18,37 @@ pub struct ThinQr {
     pub r: Mat,
 }
 
+/// Reusable buffers for [`thin_qr_into`].
+///
+/// Householder vectors are stored flat with stride `m` (reflector `k`
+/// occupies `vs[k·m .. k·m + (m−k)]`) instead of one `Vec` per column, so
+/// repeated factorizations of same-shaped inputs allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct QrWorkspace {
+    /// Column-orthonormal factor (`m × n`), valid after a successful call.
+    pub q: Mat,
+    /// Upper-triangular factor (`n × n`), valid after a successful call.
+    pub r: Mat,
+    w: Mat,
+    betas: Vec<f64>,
+    vs: Vec<f64>,
+}
+
 /// Computes the thin QR of `a` by Householder reflections.
 ///
 /// Returns an error for wide matrices (`rows < cols`) or non-finite input.
 pub fn thin_qr(a: &Mat) -> Result<ThinQr> {
+    let mut ws = QrWorkspace::default();
+    thin_qr_into(a, &mut ws)?;
+    Ok(ThinQr { q: ws.q, r: ws.r })
+}
+
+/// Computes the thin QR of `a` into the workspace (semantics of
+/// [`thin_qr`], which is a thin wrapper over this).
+///
+/// Results land in `ws.q` and `ws.r`; on error their contents are
+/// unspecified.
+pub fn thin_qr_into(a: &Mat, ws: &mut QrWorkspace) -> Result<()> {
     let (m, n) = a.shape();
     if m < n {
         return Err(LinalgError::ShapeMismatch {
@@ -33,38 +60,44 @@ pub fn thin_qr(a: &Mat) -> Result<ThinQr> {
         return Err(LinalgError::NotFinite);
     }
 
-    // Work in-place on a copy; store Householder vectors in the strictly
-    // lower triangle plus a separate beta array.
-    let mut w = a.clone();
-    let mut betas = vec![0.0; n];
-    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+    // Work in-place on a copy; Householder vectors go to the flat `vs`
+    // store, their scale factors to `betas`.
+    let QrWorkspace { q, r, w, betas, vs } = ws;
+    w.copy_from(a);
+    betas.clear();
+    betas.resize(n, 0.0);
+    vs.clear();
+    vs.resize(n * m, 0.0);
 
     for k in 0..n {
+        let off = k * m;
         // Build the Householder vector for column k, rows k..m.
-        let col = w.col(k);
-        let x = &col[k..];
-        let alpha = -x[0].signum() * vecops::norm(x);
-        let mut v = x.to_vec();
-        if alpha != 0.0 {
-            v[0] -= alpha;
+        {
+            let x = &w.col(k)[k..];
+            let alpha = -x[0].signum() * vecops::norm(x);
+            let v = &mut vs[off..off + (m - k)];
+            v.copy_from_slice(x);
+            if alpha != 0.0 {
+                v[0] -= alpha;
+            }
+            let vnorm2 = vecops::norm_sq(v);
+            betas[k] = if vnorm2 > 0.0 { 2.0 / vnorm2 } else { 0.0 };
         }
-        let vnorm2 = vecops::norm_sq(&v);
-        let beta = if vnorm2 > 0.0 { 2.0 / vnorm2 } else { 0.0 };
-        betas[k] = beta;
 
         // Apply the reflector to the remaining columns (k..n).
+        let beta = betas[k];
         if beta > 0.0 {
+            let v = &vs[off..off + (m - k)];
             for j in k..n {
                 let cj = &mut w.col_mut(j)[k..];
-                let t = beta * vecops::dot(&v, cj);
-                vecops::axpy(-t, &v, cj);
+                let t = beta * vecops::dot(v, cj);
+                vecops::axpy(-t, v, cj);
             }
         }
-        vs.push(v);
     }
 
     // Extract R (upper n × n block of the transformed matrix).
-    let mut r = Mat::zeros(n, n);
+    r.reset_zeroed(n, n);
     for j in 0..n {
         for i in 0..=j {
             r[(i, j)] = w[(i, j)];
@@ -73,7 +106,7 @@ pub fn thin_qr(a: &Mat) -> Result<ThinQr> {
 
     // Form the thin Q by applying the reflectors, in reverse, to the first
     // n columns of the identity.
-    let mut q = Mat::zeros(m, n);
+    q.reset_zeroed(m, n);
     for j in 0..n {
         q[(j, j)] = 1.0;
     }
@@ -82,7 +115,7 @@ pub fn thin_qr(a: &Mat) -> Result<ThinQr> {
         if beta == 0.0 {
             continue;
         }
-        let v = &vs[k];
+        let v = &vs[k * m..k * m + (m - k)];
         for j in 0..n {
             let cj = &mut q.col_mut(j)[k..];
             let t = beta * vecops::dot(v, cj);
@@ -90,7 +123,7 @@ pub fn thin_qr(a: &Mat) -> Result<ThinQr> {
         }
     }
 
-    Ok(ThinQr { q, r })
+    Ok(())
 }
 
 /// Orthonormalizes the columns of `a` (thin Q of its QR), fixing signs so
@@ -197,5 +230,23 @@ mod tests {
         let ThinQr { q, .. } = thin_qr(&a).unwrap();
         assert!(q.is_finite());
         assert!((vecops::norm(q.col(0)) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn workspace_reuse_across_shapes_matches_fresh() {
+        let mut ws = QrWorkspace::default();
+        for (rows, cols, seed) in [
+            (20usize, 6usize, 41u64),
+            (6, 6, 42),
+            (9, 2, 43),
+            (4, 0, 44),
+            (15, 7, 45),
+        ] {
+            let a = random(rows, cols, seed);
+            thin_qr_into(&a, &mut ws).unwrap();
+            let fresh = thin_qr(&a).unwrap();
+            assert_eq!(ws.q, fresh.q, "{rows}x{cols}");
+            assert_eq!(ws.r, fresh.r, "{rows}x{cols}");
+        }
     }
 }

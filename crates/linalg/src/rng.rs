@@ -79,6 +79,8 @@ mod tests {
     #[test]
     fn all_samples_finite() {
         let mut rng = StdRng::seed_from_u64(3);
-        assert!(standard_normal_vec(&mut rng, 10_000).iter().all(|v| v.is_finite()));
+        assert!(standard_normal_vec(&mut rng, 10_000)
+            .iter()
+            .all(|v| v.is_finite()));
     }
 }

@@ -21,51 +21,9 @@ impl Cholesky {
     /// [`LinalgError::NoConvergence`] if the matrix is not positive
     /// definite even after a small diagonal jitter.
     pub fn new(a: &Mat) -> Result<Self> {
-        let (m, n) = a.shape();
-        if m != n {
-            return Err(LinalgError::ShapeMismatch { expected: "square".into(), got: (m, n) });
-        }
-        if !a.is_finite() {
-            return Err(LinalgError::NotFinite);
-        }
-        // Retry with growing jitter: rank-deficient masked Gram matrices
-        // occur when a spectrum's observed bins can't distinguish two
-        // eigenvectors, and regularized solves are the standard remedy.
-        let scale = a.max_abs().max(f64::MIN_POSITIVE);
-        let mut jitter = 0.0;
-        for attempt in 0..6 {
-            match Self::try_factor(a, jitter) {
-                Some(l) => return Ok(Cholesky { l }),
-                None => {
-                    jitter = scale * 1e-12 * 10f64.powi(attempt);
-                }
-            }
-        }
-        Err(LinalgError::NoConvergence { routine: "cholesky", sweeps: 6 })
-    }
-
-    fn try_factor(a: &Mat, jitter: f64) -> Option<Mat> {
-        let n = a.rows();
-        let mut l = Mat::zeros(n, n);
-        for j in 0..n {
-            let mut d = a[(j, j)] + jitter;
-            for k in 0..j {
-                d -= l[(j, k)] * l[(j, k)];
-            }
-            if d <= 0.0 || !d.is_finite() {
-                return None;
-            }
-            let djj = d.sqrt();
-            l[(j, j)] = djj;
-            for i in (j + 1)..n {
-                let mut s = a[(i, j)];
-                for k in 0..j {
-                    s -= l[(i, k)] * l[(j, k)];
-                }
-                l[(i, j)] = s / djj;
-            }
-        }
-        Some(l)
+        let mut l = Mat::default();
+        factor_into(a, &mut l)?;
+        Ok(Cholesky { l })
     }
 
     /// Solves `A x = b`.
@@ -77,28 +35,109 @@ impl Cholesky {
                 got: (b.len(), 1),
             });
         }
-        // Forward: L z = b
         let mut z = b.to_vec();
-        for i in 0..n {
-            for k in 0..i {
-                z[i] -= self.l[(i, k)] * z[k];
-            }
-            z[i] /= self.l[(i, i)];
-        }
-        // Backward: Lᵀ x = z
-        for i in (0..n).rev() {
-            for k in (i + 1)..n {
-                z[i] -= self.l[(k, i)] * z[k];
-            }
-            z[i] /= self.l[(i, i)];
-        }
+        solve_in_place(&self.l, &mut z);
         Ok(z)
     }
+}
+
+/// Factorizes `a` into the caller-owned lower-triangular buffer.
+fn factor_into(a: &Mat, l: &mut Mat) -> Result<()> {
+    let (m, n) = a.shape();
+    if m != n {
+        return Err(LinalgError::ShapeMismatch {
+            expected: "square".into(),
+            got: (m, n),
+        });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NotFinite);
+    }
+    // Retry with growing jitter: rank-deficient masked Gram matrices
+    // occur when a spectrum's observed bins can't distinguish two
+    // eigenvectors, and regularized solves are the standard remedy.
+    let scale = a.max_abs().max(f64::MIN_POSITIVE);
+    let mut jitter = 0.0;
+    for attempt in 0..6 {
+        if try_factor_into(a, jitter, l) {
+            return Ok(());
+        }
+        jitter = scale * 1e-12 * 10f64.powi(attempt);
+    }
+    Err(LinalgError::NoConvergence {
+        routine: "cholesky",
+        sweeps: 6,
+    })
+}
+
+fn try_factor_into(a: &Mat, jitter: f64, l: &mut Mat) -> bool {
+    let n = a.rows();
+    l.reset_zeroed(n, n);
+    for j in 0..n {
+        let mut d = a[(j, j)] + jitter;
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return false;
+        }
+        let djj = d.sqrt();
+        l[(j, j)] = djj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / djj;
+        }
+    }
+    true
+}
+
+/// In-place forward (`L z = b`) then backward (`Lᵀ x = z`) substitution.
+fn solve_in_place(l: &Mat, z: &mut [f64]) {
+    let n = l.rows();
+    for i in 0..n {
+        for k in 0..i {
+            z[i] -= l[(i, k)] * z[k];
+        }
+        z[i] /= l[(i, i)];
+    }
+    for i in (0..n).rev() {
+        for k in (i + 1)..n {
+            z[i] -= l[(k, i)] * z[k];
+        }
+        z[i] /= l[(i, i)];
+    }
+}
+
+/// Reusable buffers for [`spd_solve_into`].
+#[derive(Debug, Clone, Default)]
+pub struct SolveWorkspace {
+    /// Solution vector, valid after a successful call.
+    pub x: Vec<f64>,
+    l: Mat,
 }
 
 /// One-shot SPD solve `A x = b`.
 pub fn spd_solve(a: &Mat, b: &[f64]) -> Result<Vec<f64>> {
     Cholesky::new(a)?.solve(b)
+}
+
+/// SPD solve into a workspace: `ws.x = A⁻¹ b` with no allocation once the
+/// buffers have grown to size (semantics of [`spd_solve`]).
+pub fn spd_solve_into(a: &Mat, b: &[f64], ws: &mut SolveWorkspace) -> Result<()> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: format!("rhs of length {}", a.rows()),
+            got: (b.len(), 1),
+        });
+    }
+    factor_into(a, &mut ws.l)?;
+    ws.x.clear();
+    ws.x.extend_from_slice(b);
+    solve_in_place(&ws.l, &mut ws.x);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -137,7 +176,8 @@ mod tests {
     fn near_singular_uses_jitter() {
         // Rank-1 outer product plus epsilon: classic near-singular SPD.
         let mut a = Mat::zeros(3, 3);
-        a.rank_one_update(1.0, &[1.0, 1.0, 1.0], &[1.0, 1.0, 1.0]).unwrap();
+        a.rank_one_update(1.0, &[1.0, 1.0, 1.0], &[1.0, 1.0, 1.0])
+            .unwrap();
         for i in 0..3 {
             a[(i, i)] += 1e-15;
         }
@@ -158,5 +198,22 @@ mod tests {
         let a = Mat::identity(3);
         let c = Cholesky::new(&a).unwrap();
         assert!(c.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_into_matches_one_shot_across_sizes() {
+        let mut ws = SolveWorkspace::default();
+        for (n, seed) in [(6usize, 41u64), (3, 42), (8, 43)] {
+            let a = random_spd(n, seed);
+            let b: Vec<f64> = (0..n).map(|i| i as f64 - 1.5).collect();
+            spd_solve_into(&a, &b, &mut ws).unwrap();
+            assert_eq!(ws.x, spd_solve(&a, &b).unwrap(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn solve_into_wrong_rhs_length() {
+        let mut ws = SolveWorkspace::default();
+        assert!(spd_solve_into(&Mat::identity(3), &[1.0], &mut ws).is_err());
     }
 }

@@ -37,14 +37,22 @@ pub struct TopK {
 pub fn top_k_symmetric(a: &Mat, k: usize, tol: f64, max_iters: usize) -> Result<TopK> {
     let (m, n) = a.shape();
     if m != n {
-        return Err(LinalgError::ShapeMismatch { expected: "square".into(), got: (m, n) });
+        return Err(LinalgError::ShapeMismatch {
+            expected: "square".into(),
+            got: (m, n),
+        });
     }
     if !a.is_finite() {
         return Err(LinalgError::NotFinite);
     }
     let k = k.min(n);
     if k == 0 {
-        return Ok(TopK { values: vec![], vectors: Mat::zeros(n, 0), iterations: 0, residual: 0.0 });
+        return Ok(TopK {
+            values: vec![],
+            vectors: Mat::zeros(n, 0),
+            iterations: 0,
+            residual: 0.0,
+        });
     }
 
     // Deterministic full-rank start: alternating-sign ramp columns beat
@@ -61,7 +69,10 @@ pub fn top_k_symmetric(a: &Mat, k: usize, tol: f64, max_iters: usize) -> Result<
         iterations = it + 1;
         let z = gemm::gemm(a, &q)?;
         if !z.is_finite() {
-            return Err(LinalgError::NoConvergence { routine: "top_k_symmetric", sweeps: it });
+            return Err(LinalgError::NoConvergence {
+                routine: "top_k_symmetric",
+                sweeps: it,
+            });
         }
         let q_next = orthonormalize(&z)?;
         // Subspace change: || Q_next - Q (Qᵀ Q_next) ||_F
@@ -80,7 +91,12 @@ pub fn top_k_symmetric(a: &Mat, k: usize, tol: f64, max_iters: usize) -> Result<
     let small = gemm::gemm(&q.transpose(), &aq)?;
     let ritz = eigen::sym_eigen(&small)?;
     let vectors = gemm::gemm(&q, &ritz.vectors)?;
-    Ok(TopK { values: ritz.values, vectors, iterations, residual })
+    Ok(TopK {
+        values: ritz.values,
+        vectors,
+        iterations,
+        residual,
+    })
 }
 
 #[cfg(test)]

@@ -33,7 +33,8 @@ impl ThinSvd {
         for (j, &sj) in self.s.iter().enumerate() {
             vecops::scale(us.col_mut(j), sj);
         }
-        us.matmul(&self.v.transpose()).expect("shapes agree by construction")
+        us.matmul(&self.v.transpose())
+            .expect("shapes agree by construction")
     }
 
     /// Numerical rank at relative tolerance `rtol` (relative to `s[0]`).
@@ -49,12 +50,50 @@ const MAX_SWEEPS: usize = 60;
 /// Relative off-diagonal tolerance for declaring a column pair orthogonal.
 const TOL: f64 = 5e-13;
 
+/// Reusable buffers for [`thin_svd_into`].
+///
+/// The streaming update decomposes a same-shaped `d × (p+1)` factor on
+/// every tuple; holding one of these per updater lets the whole SVD run
+/// with zero heap allocations once the buffers have grown to size. The
+/// output fields are public; the scratch fields are internal.
+#[derive(Debug, Clone, Default)]
+pub struct SvdWorkspace {
+    /// Left singular vectors (`m × n`), valid after a successful call.
+    pub u: Mat,
+    /// Singular values, descending, valid after a successful call.
+    pub s: Vec<f64>,
+    /// Right singular vectors (`n × n`), valid after a successful call.
+    pub v: Mat,
+    work: Mat,
+    vwork: Mat,
+    norms2: Vec<f64>,
+    order: Vec<usize>,
+    cand: Vec<f64>,
+}
+
 /// Computes the thin SVD of `a` (requires `rows ≥ cols`).
 ///
 /// Zero columns are tolerated (they yield zero singular values with
 /// arbitrary-but-orthonormal left vectors filled from the identity
 /// completion).
 pub fn thin_svd(a: &Mat) -> Result<ThinSvd> {
+    let mut ws = SvdWorkspace::default();
+    thin_svd_into(a, &mut ws)?;
+    Ok(ThinSvd {
+        u: ws.u,
+        s: ws.s,
+        v: ws.v,
+    })
+}
+
+/// Computes the thin SVD of `a` into the workspace (semantics of
+/// [`thin_svd`], which is a thin wrapper over this).
+///
+/// Results land in `ws.u`, `ws.s`, `ws.v`; on error their contents are
+/// unspecified. The result is bitwise identical to a fresh workspace: the
+/// column-norm² cache only ever holds values that a plain `norm_sq` on the
+/// same column data would return, so reuse cannot drift.
+pub fn thin_svd_into(a: &Mat, ws: &mut SvdWorkspace) -> Result<()> {
     let (m, n) = a.shape();
     if m < n {
         return Err(LinalgError::ShapeMismatch {
@@ -66,11 +105,32 @@ pub fn thin_svd(a: &Mat) -> Result<ThinSvd> {
         return Err(LinalgError::NotFinite);
     }
     if n == 0 {
-        return Ok(ThinSvd { u: Mat::zeros(m, 0), s: Vec::new(), v: Mat::zeros(0, 0) });
+        ws.u.reset_zeroed(m, 0);
+        ws.s.clear();
+        ws.v.reset_zeroed(0, 0);
+        return Ok(());
     }
 
-    let mut u = a.clone();
-    let mut v = Mat::identity(n);
+    // Destructure for disjoint borrows: `work`/`vwork` are rotated in the
+    // sweep loop while `u`/`s`/`v` receive the sorted, normalized output.
+    let SvdWorkspace {
+        u: su,
+        s,
+        v: sv,
+        work: u,
+        vwork: v,
+        norms2,
+        order,
+        cand,
+    } = ws;
+    u.copy_from(a);
+    v.reset_identity(n);
+
+    // Column-norm² cache. An entry is refreshed with `norm_sq` whenever its
+    // column is rotated, so every read sees exactly what recomputing from
+    // the column would give; only the p·q cross terms need fresh dots.
+    norms2.clear();
+    norms2.extend((0..n).map(|j| vecops::norm_sq(u.col(j))));
 
     let mut converged = false;
     let mut sweeps = 0;
@@ -81,7 +141,7 @@ pub fn thin_svd(a: &Mat) -> Result<ThinSvd> {
         // excluded from rotations: rotating two noise columns against each
         // other never converges because their inner products are pure
         // rounding error.
-        let max_nrm2 = (0..n).map(|j| vecops::norm_sq(u.col(j))).fold(0.0, f64::max);
+        let max_nrm2 = norms2.iter().fold(0.0_f64, |acc, &x| acc.max(x));
         let negligible = max_nrm2 * (f64::EPSILON * f64::EPSILON);
         if max_nrm2 == 0.0 {
             converged = true;
@@ -90,15 +150,11 @@ pub fn thin_svd(a: &Mat) -> Result<ThinSvd> {
         let mut off = 0.0_f64;
         for p in 0..n - 1 {
             for q in (p + 1)..n {
-                // Gather the 2x2 Gram block for columns p, q.
-                let (app, aqq, apq) = {
-                    let cp = u.col(p);
-                    let cq = u.col(q);
-                    (vecops::norm_sq(cp), vecops::norm_sq(cq), vecops::dot(cp, cq))
-                };
+                let (app, aqq) = (norms2[p], norms2[q]);
                 if app <= negligible || aqq <= negligible {
                     continue;
                 }
+                let apq = vecops::dot(u.col(p), u.col(q));
                 let denom = (app * aqq).sqrt();
                 let rel = apq.abs() / denom;
                 off = off.max(rel);
@@ -109,9 +165,11 @@ pub fn thin_svd(a: &Mat) -> Result<ThinSvd> {
                 let tau = (aqq - app) / (2.0 * apq);
                 let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
                 let c = 1.0 / (1.0 + t * t).sqrt();
-                let s = c * t;
-                rotate_cols(&mut u, p, q, c, s);
-                rotate_cols(&mut v, p, q, c, s);
+                let s_rot = c * t;
+                rotate_cols(u, p, q, c, s_rot);
+                rotate_cols(v, p, q, c, s_rot);
+                norms2[p] = vecops::norm_sq(u.col(p));
+                norms2[q] = vecops::norm_sq(u.col(q));
             }
         }
         if off <= TOL {
@@ -123,24 +181,28 @@ pub fn thin_svd(a: &Mat) -> Result<ThinSvd> {
         // One-sided Jacobi stalls only on pathological inputs; the state is
         // still usable (columns are orthogonal to ~sqrt(eps)), but callers
         // should know.
-        return Err(LinalgError::NoConvergence { routine: "thin_svd", sweeps });
+        return Err(LinalgError::NoConvergence {
+            routine: "thin_svd",
+            sweeps,
+        });
     }
 
     // Singular values are the column norms; normalize U. Columns below
     // numerical rank are pure rounding noise: normalizing them would yield
     // unit vectors with O(1) overlap against the true singular vectors, so
-    // they are zeroed here and re-completed orthonormally below.
-    let mut order: Vec<usize> = (0..n).collect();
-    let norms: Vec<f64> = (0..n).map(|j| vecops::norm(u.col(j))).collect();
-    let max_nrm = norms.iter().fold(0.0_f64, |a, &b| a.max(b));
-    let noise_floor = max_nrm * f64::EPSILON * (m as f64).sqrt();
-    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("finite norms"));
+    // they are zeroed here and re-completed orthonormally below. Sorting on
+    // norms² gives the same order as sorting on norms (sqrt is monotone).
+    order.clear();
+    order.extend(0..n);
+    let max_nrm2 = norms2.iter().fold(0.0_f64, |acc, &x| acc.max(x));
+    let noise_floor = max_nrm2.sqrt() * f64::EPSILON * (m as f64).sqrt();
+    order.sort_by(|&i, &j| norms2[j].partial_cmp(&norms2[i]).expect("finite norms"));
 
-    let mut su = Mat::zeros(m, n);
-    let mut sv = Mat::zeros(n, n);
-    let mut s = Vec::with_capacity(n);
+    su.reset_zeroed(m, n);
+    sv.reset_zeroed(n, n);
+    s.clear();
     for (dst, &src) in order.iter().enumerate() {
-        let nrm = norms[src];
+        let nrm = norms2[src].sqrt();
         if nrm > noise_floor {
             s.push(nrm);
             let inv = 1.0 / nrm;
@@ -155,9 +217,9 @@ pub fn thin_svd(a: &Mat) -> Result<ThinSvd> {
 
     // Complete zero columns of U with unit vectors orthogonal to the rest so
     // U stays column-orthonormal even for rank-deficient input.
-    complete_zero_columns(&mut su, &s);
+    complete_zero_columns(su, s, cand);
 
-    Ok(ThinSvd { u: su, s, v: sv })
+    Ok(())
 }
 
 /// Applies the rotation `[c -s; s c]` to columns `(p, q)` of `m`.
@@ -174,7 +236,8 @@ fn rotate_cols(m: &mut Mat, p: usize, q: usize, c: f64, s: f64) {
 
 /// Replaces zero columns of `u` (those with `s[j] == 0`) by unit vectors
 /// orthonormal to all existing columns, via Gram–Schmidt against the basis.
-fn complete_zero_columns(u: &mut Mat, s: &[f64]) {
+/// `cand` is caller-owned scratch for the trial vector.
+fn complete_zero_columns(u: &mut Mat, s: &[f64], cand: &mut Vec<f64>) {
     let (m, n) = u.shape();
     for j in 0..n {
         if s[j] > 0.0 {
@@ -182,17 +245,18 @@ fn complete_zero_columns(u: &mut Mat, s: &[f64]) {
         }
         // Try coordinate axes until one survives projection.
         'axes: for axis in 0..m {
-            let mut cand = vec![0.0; m];
+            cand.clear();
+            cand.resize(m, 0.0);
             cand[axis] = 1.0;
             for k in 0..n {
                 if k == j || (s.get(k).copied().unwrap_or(0.0) == 0.0 && k > j) {
                     continue;
                 }
-                let proj = vecops::dot(&cand, u.col(k));
-                vecops::axpy(-proj, u.col(k), &mut cand);
+                let proj = vecops::dot(cand, u.col(k));
+                vecops::axpy(-proj, u.col(k), cand);
             }
-            if vecops::normalize(&mut cand) > 1e-8 {
-                u.col_mut(j).copy_from_slice(&cand);
+            if vecops::normalize(cand) > 1e-8 {
+                u.col_mut(j).copy_from_slice(cand);
                 break 'axes;
             }
         }
@@ -304,5 +368,44 @@ mod tests {
     fn empty_matrix() {
         let svd = thin_svd(&Mat::zeros(5, 0)).unwrap();
         assert!(svd.s.is_empty());
+    }
+
+    #[test]
+    fn workspace_reuse_across_shapes_matches_fresh() {
+        // One workspace driven through growing, shrinking and degenerate
+        // shapes must agree exactly with a fresh decomposition each time.
+        let mut ws = SvdWorkspace::default();
+        for (rows, cols, seed) in [
+            (12usize, 4usize, 31u64),
+            (30, 7, 32),
+            (5, 2, 33),
+            (8, 0, 34),
+            (20, 20, 35),
+        ] {
+            let a = random(rows, cols, seed);
+            thin_svd_into(&a, &mut ws).unwrap();
+            let fresh = thin_svd(&a).unwrap();
+            assert_eq!(ws.s, fresh.s, "{rows}x{cols}");
+            assert_eq!(ws.u, fresh.u, "{rows}x{cols}");
+            assert_eq!(ws.v, fresh.v, "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_after_rank_deficient() {
+        let mut ws = SvdWorkspace::default();
+        // Rank-deficient first (exercises the zero-column completion and its
+        // cand scratch), full-rank second.
+        let mut a = Mat::zeros(5, 2);
+        for i in 0..5 {
+            a[(i, 0)] = (i + 1) as f64;
+            a[(i, 1)] = 2.0 * (i + 1) as f64;
+        }
+        thin_svd_into(&a, &mut ws).unwrap();
+        let b = random(6, 3, 36);
+        thin_svd_into(&b, &mut ws).unwrap();
+        let fresh = thin_svd(&b).unwrap();
+        assert_eq!(ws.s, fresh.s);
+        assert_eq!(ws.u, fresh.u);
     }
 }

@@ -5,22 +5,39 @@
 //! scaled to the input magnitude.
 
 use proptest::prelude::*;
-use spca_linalg::{eigen, qr, svd, Mat};
+use spca_linalg::{eigen, qr, svd, Mat, QrWorkspace, SvdWorkspace};
 
 /// Strategy producing a (rows, cols, entries) triple with rows >= cols.
 fn tall_matrix() -> impl Strategy<Value = Mat> {
-    (1usize..12, 1usize..6)
-        .prop_flat_map(|(extra, cols)| {
-            let rows = cols + extra;
-            proptest::collection::vec(-100.0f64..100.0, rows * cols)
-                .prop_map(move |data| Mat::from_col_major(rows, cols, data))
-        })
+    (1usize..12, 1usize..6).prop_flat_map(|(extra, cols)| {
+        let rows = cols + extra;
+        proptest::collection::vec(-100.0f64..100.0, rows * cols)
+            .prop_map(move |data| Mat::from_col_major(rows, cols, data))
+    })
 }
 
 fn square_matrix() -> impl Strategy<Value = Mat> {
     (1usize..9).prop_flat_map(|n| {
         proptest::collection::vec(-50.0f64..50.0, n * n)
             .prop_map(move |data| Mat::from_col_major(n, n, data))
+    })
+}
+
+/// Strategy producing thin matrices of *any* admissible shape — including
+/// zero columns — and, half the time, exactly rank-deficient ones (column 1
+/// overwritten with a copy of column 0). These are the shapes the workspace
+/// equivalence laws must hold on.
+fn any_thin_matrix() -> impl Strategy<Value = Mat> {
+    (0usize..5, 0usize..10, any::<bool>()).prop_flat_map(|(cols, extra, degenerate)| {
+        let rows = cols + extra;
+        proptest::collection::vec(-100.0f64..100.0, rows * cols).prop_map(move |data| {
+            let mut m = Mat::from_col_major(rows, cols, data);
+            if degenerate && cols >= 2 {
+                let c0 = m.col(0).to_vec();
+                m.col_mut(1).copy_from_slice(&c0);
+            }
+            m
+        })
     })
 }
 
@@ -112,5 +129,32 @@ proptest! {
         let g = a.gram();
         let gt = g.transpose();
         prop_assert!(g.sub(&gt).unwrap().max_abs() < 1e-10 * (1.0 + g.max_abs()));
+    }
+
+    #[test]
+    fn svd_into_matches_allocating_svd(ms in proptest::collection::vec(any_thin_matrix(), 1..5)) {
+        // One workspace reused across a random sequence of shapes (growing,
+        // shrinking, empty, rank-deficient) must reproduce the allocating
+        // path exactly — stale scratch from a previous decomposition must
+        // never leak into the next result.
+        let mut ws = SvdWorkspace::default();
+        for a in &ms {
+            let fresh = svd::thin_svd(a).unwrap();
+            svd::thin_svd_into(a, &mut ws).unwrap();
+            prop_assert_eq!(&ws.s, &fresh.s);
+            prop_assert_eq!(&ws.u, &fresh.u);
+            prop_assert_eq!(&ws.v, &fresh.v);
+        }
+    }
+
+    #[test]
+    fn qr_into_matches_allocating_qr(ms in proptest::collection::vec(any_thin_matrix(), 1..5)) {
+        let mut ws = QrWorkspace::default();
+        for a in &ms {
+            let fresh = qr::thin_qr(a).unwrap();
+            qr::thin_qr_into(a, &mut ws).unwrap();
+            prop_assert_eq!(&ws.q, &fresh.q);
+            prop_assert_eq!(&ws.r, &fresh.r);
+        }
     }
 }

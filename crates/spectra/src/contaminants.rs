@@ -16,10 +16,30 @@ use spca_linalg::rng::standard_normal;
 
 /// Broad quasar emission lines in the optical window (rest frame).
 const QUASAR_LINES: &[Line] = &[
-    Line { name: "MgII2798", lambda: 2798.0, width: 40.0, emission: true },
-    Line { name: "Hgamma_b", lambda: 4340.5, width: 35.0, emission: true },
-    Line { name: "Hbeta_b", lambda: 4861.3, width: 40.0, emission: true },
-    Line { name: "Halpha_b", lambda: 6562.8, width: 50.0, emission: true },
+    Line {
+        name: "MgII2798",
+        lambda: 2798.0,
+        width: 40.0,
+        emission: true,
+    },
+    Line {
+        name: "Hgamma_b",
+        lambda: 4340.5,
+        width: 35.0,
+        emission: true,
+    },
+    Line {
+        name: "Hbeta_b",
+        lambda: 4861.3,
+        width: 40.0,
+        emission: true,
+    },
+    Line {
+        name: "Halpha_b",
+        lambda: 6562.8,
+        width: 50.0,
+        emission: true,
+    },
 ];
 
 /// A quasar spectrum: blue power-law continuum with broad emission lines,
@@ -65,7 +85,12 @@ pub fn star<R: Rng + ?Sized>(rng: &mut R, grid: &WavelengthGrid, teff: f64) -> V
     if teff > 6500.0 {
         // Balmer absorption for hot stars.
         for &center in &[6562.8, 4861.3, 4340.5, 4101.7] {
-            let line = Line { name: "balmer", lambda: center, width: 12.0, emission: false };
+            let line = Line {
+                name: "balmer",
+                lambda: center,
+                width: 12.0,
+                emission: false,
+            };
             add_line(&mut flux, &lambdas, &line, -0.4);
         }
     } else if teff < 4000.0 {
@@ -96,7 +121,12 @@ pub fn sky_residual<R: Rng + ?Sized>(rng: &mut R, grid: &WavelengthGrid) -> Vec<
     let max_l = lambdas.last().copied().unwrap_or(9200.0);
     while l < max_l {
         let strength = 2.0 + 6.0 * rng.gen::<f64>();
-        let line = Line { name: "OH", lambda: l, width: 2.5, emission: true };
+        let line = Line {
+            name: "OH",
+            lambda: l,
+            width: 2.5,
+            emission: true,
+        };
         add_line(&mut flux, &lambdas, &line, strength);
         l += 15.0 + 25.0 * rng.gen::<f64>();
     }
@@ -158,7 +188,12 @@ mod tests {
         let q = quasar(&mut rng, &g, z);
         let peak_pix = g.pixel_of(6562.8 * (1.0 + z)).unwrap();
         let side_pix = g.pixel_of(6100.0 * (1.0 + z)).unwrap();
-        assert!(q[peak_pix] > q[side_pix] + 0.5, "{} vs {}", q[peak_pix], q[side_pix]);
+        assert!(
+            q[peak_pix] > q[side_pix] + 0.5,
+            "{} vs {}",
+            q[peak_pix],
+            q[side_pix]
+        );
     }
 
     #[test]
@@ -190,14 +225,21 @@ mod tests {
             .filter(|(_, l)| *l > 7000.0)
             .map(|(v, _)| v * v)
             .sum();
-        assert!(red_energy > 20.0 * blue_energy, "red {red_energy} blue {blue_energy}");
+        assert!(
+            red_energy > 20.0 * blue_energy,
+            "red {red_energy} blue {blue_energy}"
+        );
     }
 
     #[test]
     fn all_kinds_are_finite_and_nonempty() {
         let g = grid();
         let mut rng = StdRng::seed_from_u64(4);
-        for kind in [ContaminantKind::Quasar, ContaminantKind::Star, ContaminantKind::Sky] {
+        for kind in [
+            ContaminantKind::Quasar,
+            ContaminantKind::Star,
+            ContaminantKind::Sky,
+        ] {
             let s = draw(&mut rng, &g, kind);
             assert_eq!(s.len(), 800);
             assert!(s.iter().all(|v| v.is_finite()), "{kind:?}");

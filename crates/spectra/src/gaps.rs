@@ -22,7 +22,10 @@ impl SnippetGaps {
     /// Snippet model with `runs` expected runs of `lo..=hi` pixels each.
     pub fn new(runs: f64, lo: usize, hi: usize) -> Self {
         assert!(runs >= 0.0 && lo >= 1 && hi >= lo);
-        SnippetGaps { runs, run_len: (lo, hi) }
+        SnippetGaps {
+            runs,
+            run_len: (lo, hi),
+        }
     }
 
     /// Produces a mask of length `d` (`true` = observed) and applies no
@@ -135,7 +138,10 @@ mod tests {
             *m = false; // pre-existing coverage gap
         }
         g.apply(&mut rng, &mut mask);
-        assert!(mask[..20].iter().all(|&b| !b), "pre-existing gap must survive");
+        assert!(
+            mask[..20].iter().all(|&b| !b),
+            "pre-existing gap must survive"
+        );
     }
 
     #[test]

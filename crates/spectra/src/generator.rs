@@ -61,7 +61,13 @@ impl GalaxyGenerator {
     pub fn new(n_pixels: usize, z_max: f64) -> Self {
         let grid = WavelengthGrid::rest_frame(n_pixels, z_max);
         let lambdas = grid.lambdas();
-        GalaxyGenerator { grid, lambdas, noise_sigma: 0.02, z_max, passive_fraction: 0.4 }
+        GalaxyGenerator {
+            grid,
+            lambdas,
+            noise_sigma: 0.02,
+            z_max,
+            passive_fraction: 0.4,
+        }
     }
 
     /// The rest-frame grid used.
@@ -84,10 +90,20 @@ impl GalaxyGenerator {
         };
         // Emission anti-correlates with age.
         let emission = (1.0 - age) * (0.3 + 0.7 * rng.gen::<f64>());
-        let agn = if rng.gen::<f64>() < 0.1 { rng.gen::<f64>() } else { 0.0 };
+        let agn = if rng.gen::<f64>() < 0.1 {
+            rng.gen::<f64>()
+        } else {
+            0.0
+        };
         let brightness = (0.5 + rng.gen::<f64>()).powi(2);
         let z = self.z_max * rng.gen::<f64>();
-        GalaxyParams { age, emission, agn, brightness, z }
+        GalaxyParams {
+            age,
+            emission,
+            agn,
+            brightness,
+            z,
+        }
     }
 
     /// Deterministic noiseless spectrum for given parameters.
@@ -171,21 +187,44 @@ mod tests {
     #[test]
     fn model_is_deterministic() {
         let g = GalaxyGenerator::new(200, 0.3);
-        let p = GalaxyParams { age: 0.5, emission: 0.3, agn: 0.0, brightness: 1.0, z: 0.1 };
+        let p = GalaxyParams {
+            age: 0.5,
+            emission: 0.3,
+            agn: 0.0,
+            brightness: 1.0,
+            z: 0.1,
+        };
         assert_eq!(g.model(&p), g.model(&p));
     }
 
     #[test]
     fn emission_galaxy_shows_halpha() {
         let g = GalaxyGenerator::new(1000, 0.3);
-        let p_em = GalaxyParams { age: 0.0, emission: 1.0, agn: 0.0, brightness: 1.0, z: 0.0 };
-        let p_pass = GalaxyParams { age: 1.0, emission: 0.0, agn: 0.0, brightness: 1.0, z: 0.0 };
+        let p_em = GalaxyParams {
+            age: 0.0,
+            emission: 1.0,
+            agn: 0.0,
+            brightness: 1.0,
+            z: 0.0,
+        };
+        let p_pass = GalaxyParams {
+            age: 1.0,
+            emission: 0.0,
+            agn: 0.0,
+            brightness: 1.0,
+            z: 0.0,
+        };
         let em = g.model(&p_em);
         let pass = g.model(&p_pass);
         let ha_pix = g.grid().pixel_of(6562.8).unwrap();
         let side_pix = g.grid().pixel_of(6400.0).unwrap();
         // Emission galaxy: Hα well above local continuum.
-        assert!(em[ha_pix] > 1.5 * em[side_pix], "Hα {} vs side {}", em[ha_pix], em[side_pix]);
+        assert!(
+            em[ha_pix] > 1.5 * em[side_pix],
+            "Hα {} vs side {}",
+            em[ha_pix],
+            em[side_pix]
+        );
         // Passive: no emission bump (absorption makes it at/below).
         assert!(pass[ha_pix] <= 1.05 * pass[side_pix]);
     }
@@ -193,8 +232,17 @@ mod tests {
     #[test]
     fn brightness_scales_flux() {
         let g = GalaxyGenerator::new(200, 0.3);
-        let p1 = GalaxyParams { age: 0.5, emission: 0.2, agn: 0.0, brightness: 1.0, z: 0.0 };
-        let p2 = GalaxyParams { brightness: 2.0, ..p1 };
+        let p1 = GalaxyParams {
+            age: 0.5,
+            emission: 0.2,
+            agn: 0.0,
+            brightness: 1.0,
+            z: 0.0,
+        };
+        let p2 = GalaxyParams {
+            brightness: 2.0,
+            ..p1
+        };
         let f1 = g.model(&p1);
         let f2 = g.model(&p2);
         for (a, b) in f1.iter().zip(&f2) {

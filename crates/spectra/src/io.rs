@@ -46,7 +46,11 @@ pub fn write_csv_masked<P: AsRef<Path>>(
     let mut row = Vec::new();
     for (flux, mask) in data {
         row.clear();
-        row.extend(flux.iter().zip(mask).map(|(&v, &m)| if m { v } else { f64::NAN }));
+        row.extend(
+            flux.iter()
+                .zip(mask)
+                .map(|(&v, &m)| if m { v } else { f64::NAN }),
+        );
         write_row(&mut w, &row)?;
     }
     w.flush()

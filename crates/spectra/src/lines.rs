@@ -21,25 +21,100 @@ pub struct Line {
 
 /// Emission lines of star-forming galaxies / AGN.
 pub const EMISSION_LINES: &[Line] = &[
-    Line { name: "[OII]3727", lambda: 3727.4, width: 4.0, emission: true },
-    Line { name: "Hbeta", lambda: 4861.3, width: 5.0, emission: true },
-    Line { name: "[OIII]4959", lambda: 4958.9, width: 4.0, emission: true },
-    Line { name: "[OIII]5007", lambda: 5006.8, width: 4.0, emission: true },
-    Line { name: "[NII]6548", lambda: 6548.1, width: 4.0, emission: true },
-    Line { name: "Halpha", lambda: 6562.8, width: 5.5, emission: true },
-    Line { name: "[NII]6583", lambda: 6583.4, width: 4.0, emission: true },
-    Line { name: "[SII]6716", lambda: 6716.4, width: 4.0, emission: true },
-    Line { name: "[SII]6731", lambda: 6730.8, width: 4.0, emission: true },
+    Line {
+        name: "[OII]3727",
+        lambda: 3727.4,
+        width: 4.0,
+        emission: true,
+    },
+    Line {
+        name: "Hbeta",
+        lambda: 4861.3,
+        width: 5.0,
+        emission: true,
+    },
+    Line {
+        name: "[OIII]4959",
+        lambda: 4958.9,
+        width: 4.0,
+        emission: true,
+    },
+    Line {
+        name: "[OIII]5007",
+        lambda: 5006.8,
+        width: 4.0,
+        emission: true,
+    },
+    Line {
+        name: "[NII]6548",
+        lambda: 6548.1,
+        width: 4.0,
+        emission: true,
+    },
+    Line {
+        name: "Halpha",
+        lambda: 6562.8,
+        width: 5.5,
+        emission: true,
+    },
+    Line {
+        name: "[NII]6583",
+        lambda: 6583.4,
+        width: 4.0,
+        emission: true,
+    },
+    Line {
+        name: "[SII]6716",
+        lambda: 6716.4,
+        width: 4.0,
+        emission: true,
+    },
+    Line {
+        name: "[SII]6731",
+        lambda: 6730.8,
+        width: 4.0,
+        emission: true,
+    },
 ];
 
 /// Stellar absorption features of passive galaxies.
 pub const ABSORPTION_LINES: &[Line] = &[
-    Line { name: "CaK", lambda: 3933.7, width: 8.0, emission: false },
-    Line { name: "CaH", lambda: 3968.5, width: 8.0, emission: false },
-    Line { name: "Gband", lambda: 4304.4, width: 10.0, emission: false },
-    Line { name: "Hbeta_abs", lambda: 4861.3, width: 9.0, emission: false },
-    Line { name: "Mgb", lambda: 5175.4, width: 12.0, emission: false },
-    Line { name: "NaD", lambda: 5893.0, width: 10.0, emission: false },
+    Line {
+        name: "CaK",
+        lambda: 3933.7,
+        width: 8.0,
+        emission: false,
+    },
+    Line {
+        name: "CaH",
+        lambda: 3968.5,
+        width: 8.0,
+        emission: false,
+    },
+    Line {
+        name: "Gband",
+        lambda: 4304.4,
+        width: 10.0,
+        emission: false,
+    },
+    Line {
+        name: "Hbeta_abs",
+        lambda: 4861.3,
+        width: 9.0,
+        emission: false,
+    },
+    Line {
+        name: "Mgb",
+        lambda: 5175.4,
+        width: 12.0,
+        emission: false,
+    },
+    Line {
+        name: "NaD",
+        lambda: 5893.0,
+        width: 10.0,
+        emission: false,
+    },
 ];
 
 /// Gaussian line profile evaluated at wavelength `lambda` for a line
@@ -73,7 +148,12 @@ mod tests {
     fn catalog_is_sorted_and_in_optical() {
         for set in [EMISSION_LINES, ABSORPTION_LINES] {
             for w in set.windows(2) {
-                assert!(w[1].lambda >= w[0].lambda, "{} before {}", w[1].name, w[0].name);
+                assert!(
+                    w[1].lambda >= w[0].lambda,
+                    "{} before {}",
+                    w[1].name,
+                    w[0].name
+                );
             }
             for l in set {
                 assert!(l.lambda > 3000.0 && l.lambda < 10000.0);

@@ -48,7 +48,12 @@ pub fn unit_norm_masked(flux: &mut [f64], mask: &[bool]) -> f64 {
 /// applied (1.0 for degenerate input).
 pub fn median_norm(flux: &mut [f64], mask: &[bool]) -> f64 {
     assert_eq!(flux.len(), mask.len());
-    let mut obs: Vec<f64> = flux.iter().zip(mask).filter(|(_, &m)| m).map(|(f, _)| *f).collect();
+    let mut obs: Vec<f64> = flux
+        .iter()
+        .zip(mask)
+        .filter(|(_, &m)| m)
+        .map(|(f, _)| *f)
+        .collect();
     if obs.is_empty() {
         return 1.0;
     }
@@ -111,7 +116,12 @@ mod tests {
         let mut f = vec![2.0, 5.0, 1.0, 7.0];
         let mask = vec![true, false, true, true];
         unit_norm_masked(&mut f, &mask);
-        let n2: f64 = f.iter().zip(&mask).filter(|(_, &m)| m).map(|(v, _)| v * v).sum();
+        let n2: f64 = f
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| m)
+            .map(|(v, _)| v * v)
+            .sum();
         assert!((n2 - 0.75).abs() < 1e-12);
     }
 

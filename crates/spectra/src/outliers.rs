@@ -39,7 +39,11 @@ impl OutlierInjector {
         OutlierInjector {
             rate,
             amplitude: 50.0,
-            kinds: vec![OutlierKind::CosmicRay, OutlierKind::SkyResidual, OutlierKind::Junk],
+            kinds: vec![
+                OutlierKind::CosmicRay,
+                OutlierKind::SkyResidual,
+                OutlierKind::Junk,
+            ],
         }
     }
 
@@ -70,8 +74,10 @@ impl OutlierInjector {
             OutlierKind::CosmicRay => {
                 let center = rng.gen_range(0..d);
                 let width = rng.gen_range(1..=3.min(d));
-                for i in center.saturating_sub(width)..(center + width).min(d) {
-                    x[i] += self.amplitude * (1.0 + rng.gen::<f64>());
+                let lo = center.saturating_sub(width);
+                let hi = (center + width).min(d);
+                for xi in &mut x[lo..hi] {
+                    *xi += self.amplitude * (1.0 + rng.gen::<f64>());
                 }
             }
             OutlierKind::SkyResidual => {
@@ -129,7 +135,7 @@ mod tests {
         let mut x = vec![0.0; 100];
         inj.contaminate(&mut rng, &mut x, OutlierKind::CosmicRay);
         let touched = x.iter().filter(|&&v| v != 0.0).count();
-        assert!(touched >= 1 && touched <= 6, "{touched} pixels hit");
+        assert!((1..=6).contains(&touched), "{touched} pixels hit");
         assert!(x.iter().cloned().fold(0.0_f64, f64::max) > 40.0);
     }
 

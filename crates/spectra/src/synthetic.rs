@@ -39,13 +39,21 @@ impl PlantedSubspace {
         fill_standard_normal(&mut rng, raw.as_mut_slice());
         let basis = qr::orthonormalize(&raw).expect("random matrix is full rank");
         let signal_sigmas = (0..rank).map(|k| 4.0 * 0.8f64.powi(k as i32)).collect();
-        PlantedSubspace { basis, signal_sigmas, noise_sigma }
+        PlantedSubspace {
+            basis,
+            signal_sigmas,
+            noise_sigma,
+        }
     }
 
     /// Plants an explicitly given orthonormal basis.
     pub fn with_basis(basis: Mat, signal_sigmas: Vec<f64>, noise_sigma: f64) -> Self {
         assert_eq!(basis.cols(), signal_sigmas.len());
-        PlantedSubspace { basis, signal_sigmas, noise_sigma }
+        PlantedSubspace {
+            basis,
+            signal_sigmas,
+            noise_sigma,
+        }
     }
 
     /// Ambient dimensionality.
@@ -79,7 +87,10 @@ impl PlantedSubspace {
             .iter()
             .map(|&s| s * spca_linalg::rng::standard_normal(rng))
             .collect();
-        let mut x = self.basis.matvec(&coeffs).expect("coeff length matches basis");
+        let mut x = self
+            .basis
+            .matvec(&coeffs)
+            .expect("coeff length matches basis");
         if self.noise_sigma > 0.0 {
             let noise = standard_normal_vec(rng, x.len());
             vecops::axpy(self.noise_sigma, &noise, &mut x);
@@ -119,9 +130,9 @@ mod tests {
         let dist = subspace_distance(&eig.basis, w.basis()).unwrap();
         assert!(dist < 0.1, "recovered basis distance {dist}");
         let truth = w.true_eigenvalues();
-        for k in 0..3 {
-            let rel = (eig.values[k] - truth[k]).abs() / truth[k];
-            assert!(rel < 0.2, "λ{k}: {} vs {}", eig.values[k], truth[k]);
+        for (k, (&ev, &tv)) in eig.values.iter().zip(&truth).enumerate().take(3) {
+            let rel = (ev - tv).abs() / tv;
+            assert!(rel < 0.2, "λ{k}: {ev} vs {tv}");
         }
     }
 

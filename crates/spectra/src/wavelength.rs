@@ -17,7 +17,11 @@ impl WavelengthGrid {
     /// log₁₀(λ) with step `log_step` dex.
     pub fn new(start_angstrom: f64, log_step: f64, n: usize) -> Self {
         assert!(start_angstrom > 0.0 && log_step > 0.0 && n > 0);
-        WavelengthGrid { log_start: start_angstrom.log10(), log_step, n }
+        WavelengthGrid {
+            log_start: start_angstrom.log10(),
+            log_step,
+            n,
+        }
     }
 
     /// The SDSS observed-frame grid (3800–9200 Å) at the standard 10⁻⁴ dex
@@ -25,7 +29,11 @@ impl WavelengthGrid {
     pub fn sdss_like(n: usize) -> Self {
         let lo = 3800.0_f64.log10();
         let hi = 9200.0_f64.log10();
-        WavelengthGrid { log_start: lo, log_step: (hi - lo) / n as f64, n }
+        WavelengthGrid {
+            log_start: lo,
+            log_step: (hi - lo) / n as f64,
+            n,
+        }
     }
 
     /// A rest-frame grid wide enough that redshifts up to `z_max` keep the
@@ -33,7 +41,11 @@ impl WavelengthGrid {
     pub fn rest_frame(n: usize, z_max: f64) -> Self {
         let lo = (3800.0 / (1.0 + z_max)).log10();
         let hi = 9200.0_f64.log10();
-        WavelengthGrid { log_start: lo, log_step: (hi - lo) / n as f64, n }
+        WavelengthGrid {
+            log_start: lo,
+            log_step: (hi - lo) / n as f64,
+            n,
+        }
     }
 
     /// Number of pixels.

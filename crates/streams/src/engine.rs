@@ -140,7 +140,11 @@ impl RunningEngine {
 
     /// Live operator snapshots (name, counters).
     pub fn op_snapshots(&self) -> Vec<(String, OpSnapshot)> {
-        self.op_names.iter().cloned().zip(self.metrics.op_snapshots()).collect()
+        self.op_names
+            .iter()
+            .cloned()
+            .zip(self.metrics.op_snapshots())
+            .collect()
     }
 
     /// Live snapshot of the operator with the given name.
@@ -169,7 +173,11 @@ impl RunningEngine {
             .collect();
         RunReport {
             elapsed: self.started.elapsed(),
-            ops: self.op_names.into_iter().zip(self.metrics.op_snapshots()).collect(),
+            ops: self
+                .op_names
+                .into_iter()
+                .zip(self.metrics.op_snapshots())
+                .collect(),
             links,
         }
     }
@@ -237,8 +245,10 @@ impl Engine {
             let to_pe = op_pe[e.to];
             let slot = &mut slots_per_pe[from_pe][local_idx[e.from]];
             if from_pe == to_pe {
-                slot.out_ports[e.out_port]
-                    .push(Target::Local { op: local_idx[e.to], port: e.port });
+                slot.out_ports[e.out_port].push(Target::Local {
+                    op: local_idx[e.to],
+                    port: e.port,
+                });
             } else {
                 let (tx, rx) = bounded(builder.channel_capacity);
                 let link = metrics.register_link();
@@ -249,7 +259,11 @@ impl Engine {
                     }
                     _ => None,
                 };
-                slot.out_ports[e.out_port].push(Target::Remote { tx, counters: link, delay });
+                slot.out_ports[e.out_port].push(Target::Remote {
+                    tx,
+                    counters: link,
+                    delay,
+                });
                 inputs_per_pe[to_pe].push(ChanIn {
                     rx,
                     to_local: local_idx[e.to],
@@ -269,7 +283,11 @@ impl Engine {
         let stop = Arc::new(AtomicBool::new(false));
         let mut handles = Vec::with_capacity(pes.len());
         for (slots, inputs) in slots_per_pe.into_iter().zip(inputs_per_pe) {
-            let pe = PeRuntime { slots, inputs, stop: Arc::clone(&stop) };
+            let pe = PeRuntime {
+                slots,
+                inputs,
+                stop: Arc::clone(&stop),
+            };
             handles.push(
                 std::thread::Builder::new()
                     .name("spca-pe".to_string())
@@ -352,7 +370,11 @@ impl EmitSink for PeSink<'_> {
 fn deliver(target: &Target, t: Tuple, pending: &mut VecDeque<(usize, PortKind, Tuple)>) {
     match target {
         Target::Local { op, port } => pending.push_back((*op, *port, t)),
-        Target::Remote { tx, counters, delay } => {
+        Target::Remote {
+            tx,
+            counters,
+            delay,
+        } => {
             if let Some(d) = delay {
                 std::thread::sleep(*d);
             }
@@ -374,8 +396,11 @@ macro_rules! with_op {
         let counters = Arc::clone(&$slots[$idx].counters);
         let t0 = Instant::now();
         let ret = {
-            let mut sink =
-                PeSink { out_ports: &$slots[$idx].out_ports, pending: $pending, stop: $stop };
+            let mut sink = PeSink {
+                out_ports: &$slots[$idx].out_ports,
+                pending: $pending,
+                stop: $stop,
+            };
             let $ctx = &mut OpContext::new(&mut sink, &counters);
             $body
         };
@@ -386,10 +411,15 @@ macro_rules! with_op {
 }
 
 fn run_pe(mut pe: PeRuntime) {
-    let PeRuntime { ref mut slots, ref mut inputs, ref stop } = pe;
+    let PeRuntime {
+        ref mut slots,
+        ref mut inputs,
+        ref stop,
+    } = pe;
     let mut pending: VecDeque<(usize, PortKind, Tuple)> = VecDeque::new();
 
-    // Start hooks.
+    // Start hooks. (Index loop: the macro needs `slots` whole, by index.)
+    #[allow(clippy::needless_range_loop)]
     for i in 0..slots.len() {
         with_op!(slots, &mut pending, stop, i, |op, ctx| op.on_start(ctx));
     }
@@ -404,8 +434,7 @@ fn run_pe(mut pe: PeRuntime) {
     }
     drain_pending(slots, &mut pending, stop);
 
-    let source_idxs: Vec<usize> =
-        (0..slots.len()).filter(|&i| slots[i].is_source).collect();
+    let source_idxs: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_source).collect();
 
     loop {
         let mut progressed = false;
@@ -461,8 +490,7 @@ fn run_pe(mut pe: PeRuntime) {
             // Blocking select with timeout. The selection happens in its
             // own scope so the immutable receiver borrows end before the
             // mutable dispatch below.
-            let alive: Vec<usize> =
-                (0..inputs.len()).filter(|&i| inputs[i].alive).collect();
+            let alive: Vec<usize> = (0..inputs.len()).filter(|&i| inputs[i].alive).collect();
             if !alive.is_empty() {
                 let event: Option<(usize, Option<Tuple>)> = {
                     let mut sel = Select::new();
@@ -547,7 +575,14 @@ fn on_disconnect(
         inputs[ci].got_eos = true;
         let to = inputs[ci].to_local;
         let port = inputs[ci].port;
-        dispatch(slots, pending, stop, to, port, Tuple::Punct(Punctuation::EndOfStream));
+        dispatch(
+            slots,
+            pending,
+            stop,
+            to,
+            port,
+            Tuple::Punct(Punctuation::EndOfStream),
+        );
     }
 }
 
@@ -612,7 +647,11 @@ fn finish_op(
     // Punctuate every out port (local + remote).
     let n_ports = slots[idx].out_ports.len();
     for p in 0..n_ports {
-        let mut sink = PeSink { out_ports: &slots[idx].out_ports, pending, stop };
+        let mut sink = PeSink {
+            out_ports: &slots[idx].out_ports,
+            pending,
+            stop,
+        };
         sink.emit(p, Tuple::Punct(Punctuation::EndOfStream));
     }
     // Release channel senders so downstream PEs observe closure even if
@@ -685,7 +724,12 @@ mod tests {
         let seen = Arc::new(Mutex::new(Vec::new()));
         let src = g.add_source("src", Box::new(CountSource { n, next: 0 }));
         let mid = g.add_op("double", Box::new(Double));
-        let sink = g.add_op("collect", Box::new(Collect { seen: Arc::clone(&seen) }));
+        let sink = g.add_op(
+            "collect",
+            Box::new(Collect {
+                seen: Arc::clone(&seen),
+            }),
+        );
         g.connect(src, 0, mid, PortKind::Data);
         g.connect(mid, 0, sink, PortKind::Data);
         if fused {
@@ -724,8 +768,18 @@ mod tests {
         let seen_a = Arc::new(Mutex::new(Vec::new()));
         let seen_b = Arc::new(Mutex::new(Vec::new()));
         let src = g.add_source("src", Box::new(CountSource { n: 100, next: 0 }));
-        let a = g.add_op("a", Box::new(Collect { seen: Arc::clone(&seen_a) }));
-        let b = g.add_op("b", Box::new(Collect { seen: Arc::clone(&seen_b) }));
+        let a = g.add_op(
+            "a",
+            Box::new(Collect {
+                seen: Arc::clone(&seen_a),
+            }),
+        );
+        let b = g.add_op(
+            "b",
+            Box::new(Collect {
+                seen: Arc::clone(&seen_b),
+            }),
+        );
         g.connect(src, 0, a, PortKind::Data);
         g.connect(src, 0, b, PortKind::Data);
         Engine::run(g);
@@ -747,7 +801,12 @@ mod tests {
         let mut g = GraphBuilder::new();
         let seen = Arc::new(Mutex::new(Vec::new()));
         let src = g.add_source("inf", Box::new(Forever(0)));
-        let sink = g.add_op("collect", Box::new(Collect { seen: Arc::clone(&seen) }));
+        let sink = g.add_op(
+            "collect",
+            Box::new(Collect {
+                seen: Arc::clone(&seen),
+            }),
+        );
         g.connect(src, 0, sink, PortKind::Data);
         let running = Engine::start(g);
         std::thread::sleep(Duration::from_millis(50));
@@ -775,7 +834,12 @@ mod tests {
         let seen = Arc::new(Mutex::new(Vec::new()));
         let src = g.add_source("src", Box::new(CountSource { n: 10, next: 0 }));
         let sum = g.add_op("sum", Box::new(Summer { total: 0.0 }));
-        let out = g.add_op("out", Box::new(Collect { seen: Arc::clone(&seen) }));
+        let out = g.add_op(
+            "out",
+            Box::new(Collect {
+                seen: Arc::clone(&seen),
+            }),
+        );
         g.connect(src, 0, sum, PortKind::Data);
         g.connect(sum, 0, out, PortKind::Data);
         Engine::run(g);
@@ -800,7 +864,12 @@ mod tests {
         let src = g.add_source("src", Box::new(CountSource { n: 50, next: 0 }));
         let e1 = g.add_op("e1", Box::new(Echo));
         let e2 = g.add_op("e2", Box::new(Echo));
-        let sink = g.add_op("sink", Box::new(Collect { seen: Arc::clone(&seen) }));
+        let sink = g.add_op(
+            "sink",
+            Box::new(Collect {
+                seen: Arc::clone(&seen),
+            }),
+        );
         g.connect(src, 0, e1, PortKind::Data);
         g.connect(src, 0, e2, PortKind::Data);
         g.connect(e1, 0, sink, PortKind::Data);
@@ -831,7 +900,12 @@ mod tests {
             }
         }
         let slow = g.add_op("slow", Box::new(Slow));
-        let sink = g.add_op("collect", Box::new(Collect { seen: Arc::clone(&seen) }));
+        let sink = g.add_op(
+            "collect",
+            Box::new(Collect {
+                seen: Arc::clone(&seen),
+            }),
+        );
         g.connect(src, 0, slow, PortKind::Data);
         g.connect(slow, 0, sink, PortKind::Data);
         Engine::run(g);
@@ -843,8 +917,19 @@ mod tests {
         let mut g = GraphBuilder::new();
         let seen = Arc::new(Mutex::new(Vec::new()));
         let src = g.add_source("src", Box::new(CountSource { n: 10, next: 0 }));
-        let sink = g.add_op("collect", Box::new(Collect { seen: Arc::clone(&seen) }));
-        g.connect_kind(src, 0, sink, PortKind::Data, LinkKind::Network { model_delay_us: 0 });
+        let sink = g.add_op(
+            "collect",
+            Box::new(Collect {
+                seen: Arc::clone(&seen),
+            }),
+        );
+        g.connect_kind(
+            src,
+            0,
+            sink,
+            PortKind::Data,
+            LinkKind::Network { model_delay_us: 0 },
+        );
         let report = Engine::run(g);
         assert_eq!(report.links.len(), 1);
         // 10 data tuples (16 + 8 bytes each) + EOS (8).

@@ -70,7 +70,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// An empty graph with the default cross-PE channel capacity (1024).
     pub fn new() -> Self {
-        GraphBuilder { channel_capacity: 1024, ..Default::default() }
+        GraphBuilder {
+            channel_capacity: 1024,
+            ..Default::default()
+        }
     }
 
     /// Sets the bounded capacity of cross-PE channels (backpressure depth).
@@ -92,7 +95,11 @@ impl GraphBuilder {
 
     fn push(&mut self, name: String, op: Box<dyn Operator>, is_source: bool) -> OpId {
         let id = self.ops.len();
-        self.ops.push(OpEntry { name, op, is_source });
+        self.ops.push(OpEntry {
+            name,
+            op,
+            is_source,
+        });
         self.fuse_parent.push(id);
         self.placements.push(None);
         OpId(id)
@@ -113,8 +120,17 @@ impl GraphBuilder {
         port: PortKind,
         kind: LinkKind,
     ) {
-        assert!(from.0 < self.ops.len() && to.0 < self.ops.len(), "unknown operator id");
-        self.edges.push(Edge { from: from.0, out_port, to: to.0, port, kind });
+        assert!(
+            from.0 < self.ops.len() && to.0 < self.ops.len(),
+            "unknown operator id"
+        );
+        self.edges.push(Edge {
+            from: from.0,
+            out_port,
+            to: to.0,
+            port,
+            kind,
+        });
     }
 
     /// Fuses the given operators into one PE (transitive: fusing {a,b} then
@@ -162,7 +178,9 @@ impl GraphBuilder {
             }
             if let (Some(a), Some(b)) = (self.placements[e.from], self.placements[e.to]) {
                 if a != b {
-                    e.kind = LinkKind::Network { model_delay_us: delay };
+                    e.kind = LinkKind::Network {
+                        model_delay_us: delay,
+                    };
                 }
             }
         }
@@ -184,13 +202,13 @@ impl GraphBuilder {
         let mut root_to_pe = std::collections::HashMap::new();
         let mut op_pe = vec![0usize; n];
         let mut pes: Vec<Vec<usize>> = Vec::new();
-        for i in 0..n {
+        for (i, slot) in op_pe.iter_mut().enumerate() {
             let root = self.find(i);
             let pe = *root_to_pe.entry(root).or_insert_with(|| {
                 pes.push(Vec::new());
                 pes.len() - 1
             });
-            op_pe[i] = pe;
+            *slot = pe;
             pes[pe].push(i);
         }
         (op_pe, pes)
@@ -219,13 +237,19 @@ impl GraphBuilder {
     /// In-degree of the data port of `to` (used for end-of-stream
     /// bookkeeping and topology assertions in tests).
     pub fn data_in_degree(&self, to: OpId) -> usize {
-        self.edges.iter().filter(|e| e.to == to.0 && e.port == PortKind::Data).count()
+        self.edges
+            .iter()
+            .filter(|e| e.to == to.0 && e.port == PortKind::Data)
+            .count()
     }
 
     /// All edges as `(from, out_port, to, port_kind)` tuples, for topology
     /// assertions.
     pub fn edge_list(&self) -> Vec<(OpId, usize, OpId, PortKind)> {
-        self.edges.iter().map(|e| (OpId(e.from), e.out_port, OpId(e.to), e.port)).collect()
+        self.edges
+            .iter()
+            .map(|e| (OpId(e.from), e.out_port, OpId(e.to), e.port))
+            .collect()
     }
 }
 
@@ -322,7 +346,13 @@ mod tests {
         let mut g = GraphBuilder::new().with_inter_node_delay(5);
         let a = g.add_op("a", nop());
         let b = g.add_op("b", nop());
-        g.connect_kind(a, 0, b, PortKind::Data, LinkKind::Network { model_delay_us: 99 });
+        g.connect_kind(
+            a,
+            0,
+            b,
+            PortKind::Data,
+            LinkKind::Network { model_delay_us: 99 },
+        );
         g.place(a, 0);
         g.place(b, 1);
         g.apply_placements();

@@ -144,7 +144,10 @@ pub struct RateProbe {
 impl RateProbe {
     /// Starts a measurement window from the given live snapshots.
     pub fn start(snapshots: Vec<OpSnapshot>) -> Self {
-        RateProbe { baseline: snapshots, taken_at: std::time::Instant::now() }
+        RateProbe {
+            baseline: snapshots,
+            taken_at: std::time::Instant::now(),
+        }
     }
 
     /// Ends the window: returns per-operator `tuples_in` rates (tuples/s),
@@ -161,11 +164,7 @@ impl RateProbe {
 
     /// Aggregate input rate over operators selected by `pick` (e.g. all
     /// PCA replicas).
-    pub fn total_rate_in(
-        &self,
-        now_snapshots: &[OpSnapshot],
-        pick: impl Fn(usize) -> bool,
-    ) -> f64 {
+    pub fn total_rate_in(&self, now_snapshots: &[OpSnapshot], pick: impl Fn(usize) -> bool) -> f64 {
         self.rates_in(now_snapshots)
             .iter()
             .enumerate()
@@ -218,7 +217,12 @@ mod tests {
 
     #[test]
     fn rate_probe_differences_counters() {
-        let mk = |n: u64| OpSnapshot { tuples_in: n, tuples_out: 0, control_in: 0, busy_ns: 0 };
+        let mk = |n: u64| OpSnapshot {
+            tuples_in: n,
+            tuples_out: 0,
+            control_in: 0,
+            busy_ns: 0,
+        };
         let probe = RateProbe::start(vec![mk(100), mk(50)]);
         std::thread::sleep(std::time::Duration::from_millis(20));
         let rates = probe.rates_in(&[mk(300), mk(50)]);
@@ -230,7 +234,12 @@ mod tests {
 
     #[test]
     fn rate_probe_handles_counter_reset_gracefully() {
-        let mk = |n: u64| OpSnapshot { tuples_in: n, tuples_out: 0, control_in: 0, busy_ns: 0 };
+        let mk = |n: u64| OpSnapshot {
+            tuples_in: n,
+            tuples_out: 0,
+            control_in: 0,
+            busy_ns: 0,
+        };
         let probe = RateProbe::start(vec![mk(500)]);
         // A smaller later value (shouldn't happen, but must not underflow).
         let rates = probe.rates_in(&[mk(100)]);

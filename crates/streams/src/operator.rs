@@ -134,6 +134,9 @@ pub mod testing {
     use super::*;
     use std::collections::VecDeque;
 
+    /// Observer callback for [`CaptureSink::on_emit`].
+    pub type EmitObserver = Box<dyn FnMut(usize, &Tuple)>;
+
     /// An in-memory sink capturing emissions per port.
     pub struct CaptureSink {
         /// Captured tuples, per output port.
@@ -142,6 +145,10 @@ pub mod testing {
         pub full_ports: Vec<bool>,
         /// Simulated cooperative-stop flag.
         pub stop: bool,
+        /// Observer invoked on every successful emit, before the tuple is
+        /// stored. Lets tests assert invariants *at send time* — e.g. that
+        /// an operator is not holding its state lock across a port send.
+        pub on_emit: Option<EmitObserver>,
     }
 
     impl CaptureSink {
@@ -151,6 +158,7 @@ pub mod testing {
                 ports: (0..n_ports).map(|_| VecDeque::new()).collect(),
                 full_ports: vec![false; n_ports],
                 stop: false,
+                on_emit: None,
             }
         }
 
@@ -168,6 +176,9 @@ pub mod testing {
 
     impl EmitSink for CaptureSink {
         fn emit(&mut self, port: usize, t: Tuple) {
+            if let Some(hook) = &mut self.on_emit {
+                hook(port, &t);
+            }
             self.ports[port].push_back(t);
         }
 
@@ -175,6 +186,9 @@ pub mod testing {
             if self.full_ports[port] {
                 Err(t)
             } else {
+                if let Some(hook) = &mut self.on_emit {
+                    hook(port, &t);
+                }
                 self.ports[port].push_back(t);
                 Ok(())
             }
@@ -196,13 +210,18 @@ pub mod testing {
     /// Runs a closure with a context over a capture sink and returns the
     /// sink for inspection.
     pub fn with_ctx<F: FnOnce(&mut OpContext<'_>)>(n_ports: usize, f: F) -> CaptureSink {
-        let counters = OpCounters::default();
         let mut sink = CaptureSink::new(n_ports);
-        {
-            let mut ctx = OpContext::new(&mut sink, &counters);
-            f(&mut ctx);
-        }
+        with_sink(&mut sink, f);
         sink
+    }
+
+    /// Like [`with_ctx`] but over a caller-prepared sink, so tests can
+    /// install an [`CaptureSink::on_emit`] observer (or pre-fill
+    /// `full_ports`) before the operator runs.
+    pub fn with_sink<F: FnOnce(&mut OpContext<'_>)>(sink: &mut CaptureSink, f: F) {
+        let counters = OpCounters::default();
+        let mut ctx = OpContext::new(sink, &counters);
+        f(&mut ctx);
     }
 }
 

@@ -67,7 +67,7 @@ mod tests {
 
     #[test]
     fn filter_drops_and_counts() {
-        let mut f = Filter::new(|t: &DataTuple| t.seq % 2 == 0);
+        let mut f = Filter::new(|t: &DataTuple| t.seq.is_multiple_of(2));
         let sink = with_ctx(1, |ctx| {
             for seq in 0..10 {
                 f.process(DataTuple::new(seq, vec![]), ctx);

@@ -32,7 +32,9 @@ impl HttpUrl {
             let _ = rest;
             return Err("https is not supported (no TLS); use http://".to_string());
         }
-        let rest = url.strip_prefix("http://").ok_or("URL must start with http://")?;
+        let rest = url
+            .strip_prefix("http://")
+            .ok_or("URL must start with http://")?;
         let (authority, path) = match rest.find('/') {
             Some(i) => (&rest[..i], &rest[i..]),
             None => (rest, "/"),
@@ -50,7 +52,11 @@ impl HttpUrl {
         if host.is_empty() {
             return Err("empty host".to_string());
         }
-        Ok(HttpUrl { host, port, path: path.to_string() })
+        Ok(HttpUrl {
+            host,
+            port,
+            path: path.to_string(),
+        })
     }
 }
 
@@ -70,7 +76,11 @@ pub struct HttpSource {
 
 enum ConnState {
     Unconnected,
-    Streaming { reader: BufReader<TcpStream>, framing: BodyFraming, line: String },
+    Streaming {
+        reader: BufReader<TcpStream>,
+        framing: BodyFraming,
+        line: String,
+    },
     Done,
 }
 
@@ -137,8 +147,7 @@ impl HttpSource {
                     let lower = h.to_ascii_lowercase();
                     if let Some(v) = lower.strip_prefix("content-length:") {
                         content_length = v.trim().parse().ok();
-                    } else if lower.starts_with("transfer-encoding:") && lower.contains("chunked")
-                    {
+                    } else if lower.starts_with("transfer-encoding:") && lower.contains("chunked") {
                         chunked = true;
                     } else if let Some(v) = h
                         .strip_prefix("Location:")
@@ -158,13 +167,20 @@ impl HttpSource {
         match status {
             200 => {
                 let framing = if chunked {
-                    BodyFraming::Chunked { remaining_in_chunk: 0, done: false }
+                    BodyFraming::Chunked {
+                        remaining_in_chunk: 0,
+                        done: false,
+                    }
                 } else if let Some(len) = content_length {
                     BodyFraming::Length(len)
                 } else {
                     BodyFraming::UntilClose
                 };
-                self.state = ConnState::Streaming { reader, framing, line: String::new() };
+                self.state = ConnState::Streaming {
+                    reader,
+                    framing,
+                    line: String::new(),
+                };
             }
             301 | 302 | 307 | 308 if self.redirects_left > 0 => {
                 self.redirects_left -= 1;
@@ -188,7 +204,12 @@ impl HttpSource {
 
     /// Reads the next body line respecting the framing; None = body done.
     fn next_body_line(&mut self) -> Option<String> {
-        let ConnState::Streaming { reader, framing, line } = &mut self.state else {
+        let ConnState::Streaming {
+            reader,
+            framing,
+            line,
+        } = &mut self.state
+        else {
             return None;
         };
         match framing {
@@ -214,7 +235,10 @@ impl HttpSource {
                     Err(_) => None,
                 }
             }
-            BodyFraming::Chunked { remaining_in_chunk, done } => {
+            BodyFraming::Chunked {
+                remaining_in_chunk,
+                done,
+            } => {
                 if *done {
                     return None;
                 }
@@ -228,8 +252,7 @@ impl HttpSource {
                             *done = true;
                             break;
                         }
-                        let size =
-                            u64::from_str_radix(line.trim(), 16).unwrap_or(0);
+                        let size = u64::from_str_radix(line.trim(), 16).unwrap_or(0);
                         if size == 0 {
                             *done = true;
                             break;
@@ -406,9 +429,7 @@ mod tests {
 
     #[test]
     fn until_close_body() {
-        let url = serve_once(
-            "HTTP/1.0 200 OK\r\n\r\n5.0,6.0\n# comment\n7.0,nan\n".to_string(),
-        );
+        let url = serve_once("HTTP/1.0 200 OK\r\n\r\n5.0,6.0\n# comment\n7.0,nan\n".to_string());
         let got = collect_from(&url);
         assert_eq!(got.len(), 2);
         assert!(got[1].mask.is_some());

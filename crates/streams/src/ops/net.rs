@@ -167,7 +167,12 @@ pub struct TcpSink {
 impl TcpSink {
     /// A sink dialing `addr` on the first tuple.
     pub fn connect(addr: SocketAddr) -> Self {
-        TcpSink { addr, writer: None, failed: false, written: 0 }
+        TcpSink {
+            addr,
+            writer: None,
+            failed: false,
+            written: 0,
+        }
     }
 
     fn ensure_connected(&mut self) -> bool {
@@ -278,10 +283,8 @@ mod tests {
         let gen = producer.add_source(
             "gen",
             Box::new(
-                GeneratorSource::new(|seq| {
-                    Some((vec![seq as f64, 7.0], Some(vec![true, false])))
-                })
-                .with_max_tuples(3),
+                GeneratorSource::new(|seq| Some((vec![seq as f64, 7.0], Some(vec![true, false]))))
+                    .with_max_tuples(3),
             ),
         );
         let out = producer.add_op("tcp-out", Box::new(TcpSink::connect(addr)));

@@ -24,13 +24,25 @@ impl CollectSink {
     /// An unbounded collector; keep a clone of the handle to read results.
     pub fn new() -> (Self, Arc<Mutex<Vec<DataTuple>>>) {
         let store = Arc::new(Mutex::new(Vec::new()));
-        (CollectSink { store: Arc::clone(&store), cap: None }, store)
+        (
+            CollectSink {
+                store: Arc::clone(&store),
+                cap: None,
+            },
+            store,
+        )
     }
 
     /// A collector that keeps only the most recent `cap` tuples.
     pub fn with_capacity(cap: usize) -> (Self, Arc<Mutex<Vec<DataTuple>>>) {
         let store = Arc::new(Mutex::new(Vec::new()));
-        (CollectSink { store: Arc::clone(&store), cap: Some(cap) }, store)
+        (
+            CollectSink {
+                store: Arc::clone(&store),
+                cap: Some(cap),
+            },
+            store,
+        )
     }
 }
 
@@ -56,14 +68,20 @@ pub struct CallbackSink<F, G = fn(ControlTuple)> {
 impl<F: FnMut(DataTuple) + Send> CallbackSink<F> {
     /// A sink calling `on_data` for every data tuple.
     pub fn new(on_data: F) -> Self {
-        CallbackSink { on_data, on_control: None }
+        CallbackSink {
+            on_data,
+            on_control: None,
+        }
     }
 }
 
 impl<F: FnMut(DataTuple) + Send, G: FnMut(ControlTuple) + Send> CallbackSink<F, G> {
     /// A sink with both data and control handlers.
     pub fn with_control(on_data: F, on_control: G) -> Self {
-        CallbackSink { on_data, on_control: Some(on_control) }
+        CallbackSink {
+            on_data,
+            on_control: Some(on_control),
+        }
     }
 }
 
@@ -92,7 +110,12 @@ pub struct CsvFileSink {
 impl CsvFileSink {
     /// A sink writing to `path`, flushing every `flush_every` tuples.
     pub fn new(path: impl Into<PathBuf>, flush_every: u64) -> Self {
-        CsvFileSink { path: path.into(), writer: None, flush_every: flush_every.max(1), written: 0 }
+        CsvFileSink {
+            path: path.into(),
+            writer: None,
+            flush_every: flush_every.max(1),
+            written: 0,
+        }
     }
 }
 
@@ -118,7 +141,7 @@ impl Operator for CsvFileSink {
         }
         let _ = writeln!(w);
         self.written += 1;
-        if self.written % self.flush_every == 0 {
+        if self.written.is_multiple_of(self.flush_every) {
             let _ = w.flush();
         }
     }

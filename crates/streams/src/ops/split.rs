@@ -43,7 +43,12 @@ pub struct Split {
 impl Split {
     /// A splitter with the given strategy. Output port `i` feeds engine `i`.
     pub fn new(strategy: SplitStrategy) -> Self {
-        Split { strategy, rng: StdRng::seed_from_u64(0x517EC7), next_rr: 0, blocked: 0 }
+        Split {
+            strategy,
+            rng: StdRng::seed_from_u64(0x517EC7),
+            next_rr: 0,
+            blocked: 0,
+        }
     }
 
     fn pick(&mut self, n: usize, ctx: &OpContext<'_>) -> usize {
@@ -86,8 +91,8 @@ impl Operator for Split {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::operator::testing::{with_ctx, CaptureSink};
     use crate::metrics::OpCounters;
+    use crate::operator::testing::{with_ctx, CaptureSink};
 
     fn feed(split: &mut Split, n_ports: usize, n_tuples: u64) -> CaptureSink {
         with_ctx(n_ports, |ctx| {
@@ -120,8 +125,9 @@ mod tests {
     fn no_tuple_lost_or_duplicated() {
         let mut s = Split::new(SplitStrategy::Random);
         let sink = feed(&mut s, 3, 1000);
-        let mut seqs: Vec<u64> =
-            (0..3).flat_map(|p| sink.data_at(p).into_iter().map(|d| d.seq)).collect();
+        let mut seqs: Vec<u64> = (0..3)
+            .flat_map(|p| sink.data_at(p).into_iter().map(|d| d.seq))
+            .collect();
         seqs.sort_unstable();
         assert_eq!(seqs, (0..1000).collect::<Vec<_>>());
     }

@@ -21,7 +21,10 @@ impl Throttle {
     /// A throttle emitting at most `per_sec` tuples per second.
     pub fn per_second(per_sec: f64) -> Self {
         assert!(per_sec > 0.0);
-        Throttle { period: Duration::from_secs_f64(1.0 / per_sec), last: None }
+        Throttle {
+            period: Duration::from_secs_f64(1.0 / per_sec),
+            last: None,
+        }
     }
 
     /// A throttle with an explicit inter-tuple period — the paper
@@ -70,7 +73,10 @@ mod tests {
         let elapsed = t0.elapsed();
         assert_eq!(sink.data_at(0).len(), 5);
         // 4 inter-tuple gaps of ≥5 ms (first passes immediately).
-        assert!(elapsed >= Duration::from_millis(18), "too fast: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(18),
+            "too fast: {elapsed:?}"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub struct FusionPolicy {
 
 impl Default for FusionPolicy {
     fn default() -> Self {
-        FusionPolicy { max_group_busy: 0.85, min_link_tuples: 16 }
+        FusionPolicy {
+            max_group_busy: 0.85,
+            min_link_tuples: 16,
+        }
     }
 }
 
@@ -143,12 +146,19 @@ mod tests {
         LinkReport {
             from: from.to_string(),
             to: to.to_string(),
-            snapshot: LinkSnapshot { tuples, bytes: tuples * 100 },
+            snapshot: LinkSnapshot {
+                tuples,
+                bytes: tuples * 100,
+            },
         }
     }
 
     fn report(ops: Vec<(String, OpSnapshot)>, links: Vec<LinkReport>) -> RunReport {
-        RunReport { elapsed: Duration::from_secs(1), ops, links }
+        RunReport {
+            elapsed: Duration::from_secs(1),
+            ops,
+            links,
+        }
     }
 
     #[test]
@@ -182,7 +192,10 @@ mod tests {
     fn prefers_hotter_link_under_budget() {
         // b can fuse with either a (hot) or c (cold), but not both
         // (budget): the hot pair wins.
-        let policy = FusionPolicy { max_group_busy: 0.75, ..Default::default() };
+        let policy = FusionPolicy {
+            max_group_busy: 0.75,
+            ..Default::default()
+        };
         let r = report(
             vec![op("a", 300), op("b", 300), op("c", 300)],
             vec![link("a", "b", 50_000), link("b", "c", 1_000)],

@@ -29,12 +29,22 @@ pub struct DataTuple {
 impl DataTuple {
     /// A complete observation with the given sequence number.
     pub fn new(seq: u64, values: Vec<f64>) -> Self {
-        DataTuple { seq, timestamp_ns: 0, values: Arc::new(values), mask: None }
+        DataTuple {
+            seq,
+            timestamp_ns: 0,
+            values: Arc::new(values),
+            mask: None,
+        }
     }
 
     /// A gappy observation.
     pub fn masked(seq: u64, values: Vec<f64>, mask: Vec<bool>) -> Self {
-        DataTuple { seq, timestamp_ns: 0, values: Arc::new(values), mask: Some(Arc::new(mask)) }
+        DataTuple {
+            seq,
+            timestamp_ns: 0,
+            values: Arc::new(values),
+            mask: Some(Arc::new(mask)),
+        }
     }
 
     /// Approximate serialized size in bytes (used by link-traffic metrics
@@ -60,19 +70,31 @@ pub struct ControlTuple {
 
 impl std::fmt::Debug for ControlTuple {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ControlTuple {{ kind: {}, sender: {} }}", self.kind, self.sender)
+        write!(
+            f,
+            "ControlTuple {{ kind: {}, sender: {} }}",
+            self.kind, self.sender
+        )
     }
 }
 
 impl ControlTuple {
     /// A control tuple with an arbitrary payload.
     pub fn new(kind: u32, sender: u32, payload: Arc<dyn Any + Send + Sync>) -> Self {
-        ControlTuple { kind, sender, payload }
+        ControlTuple {
+            kind,
+            sender,
+            payload,
+        }
     }
 
     /// A payload-free signal.
     pub fn signal(kind: u32, sender: u32) -> Self {
-        ControlTuple { kind, sender, payload: Arc::new(()) }
+        ControlTuple {
+            kind,
+            sender,
+            payload: Arc::new(()),
+        }
     }
 
     /// Attempts to view the payload as `T`.

@@ -55,16 +55,24 @@ struct Topology {
 }
 
 fn topology() -> impl Strategy<Value = Topology> {
-    (1u64..400, 0usize..4, 1usize..5, any::<u8>(), 1usize..64, 0u8..3).prop_map(
-        |(n_tuples, n_relays, n_branches, fuse_mask, capacity, strategy)| Topology {
-            n_tuples,
-            n_relays,
-            n_branches,
-            fuse_mask,
-            capacity,
-            strategy,
-        },
+    (
+        1u64..400,
+        0usize..4,
+        1usize..5,
+        any::<u8>(),
+        1usize..64,
+        0u8..3,
     )
+        .prop_map(
+            |(n_tuples, n_relays, n_branches, fuse_mask, capacity, strategy)| Topology {
+                n_tuples,
+                n_relays,
+                n_branches,
+                fuse_mask,
+                capacity,
+                strategy,
+            },
+        )
 }
 
 proptest! {

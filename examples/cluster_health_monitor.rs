@@ -28,7 +28,13 @@ const SENSORS: usize = 4; // [cpu_temp, fan_rpm, disk_temp, power]
 const DIM: usize = SERVERS * SENSORS;
 
 /// One reading of the whole rack, driven by latent (load, ambient).
-fn rack_reading(rng: &mut StdRng, load: f64, ambient: f64, failing: Option<usize>, severity: f64) -> Vec<f64> {
+fn rack_reading(
+    rng: &mut StdRng,
+    load: f64,
+    ambient: f64,
+    failing: Option<usize>,
+    severity: f64,
+) -> Vec<f64> {
     let mut x = vec![0.0; DIM];
     for s in 0..SERVERS {
         let jitter = 0.5 * standard_normal(rng);
@@ -71,7 +77,13 @@ fn main() {
     }
     let eig = pca.eigensystem();
     println!("\nafter {n_healthy} healthy readings:");
-    println!("  leading eigenvalues: {:?}", eig.values.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>());
+    println!(
+        "  leading eigenvalues: {:?}",
+        eig.values
+            .iter()
+            .map(|v| (v * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
     println!(
         "  variance captured by 2 latent factors: {:.1}%",
         100.0 * eig.variance_captured(2)
@@ -100,9 +112,7 @@ fn main() {
         Some(i) => {
             println!("\nfan failure on server 17 (onset over 20 readings):");
             println!("  first outlier flag at reading {i}");
-            println!(
-                "  {failure_flags}/{n_failure} readings flagged during the failure phase"
-            );
+            println!("  {failure_flags}/{n_failure} readings flagged during the failure phase");
             assert!(i < 50, "detection should be near-immediate (reading {i})");
             assert!(
                 failure_flags > (n_failure as u64 * 8) / 10,

@@ -65,7 +65,10 @@ fn main() {
     );
 
     // --- Stage 2: stream the file through the parallel application. ---
-    let pca = PcaConfig::new(N_PIXELS, 4).with_memory(5000).with_init_size(60).with_extra(2);
+    let pca = PcaConfig::new(N_PIXELS, 4)
+        .with_memory(5000)
+        .with_init_size(60)
+        .with_extra(2);
     let mut cfg = AppConfig::new(3, pca);
     cfg.emit_outcomes = true;
     cfg.snapshot_dir = Some(snapshot_dir.clone());
@@ -77,8 +80,11 @@ fn main() {
 
     // --- Stage 3: persist the outlier report; verify the snapshot. ---
     let outcomes = handles.outcomes.expect("outcome feed enabled");
-    let rows: Vec<Vec<f64>> =
-        outcomes.lock().iter().map(|t| t.values.as_ref().clone()).collect();
+    let rows: Vec<Vec<f64>> = outcomes
+        .lock()
+        .iter()
+        .map(|t| t.values.as_ref().clone())
+        .collect();
     let flagged = rows.iter().filter(|r| r[4] > 0.5).count();
     let report_csv = work.join("outlier_report.csv");
     io::write_csv(&report_csv, &rows).expect("write report");
@@ -95,7 +101,10 @@ fn main() {
         "engine 0 snapshot: {} obs folded in, σ² = {:.3e}, λ = {:?}",
         snap.n_obs,
         snap.sigma2,
-        snap.values.iter().map(|v| (v * 1e4).round() / 1e4).collect::<Vec<_>>()
+        snap.values
+            .iter()
+            .map(|v| (v * 1e4).round() / 1e4)
+            .collect::<Vec<_>>()
     );
 
     assert_eq!(consumed as usize, N_SPECTRA, "tuples lost in the pipeline");

@@ -57,7 +57,10 @@ fn main() {
     let mut score_old = BasisScaleTracker::new(true_basis(0.0), &cfg.clone().with_memory(800));
     let mut score_new = BasisScaleTracker::new(true_basis(1.0), &cfg.clone().with_memory(800));
 
-    println!("{:>7} | {:>12} {:>12} | {:>12} {:>12}", "n", "damped err", "window err", "old-basis λΣ", "new-basis λΣ");
+    println!(
+        "{:>7} | {:>12} {:>12} | {:>12} {:>12}",
+        "n", "damped err", "window err", "old-basis λΣ", "new-basis λΣ"
+    );
     for i in 0..N {
         let f = i as f64 / N as f64;
         let x = sample(&mut rng, f);
@@ -86,8 +89,7 @@ fn main() {
 
     // Both adaptive trackers must end on the rotated basis.
     let final_truth = true_basis(1.0);
-    let d_damped =
-        subspace_distance(&damped.eigensystem().basis, &final_truth).expect("shapes");
+    let d_damped = subspace_distance(&damped.eigensystem().basis, &final_truth).expect("shapes");
     let d_window = subspace_distance(&windowed.eigensystem().expect("panes").basis, &final_truth)
         .expect("shapes");
     println!("\nfinal subspace error — damped: {d_damped:.4}, windowed: {d_window:.4}");
@@ -98,7 +100,10 @@ fn main() {
     println!("robust variance captured — old basis: {old_score:.1}, new basis: {new_score:.1}");
 
     assert!(d_damped < 0.15, "damped tracker lost the drift: {d_damped}");
-    assert!(d_window < 0.15, "windowed tracker lost the drift: {d_window}");
+    assert!(
+        d_window < 0.15,
+        "windowed tracker lost the drift: {d_window}"
+    );
     assert!(
         new_score > 2.0 * old_score,
         "basis comparison failed to notice the drift: {old_score} vs {new_score}"

@@ -33,7 +33,10 @@ fn main() {
 
     let checkpoints = [200u64, 1000, 5000, 20_000];
     println!("streaming gappy galaxy spectra ({n_pixels} px, p = {p}) ...\n");
-    println!("{:>8} | {:>10} {:>10} {:>10} {:>10} | mean coverage", "n_obs", "rough e1", "rough e2", "rough e3", "rough e4");
+    println!(
+        "{:>8} | {:>10} {:>10} {:>10} {:>10} | mean coverage",
+        "n_obs", "rough e1", "rough e2", "rough e3", "rough e4"
+    );
 
     let mut coverage_sum = 0usize;
     let mut early_roughness = 0.0;
@@ -50,8 +53,7 @@ fn main() {
 
         if checkpoints.contains(&(i + 1)) {
             let eig = pca.eigensystem();
-            let rough: Vec<f64> =
-                (0..p).map(|k| roughness(eig.eigenvector(k))).collect();
+            let rough: Vec<f64> = (0..p).map(|k| roughness(eig.eigenvector(k))).collect();
             println!(
                 "{:>8} | {:>10.4} {:>10.4} {:>10.4} {:>10.4} | {:.0} px",
                 i + 1,
@@ -75,10 +77,14 @@ fn main() {
     // pixel and check the other strong emission lines co-locate in it.
     let eig = pca.eigensystem();
     let grid = gen.grid();
-    let line_pixels: Vec<(usize, &str)> = [(6562.8, "Halpha"), (5006.8, "[OIII]5007"), (4861.3, "Hbeta")]
-        .iter()
-        .filter_map(|&(l, name)| grid.pixel_of(l).map(|p| (p, name)))
-        .collect();
+    let line_pixels: Vec<(usize, &str)> = [
+        (6562.8, "Halpha"),
+        (5006.8, "[OIII]5007"),
+        (4861.3, "Hbeta"),
+    ]
+    .iter()
+    .filter_map(|&(l, name)| grid.pixel_of(l).map(|p| (p, name)))
+    .collect();
     let (ha_pix, _) = line_pixels[0];
     let (best_k, _) = (0..p)
         .map(|k| (k, eig.eigenvector(k)[ha_pix].abs()))
@@ -89,7 +95,10 @@ fn main() {
     let typical = ev.iter().map(|v| v.abs()).sum::<f64>() / ev.len() as f64;
     for (pix, name) in &line_pixels {
         let amp = ev[*pix].abs();
-        println!("  {name:<12} pixel {pix:>4}: |e| = {amp:.4}  ({:.1}x typical)", amp / typical);
+        println!(
+            "  {name:<12} pixel {pix:>4}: |e| = {amp:.4}  ({:.1}x typical)",
+            amp / typical
+        );
     }
 
     println!(

@@ -23,7 +23,9 @@ fn main() {
     let truth = PlantedSubspace::new(dim, rank, 0.05);
     let injector = OutlierInjector::new(0.08).only(OutlierKind::CosmicRay);
 
-    let base = PcaConfig::new(dim, rank).with_memory(1500).with_init_size(60);
+    let base = PcaConfig::new(dim, rank)
+        .with_memory(1500)
+        .with_init_size(60);
     let mut robust = RobustPca::new(base.clone().with_rho(RhoKind::Bisquare(9.0)));
     let mut classic = RobustPca::new(base.with_rho(RhoKind::Classical));
 
@@ -49,7 +51,10 @@ fn main() {
             let ce = classic.eigensystem();
             let re = robust.eigensystem();
             let fmt = |v: &[f64]| {
-                v.iter().map(|x| format!("{x:6.1}")).collect::<Vec<_>>().join(" ")
+                v.iter()
+                    .map(|x| format!("{x:6.1}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
             };
             println!("{:>6} | {} | {}", i + 1, fmt(&ce.values), fmt(&re.values));
         }
@@ -60,11 +65,14 @@ fn main() {
     let classic_dist = subspace_distance(&ce.basis, truth.basis()).expect("shapes");
     let robust_dist = subspace_distance(&re.basis, truth.basis()).expect("shapes");
 
-    println!("\ntrue eigenvalues: {:?}", truth
-        .true_eigenvalues()
-        .iter()
-        .map(|v| (v * 10.0).round() / 10.0)
-        .collect::<Vec<_>>());
+    println!(
+        "\ntrue eigenvalues: {:?}",
+        truth
+            .true_eigenvalues()
+            .iter()
+            .map(|v| (v * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
     println!("subspace error — classic: {classic_dist:.3},  robust: {robust_dist:.3}");
     println!("outliers flagged by the robust engine: {flagged} (injected {injected})");
 

@@ -27,7 +27,9 @@ fn main() {
     let n_tuples: u64 = 30_000;
     let truth = PlantedSubspace::new(dim, rank, 0.05);
 
-    let pca_cfg = PcaConfig::new(dim, rank).with_memory(4000).with_init_size(60);
+    let pca_cfg = PcaConfig::new(dim, rank)
+        .with_memory(4000)
+        .with_init_size(60);
 
     // --- Sequential reference: one engine sees the whole stream. ---
     let mut seq = RobustPca::new(pca_cfg.clone());
@@ -81,6 +83,9 @@ fn main() {
     );
 
     assert_eq!(total, n_tuples, "tuples were lost in the dataflow");
-    assert!(par_dist < 0.2, "parallel estimate failed to converge: {par_dist}");
+    assert!(
+        par_dist < 0.2,
+        "parallel estimate failed to converge: {par_dist}"
+    );
     println!("\nOK: parallel partitioned run matches the sequential estimate.");
 }

@@ -22,7 +22,9 @@ fn main() {
     let workload = PlantedSubspace::new(dim, rank, 0.05);
     let injector = OutlierInjector::new(0.03).only(OutlierKind::CosmicRay);
 
-    let cfg = PcaConfig::new(dim, rank).with_memory(2000).with_init_size(50);
+    let cfg = PcaConfig::new(dim, rank)
+        .with_memory(2000)
+        .with_init_size(50);
     let mut pca = RobustPca::new(cfg);
 
     let (mut outliers_true, mut outliers_flagged, mut false_flags) = (0u64, 0u64, 0u64);
@@ -41,9 +43,18 @@ fn main() {
     }
 
     let eig = pca.eigensystem();
-    println!("processed {} observations in {} dimensions", pca.n_obs(), dim);
+    println!(
+        "processed {} observations in {} dimensions",
+        pca.n_obs(),
+        dim
+    );
     println!("\nrecovered eigenvalues vs ground truth:");
-    for (k, (est, truth)) in eig.values.iter().zip(workload.true_eigenvalues()).enumerate() {
+    for (k, (est, truth)) in eig
+        .values
+        .iter()
+        .zip(workload.true_eigenvalues())
+        .enumerate()
+    {
         println!("  λ{k}: {est:8.3}   (true {truth:8.3})");
     }
     let dist = subspace_distance(&eig.basis, workload.basis()).expect("shapes match");
@@ -54,6 +65,9 @@ fn main() {
          {false_flags} false positives"
     );
 
-    assert!(dist < 0.1, "robust PCA failed to recover the planted subspace");
+    assert!(
+        dist < 0.1,
+        "robust PCA failed to recover the planted subspace"
+    );
     println!("\nOK: planted subspace recovered despite contamination.");
 }

@@ -15,6 +15,7 @@
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
 //! dependency set at the workspace's five crates.
 
+use astro_stream_pca::cluster::{ClusterSim, ClusterSpec, CostModel, Placement, SimConfig};
 use astro_stream_pca::core::PcaConfig;
 use astro_stream_pca::engine::{persist, AppConfig, ParallelPcaApp, SyncStrategy};
 use astro_stream_pca::spectra::contaminants::{self, ContaminantKind};
@@ -23,7 +24,6 @@ use astro_stream_pca::spectra::normalize::unit_norm_masked;
 use astro_stream_pca::spectra::GalaxyGenerator;
 use astro_stream_pca::streams::ops::{CsvFileSource, HttpSource, TcpSource};
 use astro_stream_pca::streams::{Engine, Operator};
-use astro_stream_pca::cluster::{ClusterSim, ClusterSpec, CostModel, Placement, SimConfig};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -106,7 +106,9 @@ impl Opts {
     fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
         }
     }
 }
@@ -142,7 +144,10 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
         }
     }
     io::write_csv_masked(&out, &rows).map_err(|e| e.to_string())?;
-    println!("wrote {n} spectra ({contaminated} contaminants) to {}", out.display());
+    println!(
+        "wrote {n} spectra ({contaminated} contaminants) to {}",
+        out.display()
+    );
     Ok(())
 }
 
@@ -151,8 +156,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     let components: usize = opts.num("components", 4)?;
     let memory: usize = opts.num("memory", 5000)?;
 
-    let source: Box<dyn Operator> = match (opts.get("input"), opts.get("listen"), opts.get("url"))
-    {
+    let source: Box<dyn Operator> = match (opts.get("input"), opts.get("listen"), opts.get("url")) {
         (Some(path), None, None) => {
             if !std::path::Path::new(path).exists() {
                 return Err(format!("input file '{path}' does not exist"));
@@ -184,10 +188,14 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         })?,
     };
     if components + 2 >= dim {
-        return Err(format!("--components {components} too large for dimension {dim}"));
+        return Err(format!(
+            "--components {components} too large for dimension {dim}"
+        ));
     }
 
-    let pca = PcaConfig::new(dim, components).with_memory(memory).with_extra(2);
+    let pca = PcaConfig::new(dim, components)
+        .with_memory(memory)
+        .with_extra(2);
     let mut cfg = AppConfig::new(engines, pca);
     cfg.emit_outcomes = opts.get("report").is_some();
     cfg.sync = match opts.get("sync").unwrap_or("ring") {
@@ -212,19 +220,32 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
 
     if let Some(path) = opts.get("report") {
         let outcomes = handles.outcomes.expect("enabled above");
-        let rows: Vec<Vec<f64>> =
-            outcomes.lock().iter().map(|t| t.values.as_ref().clone()).collect();
+        let rows: Vec<Vec<f64>> = outcomes
+            .lock()
+            .iter()
+            .map(|t| t.values.as_ref().clone())
+            .collect();
         let flagged = rows.iter().filter(|r| r[4] > 0.5).count();
         io::write_csv(path, &rows).map_err(|e| e.to_string())?;
-        println!("outlier report: {flagged}/{} rows flagged → {path}", rows.len());
+        println!(
+            "outlier report: {flagged}/{} rows flagged → {path}",
+            rows.len()
+        );
     }
     match handles.hub.merged_estimate() {
         Ok(merged) => {
             println!(
                 "merged eigenvalues: {:?}",
-                merged.values.iter().map(|v| (v * 1e4).round() / 1e4).collect::<Vec<_>>()
+                merged
+                    .values
+                    .iter()
+                    .map(|v| (v * 1e4).round() / 1e4)
+                    .collect::<Vec<_>>()
             );
-            println!("variance captured by p components: {:.1}%", 100.0 * merged.variance_captured(components));
+            println!(
+                "variance captured by p components: {:.1}%",
+                100.0 * merged.variance_captured(components)
+            );
         }
         Err(e) => println!("no merged estimate: {e}"),
     }
@@ -239,11 +260,17 @@ fn cmd_inspect(opts: &Opts) -> Result<(), String> {
     println!("  components : {}", eig.n_components());
     println!("  n_obs      : {}", eig.n_obs);
     println!("  sigma^2    : {:.6e}", eig.sigma2);
-    println!("  sums       : u {:.3}  v {:.3}  q {:.3e}", eig.sum_u, eig.sum_v, eig.sum_q);
+    println!(
+        "  sums       : u {:.3}  v {:.3}  q {:.3e}",
+        eig.sum_u, eig.sum_v, eig.sum_q
+    );
     println!("  eigenvalues:");
     for (k, v) in eig.values.iter().enumerate() {
         let frac = 100.0 * eig.variance_captured(k + 1);
-        println!("    λ{:<2} = {v:<12.6e} (cumulative variance {frac:.1}%)", k + 1);
+        println!(
+            "    λ{:<2} = {v:<12.6e} (cumulative variance {frac:.1}%)",
+            k + 1
+        );
     }
     Ok(())
 }
@@ -252,18 +279,31 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
     let engines: usize = opts.num("engines", 20)?;
     let dim: usize = opts.num("dim", 250)?;
     let nodes: usize = opts.num("nodes", 10)?;
-    let spec = ClusterSpec { n_nodes: nodes, ..ClusterSpec::paper() };
+    let spec = ClusterSpec {
+        n_nodes: nodes,
+        ..ClusterSpec::paper()
+    };
     let placement = match opts.get("placement").unwrap_or("rr") {
         "rr" => Placement::round_robin(engines, nodes),
         "single" => Placement::single_node(engines),
         "grouped2" => Placement::grouped(engines, 2, nodes),
         other => return Err(format!("--placement: unknown '{other}'")),
     };
-    let cfg = SimConfig { dim, ..Default::default() };
+    let cfg = SimConfig {
+        dim,
+        ..Default::default()
+    };
     let report = ClusterSim::new(spec, CostModel::paper(), placement, cfg).run();
     println!("simulated {engines} engines on {nodes} nodes at d = {dim}:");
-    println!("  throughput : {:.0} tuples/s ({:.0}/thread)", report.throughput, report.per_thread());
-    println!("  network    : {:.1} MB transferred", report.network_bytes / 1e6);
+    println!(
+        "  throughput : {:.0} tuples/s ({:.0}/thread)",
+        report.throughput,
+        report.per_thread()
+    );
+    println!(
+        "  network    : {:.1} MB transferred",
+        report.network_bytes / 1e6
+    );
     println!("  syncs      : {}", report.syncs);
     Ok(())
 }

@@ -20,7 +20,11 @@ fn pca_cfg() -> PcaConfig {
     PcaConfig::new(D, RANK).with_memory(1000).with_init_size(40)
 }
 
-fn planted_source(n: u64, seed: u64, outlier_rate: f64) -> Box<dyn astro_stream_pca::streams::Operator> {
+fn planted_source(
+    n: u64,
+    seed: u64,
+    outlier_rate: f64,
+) -> Box<dyn astro_stream_pca::streams::Operator> {
     let w = PlantedSubspace::new(D, RANK, 0.05);
     let inj = OutlierInjector::new(outlier_rate).only(OutlierKind::CosmicRay);
     let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(seed)));
@@ -89,12 +93,20 @@ fn every_sync_strategy_converges() {
 
 #[test]
 fn every_split_strategy_delivers_all_tuples() {
-    for split in [SplitStrategy::Random, SplitStrategy::RoundRobin, SplitStrategy::LeastLoaded] {
+    for split in [
+        SplitStrategy::Random,
+        SplitStrategy::RoundRobin,
+        SplitStrategy::LeastLoaded,
+    ] {
         let mut cfg = AppConfig::new(3, pca_cfg());
         cfg.split = split;
         let (g, _h) = ParallelPcaApp::build(&cfg, planted_source(3000, 4, 0.0));
         let report = Engine::run(g);
-        assert_eq!(report.tuples_in_matching("pca-"), 3000, "{split:?} lost tuples");
+        assert_eq!(
+            report.tuples_in_matching("pca-"),
+            3000,
+            "{split:?} lost tuples"
+        );
     }
 }
 
@@ -139,7 +151,10 @@ fn gappy_galaxy_stream_through_parallel_app() {
         })
         .with_max_tuples(4000),
     );
-    let pca = PcaConfig::new(n_pixels, 3).with_memory(2000).with_init_size(50).with_extra(2);
+    let pca = PcaConfig::new(n_pixels, 3)
+        .with_memory(2000)
+        .with_init_size(50)
+        .with_extra(2);
     let mut cfg = AppConfig::new(2, pca);
     cfg.sync_period = Duration::from_millis(30);
     let (g, h) = ParallelPcaApp::build(&cfg, source);
@@ -246,7 +261,10 @@ fn malformed_tuples_are_dropped_not_fatal() {
     assert_eq!(merged.n_obs, 4000, "exactly the valid tuples processed");
     let truth = PlantedSubspace::new(D, RANK, 0.05);
     let dist = subspace_distance(&merged.truncated(RANK).basis, truth.basis()).unwrap();
-    assert!(dist < 0.2, "convergence impaired by malformed tuples: {dist}");
+    assert!(
+        dist < 0.2,
+        "convergence impaired by malformed tuples: {dist}"
+    );
 }
 
 #[test]
@@ -266,7 +284,10 @@ fn modeled_network_delay_runs_correctly() {
         .filter(|l| l.from == "split")
         .map(|l| l.bytes())
         .sum();
-    assert!(data_bytes > 800 * (D as u64 * 8), "bytes under-accounted: {data_bytes}");
+    assert!(
+        data_bytes > 800 * (D as u64 * 8),
+        "bytes under-accounted: {data_bytes}"
+    );
     assert_eq!(h.hub.engines_reporting(), 2);
 }
 
@@ -299,7 +320,11 @@ fn quarantine_captures_flagged_observations_verbatim() {
     let q = h.quarantined.unwrap();
     let quarantined = q.lock();
     // 200 spikes injected; warm-up swallows a few per engine.
-    assert!(quarantined.len() >= 150, "only {} quarantined", quarantined.len());
+    assert!(
+        quarantined.len() >= 150,
+        "only {} quarantined",
+        quarantined.len()
+    );
     // Verbatim forwarding: the spike signature survives.
     assert!(quarantined.iter().all(|t| t.values[9] >= 500.0));
     // And the model ignored them.
@@ -340,7 +365,11 @@ fn tcp_fed_parallel_application() {
     Engine::run(p);
 
     let report = consumer.join();
-    assert_eq!(report.tuples_in_matching("pca-"), 2500, "tuples lost over TCP");
+    assert_eq!(
+        report.tuples_in_matching("pca-"),
+        2500,
+        "tuples lost over TCP"
+    );
     let merged = h.hub.merged_estimate().unwrap();
     let truth = PlantedSubspace::new(D, RANK, 0.05);
     let dist = subspace_distance(&merged.truncated(RANK).basis, truth.basis()).unwrap();

@@ -3,9 +3,7 @@
 
 use astro_stream_pca::core::metrics::subspace_distance;
 use astro_stream_pca::core::PcaConfig;
-use astro_stream_pca::engine::{
-    persist, AppConfig, ParallelPcaApp, SnapshotWriter, SyncStrategy,
-};
+use astro_stream_pca::engine::{persist, AppConfig, ParallelPcaApp, SnapshotWriter, SyncStrategy};
 use astro_stream_pca::spectra::PlantedSubspace;
 use astro_stream_pca::streams::ops::GeneratorSource;
 use astro_stream_pca::streams::optimize::{suggest_fusion, FusionPolicy};
@@ -26,8 +24,7 @@ fn source(n: u64, seed: u64) -> Box<dyn astro_stream_pca::streams::Operator> {
     let w = PlantedSubspace::new(D, RANK, 0.05);
     let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(seed)));
     Box::new(
-        GeneratorSource::new(move |_| Some((w.sample(&mut *rng.lock()), None)))
-            .with_max_tuples(n),
+        GeneratorSource::new(move |_| Some((w.sample(&mut *rng.lock()), None))).with_max_tuples(n),
     )
 }
 
@@ -107,7 +104,10 @@ fn fusion_advice_loop_improves_or_holds() {
     // mechanics; the budget policy itself is unit-tested in spca-streams.
     // (On a single-core CI box every operator looks saturated and the
     // default budget would veto all fusion.)
-    let policy = FusionPolicy { max_group_busy: 10.0, ..Default::default() };
+    let policy = FusionPolicy {
+        max_group_busy: 10.0,
+        ..Default::default()
+    };
     let groups = suggest_fusion(&report, &policy);
     assert!(!groups.is_empty(), "hot pipeline should yield advice");
     let hot = &groups[0];
@@ -138,8 +138,7 @@ fn snapshot_files_are_human_readable() {
     cfg.snapshot_dir = Some(dir.clone());
     let (g, _h) = ParallelPcaApp::build(&cfg, source(500, 6));
     Engine::run(g);
-    let content =
-        std::fs::read_to_string(SnapshotWriter::latest_path(&dir, 0)).expect("written");
+    let content = std::fs::read_to_string(SnapshotWriter::latest_path(&dir, 0)).expect("written");
     assert!(content.starts_with("spca-eigensystem-v1"));
     assert!(content.contains("values"));
     assert!(content.contains("mean"));

@@ -1,0 +1,297 @@
+//! Offline, dependency-free subset of the `criterion` 0.5 API.
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! benchmark surface it uses is vendored here. Unlike the other vendored
+//! stubs this one must *really measure*: its numbers are quoted in the
+//! README performance section and dumped to `BENCH_hotpath.json`.
+//!
+//! Methodology (simplified from real criterion, honest about what it is):
+//! a short warm-up estimates the per-iteration cost, each sample then runs
+//! enough iterations to amortize timer overhead (capped so heavy
+//! end-to-end benches still finish), and the reported figure is the
+//! **median** ns/iter over `sample_size` samples — robust to scheduler
+//! noise, no outlier modeling.
+//!
+//! Set `CRITERION_JSON` to a file path to append one JSON line per
+//! benchmark (`{"group":…,"id":…,"median_ns":…,"samples":…}`), which is
+//! how `BENCH_hotpath.json` is produced.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier, for parity with
+/// `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Target iterations-per-sample time. Samples shorter than this are run
+/// multiple times per timing window to amortize timer overhead.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+/// Warm-up budget before sampling starts.
+const WARM_UP_TIME: Duration = Duration::from_millis(60);
+
+/// Top-level benchmark driver, handed to every `criterion_group!` target.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first free
+        // argument; harness flags like `--bench` are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, used to report derived throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of logical elements (tuples, rows, …) per iteration.
+    Elements(u64),
+    /// Number of bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a single parameter value.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// An id with a function-name prefix and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(name: S, p: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), p),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many timing samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, |b| f(b));
+        self
+    }
+
+    /// Finishes the group (reporting happens eagerly; this is for API
+    /// parity).
+    pub fn finish(&mut self) {}
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples_ns: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let Some(median_ns) = bencher.median_ns() else {
+            println!("bench: {full:<50} (no measurement)");
+            return;
+        };
+        let mut line = format!(
+            "bench: {full:<50} median {:>12.1} ns/iter ({} samples)",
+            median_ns, self.sample_size
+        );
+        if let Some(Throughput::Elements(e)) = self.throughput {
+            let rate = e as f64 * 1e9 / median_ns;
+            line.push_str(&format!("  {rate:>12.0} elem/s"));
+        }
+        println!("{line}");
+        write_json_line(&self.name, id, median_ns, self.sample_size);
+    }
+}
+
+fn write_json_line(group: &str, id: &str, median_ns: f64, samples: usize) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    if let Ok(mut fh) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(
+            fh,
+            "{{\"group\":\"{group}\",\"id\":\"{id}\",\"median_ns\":{median_ns:.1},\"samples\":{samples}}}"
+        );
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, collecting `sample_size` samples of enough
+    /// iterations each to amortize timer overhead.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the budget elapses, estimating cost/iter.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= WARM_UP_TIME {
+                break;
+            }
+        }
+        let est_per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Iterations per sample: hit the target sample time, but never
+        // more than one extra order of magnitude for slow benches.
+        let iters = if est_per_iter <= 0.0 {
+            1_000
+        } else {
+            ((TARGET_SAMPLE_TIME.as_secs_f64() / est_per_iter).round() as u64).clamp(1, 1_000_000)
+        };
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            self.samples_ns.push(dt.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    fn median_ns(&self) -> Option<f64> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(s[s.len() / 2])
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_cheap_operation() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("stub_test");
+        g.sample_size(5);
+        let mut ran = false;
+        g.bench_function("noop_sum", |b| {
+            ran = true;
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("only_this".to_string()),
+        };
+        let mut g = c.benchmark_group("grp");
+        let mut ran = false;
+        g.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| 1u32)
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(250).id, "250");
+        assert_eq!(BenchmarkId::new("qr", 16).id, "qr/16");
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let b = Bencher {
+            samples_ns: vec![10.0, 11.0, 12.0, 11.5, 400.0],
+            sample_size: 5,
+        };
+        let m = b.median_ns().unwrap();
+        assert!((11.0..=12.0).contains(&m), "median {m}");
+    }
+}

@@ -1,0 +1,447 @@
+//! Offline, dependency-free subset of the `crossbeam` 0.8 API.
+//!
+//! The workspace builds in environments with no crates.io access, so the two
+//! crossbeam facilities it actually uses are vendored here:
+//!
+//! * [`scope`] — scoped threads, implemented on `std::thread::scope`. The
+//!   one observable difference: a panicking child thread propagates the
+//!   panic at scope exit instead of returning `Err`, which is equivalent
+//!   for the workspace's `.expect(...)` call sites.
+//! * [`channel`] — MPMC channels with bounded backpressure plus a polling
+//!   [`channel::Select`] supporting `select_timeout`, which is the only
+//!   selection entry point the dataflow engine uses.
+
+use std::any::Any;
+
+/// Result type of [`scope`], mirroring `std::thread::Result`.
+pub type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A scope handle whose `spawn` matches crossbeam's closure shape
+/// (`FnOnce(&Scope) -> T`; the workspace always ignores the argument, so the
+/// parameter is plain `()` here).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Join handle of a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result (Err on panic).
+    pub fn join(self) -> ThreadResult<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a placeholder argument
+    /// in place of crossbeam's nested `&Scope` (unused by this workspace).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(())),
+        }
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller's
+/// stack; all spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+where
+    F: for<'a, 'scope> FnOnce(&'a Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod channel {
+    //! MPMC channels with bounded capacity and a polling `Select`.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by `send` when every receiver is gone; carries the
+    /// unsent value.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by `recv` when the channel is empty and every sender
+    /// is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by `try_recv`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and all senders have disconnected.
+        Disconnected,
+    }
+
+    /// Error returned by `Select::select_timeout` on timeout.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SelectTimeoutError;
+
+    fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Creates a bounded channel (capacity 0 is treated as 1: the engine
+    /// never requests rendezvous semantics).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(cap.max(1)))
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send with backpressure. Fails only when every receiver
+        /// has been dropped.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(t));
+                }
+                let full = st.cap.map(|c| st.queue.len() >= c).unwrap_or(false);
+                if !full {
+                    st.queue.push_back(t);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.shared.not_full.wait(st).unwrap();
+            }
+        }
+
+        /// Current queue depth.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().queue.len()
+        }
+
+        /// True if the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// True if a bounded channel is at capacity (always false for
+        /// unbounded channels).
+        pub fn is_full(&self) -> bool {
+            let st = self.shared.state.lock().unwrap();
+            st.cap.map(|c| st.queue.len() >= c).unwrap_or(false)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; drains remaining queued values even after all
+        /// senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(t) = st.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(t);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            if let Some(t) = st.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(t);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Current queue depth.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().queue.len()
+        }
+
+        /// True if the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Poll state for `Select`: ready when a value is queued or the
+        /// channel can never deliver again.
+        fn select_ready(&self) -> bool {
+            let st = self.shared.state.lock().unwrap();
+            !st.queue.is_empty() || st.senders == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Type-erased handle a `Select` polls.
+    trait SelectHandle {
+        fn select_ready(&self) -> bool;
+    }
+
+    impl<T> SelectHandle for Receiver<T> {
+        fn select_ready(&self) -> bool {
+            Receiver::select_ready(self)
+        }
+    }
+
+    /// A polling multiplexer over receive operations.
+    ///
+    /// Crossbeam's `Select` parks on channel events; this vendored version
+    /// polls at a fine interval instead, which is indistinguishable at the
+    /// 20 ms timeouts the engine's scheduler loop uses.
+    pub struct Select<'a> {
+        handles: Vec<&'a dyn SelectHandle>,
+    }
+
+    impl<'a> Default for Select<'a> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<'a> Select<'a> {
+        /// Creates an empty selector.
+        pub fn new() -> Self {
+            Select {
+                handles: Vec::new(),
+            }
+        }
+
+        /// Registers a receive operation; returns its operation index.
+        pub fn recv<T>(&mut self, r: &'a Receiver<T>) -> usize {
+            self.handles.push(r);
+            self.handles.len() - 1
+        }
+
+        /// Waits up to `timeout` for any registered operation to become
+        /// ready (a queued value, or a disconnected channel).
+        ///
+        /// Like crossbeam, selection among simultaneously-ready operations
+        /// is fair: the scan starts from a rotating offset, so one
+        /// always-ready channel cannot starve the others (callers rebuild
+        /// `Select` per iteration, hence the process-wide rotor).
+        pub fn select_timeout(
+            &mut self,
+            timeout: Duration,
+        ) -> Result<SelectedOperation<'a>, SelectTimeoutError> {
+            static ROTOR: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+            let deadline = Instant::now() + timeout;
+            let n = self.handles.len();
+            if n == 0 {
+                std::thread::sleep(timeout);
+                return Err(SelectTimeoutError);
+            }
+            let start = ROTOR.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            loop {
+                for k in 0..n {
+                    let i = (start + k) % n;
+                    if self.handles[i].select_ready() {
+                        return Ok(SelectedOperation {
+                            index: i,
+                            _marker: std::marker::PhantomData,
+                        });
+                    }
+                }
+                if Instant::now() >= deadline {
+                    return Err(SelectTimeoutError);
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+
+    /// A ready operation returned by `select_timeout`; complete it by
+    /// calling [`SelectedOperation::recv`] on the matching receiver.
+    pub struct SelectedOperation<'a> {
+        index: usize,
+        _marker: std::marker::PhantomData<&'a ()>,
+    }
+
+    impl<'a> SelectedOperation<'a> {
+        /// The operation index assigned by `Select::recv`.
+        pub fn index(&self) -> usize {
+            self.index
+        }
+
+        /// Completes the receive on `r` (which must be the receiver that
+        /// became ready). `Err` means the channel is disconnected.
+        pub fn recv<T>(self, r: &Receiver<T>) -> Result<T, RecvError> {
+            // A ready receiver either has a value or is disconnected; with
+            // one consumer per receiver (the engine's PE loops) a queued
+            // value cannot vanish between readiness and this call.
+            r.try_recv().map_err(|_| RecvError)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, Select, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1, 2, 3];
+        let sum = super::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn bounded_backpressure_and_fifo() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(tx.is_full());
+        let sender = std::thread::spawn(move || tx.send(3).unwrap());
+        assert_eq!(rx.recv().unwrap(), 1);
+        sender.join().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn disconnect_detection() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv().unwrap(), 9);
+        assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Disconnected);
+
+        let (tx2, rx2) = unbounded::<u8>();
+        drop(rx2);
+        assert!(tx2.send(1).is_err());
+    }
+
+    #[test]
+    fn select_picks_ready_channel() {
+        let (tx_a, rx_a) = unbounded::<u8>();
+        let (_tx_b, rx_b) = unbounded::<u8>();
+        tx_a.send(7).unwrap();
+        let mut sel = Select::new();
+        sel.recv(&rx_a);
+        sel.recv(&rx_b);
+        let oper = sel.select_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(oper.index(), 0);
+        assert_eq!(oper.recv(&rx_a).unwrap(), 7);
+    }
+
+    #[test]
+    fn select_times_out_when_idle() {
+        let (_tx, rx) = unbounded::<u8>();
+        let mut sel = Select::new();
+        sel.recv(&rx);
+        assert!(sel.select_timeout(Duration::from_millis(10)).is_err());
+    }
+
+    #[test]
+    fn select_reports_disconnect_as_ready() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        let mut sel = Select::new();
+        sel.recv(&rx);
+        let oper = sel.select_timeout(Duration::from_millis(50)).unwrap();
+        assert!(oper.recv(&rx).is_err());
+    }
+}
