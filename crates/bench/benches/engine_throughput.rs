@@ -17,9 +17,14 @@ const DIM: usize = 250;
 const TUPLES: u64 = 2000;
 
 fn run_once(n_engines: usize, fuse: bool) -> u64 {
+    run_once_batched(n_engines, fuse, spca_streams::DEFAULT_BATCH_SIZE)
+}
+
+fn run_once_batched(n_engines: usize, fuse: bool, batch: usize) -> u64 {
     let pca = PcaConfig::new(DIM, 5).with_memory(5000).with_init_size(20);
     let mut cfg = AppConfig::new(n_engines, pca);
     cfg.fuse = fuse;
+    cfg.batch_size = batch;
     cfg.sync = SyncStrategy::None;
     let w = PlantedSubspace::new(DIM, 5, 0.05);
     let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(3)));
@@ -62,5 +67,28 @@ fn bench_engine_counts(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fusion, bench_engine_counts);
+/// The transport ablation: per-tuple channel sends (batch size 1, the
+/// pre-frame transport) against the batched frame transport, on the
+/// unfused 2-engine graph where every data tuple crosses a PE boundary.
+fn bench_transport_batching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_transport_batch");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(TUPLES));
+    for batch in [1usize, 8, spca_streams::DEFAULT_BATCH_SIZE] {
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let n = run_once_batched(2, false, batch);
+                assert_eq!(n, TUPLES);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fusion,
+    bench_engine_counts,
+    bench_transport_batching
+);
 criterion_main!(benches);

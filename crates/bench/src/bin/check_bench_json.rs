@@ -1,0 +1,41 @@
+//! CI gate for recorded benchmark artifacts: parses `BENCH_engine.json`
+//! (or the paths given as arguments) against the schema in
+//! [`spca_bench::json`] and exits nonzero on any malformed file, so a
+//! hand-edited or truncated artifact cannot land silently.
+
+use spca_bench::json::EngineBenchReport;
+use std::process::ExitCode;
+
+fn check(path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
+    let report = EngineBenchReport::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: ok ({} cells, {} tuples/run, batch {})",
+        report.results.len(),
+        report.tuples,
+        report.batch
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths: Vec<&str> = if args.is_empty() {
+        vec!["BENCH_engine.json"]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    let mut failed = false;
+    for path in paths {
+        if let Err(e) = check(path) {
+            eprintln!("error: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

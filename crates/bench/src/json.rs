@@ -1,0 +1,591 @@
+//! Minimal JSON support for the recorded benchmark artifacts.
+//!
+//! The workspace deliberately carries no serialization dependency, so the
+//! `BENCH_*.json` files are written and re-validated with this small
+//! hand-rolled value type: enough JSON to round-trip the benchmark
+//! reports, strict enough to reject malformed artifacts in CI.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document; trailing garbage is an error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = |out: &mut String, n: usize| {
+            for _ in 0..n {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    Json::Str(k.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s, 0);
+        f.write_str(&s)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'n') => {
+                if self.literal("null") {
+                    Ok(Json::Null)
+                } else {
+                    Err(format!("bad literal at byte {}", self.pos))
+                }
+            }
+            Some(b't') => {
+                if self.literal("true") {
+                    Ok(Json::Bool(true))
+                } else {
+                    Err(format!("bad literal at byte {}", self.pos))
+                }
+            }
+            Some(b'f') => {
+                if self.literal("false") {
+                    Ok(Json::Bool(false))
+                } else {
+                    Err(format!("bad literal at byte {}", self.pos))
+                }
+            }
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(_) => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Take the longest escape-free UTF-8 run in one go.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            s.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// One row of the engine-transport benchmark grid: a (fusion, engine
+/// count) cell measured at batch size 1 and at the batched default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineBenchRow {
+    /// Cell label, e.g. `"unfused-2"`.
+    pub config: String,
+    /// Whether the whole graph ran in one PE.
+    pub fused: bool,
+    /// Number of parallel PCA engines.
+    pub engines: usize,
+    /// Median throughput with per-tuple transport (batch size 1).
+    pub batch1_tuples_per_s: f64,
+    /// Median throughput with frame transport (the default batch size).
+    pub batched_tuples_per_s: f64,
+    /// `batched / batch1`.
+    pub speedup: f64,
+}
+
+/// The recorded engine-transport benchmark artifact (`BENCH_engine.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineBenchReport {
+    /// What was measured and how many samples per cell.
+    pub benchmark: String,
+    /// Machine / build caveats for reproducing the numbers.
+    pub machine_note: String,
+    /// Tuples pushed through the graph per run.
+    pub tuples: u64,
+    /// Observation dimensionality of the workload.
+    pub dim: usize,
+    /// Batch size used for the "batched" column.
+    pub batch: usize,
+    /// The acceptance target the grid was recorded against.
+    pub target: String,
+    /// One row per (fusion, engines) cell.
+    pub results: Vec<EngineBenchRow>,
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn num_field(v: &Json, key: &str) -> Result<f64, String> {
+    let n = field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field '{key}' is not a number"))?;
+    if !n.is_finite() {
+        return Err(format!("field '{key}' is not finite"));
+    }
+    Ok(n)
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, String> {
+    Ok(field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field '{key}' is not a string"))?
+        .to_string())
+}
+
+impl EngineBenchRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("config".into(), Json::Str(self.config.clone())),
+            ("fused".into(), Json::Bool(self.fused)),
+            ("engines".into(), Json::Num(self.engines as f64)),
+            (
+                "batch1_tuples_per_s".into(),
+                Json::Num(self.batch1_tuples_per_s),
+            ),
+            (
+                "batched_tuples_per_s".into(),
+                Json::Num(self.batched_tuples_per_s),
+            ),
+            ("speedup".into(), Json::Num(self.speedup)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let row = EngineBenchRow {
+            config: str_field(v, "config")?,
+            fused: field(v, "fused")?
+                .as_bool()
+                .ok_or("field 'fused' is not a bool")?,
+            engines: num_field(v, "engines")? as usize,
+            batch1_tuples_per_s: num_field(v, "batch1_tuples_per_s")?,
+            batched_tuples_per_s: num_field(v, "batched_tuples_per_s")?,
+            speedup: num_field(v, "speedup")?,
+        };
+        if row.engines == 0 {
+            return Err(format!("{}: zero engines", row.config));
+        }
+        if row.batch1_tuples_per_s <= 0.0 || row.batched_tuples_per_s <= 0.0 {
+            return Err(format!("{}: non-positive throughput", row.config));
+        }
+        let expect = row.batched_tuples_per_s / row.batch1_tuples_per_s;
+        if (row.speedup - expect).abs() > 0.02 * expect {
+            return Err(format!(
+                "{}: speedup {} inconsistent with medians (expected {expect:.3})",
+                row.config, row.speedup
+            ));
+        }
+        Ok(row)
+    }
+}
+
+impl EngineBenchReport {
+    /// Serializes to the committed artifact layout.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("benchmark".into(), Json::Str(self.benchmark.clone())),
+            ("machine_note".into(), Json::Str(self.machine_note.clone())),
+            ("tuples".into(), Json::Num(self.tuples as f64)),
+            ("dim".into(), Json::Num(self.dim as f64)),
+            ("batch".into(), Json::Num(self.batch as f64)),
+            ("target".into(), Json::Str(self.target.clone())),
+            (
+                "results".into(),
+                Json::Arr(self.results.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Parses and schema-checks an artifact. This is the CI gate: any
+    /// missing field, wrong type, non-finite number, empty grid, or
+    /// internally inconsistent speedup is an error.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let results_json = field(v, "results")?
+            .as_arr()
+            .ok_or("field 'results' is not an array")?;
+        if results_json.is_empty() {
+            return Err("'results' is empty".to_string());
+        }
+        let results = results_json
+            .iter()
+            .map(EngineBenchRow::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let report = EngineBenchReport {
+            benchmark: str_field(v, "benchmark")?,
+            machine_note: str_field(v, "machine_note")?,
+            tuples: num_field(v, "tuples")? as u64,
+            dim: num_field(v, "dim")? as usize,
+            batch: num_field(v, "batch")? as usize,
+            target: str_field(v, "target")?,
+            results,
+        };
+        if report.batch < 2 {
+            return Err("'batch' must be ≥ 2 (the batched column)".to_string());
+        }
+        if report.tuples == 0 {
+            return Err("'tuples' must be positive".to_string());
+        }
+        Ok(report)
+    }
+
+    /// Round-trips a report through text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = Json::parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}, "e": "x\ny"}"#)
+            .unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2], Json::Num(-300.0));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Json::Null));
+        assert_eq!(v.get("e").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1} trailing",
+            "\"unterminated",
+            "nul",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    fn sample_report() -> EngineBenchReport {
+        EngineBenchReport {
+            benchmark: "engine transport".into(),
+            machine_note: "test".into(),
+            tuples: 3000,
+            dim: 64,
+            batch: 64,
+            target: "1.5x".into(),
+            results: vec![EngineBenchRow {
+                config: "unfused-2".into(),
+                fused: false,
+                engines: 2,
+                batch1_tuples_per_s: 1000.0,
+                batched_tuples_per_s: 2000.0,
+                speedup: 2.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let report = sample_report();
+        let text = report.to_json().to_string();
+        let back = EngineBenchReport::parse(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn schema_check_catches_inconsistency() {
+        let mut report = sample_report();
+        report.results[0].speedup = 9.0; // does not match the medians
+        let text = report.to_json().to_string();
+        assert!(EngineBenchReport::parse(&text)
+            .unwrap_err()
+            .contains("inconsistent"));
+    }
+
+    #[test]
+    fn schema_check_catches_missing_fields() {
+        let err = EngineBenchReport::parse(r#"{"benchmark": "x"}"#).unwrap_err();
+        assert!(err.contains("missing field"), "{err}");
+    }
+}

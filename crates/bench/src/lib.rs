@@ -5,6 +5,8 @@
 //! `target/figures/`. The criterion benches measure the kernel costs that
 //! calibrate the cluster simulator.
 
+pub mod json;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spca_core::{PcaConfig, RobustPca};

@@ -49,10 +49,14 @@ pub struct AppConfig {
     pub quarantine: bool,
     /// Fuse everything into one PE (single-node configuration).
     pub fuse: bool,
-    /// Modeled per-tuple network delay on cross-PE data links, in µs.
+    /// Modeled per-message network overhead on cross-PE data links, in µs
+    /// (charged once per transport frame; see [`LinkKind::Network`]).
     pub network_delay_us: u64,
     /// Cross-PE channel capacity.
     pub channel_capacity: usize,
+    /// Cross-PE transport batch size (tuples per frame); `1` disables
+    /// batching. See [`GraphBuilder::with_batch_size`].
+    pub batch_size: usize,
     /// Persist every engine snapshot under this directory (§III-C's
     /// periodic saves); `None` disables persistence.
     pub snapshot_dir: Option<std::path::PathBuf>,
@@ -83,6 +87,7 @@ impl AppConfig {
             fuse: false,
             network_delay_us: 0,
             channel_capacity: 1024,
+            batch_size: spca_streams::DEFAULT_BATCH_SIZE,
             snapshot_dir: None,
             warm_start: None,
             divergence_gate: None,
@@ -122,7 +127,9 @@ impl ParallelPcaApp {
     ) -> (GraphBuilder, AppHandles) {
         assert!(cfg.n_engines >= 1, "need at least one engine");
         let n = cfg.n_engines;
-        let mut g = GraphBuilder::new().with_channel_capacity(cfg.channel_capacity);
+        let mut g = GraphBuilder::new()
+            .with_channel_capacity(cfg.channel_capacity)
+            .with_batch_size(cfg.batch_size);
         let data_link = if cfg.fuse || cfg.network_delay_us == 0 {
             LinkKind::Local
         } else {

@@ -30,12 +30,15 @@ pub enum LinkKind {
     /// Same-node queue hand-off.
     Local,
     /// Cross-node link: traffic is accounted and, if `model_delay_us > 0`,
-    /// each transfer blocks the sender for that many microseconds — a
-    /// deliberately simple stand-in for serialization + NIC time used by
-    /// the runnable examples (the scaling *benchmarks* use the calibrated
-    /// cluster simulator instead).
+    /// each channel message blocks the sender for that many microseconds —
+    /// a deliberately simple stand-in for the fixed per-message
+    /// syscall/framing/wakeup cost of a real link (the cluster simulator's
+    /// per-message send/receive terms are the calibrated version). With the
+    /// frame transport a message carries a whole batch, so batching
+    /// amortizes this overhead exactly as it would on the wire; at batch
+    /// size 1 it degenerates to the legacy per-tuple charge.
     Network {
-        /// Per-tuple sender-side delay in microseconds.
+        /// Per-message sender-side overhead in microseconds.
         model_delay_us: u64,
     },
 }
@@ -64,14 +67,20 @@ pub struct GraphBuilder {
     fuse_parent: Vec<usize>,
     pub(crate) placements: Vec<Option<usize>>,
     pub(crate) channel_capacity: usize,
+    pub(crate) batch_size: usize,
     pub(crate) inter_node_delay_us: u64,
 }
 
+/// Default cross-PE transport batch size (tuples per frame).
+pub const DEFAULT_BATCH_SIZE: usize = 64;
+
 impl GraphBuilder {
-    /// An empty graph with the default cross-PE channel capacity (1024).
+    /// An empty graph with the default cross-PE channel capacity (1024)
+    /// and transport batch size ([`DEFAULT_BATCH_SIZE`]).
     pub fn new() -> Self {
         GraphBuilder {
             channel_capacity: 1024,
+            batch_size: DEFAULT_BATCH_SIZE,
             ..Default::default()
         }
     }
@@ -81,6 +90,22 @@ impl GraphBuilder {
         assert!(cap >= 1);
         self.channel_capacity = cap;
         self
+    }
+
+    /// Sets the cross-PE transport batch size: the maximum number of tuples
+    /// accumulated into one frame before a flush is forced. `1` disables
+    /// batching (every tuple travels in its own frame — the legacy
+    /// per-tuple transport, kept for ablation). Flushes also happen
+    /// adaptively before the threshold; see the engine docs.
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        assert!(batch >= 1, "batch size must be at least 1");
+        self.batch_size = batch;
+        self
+    }
+
+    /// The configured cross-PE transport batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
     }
 
     /// Adds a non-source operator.
@@ -282,6 +307,22 @@ mod tests {
         assert_eq!(op_pe[b.0], op_pe[c.0]);
         assert_ne!(op_pe[c.0], op_pe[d.0]);
         assert_eq!(pes.len(), 2);
+    }
+
+    #[test]
+    fn batch_size_is_configurable_and_defaults_sane() {
+        let g = GraphBuilder::new();
+        assert_eq!(g.batch_size(), DEFAULT_BATCH_SIZE);
+        let g = GraphBuilder::new().with_batch_size(1);
+        assert_eq!(g.batch_size(), 1);
+        let g = GraphBuilder::new().with_batch_size(256);
+        assert_eq!(g.batch_size(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        let _ = GraphBuilder::new().with_batch_size(0);
     }
 
     #[test]

@@ -52,6 +52,6 @@ pub mod optimize;
 pub mod tuple;
 
 pub use engine::{Engine, LinkReport, RunReport};
-pub use graph::{GraphBuilder, LinkKind, OpId, PortKind};
+pub use graph::{GraphBuilder, LinkKind, OpId, PortKind, DEFAULT_BATCH_SIZE};
 pub use operator::{OpContext, Operator, SourceState};
-pub use tuple::{ControlTuple, DataTuple, Tuple};
+pub use tuple::{ControlTuple, DataTuple, Frame, FramePool, Punctuation, Tuple};

@@ -91,8 +91,12 @@ impl LinkCounters {
         }
     }
 
-    pub(crate) fn add(&self, bytes: u64) {
-        self.tuples.fetch_add(1, Ordering::Relaxed);
+    /// Accounts a whole frame at once while keeping the tuple as the
+    /// accounting unit: `tuples` and `bytes` are the frame's per-tuple
+    /// totals, so `LinkReport` figures are identical whether an edge ran
+    /// batched or tuple-at-a-time.
+    pub(crate) fn add_many(&self, tuples: u64, bytes: u64) {
+        self.tuples.fetch_add(tuples, Ordering::Relaxed);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 }
@@ -196,11 +200,22 @@ mod tests {
     #[test]
     fn link_counts_tuples_and_bytes() {
         let l = LinkCounters::default();
-        l.add(100);
-        l.add(50);
+        l.add_many(1, 100);
+        l.add_many(1, 50);
         let s = l.snapshot();
         assert_eq!(s.tuples, 2);
         assert_eq!(s.bytes, 150);
+    }
+
+    #[test]
+    fn link_frame_accounting_matches_per_tuple() {
+        let per_tuple = LinkCounters::default();
+        per_tuple.add_many(1, 100);
+        per_tuple.add_many(1, 50);
+        per_tuple.add_many(1, 50);
+        let framed = LinkCounters::default();
+        framed.add_many(3, 200);
+        assert_eq!(per_tuple.snapshot(), framed.snapshot());
     }
 
     #[test]

@@ -60,6 +60,10 @@ pub(crate) trait EmitSink {
     fn n_ports(&self) -> usize;
     /// True once the engine has requested a cooperative stop.
     fn stop_requested(&self) -> bool;
+    /// Flushes any transport-level output batching so previously emitted
+    /// tuples become visible downstream immediately. Default: no-op (test
+    /// sinks and fused hand-offs have no buffering).
+    fn flush_downstream(&mut self) {}
 }
 
 /// The context passed to every operator callback.
@@ -109,7 +113,17 @@ impl<'a> OpContext<'a> {
         }
     }
 
+    /// Forces any transport-level output batching to flush now. Control
+    /// tuples and end-of-stream flush on their own; call this only when a
+    /// *data* tuple must be visible downstream before the operator returns
+    /// (e.g. a snapshot emitted mid-stream that a monitor is waiting on).
+    pub fn flush(&mut self) {
+        self.sink.flush_downstream();
+    }
+
     /// Downstream queue depth behind `port` (None for fused/fan-out ports).
+    /// For batched cross-PE edges this counts both the tuples still in the
+    /// local output buffer and those in flight in the channel.
     pub fn backlog(&self, port: usize) -> Option<usize> {
         self.sink.backlog(port)
     }

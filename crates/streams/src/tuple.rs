@@ -7,6 +7,7 @@
 //! payload so applications can ship their own state (the PCA application
 //! sends whole eigensystems through them); punctuation marks end-of-stream.
 
+use parking_lot::Mutex;
 use std::any::Any;
 use std::sync::Arc;
 
@@ -139,6 +140,87 @@ impl Tuple {
     }
 }
 
+/// A batch of tuples travelling a cross-PE edge as one channel message.
+///
+/// Cross-PE channels carry frames instead of individual tuples so one
+/// condvar wake-up amortizes over a whole batch (§III-D: network tuple
+/// transfer, not flop count, dominates the unfused throughput story). The
+/// backing `Vec` is recycled through a [`FramePool`] shared by the two ends
+/// of the edge, so steady-state transport does not allocate.
+#[derive(Debug, Default)]
+pub struct Frame {
+    /// The batched tuples, in emission order.
+    pub tuples: Vec<Tuple>,
+}
+
+impl Frame {
+    /// Wraps an already-filled batch.
+    pub fn from_vec(tuples: Vec<Tuple>) -> Self {
+        Frame { tuples }
+    }
+
+    /// Number of tuples in the frame.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the frame carries no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Total wire size of the batched tuples (frame framing itself is
+    /// considered free — the accounting unit stays the tuple).
+    pub fn wire_bytes(&self) -> u64 {
+        self.tuples.iter().map(Tuple::wire_bytes).sum()
+    }
+}
+
+/// A bounded recycle bin for frame buffers.
+///
+/// The sender takes an empty buffer when it starts a new batch; the
+/// receiver puts the drained buffer back after routing a frame. Bounded so
+/// a burst can never pin unbounded memory: overflow buffers are simply
+/// dropped.
+#[derive(Debug)]
+pub struct FramePool {
+    free: Mutex<Vec<Vec<Tuple>>>,
+    max_pooled: usize,
+}
+
+impl FramePool {
+    /// A pool retaining at most `max_pooled` spare buffers.
+    pub fn new(max_pooled: usize) -> Self {
+        FramePool {
+            free: Mutex::new(Vec::with_capacity(max_pooled)),
+            max_pooled,
+        }
+    }
+
+    /// An empty buffer with at least `cap` capacity (recycled when one is
+    /// available, freshly allocated otherwise).
+    pub fn take(&self, cap: usize) -> Vec<Tuple> {
+        let mut v = self
+            .free
+            .lock()
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(cap));
+        if v.capacity() < cap {
+            v.reserve(cap - v.len());
+        }
+        v
+    }
+
+    /// Returns a drained buffer to the pool (dropped if the pool is full).
+    pub fn put(&self, mut v: Vec<Tuple>) {
+        v.clear();
+        let mut free = self.free.lock();
+        if free.len() < self.max_pooled {
+            free.push(v);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +253,33 @@ mod tests {
         let t = DataTuple::new(0, vec![1.0; 1000]);
         let u = t.clone();
         assert!(Arc::ptr_eq(&t.values, &u.values));
+    }
+
+    #[test]
+    fn frame_accounts_per_tuple_bytes() {
+        let f = Frame::from_vec(vec![
+            Tuple::Data(DataTuple::new(0, vec![0.0])),
+            Tuple::Punct(Punctuation::EndOfStream),
+        ]);
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+        assert_eq!(f.wire_bytes(), 24 + 8);
+        assert!(Frame::default().is_empty());
+    }
+
+    #[test]
+    fn frame_pool_recycles_buffers() {
+        let pool = FramePool::new(2);
+        let mut a = pool.take(8);
+        assert!(a.capacity() >= 8);
+        a.push(Tuple::Punct(Punctuation::EndOfStream));
+        pool.put(a);
+        let b = pool.take(4);
+        assert!(b.is_empty(), "recycled buffers come back cleared");
+        // Overflow beyond max_pooled is silently dropped.
+        pool.put(Vec::new());
+        pool.put(Vec::new());
+        pool.put(Vec::new());
+        assert!(pool.free.lock().len() <= 2);
     }
 }

@@ -52,6 +52,18 @@ struct Topology {
     fuse_mask: u8,
     capacity: usize,
     strategy: u8,
+    batch: usize,
+}
+
+/// Batch sizes biased toward the interesting corners: 1 (per-tuple
+/// degenerate transport), 8, 64 (default), plus a free-range draw.
+fn batch_size() -> impl Strategy<Value = usize> {
+    (0u8..4, 1usize..128).prop_map(|(sel, free)| match sel {
+        0 => 1,
+        1 => 8,
+        2 => 64,
+        _ => free,
+    })
 }
 
 fn topology() -> impl Strategy<Value = Topology> {
@@ -62,15 +74,17 @@ fn topology() -> impl Strategy<Value = Topology> {
         any::<u8>(),
         1usize..64,
         0u8..3,
+        batch_size(),
     )
         .prop_map(
-            |(n_tuples, n_relays, n_branches, fuse_mask, capacity, strategy)| Topology {
+            |(n_tuples, n_relays, n_branches, fuse_mask, capacity, strategy, batch)| Topology {
                 n_tuples,
                 n_relays,
                 n_branches,
                 fuse_mask,
                 capacity,
                 strategy,
+                batch,
             },
         )
 }
@@ -79,10 +93,13 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Every tuple the source emits reaches exactly one collector, exactly
-    /// once, regardless of topology, fusion, capacity, or split strategy.
+    /// once, regardless of topology, fusion, capacity, split strategy, or
+    /// transport batch size (including 1, the per-tuple degenerate case).
     #[test]
     fn conservation_over_random_topologies(t in topology()) {
-        let mut g = GraphBuilder::new().with_channel_capacity(t.capacity);
+        let mut g = GraphBuilder::new()
+            .with_channel_capacity(t.capacity)
+            .with_batch_size(t.batch);
         let src = g.add_source("src", Box::new(CountSource { n: t.n_tuples, next: 0 }));
         let mut prev = src;
         let mut all_ops = vec![src];
@@ -129,8 +146,8 @@ proptest! {
     /// A single-consumer pipeline preserves order end to end whatever the
     /// fusion and capacity choices.
     #[test]
-    fn fifo_order_preserved(n in 1u64..500, relays in 0usize..4, cap in 1usize..32, fuse in any::<bool>()) {
-        let mut g = GraphBuilder::new().with_channel_capacity(cap);
+    fn fifo_order_preserved(n in 1u64..500, relays in 0usize..4, cap in 1usize..32, fuse in any::<bool>(), batch in batch_size()) {
+        let mut g = GraphBuilder::new().with_channel_capacity(cap).with_batch_size(batch);
         let src = g.add_source("src", Box::new(CountSource { n, next: 0 }));
         let mut prev = src;
         let mut ops = vec![src];
@@ -156,7 +173,7 @@ proptest! {
     /// Stopping mid-stream never deadlocks and never duplicates: whatever
     /// was delivered is a prefix-free subset of what was generated.
     #[test]
-    fn stop_is_safe(cap in 1usize..16) {
+    fn stop_is_safe(cap in 1usize..16, batch in batch_size()) {
         struct Forever(u64);
         impl Operator for Forever {
             fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {}
@@ -166,7 +183,7 @@ proptest! {
                 SourceState::Emitted
             }
         }
-        let mut g = GraphBuilder::new().with_channel_capacity(cap);
+        let mut g = GraphBuilder::new().with_channel_capacity(cap).with_batch_size(batch);
         let src = g.add_source("src", Box::new(Forever(0)));
         let seen = Arc::new(Mutex::new(Vec::new()));
         let c = g.add_op("sink", Box::new(Collect { seen: Arc::clone(&seen) }));

@@ -1,0 +1,403 @@
+//! Transport-semantics tests for the batched cross-PE frame transport:
+//! loss-free and order-preserving delivery, exact per-consumer counts,
+//! batch-invariant link metrics, and immediate control-tuple flushing.
+
+use parking_lot::Mutex;
+use spca_streams::ops::{Split, SplitStrategy};
+use spca_streams::{
+    ControlTuple, DataTuple, Engine, GraphBuilder, OpContext, Operator, PortKind, SourceState,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+struct CountSource {
+    n: u64,
+    next: u64,
+}
+
+impl Operator for CountSource {
+    fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {}
+    fn drive(&mut self, ctx: &mut OpContext<'_>) -> SourceState {
+        if self.next >= self.n {
+            return SourceState::Done;
+        }
+        ctx.emit_data(0, DataTuple::new(self.next, vec![self.next as f64]));
+        self.next += 1;
+        SourceState::Emitted
+    }
+}
+
+struct Collect {
+    seen: Arc<Mutex<Vec<u64>>>,
+}
+
+impl Operator for Collect {
+    fn process(&mut self, t: DataTuple, _ctx: &mut OpContext<'_>) {
+        self.seen.lock().push(t.seq);
+    }
+}
+
+struct Relay;
+
+impl Operator for Relay {
+    fn process(&mut self, t: DataTuple, ctx: &mut OpContext<'_>) {
+        ctx.emit_data(0, t);
+    }
+}
+
+/// Runs `src → relay → sink` unfused and returns (delivered seqs, link
+/// tuple counts, link byte counts).
+fn run_pipeline(n: u64, batch: usize) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    let mut g = GraphBuilder::new().with_batch_size(batch);
+    let src = g.add_source("src", Box::new(CountSource { n, next: 0 }));
+    let relay = g.add_op("relay", Box::new(Relay));
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let sink = g.add_op(
+        "sink",
+        Box::new(Collect {
+            seen: Arc::clone(&seen),
+        }),
+    );
+    g.connect(src, 0, relay, PortKind::Data);
+    g.connect(relay, 0, sink, PortKind::Data);
+    let report = Engine::run(g);
+    let tuples = report.links.iter().map(|l| l.tuples()).collect();
+    let bytes = report.links.iter().map(|l| l.bytes()).collect();
+    let delivered = seen.lock().clone();
+    (delivered, tuples, bytes)
+}
+
+#[test]
+fn delivery_is_loss_free_and_ordered_at_every_batch_size() {
+    for batch in [1, 8, 64] {
+        let (seen, _, _) = run_pipeline(1000, batch);
+        assert_eq!(seen.len(), 1000, "batch {batch}: lost tuples");
+        assert!(
+            seen.windows(2).all(|w| w[1] == w[0] + 1),
+            "batch {batch}: order violated"
+        );
+    }
+}
+
+#[test]
+fn link_metrics_are_batch_invariant() {
+    // Frames must account per-tuple counts/bytes: the LinkReport of a
+    // batched run is identical to the per-tuple (batch = 1) run.
+    let (_, tuples_1, bytes_1) = run_pipeline(500, 1);
+    for batch in [8, 64] {
+        let (_, tuples_b, bytes_b) = run_pipeline(500, batch);
+        assert_eq!(tuples_1, tuples_b, "tuple accounting differs at {batch}");
+        assert_eq!(bytes_1, bytes_b, "byte accounting differs at {batch}");
+    }
+    // 500 data tuples + 1 EOS per link.
+    assert_eq!(tuples_1, vec![501, 501]);
+}
+
+/// `src → split(RoundRobin) → n sinks`, capacity ample so the split never
+/// sheds: every consumer must receive exactly `n_tuples / n` tuples, at
+/// every batch size.
+#[test]
+fn round_robin_counts_are_exact_across_batch_sizes() {
+    const N: u64 = 1200;
+    const BRANCHES: usize = 4;
+    for batch in [1, 8, 64] {
+        let mut g = GraphBuilder::new()
+            .with_batch_size(batch)
+            .with_channel_capacity(N as usize);
+        let src = g.add_source("src", Box::new(CountSource { n: N, next: 0 }));
+        let split = g.add_op("split", Box::new(Split::new(SplitStrategy::RoundRobin)));
+        g.connect(src, 0, split, PortKind::Data);
+        let mut stores = Vec::new();
+        for b in 0..BRANCHES {
+            let seen = Arc::new(Mutex::new(Vec::new()));
+            let c = g.add_op(
+                format!("pca-{b}"),
+                Box::new(Collect {
+                    seen: Arc::clone(&seen),
+                }),
+            );
+            g.connect(split, b, c, PortKind::Data);
+            stores.push(seen);
+        }
+        let report = Engine::run(g);
+        for (b, store) in stores.iter().enumerate() {
+            let snap = report.op(&format!("pca-{b}")).unwrap();
+            assert_eq!(
+                snap.tuples_in,
+                N / BRANCHES as u64,
+                "batch {batch}: pca-{b} count off"
+            );
+            // Per-consumer order: round-robin hands consumer b the seqs
+            // b, b+4, b+8, ... in that order.
+            let seen = store.lock().clone();
+            assert!(
+                seen.windows(2).all(|w| w[1] == w[0] + BRANCHES as u64),
+                "batch {batch}: pca-{b} order violated"
+            );
+        }
+        assert_eq!(report.tuples_in_matching("pca-"), N);
+    }
+}
+
+/// The delivered multiset is identical whatever the batch size, for every
+/// split strategy (Random/LeastLoaded may shed differently per run, but
+/// with ample capacity nothing is ever dropped).
+#[test]
+fn delivered_multiset_is_batch_invariant() {
+    const N: u64 = 600;
+    for strategy in [
+        SplitStrategy::Random,
+        SplitStrategy::RoundRobin,
+        SplitStrategy::LeastLoaded,
+    ] {
+        let mut reference: Option<Vec<u64>> = None;
+        for batch in [1, 8, 64] {
+            let mut g = GraphBuilder::new()
+                .with_batch_size(batch)
+                .with_channel_capacity(N as usize);
+            let src = g.add_source("src", Box::new(CountSource { n: N, next: 0 }));
+            let split = g.add_op("split", Box::new(Split::new(strategy)));
+            g.connect(src, 0, split, PortKind::Data);
+            let mut stores = Vec::new();
+            for b in 0..3 {
+                let seen = Arc::new(Mutex::new(Vec::new()));
+                let c = g.add_op(
+                    format!("sink{b}"),
+                    Box::new(Collect {
+                        seen: Arc::clone(&seen),
+                    }),
+                );
+                g.connect(split, b, c, PortKind::Data);
+                stores.push(seen);
+            }
+            Engine::run(g);
+            let mut union: Vec<u64> = stores.iter().flat_map(|s| s.lock().clone()).collect();
+            union.sort_unstable();
+            match &reference {
+                None => reference = Some(union),
+                Some(r) => assert_eq!(
+                    &union, r,
+                    "{strategy:?}: delivered multiset differs at batch {batch}"
+                ),
+            }
+        }
+        assert_eq!(
+            reference.unwrap(),
+            (0..N).collect::<Vec<_>>(),
+            "{strategy:?}: loss or duplication"
+        );
+    }
+}
+
+/// A control tuple emitted behind buffered data must flush immediately and
+/// arrive in FIFO position — never stranded behind a pending data batch.
+///
+/// The source emits `N_DATA` data tuples and one control tuple, then idles
+/// until the consumer acknowledges the control tuple. If control flushing
+/// were broken the acknowledgement would never come and the run would hang
+/// (the test harness timeout catches that); if control overtook data, the
+/// consumer would see fewer than `N_DATA` data tuples first.
+#[test]
+fn control_tuple_is_not_stranded_behind_data_batch() {
+    const N_DATA: u64 = 10;
+
+    struct ScriptedSource {
+        emitted: bool,
+        ack: Arc<AtomicBool>,
+    }
+    impl Operator for ScriptedSource {
+        fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {}
+        fn drive(&mut self, ctx: &mut OpContext<'_>) -> SourceState {
+            if !self.emitted {
+                self.emitted = true;
+                for seq in 0..N_DATA {
+                    ctx.emit_data(0, DataTuple::new(seq, vec![seq as f64]));
+                }
+                ctx.emit_control(0, ControlTuple::signal(7, 0));
+                return SourceState::Emitted;
+            }
+            if self.ack.load(Ordering::SeqCst) {
+                SourceState::Done
+            } else {
+                SourceState::Idle
+            }
+        }
+    }
+
+    struct AckingSink {
+        n_data: Arc<Mutex<Vec<u64>>>,
+        data_seen_at_control: Arc<Mutex<Option<usize>>>,
+        ack: Arc<AtomicBool>,
+    }
+    impl Operator for AckingSink {
+        fn process(&mut self, t: DataTuple, _ctx: &mut OpContext<'_>) {
+            self.n_data.lock().push(t.seq);
+        }
+        fn on_control(&mut self, c: ControlTuple, _ctx: &mut OpContext<'_>) {
+            assert_eq!(c.kind, 7);
+            *self.data_seen_at_control.lock() = Some(self.n_data.lock().len());
+            self.ack.store(true, Ordering::SeqCst);
+        }
+    }
+
+    // Batch far larger than the data burst: without the urgent-flush rule
+    // everything would sit in the sender buffer until end-of-stream — and
+    // end-of-stream never comes, because the source waits for the ack.
+    let ack = Arc::new(AtomicBool::new(false));
+    let n_data = Arc::new(Mutex::new(Vec::new()));
+    let at_control = Arc::new(Mutex::new(None));
+    let mut g = GraphBuilder::new().with_batch_size(1024);
+    let src = g.add_source(
+        "src",
+        Box::new(ScriptedSource {
+            emitted: false,
+            ack: Arc::clone(&ack),
+        }),
+    );
+    let sink = g.add_op(
+        "sink",
+        Box::new(AckingSink {
+            n_data: Arc::clone(&n_data),
+            data_seen_at_control: Arc::clone(&at_control),
+            ack: Arc::clone(&ack),
+        }),
+    );
+    g.connect(src, 0, sink, PortKind::Data);
+    Engine::run(g);
+    assert_eq!(n_data.lock().len() as u64, N_DATA);
+    assert_eq!(
+        *at_control.lock(),
+        Some(N_DATA as usize),
+        "control tuple was reordered relative to the data ahead of it"
+    );
+}
+
+/// End-of-stream flushes buffered data ahead of itself: nothing is lost
+/// when a stream shorter than the batch size terminates.
+#[test]
+fn eos_flushes_partial_batch() {
+    let (seen, tuples, _) = run_pipeline(5, 64);
+    assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    // 5 data + EOS on each link.
+    assert_eq!(tuples, vec![6, 6]);
+}
+
+/// `OpContext::flush` makes buffered data visible downstream while the
+/// emitting operator keeps running (no EOS, no control tuple).
+#[test]
+fn explicit_flush_makes_data_visible() {
+    struct FlushingSource {
+        sent: bool,
+        done: Arc<AtomicBool>,
+    }
+    impl Operator for FlushingSource {
+        fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {}
+        fn drive(&mut self, ctx: &mut OpContext<'_>) -> SourceState {
+            if !self.sent {
+                self.sent = true;
+                for seq in 0..3 {
+                    ctx.emit_data(0, DataTuple::new(seq, vec![]));
+                }
+                ctx.flush();
+                return SourceState::Emitted;
+            }
+            if self.done.load(Ordering::SeqCst) {
+                SourceState::Done
+            } else {
+                SourceState::Idle
+            }
+        }
+    }
+    struct AckSink {
+        got: Arc<Mutex<Vec<u64>>>,
+        done: Arc<AtomicBool>,
+    }
+    impl Operator for AckSink {
+        fn process(&mut self, t: DataTuple, _ctx: &mut OpContext<'_>) {
+            let mut got = self.got.lock();
+            got.push(t.seq);
+            if got.len() == 3 {
+                self.done.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+    let done = Arc::new(AtomicBool::new(false));
+    let got = Arc::new(Mutex::new(Vec::new()));
+    let mut g = GraphBuilder::new().with_batch_size(1024);
+    let src = g.add_source(
+        "src",
+        Box::new(FlushingSource {
+            sent: false,
+            done: Arc::clone(&done),
+        }),
+    );
+    let sink = g.add_op(
+        "sink",
+        Box::new(AckSink {
+            got: Arc::clone(&got),
+            done: Arc::clone(&done),
+        }),
+    );
+    g.connect(src, 0, sink, PortKind::Data);
+    Engine::run(g);
+    assert_eq!(got.lock().clone(), vec![0, 1, 2]);
+}
+
+/// Control tuples keep FIFO position relative to data under heavy batched
+/// traffic interleaving data and control on the same edge.
+#[test]
+fn interleaved_control_keeps_fifo_position() {
+    struct Interleaved {
+        next: u64,
+    }
+    impl Operator for Interleaved {
+        fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {}
+        fn drive(&mut self, ctx: &mut OpContext<'_>) -> SourceState {
+            if self.next >= 300 {
+                return SourceState::Done;
+            }
+            ctx.emit_data(0, DataTuple::new(self.next, vec![]));
+            if self.next % 50 == 49 {
+                // Control tuple carrying the number of data tuples before it.
+                ctx.emit_control(0, ControlTuple::signal(9, (self.next + 1) as u32));
+            }
+            self.next += 1;
+            SourceState::Emitted
+        }
+    }
+    #[derive(Default)]
+    struct Watcher {
+        n_data: u64,
+        checked: Arc<Mutex<Vec<(u32, u64)>>>,
+    }
+    impl Operator for Watcher {
+        fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {
+            self.n_data += 1;
+        }
+        fn on_control(&mut self, c: ControlTuple, _ctx: &mut OpContext<'_>) {
+            self.checked.lock().push((c.sender, self.n_data));
+        }
+    }
+    for batch in [1, 8, 64] {
+        let checked = Arc::new(Mutex::new(Vec::new()));
+        let mut g = GraphBuilder::new().with_batch_size(batch);
+        let src = g.add_source("src", Box::new(Interleaved { next: 0 }));
+        let sink = g.add_op(
+            "sink",
+            Box::new(Watcher {
+                n_data: 0,
+                checked: Arc::clone(&checked),
+            }),
+        );
+        g.connect(src, 0, sink, PortKind::Data);
+        Engine::run(g);
+        let got = checked.lock().clone();
+        assert_eq!(got.len(), 6, "batch {batch}");
+        for (announced, seen) in got {
+            assert_eq!(
+                announced as u64, seen,
+                "batch {batch}: control tuple out of FIFO position"
+            );
+        }
+    }
+}

@@ -31,13 +31,36 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Flags each subcommand accepts; anything else is rejected up front.
+fn allowed_flags(cmd: &str) -> &'static [&'static str] {
+    match cmd {
+        "generate" => &["out", "n", "pixels", "zmax", "contamination", "seed"],
+        "run" => &[
+            "input",
+            "listen",
+            "url",
+            "engines",
+            "components",
+            "memory",
+            "dim",
+            "sync",
+            "snapshots",
+            "report",
+            "batch",
+        ],
+        "inspect" => &["snapshot"],
+        "simulate" => &["engines", "dim", "nodes", "placement"],
+        _ => &[],
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match Opts::parse(rest) {
+    let opts = match Opts::parse(rest, cmd, allowed_flags(cmd)) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -74,7 +97,7 @@ USAGE:
                 --url http://host/data.csv
                 [--engines 4] [--components 4] [--memory 5000] [--dim D]
                 [--sync ring|broadcast|none] [--snapshots DIR]
-                [--report outliers.csv]
+                [--report outliers.csv] [--batch 64]
   spca inspect  --snapshot FILE
   spca simulate [--engines 20] [--dim 250] [--nodes 10]
                 [--placement rr|single|grouped2]
@@ -84,17 +107,22 @@ Every flag is --key value; unknown flags are rejected.";
 struct Opts(HashMap<String, String>);
 
 impl Opts {
-    fn parse(args: &[String]) -> Result<Self, String> {
+    fn parse(args: &[String], cmd: &str, allowed: &[&str]) -> Result<Self, String> {
         let mut map = HashMap::new();
         let mut it = args.iter();
         while let Some(k) = it.next() {
             let Some(key) = k.strip_prefix("--") else {
                 return Err(format!("expected --flag, got '{k}'"));
             };
+            if !allowed.contains(&key) {
+                return Err(format!("unknown flag --{key} for '{cmd}'"));
+            }
             let Some(v) = it.next() else {
                 return Err(format!("flag --{key} is missing a value"));
             };
-            map.insert(key.to_string(), v.clone());
+            if map.insert(key.to_string(), v.clone()).is_some() {
+                return Err(format!("flag --{key} given more than once"));
+            }
         }
         Ok(Opts(map))
     }
@@ -155,6 +183,10 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     let engines: usize = opts.num("engines", 4)?;
     let components: usize = opts.num("components", 4)?;
     let memory: usize = opts.num("memory", 5000)?;
+    let batch: usize = opts.num("batch", astro_stream_pca::streams::DEFAULT_BATCH_SIZE)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".to_string());
+    }
 
     let source: Box<dyn Operator> = match (opts.get("input"), opts.get("listen"), opts.get("url")) {
         (Some(path), None, None) => {
@@ -197,6 +229,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         .with_memory(memory)
         .with_extra(2);
     let mut cfg = AppConfig::new(engines, pca);
+    cfg.batch_size = batch;
     cfg.emit_outcomes = opts.get("report").is_some();
     cfg.sync = match opts.get("sync").unwrap_or("ring") {
         "ring" => SyncStrategy::Ring,

@@ -1,0 +1,99 @@
+//! Black-box tests of the `spca` binary's argument handling: unknown
+//! flags must be rejected with a nonzero exit naming the flag, never
+//! silently ignored.
+
+use std::process::Command;
+
+fn spca(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_spca"))
+        .args(args)
+        .output()
+        .expect("spawn spca")
+}
+
+#[test]
+fn unknown_flag_is_rejected_and_named() {
+    for (cmd, bogus) in [
+        ("generate", "--outt"),
+        ("run", "--engnes"),
+        ("inspect", "--snapshots"),
+        ("simulate", "--placment"),
+    ] {
+        let out = spca(&[cmd, bogus, "x"]);
+        assert!(
+            !out.status.success(),
+            "{cmd} {bogus}: expected nonzero exit"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(bogus),
+            "{cmd}: stderr must name the offending flag, got: {stderr}"
+        );
+        assert!(
+            stderr.contains(cmd),
+            "{cmd}: stderr must name the subcommand, got: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn flag_valid_for_one_subcommand_rejected_on_another() {
+    // --seed belongs to `generate`, not `simulate`.
+    let out = spca(&["simulate", "--seed", "1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seed"));
+}
+
+#[test]
+fn repeated_flag_is_rejected() {
+    let out = spca(&["generate", "--out", "a.csv", "--out", "b.csv"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("more than once"), "got: {stderr}");
+}
+
+#[test]
+fn missing_value_is_rejected() {
+    let out = spca(&["generate", "--out"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing a value"));
+}
+
+#[test]
+fn zero_batch_is_rejected() {
+    let out = spca(&["run", "--input", "nonexistent.csv", "--batch", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--batch"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = spca(&["help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("unknown flags are rejected"));
+    assert!(stdout.contains("--batch"));
+}
+
+#[test]
+fn valid_generate_round_trips() {
+    let dir = std::env::temp_dir().join(format!("spca-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_csv = dir.join("tiny.csv");
+    let out = spca(&[
+        "generate",
+        "--out",
+        out_csv.to_str().unwrap(),
+        "--n",
+        "5",
+        "--pixels",
+        "16",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out_csv.exists());
+    std::fs::remove_dir_all(&dir).ok();
+}

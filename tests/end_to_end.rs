@@ -269,7 +269,7 @@ fn malformed_tuples_are_dropped_not_fatal() {
 
 #[test]
 fn modeled_network_delay_runs_correctly() {
-    // The LinkKind::Network path with a real (small) per-tuple delay:
+    // The LinkKind::Network path with a real (small) per-message overhead:
     // semantics identical, just slower.
     let mut cfg = AppConfig::new(2, pca_cfg());
     cfg.network_delay_us = 20;
