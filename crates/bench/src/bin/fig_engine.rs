@@ -36,7 +36,12 @@ const RUNS: usize = 5;
 /// Modeled per-message overhead on unfused cross-PE data links (µs).
 const NET_DELAY_US: u64 = 1;
 
-fn run_once(samples: &Arc<Vec<Vec<f64>>>, n_engines: usize, fuse: bool, batch: usize) -> f64 {
+fn run_once(
+    samples: &Arc<Vec<Vec<f64>>>,
+    n_engines: usize,
+    fuse: bool,
+    batch: usize,
+) -> (f64, u64) {
     let pca = PcaConfig::new(DIM, 2).with_memory(2000).with_init_size(20);
     let mut cfg = AppConfig::new(n_engines, pca);
     cfg.fuse = fuse;
@@ -59,7 +64,7 @@ fn run_once(samples: &Arc<Vec<Vec<f64>>>, n_engines: usize, fuse: bool, batch: u
     let report = Engine::run(g);
     let dt = t0.elapsed().as_secs_f64();
     assert_eq!(report.tuples_in_matching("pca-"), TUPLES);
-    TUPLES as f64 / dt
+    (TUPLES as f64 / dt, report.total_restarts())
 }
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -67,11 +72,16 @@ fn median(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn measure(samples: &Arc<Vec<Vec<f64>>>, n_engines: usize, fuse: bool, batch: usize) -> f64 {
+fn measure(samples: &Arc<Vec<Vec<f64>>>, n_engines: usize, fuse: bool, batch: usize) -> (f64, u64) {
+    let mut restarts = 0;
     let mut rates: Vec<f64> = (0..RUNS)
-        .map(|_| run_once(samples, n_engines, fuse, batch))
+        .map(|_| {
+            let (rate, r) = run_once(samples, n_engines, fuse, batch);
+            restarts += r;
+            rate
+        })
         .collect();
-    median(&mut rates)
+    (median(&mut rates), restarts)
 }
 
 fn main() {
@@ -87,10 +97,12 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut report_rows = Vec::new();
+    let mut total_restarts = 0;
     for fuse in [true, false] {
         for engines in [1usize, 2, 4] {
-            let batch1 = measure(&samples, engines, fuse, 1);
-            let batched = measure(&samples, engines, fuse, DEFAULT_BATCH_SIZE);
+            let (batch1, r1) = measure(&samples, engines, fuse, 1);
+            let (batched, rb) = measure(&samples, engines, fuse, DEFAULT_BATCH_SIZE);
+            total_restarts += r1 + rb;
             let speedup = batched / batch1;
             rows.push(vec![
                 if fuse { 1.0 } else { 0.0 },
@@ -132,6 +144,7 @@ fn main() {
         dim: DIM,
         batch: DEFAULT_BATCH_SIZE,
         target: "unfused 2-engine batched ≥ 1.5x over batch-size-1".to_string(),
+        restarts: total_restarts,
         results: report_rows,
     };
     std::fs::write("BENCH_engine.json", format!("{}\n", report.to_json()))

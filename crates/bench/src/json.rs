@@ -390,6 +390,11 @@ pub struct EngineBenchReport {
     pub batch: usize,
     /// The acceptance target the grid was recorded against.
     pub target: String,
+    /// Total operator restarts observed across every measured run. The
+    /// recorded grid must be fault-free, so anything other than zero
+    /// fails validation: a fault plan leaking into a benchmark run can
+    /// never land as a committed artifact.
+    pub restarts: u64,
     /// One row per (fusion, engines) cell.
     pub results: Vec<EngineBenchRow>,
 }
@@ -471,6 +476,7 @@ impl EngineBenchReport {
             ("dim".into(), Json::Num(self.dim as f64)),
             ("batch".into(), Json::Num(self.batch as f64)),
             ("target".into(), Json::Str(self.target.clone())),
+            ("restarts".into(), Json::Num(self.restarts as f64)),
             (
                 "results".into(),
                 Json::Arr(self.results.iter().map(|r| r.to_json()).collect()),
@@ -499,6 +505,11 @@ impl EngineBenchReport {
             dim: num_field(v, "dim")? as usize,
             batch: num_field(v, "batch")? as usize,
             target: str_field(v, "target")?,
+            // Absent in artifacts recorded before fault injection existed.
+            restarts: match v.get("restarts") {
+                None => 0,
+                Some(_) => num_field(v, "restarts")? as u64,
+            },
             results,
         };
         if report.batch < 2 {
@@ -506,6 +517,12 @@ impl EngineBenchReport {
         }
         if report.tuples == 0 {
             return Err("'tuples' must be positive".to_string());
+        }
+        if report.restarts > 0 {
+            return Err(format!(
+                "'restarts' is {} — benchmark artifacts must be recorded fault-free",
+                report.restarts
+            ));
         }
         Ok(report)
     }
@@ -554,6 +571,7 @@ mod tests {
             dim: 64,
             batch: 64,
             target: "1.5x".into(),
+            restarts: 0,
             results: vec![EngineBenchRow {
                 config: "unfused-2".into(),
                 fused: false,
@@ -581,6 +599,31 @@ mod tests {
         assert!(EngineBenchReport::parse(&text)
             .unwrap_err()
             .contains("inconsistent"));
+    }
+
+    #[test]
+    fn nonzero_restarts_is_rejected() {
+        let mut report = sample_report();
+        report.restarts = 3;
+        let text = report.to_json().to_string();
+        let err = EngineBenchReport::parse(&text).unwrap_err();
+        assert!(err.contains("fault-free"), "{err}");
+    }
+
+    #[test]
+    fn missing_restarts_field_defaults_to_zero() {
+        // Back-compat with artifacts recorded before the field existed.
+        let Json::Obj(fields) = sample_report().to_json() else {
+            unreachable!()
+        };
+        let pruned = Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "restarts")
+                .collect(),
+        );
+        let back = EngineBenchReport::parse(&pruned.to_string()).unwrap();
+        assert_eq!(back.restarts, 0);
     }
 
     #[test]

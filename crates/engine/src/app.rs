@@ -19,7 +19,9 @@ use crate::sync::{SyncController, SyncStrategy};
 use parking_lot::Mutex;
 use spca_core::{PcaConfig, RobustPca};
 use spca_streams::ops::{CallbackSink, CollectSink, Split, SplitStrategy, Throttle};
-use spca_streams::{DataTuple, GraphBuilder, LinkKind, Operator, PortKind};
+use spca_streams::{
+    DataTuple, FaultPlan, GraphBuilder, LinkKind, Operator, PortKind, RestartPolicy,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -68,6 +70,28 @@ pub struct AppConfig {
     /// peer state they received. `None` = share whenever the `1.5·N`
     /// observation gate passes.
     pub divergence_gate: Option<f64>,
+    /// Deterministic fault plan threaded into the dataflow engine (see
+    /// [`FaultPlan::parse`]); targets must use operator names — run user
+    /// specs through [`normalize_fault_targets`] first so `engine1` means
+    /// `pca-1`.
+    pub faults: Option<FaultPlan>,
+    /// Supervised-restart policy for panicking operators.
+    pub restart: RestartPolicy,
+    /// When set, every engine synchronously persists its eigensystem under
+    /// this directory (see [`StreamingPcaOp::with_recovery`]) and
+    /// rehydrates from it after a supervised restart.
+    pub recovery_dir: Option<std::path::PathBuf>,
+    /// Recovery-snapshot cadence in processed tuples.
+    pub recovery_every: u64,
+    /// Failure-aware synchronization: engines heartbeat to the controller,
+    /// the controller skips dead engines (re-closing a ring around them)
+    /// and re-admits restarted ones, and peer-state wiring becomes a full
+    /// mesh so any surviving pair can still exchange state.
+    pub failure_aware_sync: bool,
+    /// An engine silent for this long counts as dead (failure-aware mode).
+    pub liveness_timeout: Duration,
+    /// Engines heartbeat every `n` processed tuples (failure-aware mode).
+    pub heartbeat_every: u64,
 }
 
 impl AppConfig {
@@ -91,8 +115,29 @@ impl AppConfig {
             snapshot_dir: None,
             warm_start: None,
             divergence_gate: None,
+            faults: None,
+            restart: RestartPolicy::default(),
+            recovery_dir: None,
+            recovery_every: 500,
+            failure_aware_sync: false,
+            liveness_timeout: Duration::from_millis(100),
+            heartbeat_every: 64,
         }
     }
+}
+
+/// Rewrites user-facing fault targets (`engine<k>`) to the graph's
+/// operator names (`pca-<k>`), leaving everything else — including link
+/// endpoints like `split` — untouched.
+pub fn normalize_fault_targets(plan: FaultPlan) -> FaultPlan {
+    plan.rename_targets(|name| {
+        if let Some(k) = name.strip_prefix("engine") {
+            if k.parse::<u32>().is_ok() {
+                return format!("pca-{k}");
+            }
+        }
+        name.to_string()
+    })
 }
 
 /// Handles into a built application.
@@ -127,9 +172,15 @@ impl ParallelPcaApp {
     ) -> (GraphBuilder, AppHandles) {
         assert!(cfg.n_engines >= 1, "need at least one engine");
         let n = cfg.n_engines;
+        let failure_aware =
+            cfg.failure_aware_sync && n > 1 && !matches!(cfg.sync, SyncStrategy::None);
         let mut g = GraphBuilder::new()
             .with_channel_capacity(cfg.channel_capacity)
-            .with_batch_size(cfg.batch_size);
+            .with_batch_size(cfg.batch_size)
+            .with_restart_policy(cfg.restart);
+        if let Some(ref plan) = cfg.faults {
+            g = g.with_fault_plan(plan.clone());
+        }
         let data_link = if cfg.fuse || cfg.network_delay_us == 0 {
             LinkKind::Local
         } else {
@@ -147,9 +198,22 @@ impl ParallelPcaApp {
         let mut engine_states = Vec::with_capacity(n);
         let mut peer_lists = Vec::with_capacity(n);
         for i in 0..n {
-            let peers = cfg.sync.peers_of(i, n);
+            // Failure-aware mode wires a full peer mesh regardless of the
+            // sync strategy: the controller decides receivers at command
+            // time (survivors only), so every pair needs a port.
+            let peers = if failure_aware {
+                SyncStrategy::Broadcast.peers_of(i, n)
+            } else {
+                cfg.sync.peers_of(i, n)
+            };
             let mut op = StreamingPcaOp::new(i as u32, cfg.pca.clone(), peers.len())
                 .with_snapshots_every(cfg.snapshot_every);
+            if let Some(ref dir) = cfg.recovery_dir {
+                op = op.with_recovery(dir.clone(), cfg.recovery_every);
+            }
+            if failure_aware {
+                op = op.with_heartbeats_every(cfg.heartbeat_every);
+            }
             if let Some(gate) = sync_gate {
                 op = op.with_sync_gate(gate);
             }
@@ -188,6 +252,7 @@ impl ParallelPcaApp {
         }
 
         // Synchronization controller (+ optional throttles).
+        let mut ctrl_id = None;
         if !matches!(cfg.sync, SyncStrategy::None) && n > 1 {
             let period = if cfg.use_throttle {
                 // The explicit throttles do the pacing; the controller only
@@ -196,10 +261,15 @@ impl ParallelPcaApp {
             } else {
                 cfg.sync_period
             };
-            let ctrl = g.add_source(
-                "sync-controller",
-                Box::new(SyncController::new(cfg.sync, n, period)),
-            );
+            let mut controller = SyncController::new(cfg.sync, n, period);
+            if failure_aware {
+                // Startup grace: engines announce themselves with their
+                // first heartbeat; give slow starters a few timeouts.
+                controller =
+                    controller.with_liveness(cfg.liveness_timeout, cfg.liveness_timeout * 4);
+            }
+            let ctrl = g.add_source("sync-controller", Box::new(controller));
+            ctrl_id = Some(ctrl);
             // The controller watches the data stream so it winds down with
             // it: source out-port 1 never carries data (the generator only
             // emits on port 0) but is punctuated at end-of-stream like
@@ -239,6 +309,17 @@ impl ParallelPcaApp {
         for (i, &eng) in engine_ids.iter().enumerate() {
             let monitor_port = peer_lists[i].len();
             g.connect(eng, monitor_port, monitor, PortKind::Control);
+        }
+
+        // Failure-aware mode: the controller also listens to every monitor
+        // port, so heartbeats and snapshots double as liveness reports.
+        if failure_aware {
+            if let Some(ctrl) = ctrl_id {
+                for (i, &eng) in engine_ids.iter().enumerate() {
+                    let monitor_port = peer_lists[i].len();
+                    g.connect(eng, monitor_port, ctrl, PortKind::Control);
+                }
+            }
         }
 
         // Optional snapshot persistence: a second consumer on each monitor
@@ -415,6 +496,34 @@ mod tests {
             })
             .count();
         assert_eq!(n_ctrl_peer_edges, 6);
+    }
+
+    #[test]
+    fn failure_aware_topology_has_full_mesh_and_liveness_edges() {
+        let mut cfg = AppConfig::new(4, pca_cfg());
+        cfg.failure_aware_sync = true; // ring strategy, but mesh wiring
+        let (g, _h) = ParallelPcaApp::build(&cfg, planted_source(10, 18));
+        // source→split 1, split→engines 4, full-mesh peer edges 4·3 = 12,
+        // source→controller 1, controller→engines 4, monitor edges 4,
+        // monitor→controller liveness edges 4.
+        assert_eq!(g.edge_list().len(), 1 + 4 + 12 + 1 + 4 + 4 + 4);
+    }
+
+    #[test]
+    fn failure_aware_run_converges_without_faults() {
+        let mut cfg = AppConfig::new(3, pca_cfg());
+        cfg.failure_aware_sync = true;
+        cfg.sync_period = Duration::from_millis(5);
+        cfg.heartbeat_every = 50;
+        let (g, h) = ParallelPcaApp::build(&cfg, planted_source(3000, 19));
+        let report = Engine::run(g);
+        assert_eq!(report.tuples_in_matching("pca-"), 3000);
+        assert_eq!(h.hub.engines_reporting(), 3);
+        assert_eq!(report.total_restarts(), 0);
+        let truth = PlantedSubspace::new(D, 2, 0.05);
+        let merged = h.hub.merged_estimate().unwrap();
+        let dist = subspace_distance(&merged.basis, truth.basis()).unwrap();
+        assert!(dist < 0.3, "merged distance {dist}");
     }
 
     #[test]

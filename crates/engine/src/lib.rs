@@ -28,9 +28,12 @@ pub mod persist;
 pub mod results;
 pub mod sync;
 
-pub use app::{AppConfig, AppHandles, ParallelPcaApp};
-pub use messages::{PeerState, SyncCommand, KIND_PEER_STATE, KIND_SYNC_COMMAND};
+pub use app::{normalize_fault_targets, AppConfig, AppHandles, ParallelPcaApp};
+pub use messages::{
+    Heartbeat, PeerState, SyncCommand, KIND_HEARTBEAT, KIND_PEER_STATE, KIND_SNAPSHOT,
+    KIND_SYNC_COMMAND,
+};
 pub use pca_operator::StreamingPcaOp;
-pub use persist::{read_snapshot, write_snapshot, SnapshotWriter};
+pub use persist::{read_snapshot, recovery_path, write_snapshot, SnapshotWriter};
 pub use results::ResultsHub;
 pub use sync::{SyncController, SyncStrategy};

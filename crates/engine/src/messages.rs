@@ -14,6 +14,21 @@ pub const KIND_PEER_STATE: u32 = 2;
 /// Control tuple kind: a monitoring snapshot of an engine's eigensystem.
 pub const KIND_SNAPSHOT: u32 = 3;
 
+/// Control tuple kind: a lightweight liveness heartbeat from an engine.
+/// The failure-aware sync controller uses these (and snapshots) to decide
+/// which engines are alive when generating commands.
+pub const KIND_HEARTBEAT: u32 = 4;
+
+/// Payload of a [`KIND_HEARTBEAT`]: which engine is alive and how far
+/// along it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Index of the engine sending the heartbeat.
+    pub engine: u32,
+    /// Observations the sender had folded in when beating.
+    pub n_obs: u64,
+}
+
 /// Payload of a [`KIND_SYNC_COMMAND`]: which of the engine's peer-state
 /// output ports to share on.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,5 +77,12 @@ mod tests {
         let back = t2.payload_as::<PeerState>().unwrap();
         assert_eq!(back.engine, 3);
         assert_eq!(back.eigensystem.dim(), 4);
+
+        let hb = Heartbeat {
+            engine: 1,
+            n_obs: 42,
+        };
+        let t3 = spca_streams::ControlTuple::new(KIND_HEARTBEAT, 1, Arc::new(hb));
+        assert_eq!(t3.payload_as::<Heartbeat>().unwrap(), &hb);
     }
 }

@@ -28,10 +28,15 @@
 //! calls one operator concurrently, but the lock documents and enforces
 //! the invariant cheaply, and lets diagnostics peek at live state.
 
-use crate::messages::{PeerState, SyncCommand, KIND_PEER_STATE, KIND_SNAPSHOT, KIND_SYNC_COMMAND};
+use crate::messages::{
+    Heartbeat, PeerState, SyncCommand, KIND_HEARTBEAT, KIND_PEER_STATE, KIND_SNAPSHOT,
+    KIND_SYNC_COMMAND,
+};
+use crate::persist;
 use parking_lot::Mutex;
 use spca_core::{merge, PcaConfig, RobustPca};
 use spca_streams::{ControlTuple, DataTuple, OpContext, Operator};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// The streaming PCA operator.
@@ -56,8 +61,24 @@ pub struct StreamingPcaOp {
     processed: u64,
     outliers_flagged: u64,
     dropped: u64,
+    /// Non-finite observations rejected at the operator boundary. NaN/Inf
+    /// payloads would otherwise contaminate the running sums irreversibly
+    /// (a single NaN poisons every covariance estimate it touches), so
+    /// they carry zero weight in the eigensystem and only feed the
+    /// quarantine port.
+    quarantined: u64,
     merges_applied: u64,
     shares_sent: u64,
+    /// When set, the operator synchronously writes its eigensystem to
+    /// `recovery_path(dir, engine_id)` every `recovery_every` processed
+    /// tuples; [`Operator::recover`] rehydrates from that file after a
+    /// supervised restart.
+    recovery_dir: Option<PathBuf>,
+    recovery_every: u64,
+    /// When nonzero, a [`KIND_HEARTBEAT`] goes out on the monitor port at
+    /// the first processed tuple and every `heartbeat_every` thereafter,
+    /// feeding the failure-aware sync controller's liveness tracker.
+    heartbeat_every: u64,
 }
 
 impl StreamingPcaOp {
@@ -87,8 +108,12 @@ impl StreamingPcaOp {
             processed: 0,
             outliers_flagged: 0,
             dropped: 0,
+            quarantined: 0,
             merges_applied: 0,
             shares_sent: 0,
+            recovery_dir: None,
+            recovery_every: 0,
+            heartbeat_every: 0,
         }
     }
 
@@ -96,6 +121,28 @@ impl StreamingPcaOp {
     /// (0 = only the final snapshot).
     pub fn with_snapshots_every(mut self, n: u64) -> Self {
         self.snapshot_every = n;
+        self
+    }
+
+    /// Enables crash recovery: every `every` processed tuples the operator
+    /// *synchronously* writes its eigensystem to
+    /// [`persist::recovery_path`]`(dir, engine_id)` (atomic
+    /// rename, see [`persist::write_snapshot`]), and a supervised restart
+    /// rehydrates from that file. Synchronous matters: the asynchronous
+    /// [`persist::SnapshotWriter`] on the monitor stream may lag the
+    /// operator at the moment of a crash, but this file is always exactly
+    /// as fresh as the last multiple of `every`.
+    pub fn with_recovery(mut self, dir: impl Into<PathBuf>, every: u64) -> Self {
+        assert!(every > 0, "recovery cadence must be positive");
+        self.recovery_dir = Some(dir.into());
+        self.recovery_every = every;
+        self
+    }
+
+    /// Emits a liveness heartbeat on the monitor port at the first
+    /// processed tuple and every `n` thereafter.
+    pub fn with_heartbeats_every(mut self, n: u64) -> Self {
+        self.heartbeat_every = n;
         self
     }
 
@@ -179,10 +226,71 @@ impl StreamingPcaOp {
             ControlTuple::new(KIND_SNAPSHOT, self.engine_id, Arc::new(msg)),
         );
     }
+
+    fn heartbeat(&self, ctx: &mut OpContext<'_>) {
+        let msg = Heartbeat {
+            engine: self.engine_id,
+            n_obs: self.processed,
+        };
+        ctx.emit_control(
+            self.monitor_port(),
+            ControlTuple::new(KIND_HEARTBEAT, self.engine_id, Arc::new(msg)),
+        );
+    }
+
+    /// Writes the recovery snapshot. Same lock discipline as [`snapshot`]:
+    /// clone the eigensystem under the lock, touch the filesystem after
+    /// release.
+    fn write_recovery(&self) {
+        let Some(dir) = &self.recovery_dir else {
+            return;
+        };
+        let eig = {
+            let st = self.state.lock();
+            match st.full_eigensystem() {
+                Some(eig) => eig.clone(),
+                None => return, // still warming up: nothing worth persisting
+            }
+        };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!(
+                "engine {}: cannot create recovery dir {}: {e}",
+                self.engine_id,
+                dir.display()
+            );
+            return;
+        }
+        let path = persist::recovery_path(dir, self.engine_id);
+        if let Err(e) = persist::write_snapshot(&path, &eig) {
+            eprintln!(
+                "engine {}: recovery snapshot failed for {}: {e}",
+                self.engine_id,
+                path.display()
+            );
+        }
+    }
 }
 
 impl Operator for StreamingPcaOp {
     fn process(&mut self, tuple: DataTuple, ctx: &mut OpContext<'_>) {
+        // Dead-letter boundary: a NaN or Inf would poison the running sums
+        // irreversibly, so non-finite observations never reach the state —
+        // they are counted, optionally forwarded on the quarantine port,
+        // and contribute zero weight to the eigensystem.
+        if !tuple.all_finite() {
+            self.quarantined += 1;
+            ctx.add_quarantined();
+            if self.quarantined <= 5 || self.quarantined.is_multiple_of(1000) {
+                eprintln!(
+                    "engine {}: quarantined non-finite tuple {} ({} so far)",
+                    self.engine_id, tuple.seq, self.quarantined
+                );
+            }
+            if self.emit_quarantine {
+                ctx.emit_data(self.quarantine_port(), tuple);
+            }
+            return;
+        }
         let outcome = {
             let mut st = self.state.lock();
             match tuple.mask.as_deref() {
@@ -230,6 +338,14 @@ impl Operator for StreamingPcaOp {
         if self.snapshot_every > 0 && self.processed.is_multiple_of(self.snapshot_every) {
             self.snapshot(ctx);
         }
+        if self.recovery_every > 0 && self.processed.is_multiple_of(self.recovery_every) {
+            self.write_recovery();
+        }
+        if self.heartbeat_every > 0
+            && (self.processed == 1 || self.processed.is_multiple_of(self.heartbeat_every))
+        {
+            self.heartbeat(ctx);
+        }
     }
 
     fn on_control(&mut self, tuple: ControlTuple, ctx: &mut OpContext<'_>) {
@@ -237,7 +353,12 @@ impl Operator for StreamingPcaOp {
             KIND_SYNC_COMMAND => {
                 // Independence gate (§II-C): share only when enough new
                 // observations have accumulated since the last exchange.
+                // Counted as a sync skip: after a supervised restart the
+                // gate holds the engine out of the exchange protocol until
+                // it has re-earned statistical independence, and the skip
+                // count is how the run report makes that visible.
                 if self.obs_since_sync <= self.sync_gate {
+                    ctx.add_sync_skip();
                     return;
                 }
                 let Some(cmd) = tuple.payload_as::<SyncCommand>() else {
@@ -317,6 +438,59 @@ impl Operator for StreamingPcaOp {
 
     fn on_finish(&mut self, ctx: &mut OpContext<'_>) {
         self.snapshot(ctx);
+    }
+
+    /// Supervised-restart hook: rehydrate from the latest recovery
+    /// snapshot. Without a recovery directory the operator declines the
+    /// restart (returns `false`) and the supervisor finishes it — losing
+    /// state silently would be worse than dying visibly. With a directory
+    /// but no snapshot yet (crash before the first cadence tick), restart
+    /// fresh from the configuration.
+    fn recover(&mut self, attempt: u64) -> bool {
+        let Some(dir) = self.recovery_dir.clone() else {
+            return false;
+        };
+        let path = persist::recovery_path(&dir, self.engine_id);
+        let cfg = self.state.lock().config().clone();
+        let mut fresh = RobustPca::new(cfg);
+        let restored_obs = match persist::read_snapshot(&path) {
+            Ok(eig) => {
+                let n = eig.n_obs;
+                if let Err(e) = fresh.install_eigensystem(eig) {
+                    eprintln!(
+                        "engine {}: recovery snapshot {} does not fit the \
+                         configuration: {e}",
+                        self.engine_id,
+                        path.display()
+                    );
+                    return false;
+                }
+                n
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(e) => {
+                eprintln!(
+                    "engine {}: cannot read recovery snapshot {}: {e}",
+                    self.engine_id,
+                    path.display()
+                );
+                return false;
+            }
+        };
+        *self.state.lock() = fresh;
+        self.processed = restored_obs;
+        // The restart re-enters the exchange protocol from scratch: the
+        // independence gate must pass again before the engine shares, and
+        // any remembered peer state predates the crash.
+        self.obs_since_sync = 0;
+        self.last_peer = None;
+        eprintln!(
+            "engine {}: restart #{attempt} rehydrated {} observations from {}",
+            self.engine_id,
+            restored_obs,
+            path.display()
+        );
+        true
     }
 }
 
@@ -621,5 +795,201 @@ mod tests {
             op.process(DataTuple::new(0, vec![1.0; 3]), ctx); // wrong dim
         });
         assert_eq!(op.processed, 0);
+    }
+
+    fn assert_eig_bits_equal(a: &spca_core::EigenSystem, b: &spca_core::EigenSystem) {
+        assert_eq!(a.n_obs, b.n_obs);
+        assert_eq!(a.sigma2.to_bits(), b.sigma2.to_bits());
+        assert_eq!(a.sum_u.to_bits(), b.sum_u.to_bits());
+        assert_eq!(a.sum_v.to_bits(), b.sum_v.to_bits());
+        assert_eq!(a.sum_q.to_bits(), b.sum_q.to_bits());
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.mean.iter().zip(&b.mean) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.basis.sub(&b.basis).unwrap().max_abs(), 0.0);
+    }
+
+    #[test]
+    fn nan_tuples_quarantined_and_eigensystem_bit_identical() {
+        // The regression the dead-letter boundary exists for: a stream
+        // with NaN/Inf tuples interleaved must yield the *bit-identical*
+        // eigensystem of the clean stream — zero weight, not "almost no"
+        // weight.
+        use spca_streams::metrics::OpCounters;
+        use spca_streams::operator::testing::with_sink_counters;
+
+        let w = PlantedSubspace::new(D, 2, 0.05);
+        let mut clean = StreamingPcaOp::new(0, cfg(), 0);
+        let mut dirty = StreamingPcaOp::new(0, cfg(), 0);
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<Vec<f64>> = (0..600).map(|_| w.sample(&mut rng)).collect();
+
+        with_ctx(2, |ctx| {
+            for (seq, s) in samples.iter().enumerate() {
+                clean.process(DataTuple::new(seq as u64, s.clone()), ctx);
+            }
+        });
+
+        let counters = OpCounters::default();
+        let mut sink = CaptureSink::new(2);
+        with_sink_counters(&mut sink, &counters, |ctx| {
+            for (seq, s) in samples.iter().enumerate() {
+                dirty.process(DataTuple::new(seq as u64, s.clone()), ctx);
+                if seq % 100 == 7 {
+                    let mut bad = vec![0.0; D];
+                    bad[seq % D] = if seq % 200 == 7 {
+                        f64::NAN
+                    } else {
+                        f64::INFINITY
+                    };
+                    dirty.process(DataTuple::new(10_000 + seq as u64, bad), ctx);
+                }
+            }
+        });
+
+        assert_eq!(dirty.quarantined, 6);
+        assert_eq!(counters.snapshot().quarantined, 6);
+        assert_eq!(dirty.processed, clean.processed);
+        let a = clean.state_handle();
+        let b = dirty.state_handle();
+        let (ga, gb) = (a.lock(), b.lock());
+        assert_eig_bits_equal(
+            ga.full_eigensystem().unwrap(),
+            gb.full_eigensystem().unwrap(),
+        );
+    }
+
+    #[test]
+    fn quarantine_port_receives_nonfinite_tuples_verbatim() {
+        let mut op = StreamingPcaOp::new(0, cfg(), 0).with_quarantine();
+        let sink = with_ctx(3, |ctx| {
+            op.process(DataTuple::new(4, vec![f64::NAN; D]), ctx);
+        });
+        let q = sink.data_at(2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].seq, 4);
+        assert!(q[0].values[0].is_nan(), "tuple forwarded verbatim");
+        assert_eq!(op.processed, 0, "quarantined tuple carries no weight");
+    }
+
+    #[test]
+    fn gated_sync_command_counts_a_skip() {
+        use spca_streams::metrics::OpCounters;
+        use spca_streams::operator::testing::with_sink_counters;
+        let mut op = StreamingPcaOp::new(0, cfg(), 1); // gate = 300
+        feed(&mut op, 100, 12);
+        let counters = OpCounters::default();
+        let mut sink = CaptureSink::new(3);
+        with_sink_counters(&mut sink, &counters, |ctx| {
+            op.on_control(
+                ControlTuple::new(
+                    KIND_SYNC_COMMAND,
+                    99,
+                    Arc::new(SyncCommand {
+                        share_ports: vec![0],
+                    }),
+                ),
+                ctx,
+            );
+        });
+        assert!(sink.ports[0].is_empty());
+        assert_eq!(counters.snapshot().sync_skips, 1);
+    }
+
+    #[test]
+    fn heartbeats_on_monitor_port() {
+        let mut op = StreamingPcaOp::new(3, cfg(), 0).with_heartbeats_every(50);
+        let w = PlantedSubspace::new(D, 2, 0.05);
+        let mut rng = StdRng::seed_from_u64(13);
+        let sink = with_ctx(2, |ctx| {
+            for seq in 0..120u64 {
+                op.process(DataTuple::new(seq, w.sample(&mut rng)), ctx);
+            }
+        });
+        // Beats at processed 1, 50 and 100.
+        let beats: Vec<_> = sink.ports[0]
+            .iter()
+            .filter_map(|t| match t {
+                Tuple::Control(c) if c.kind == KIND_HEARTBEAT => {
+                    Some(*c.payload_as::<Heartbeat>().unwrap())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            beats,
+            vec![
+                Heartbeat {
+                    engine: 3,
+                    n_obs: 1
+                },
+                Heartbeat {
+                    engine: 3,
+                    n_obs: 50
+                },
+                Heartbeat {
+                    engine: 3,
+                    n_obs: 100
+                },
+            ]
+        );
+    }
+
+    fn recovery_tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("spca_pcaop_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn recover_rehydrates_bit_exactly_from_snapshot() {
+        let dir = recovery_tmp("recover");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut op = StreamingPcaOp::new(5, cfg(), 0).with_recovery(&dir, 100);
+        feed(&mut op, 300, 14); // recovery snapshots at 100, 200, 300
+        let before = op.state_handle().lock().full_eigensystem().unwrap().clone();
+
+        // A replacement operator that made some divergent progress the
+        // crash wiped out: recover() must discard it and restore the
+        // snapshot state exactly.
+        let mut crashed = StreamingPcaOp::new(5, cfg(), 0).with_recovery(&dir, 100);
+        feed(&mut crashed, 37, 15);
+        crashed.obs_since_sync = 37;
+        assert!(crashed.recover(1));
+        assert_eq!(crashed.processed, 300);
+        assert_eq!(crashed.obs_since_sync, 0);
+        assert!(crashed.last_peer.is_none());
+        let after = crashed
+            .state_handle()
+            .lock()
+            .full_eigensystem()
+            .unwrap()
+            .clone();
+        assert_eig_bits_equal(&before, &after);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn recover_without_snapshot_restarts_fresh() {
+        let dir = recovery_tmp("fresh");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut op = StreamingPcaOp::new(6, cfg(), 0).with_recovery(&dir, 100);
+        feed(&mut op, 80, 16); // crash before the first cadence tick
+        assert!(op.recover(1), "missing snapshot means a fresh restart");
+        assert_eq!(op.processed, 0);
+        assert!(!op.state_handle().lock().is_initialized());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn recover_without_recovery_dir_declines() {
+        let mut op = StreamingPcaOp::new(7, cfg(), 0);
+        feed(&mut op, 50, 17);
+        assert!(!op.recover(1), "no recovery dir: decline and be finished");
     }
 }

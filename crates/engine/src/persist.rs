@@ -16,23 +16,60 @@ use std::path::{Path, PathBuf};
 
 const MAGIC: &str = "spca-eigensystem-v1";
 
-/// Writes an eigensystem to `path`.
+/// Monotone discriminator for temp-file names, so concurrent writers in
+/// one process never collide on the same scratch path.
+static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Writes an eigensystem to `path`, crash-safely: the bytes go to a temp
+/// file in the same directory which is atomically renamed over `path`, so
+/// a crash mid-write can never leave a truncated file where the last good
+/// snapshot was. (The write is not fsynced — the failure model here is a
+/// crashing *process*, the paper's operator restart story, not a crashing
+/// kernel.)
 pub fn write_snapshot(path: &Path, eig: &EigenSystem) -> std::io::Result<()> {
-    let f = std::fs::File::create(path)?;
-    let mut w = BufWriter::new(f);
-    writeln!(w, "{MAGIC}")?;
-    writeln!(w, "dim {} components {}", eig.dim(), eig.n_components())?;
-    writeln!(
-        w,
-        "sums sigma2 {:e} u {:e} v {:e} q {:e} n_obs {}",
-        eig.sigma2, eig.sum_u, eig.sum_v, eig.sum_q, eig.n_obs
-    )?;
-    write_row(&mut w, "values", &eig.values)?;
-    for k in 0..eig.n_components() {
-        write_row(&mut w, "vector", eig.basis.col(k))?;
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let stamp = TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp_name = format!(
+        ".{}.tmp-{}-{stamp}",
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "snapshot".to_string()),
+        std::process::id(),
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => PathBuf::from(&tmp_name),
+    };
+    let result = (|| {
+        let f = std::fs::File::create(&tmp)?;
+        let mut w = BufWriter::new(f);
+        writeln!(w, "{MAGIC}")?;
+        writeln!(w, "dim {} components {}", eig.dim(), eig.n_components())?;
+        writeln!(
+            w,
+            "sums sigma2 {:e} u {:e} v {:e} q {:e} n_obs {}",
+            eig.sigma2, eig.sum_u, eig.sum_v, eig.sum_q, eig.n_obs
+        )?;
+        write_row(&mut w, "values", &eig.values)?;
+        for k in 0..eig.n_components() {
+            write_row(&mut w, "vector", eig.basis.col(k))?;
+        }
+        write_row(&mut w, "mean", &eig.mean)?;
+        w.flush()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
     }
-    write_row(&mut w, "mean", &eig.mean)?;
-    w.flush()
+    result
+}
+
+/// The recovery-snapshot path for an engine: written *synchronously* by the
+/// PCA operator itself (see `StreamingPcaOp::with_recovery`), distinct from
+/// [`SnapshotWriter::latest_path`] whose writer runs asynchronously on the
+/// monitor stream and may lag the operator at the moment of a crash.
+pub fn recovery_path(dir: &Path, engine: u32) -> PathBuf {
+    dir.join(format!("engine{engine}_recovery.snapshot"))
 }
 
 fn write_row<W: Write>(w: &mut W, tag: &str, row: &[f64]) -> std::io::Result<()> {
@@ -217,10 +254,57 @@ mod tests {
         let path = tmp("trunc.snapshot");
         write_snapshot(&path, &eig).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
-        let cut: String = content.lines().take(4).map(|l| format!("{l}\n")).collect();
-        std::fs::write(&path, cut).unwrap();
-        assert!(read_snapshot(&path).is_err());
+        // Truncate at every possible line count: each must be a clean
+        // `InvalidData` error, never a panic or a bogus eigensystem.
+        let n_lines = content.lines().count();
+        for keep in 0..n_lines {
+            let cut: String = content
+                .lines()
+                .take(keep)
+                .map(|l| format!("{l}\n"))
+                .collect();
+            std::fs::write(&path, cut).unwrap();
+            let err = read_snapshot(&path).expect_err("truncated snapshot must not parse");
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::InvalidData,
+                "keep={keep}: expected InvalidData, got {err}"
+            );
+        }
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn write_is_atomic_and_leaves_no_temp_files() {
+        let dir = tmp("atomicdir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let eig = sample_eig();
+        let path = dir.join("engine0_recovery.snapshot");
+        // Seed a good snapshot, then overwrite: the target must always be
+        // complete, and no scratch files may remain.
+        write_snapshot(&path, &eig).unwrap();
+        write_snapshot(&path, &eig).unwrap();
+        let entries: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            entries,
+            vec!["engine0_recovery.snapshot".to_string()],
+            "temp files must not survive a successful write"
+        );
+        assert_eq!(read_snapshot(&path).unwrap().n_obs, eig.n_obs);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn recovery_path_is_distinct_from_latest() {
+        let d = Path::new("/snapdir");
+        assert_eq!(
+            recovery_path(d, 3),
+            PathBuf::from("/snapdir/engine3_recovery.snapshot")
+        );
+        assert_ne!(recovery_path(d, 3), SnapshotWriter::latest_path(d, 3));
     }
 
     #[test]

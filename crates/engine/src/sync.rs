@@ -12,7 +12,7 @@
 //! port `i` connects to engine `i`'s control port; the command tells that
 //! engine which of *its* peer-state ports to share on.
 
-use crate::messages::{SyncCommand, KIND_SYNC_COMMAND};
+use crate::messages::{SyncCommand, KIND_HEARTBEAT, KIND_SNAPSHOT, KIND_SYNC_COMMAND};
 use spca_streams::{ControlTuple, DataTuple, OpContext, Operator, SourceState};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -60,16 +60,44 @@ impl SyncStrategy {
     }
 }
 
+/// Liveness tracking for failure-aware synchronization: who has been
+/// heard from (heartbeats or snapshots on the controller's control input)
+/// and how recently.
+struct Liveness {
+    /// An engine is considered dead once silent for longer than this.
+    timeout: Duration,
+    /// Engines that have *never* spoken get this long after the first
+    /// drive before being declared dead (startup grace).
+    grace: Duration,
+    /// Set on the first drive; anchors the startup grace window.
+    started: Option<Instant>,
+    /// Last time each engine was heard from.
+    heard: Vec<Option<Instant>>,
+}
+
 /// The controller operator. Drives one command per period, addressed to a
 /// rotating sender.
+///
+/// With [`SyncController::with_liveness`] the controller becomes
+/// failure-aware: engines report liveness (heartbeats / snapshots routed
+/// to the controller's control port), dead or lagging engines are skipped
+/// as senders and filtered out as receivers, and a ring is re-closed
+/// around the gap. Liveness mode assumes *full-mesh* peer wiring (every
+/// engine has a peer-state port to every other engine, in ascending
+/// engine order), because the surviving receiver set is not known until
+/// command time.
 pub struct SyncController {
     strategy: SyncStrategy,
     n_engines: usize,
     period: Duration,
     cursor: usize,
     last: Option<Instant>,
+    liveness: Option<Liveness>,
     /// Commands issued so far.
     pub issued: u64,
+    /// Ticks where the rotating sender was skipped as dead, plus ticks
+    /// where a live sender had no live receiver left.
+    pub skipped_dead: u64,
 }
 
 impl SyncController {
@@ -81,26 +109,103 @@ impl SyncController {
             period,
             cursor: 0,
             last: None,
+            liveness: None,
             issued: 0,
+            skipped_dead: 0,
         }
     }
 
-    /// The command that will be sent to `sender`: share on all of its peer
-    /// ports (the builder wires exactly the strategy's peers).
-    fn command_for(&self, sender: usize) -> SyncCommand {
-        let n_ports = self.strategy.peers_of(sender, self.n_engines).len();
-        SyncCommand {
-            share_ports: (0..n_ports).collect(),
+    /// Enables failure-aware mode: an engine silent for `timeout` is
+    /// treated as dead (never-heard engines get `grace` from the first
+    /// drive). Requires full-mesh peer wiring (see the type docs);
+    /// `crate::build` does this automatically when
+    /// `AppConfig::failure_aware_sync` is set.
+    pub fn with_liveness(mut self, timeout: Duration, grace: Duration) -> Self {
+        self.liveness = Some(Liveness {
+            timeout,
+            grace,
+            started: None,
+            heard: vec![None; self.n_engines],
+        });
+        self
+    }
+
+    /// Whether engine `i` currently counts as alive.
+    fn alive(&self, i: usize) -> bool {
+        match &self.liveness {
+            None => true,
+            Some(lv) => match lv.heard[i] {
+                Some(t) => t.elapsed() < lv.timeout,
+                None => lv.started.is_none_or(|s| s.elapsed() < lv.grace),
+            },
         }
+    }
+
+    /// The engines `sender` should share with right now. Without liveness
+    /// this is exactly the strategy's peer set; with it, dead receivers
+    /// are dropped and a ring walks forward to the next live engine so
+    /// the cycle stays closed around a gap.
+    fn receivers_of(&self, sender: usize) -> Vec<usize> {
+        if self.liveness.is_none() {
+            return self.strategy.peers_of(sender, self.n_engines);
+        }
+        match self.strategy {
+            SyncStrategy::Ring => {
+                for step in 1..self.n_engines {
+                    let j = (sender + step) % self.n_engines;
+                    if self.alive(j) {
+                        return vec![j];
+                    }
+                }
+                Vec::new()
+            }
+            _ => self
+                .strategy
+                .peers_of(sender, self.n_engines)
+                .into_iter()
+                .filter(|&j| self.alive(j))
+                .collect(),
+        }
+    }
+
+    /// The command that will be sent to `sender`.
+    fn command_for(&self, sender: usize) -> SyncCommand {
+        let share_ports = if self.liveness.is_some() {
+            // Full-mesh wiring: engine `sender`'s peer port for engine `j`
+            // is `j` for j < sender and `j - 1` above (ascending order,
+            // self omitted).
+            self.receivers_of(sender)
+                .into_iter()
+                .map(|j| if j < sender { j } else { j - 1 })
+                .collect()
+        } else {
+            // Legacy wiring: exactly the strategy's peers, in order.
+            (0..self.strategy.peers_of(sender, self.n_engines).len()).collect()
+        };
+        SyncCommand { share_ports }
     }
 }
 
 impl Operator for SyncController {
     fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {}
 
+    fn on_control(&mut self, t: ControlTuple, _ctx: &mut OpContext<'_>) {
+        if let Some(lv) = &mut self.liveness {
+            if t.kind == KIND_HEARTBEAT || t.kind == KIND_SNAPSHOT {
+                let i = t.sender as usize;
+                if i < lv.heard.len() {
+                    lv.heard[i] = Some(Instant::now());
+                }
+            }
+        }
+    }
+
     fn drive(&mut self, ctx: &mut OpContext<'_>) -> SourceState {
         if matches!(self.strategy, SyncStrategy::None) || self.n_engines <= 1 {
             return SourceState::Done;
+        }
+        if let Some(lv) = &mut self.liveness {
+            lv.started.get_or_insert_with(Instant::now);
         }
         if let Some(last) = self.last {
             if last.elapsed() < self.period {
@@ -108,18 +213,34 @@ impl Operator for SyncController {
             }
         }
         self.last = Some(Instant::now());
-        let sender = self.cursor;
-        self.cursor = (self.cursor + 1) % self.n_engines;
-        let cmd = self.command_for(sender);
-        if cmd.share_ports.is_empty() {
-            return SourceState::Idle;
+        // One command per tick; with liveness on, dead senders are skipped
+        // within the tick so a single gap cannot stall the whole rotation.
+        for _ in 0..self.n_engines {
+            let sender = self.cursor;
+            self.cursor = (self.cursor + 1) % self.n_engines;
+            if !self.alive(sender) {
+                self.skipped_dead += 1;
+                ctx.add_sync_skip();
+                continue;
+            }
+            let cmd = self.command_for(sender);
+            if cmd.share_ports.is_empty() {
+                if self.liveness.is_some() {
+                    // A live sender with nobody live to talk to is still a
+                    // skipped exchange — make it visible in the report.
+                    self.skipped_dead += 1;
+                    ctx.add_sync_skip();
+                }
+                return SourceState::Idle;
+            }
+            ctx.emit_control(
+                sender,
+                ControlTuple::new(KIND_SYNC_COMMAND, sender as u32, Arc::new(cmd)),
+            );
+            self.issued += 1;
+            return SourceState::Emitted;
         }
-        ctx.emit_control(
-            sender,
-            ControlTuple::new(KIND_SYNC_COMMAND, sender as u32, Arc::new(cmd)),
-        );
-        self.issued += 1;
-        SourceState::Emitted
+        SourceState::Idle
     }
 }
 
@@ -208,5 +329,124 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    // ---- failure-aware mode ----
+
+    use crate::messages::Heartbeat;
+
+    fn beat(c: &mut SyncController, engine: u32) {
+        with_ctx(0, |ctx| {
+            c.on_control(
+                ControlTuple::new(
+                    KIND_HEARTBEAT,
+                    engine,
+                    Arc::new(Heartbeat { engine, n_obs: 1 }),
+                ),
+                ctx,
+            );
+        });
+    }
+
+    fn shared_ports(
+        sink: &spca_streams::operator::testing::CaptureSink,
+        port: usize,
+    ) -> Vec<usize> {
+        match &sink.ports[port][0] {
+            Tuple::Control(ct) => ct.payload_as::<SyncCommand>().unwrap().share_ports.clone(),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn liveness_recloses_ring_around_dead_engine() {
+        use spca_streams::metrics::OpCounters;
+        use spca_streams::operator::testing::{with_sink_counters, CaptureSink};
+        let mut c = SyncController::new(SyncStrategy::Ring, 4, Duration::from_millis(1))
+            .with_liveness(Duration::from_secs(60), Duration::ZERO);
+        for e in [0u32, 2, 3] {
+            beat(&mut c, e); // engine 1 stays silent → dead past the grace
+        }
+        let counters = OpCounters::default();
+        let mut sink = CaptureSink::new(4);
+        with_sink_counters(&mut sink, &counters, |ctx| {
+            let mut emitted = 0;
+            while emitted < 3 {
+                match c.drive(ctx) {
+                    SourceState::Emitted => emitted += 1,
+                    _ => std::thread::sleep(Duration::from_micros(200)),
+                }
+            }
+        });
+        // Rotation 0 → (1 skipped dead) → 2 → 3.
+        assert_eq!(c.skipped_dead, 1);
+        assert_eq!(counters.snapshot().sync_skips, 1);
+        assert!(sink.ports[1].is_empty(), "dead engine must get no commands");
+        // Full-mesh port map: engine 0's port for peer 2 is 1; engine 2's
+        // for peer 3 is 2; engine 3's for peer 0 is 0. The ring is closed
+        // around the dead engine, not broken at it.
+        assert_eq!(
+            shared_ports(&sink, 0),
+            vec![1],
+            "0 shares with 2, not dead 1"
+        );
+        assert_eq!(shared_ports(&sink, 2), vec![2], "2 shares with 3");
+        assert_eq!(shared_ports(&sink, 3), vec![0], "3 closes the cycle at 0");
+    }
+
+    #[test]
+    fn restarted_engine_is_readmitted_after_heartbeat() {
+        let mut c = SyncController::new(SyncStrategy::Ring, 2, Duration::from_micros(10))
+            .with_liveness(Duration::from_secs(60), Duration::ZERO);
+        beat(&mut c, 0);
+        with_ctx(2, |ctx| {
+            for _ in 0..20 {
+                c.drive(ctx);
+                std::thread::sleep(Duration::from_micros(20));
+            }
+        });
+        assert_eq!(c.issued, 0, "no exchange possible with one live engine");
+        assert!(c.skipped_dead > 0);
+        beat(&mut c, 1); // the restarted engine announces itself
+        let sink = with_ctx(2, |ctx| {
+            while c.drive(ctx) != SourceState::Emitted {
+                std::thread::sleep(Duration::from_micros(20));
+            }
+        });
+        assert_eq!(c.issued, 1);
+        assert_eq!(
+            sink.ports.iter().map(|p| p.len()).sum::<usize>(),
+            1,
+            "exactly one command once both engines are live"
+        );
+    }
+
+    #[test]
+    fn broadcast_receivers_filtered_to_live_engines() {
+        let mut c = SyncController::new(SyncStrategy::Broadcast, 4, Duration::from_micros(10))
+            .with_liveness(Duration::from_secs(60), Duration::ZERO);
+        for e in [0u32, 1, 3] {
+            beat(&mut c, e);
+        }
+        let sink = with_ctx(4, |ctx| {
+            while c.drive(ctx) != SourceState::Emitted {
+                std::thread::sleep(Duration::from_micros(20));
+            }
+        });
+        // Sender 0's full-mesh ports: 1 → 0, 2 → 1, 3 → 2; dead 2 dropped.
+        assert_eq!(shared_ports(&sink, 0), vec![0, 2]);
+    }
+
+    #[test]
+    fn startup_grace_treats_silent_engines_as_alive() {
+        let mut c = SyncController::new(SyncStrategy::Ring, 3, Duration::from_micros(10))
+            .with_liveness(Duration::from_millis(100), Duration::from_secs(60));
+        let sink = with_ctx(3, |ctx| {
+            while c.drive(ctx) != SourceState::Emitted {
+                std::thread::sleep(Duration::from_micros(20));
+            }
+        });
+        assert_eq!(c.skipped_dead, 0, "grace period: nobody is dead yet");
+        assert_eq!(shared_ports(&sink, 0), vec![0]);
     }
 }

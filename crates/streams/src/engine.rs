@@ -19,6 +19,20 @@
 //! unchanged from per-tuple transport (frames preserve FIFO), and link
 //! metrics stay tuple-denominated.
 //!
+//! ## Supervision
+//!
+//! Operator callbacks on the tuple path (`process` / `on_control`) run
+//! under a supervisor: a panic is isolated with `catch_unwind`, the
+//! operator instance survives (it is borrowed, not moved, into the guarded
+//! call), and after a capped exponential backoff the supervisor asks it to
+//! [`Operator::recover`]. A recovered operator resumes where it left off —
+//! the in-flight data tuple is redelivered exactly once — while an
+//! unrecoverable one is finished so its end-of-stream still propagates and
+//! the rest of the graph drains normally. Restart counts surface as
+//! `restarts` in [`OpSnapshot`]/[`RunReport`]. Deterministic faults
+//! (panic/poison/stall on operators, drop/dup/delay on cross-PE links) are
+//! injected from the builder's [`crate::fault::FaultPlan`].
+//!
 //! ## Shutdown semantics
 //!
 //! * A source finishes when its `drive` returns `Done`, or after
@@ -31,10 +45,11 @@
 //! * `on_finish` runs before the operator's own end-of-stream propagates,
 //!   so terminal operators can emit final results.
 
+use crate::fault::{FaultAction, FaultTarget, RestartPolicy};
 use crate::graph::{GraphBuilder, LinkKind, PortKind};
 use crate::metrics::{LinkCounters, LinkSnapshot, MetricsRegistry, OpCounters, OpSnapshot};
 use crate::operator::{EmitSink, OpContext, Operator, SourceState};
-use crate::tuple::{Frame, FramePool, Punctuation, Tuple};
+use crate::tuple::{DataTuple, Frame, FramePool, Punctuation, Tuple};
 use crossbeam::channel::{bounded, Receiver, Select, Sender};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -48,6 +63,25 @@ const SWEEP_TUPLES: usize = 256;
 
 /// Spare frame buffers retained per edge pool.
 const POOL_DEPTH: usize = 8;
+
+/// One fault from the plan, armed against its trigger point. Each fault
+/// fires at most once so a plan stays a finite, reproducible script.
+struct InjectedFault {
+    action: FaultAction,
+    fired: bool,
+}
+
+impl InjectedFault {
+    fn arm(actions: Vec<FaultAction>) -> Vec<InjectedFault> {
+        actions
+            .into_iter()
+            .map(|action| InjectedFault {
+                action,
+                fired: false,
+            })
+            .collect()
+    }
+}
 
 /// Sender-side state of one cross-PE edge: tuples accumulate in `buf` and
 /// travel as a [`Frame`] per channel message.
@@ -75,10 +109,66 @@ struct RemoteEdge {
     pool: Arc<FramePool>,
     /// Tuples sent but not yet routed by the consumer (backlog accounting).
     inflight: Arc<AtomicUsize>,
+    /// Armed link faults (drop/dup/delay) from the fault plan; empty in
+    /// normal runs.
+    faults: Vec<InjectedFault>,
+    /// 1-based count of data tuples pushed onto this edge, for fault
+    /// trigger points. Only maintained while faults are armed.
+    fault_data_seen: u64,
 }
 
 impl RemoteEdge {
     fn push(&mut self, t: Tuple) {
+        // Link faults model the network: they apply to data tuples only
+        // (corrupting punctuation would deadlock the graph, not test
+        // recovery) and each fires exactly once at its 1-based index.
+        if !self.faults.is_empty() {
+            if let Tuple::Data(_) = &t {
+                self.fault_data_seen += 1;
+                let seen = self.fault_data_seen;
+                let mut copies = 1usize;
+                let mut hold_ms = None;
+                for f in self.faults.iter_mut() {
+                    if f.fired {
+                        continue;
+                    }
+                    match f.action {
+                        FaultAction::Drop(n) if n == seen => {
+                            f.fired = true;
+                            copies = 0;
+                        }
+                        FaultAction::Duplicate(n) if n == seen => {
+                            f.fired = true;
+                            copies = 2;
+                        }
+                        FaultAction::Delay { at, ms } if at == seen => {
+                            f.fired = true;
+                            hold_ms = Some(ms);
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(ms) = hold_ms {
+                    // Holding the sender delays this tuple and everything
+                    // behind it — late but still in order, like a stalled
+                    // network queue.
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                match copies {
+                    0 => return,
+                    2 => {
+                        self.push_tuple(t.clone());
+                        self.push_tuple(t);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.push_tuple(t);
+    }
+
+    fn push_tuple(&mut self, t: Tuple) {
         let urgent = !matches!(t, Tuple::Data(_));
         self.buf.push(t);
         // Adaptive flush: control tuples and punctuation go out at once; a
@@ -198,6 +288,18 @@ struct OpSlot {
     eos_data: usize,
     eos_ctrl: usize,
     finished: bool,
+    /// Armed operator faults (panic/poison/stall); empty in normal runs.
+    faults: Vec<InjectedFault>,
+    /// 1-based count of data tuples delivered, for fault trigger points.
+    fault_data_seen: u64,
+    /// Supervisor restart policy for this operator.
+    policy: RestartPolicy,
+    /// Restarts performed so far (compared against `policy.max_restarts`).
+    restart_attempts: u64,
+    /// Sequence number of the last redelivered tuple: a tuple whose retry
+    /// panics again is a poison pill and is dropped, not redelivered
+    /// forever.
+    last_redelivered: Option<u64>,
 }
 
 struct PeRuntime {
@@ -258,6 +360,22 @@ impl RunReport {
             .filter(|(n, _)| n.starts_with(prefix))
             .map(|(_, s)| s.tuples_in)
             .sum()
+    }
+
+    /// Total supervisor restarts across all operators. Zero in a fault-free
+    /// run; benchmark artifacts are rejected when this is nonzero.
+    pub fn total_restarts(&self) -> u64 {
+        self.ops.iter().map(|(_, s)| s.restarts).sum()
+    }
+
+    /// Total tuples diverted to quarantine across all operators.
+    pub fn total_quarantined(&self) -> u64 {
+        self.ops.iter().map(|(_, s)| s.quarantined).sum()
+    }
+
+    /// Total skipped synchronization steps across all operators.
+    pub fn total_sync_skips(&self) -> u64 {
+        self.ops.iter().map(|(_, s)| s.sync_skips).sum()
     }
 }
 
@@ -351,6 +469,34 @@ impl Engine {
 
         // Build slots per PE.
         let op_names: Vec<String> = builder.ops.iter().map(|o| o.name.clone()).collect();
+
+        // Resolve the fault plan against the graph now, so a typo in a
+        // fault spec fails the run loudly instead of injecting nothing.
+        let plan = builder.fault_plan.take().unwrap_or_default();
+        let policy = builder.restart_policy;
+        for fault in &plan.faults {
+            match &fault.target {
+                FaultTarget::Op(name) => {
+                    assert!(
+                        op_names.iter().any(|n| n == name),
+                        "fault plan targets unknown operator '{name}'"
+                    );
+                }
+                FaultTarget::Link { from, to } => {
+                    let e = builder
+                        .edges
+                        .iter()
+                        .find(|e| op_names[e.from] == *from && op_names[e.to] == *to)
+                        .unwrap_or_else(|| panic!("fault plan targets unknown link '{from}>{to}'"));
+                    assert!(
+                        op_pe[e.from] != op_pe[e.to],
+                        "fault plan link '{from}>{to}' is fused (in-memory hand-off); \
+                         link faults model the network and need a cross-PE edge"
+                    );
+                }
+            }
+        }
+
         let mut slots_per_pe: Vec<Vec<OpSlot>> = pes
             .iter()
             .map(|ops| {
@@ -366,6 +512,11 @@ impl Engine {
                         eos_data: 0,
                         eos_ctrl: 0,
                         finished: false,
+                        faults: InjectedFault::arm(plan.op_faults(&op_names[g])),
+                        fault_data_seen: 0,
+                        policy,
+                        restart_attempts: 0,
+                        last_redelivered: None,
                     })
                     .collect()
             })
@@ -414,6 +565,10 @@ impl Engine {
                     buf: pool.take(batch),
                     pool: Arc::clone(&pool),
                     inflight: Arc::clone(&inflight),
+                    faults: InjectedFault::arm(
+                        plan.link_faults(&op_names[e.from], &op_names[e.to]),
+                    ),
+                    fault_data_seen: 0,
                 }));
                 rxs_per_pe[to_pe].push(rx);
                 metas_per_pe[to_pe].push(ChanMeta {
@@ -866,13 +1021,183 @@ fn dispatch(
         Tuple::Data(d) => {
             if port == PortKind::Data {
                 slots[idx].counters.add_in();
-                with_op!(slots, pending, stop, idx, |op, ctx| op.process(d, ctx));
+                supervised_process(slots, pending, stop, idx, d);
             }
             // Data on a control port is a wiring error; dropped.
         }
         Tuple::Control(c) => {
             slots[idx].counters.add_control();
-            with_op!(slots, pending, stop, idx, |op, ctx| op.on_control(c, ctx));
+            supervised_control(slots, pending, stop, idx, c);
+        }
+    }
+}
+
+/// Applies pre-delivery operator faults (poison/stall), determines whether
+/// an injected panic is due, and hands the tuple to the supervised call.
+fn supervised_process(
+    slots: &mut [OpSlot],
+    pending: &mut VecDeque<(usize, PortKind, Tuple)>,
+    stop: &AtomicBool,
+    idx: usize,
+    d: DataTuple,
+) {
+    let mut d = d;
+    let mut panic_due = false;
+    if !slots[idx].faults.is_empty() {
+        slots[idx].fault_data_seen += 1;
+        let seen = slots[idx].fault_data_seen;
+        for f in slots[idx].faults.iter_mut() {
+            if f.fired {
+                continue;
+            }
+            match f.action {
+                FaultAction::PoisonNan(n) if n == seen => {
+                    f.fired = true;
+                    d = d.poisoned(f64::NAN);
+                }
+                FaultAction::PoisonInf(n) if n == seen => {
+                    f.fired = true;
+                    d = d.poisoned(f64::INFINITY);
+                }
+                FaultAction::Stall { at, ms } if at == seen => {
+                    f.fired = true;
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                // The injected panic fires *after* `process` returns, so a
+                // deterministic fault leaves the tuple fully processed — the
+                // declared fault window loses no data.
+                FaultAction::PanicAfter(n) if n == seen => {
+                    f.fired = true;
+                    panic_due = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    deliver_supervised(slots, pending, stop, idx, d, panic_due);
+}
+
+/// Runs `process` under `catch_unwind`, borrowing (not moving) the operator
+/// so the instance survives an unwind and `recover` can run on its real
+/// state. parking_lot mutexes do not poison, so surviving state stays
+/// usable.
+fn deliver_supervised(
+    slots: &mut [OpSlot],
+    pending: &mut VecDeque<(usize, PortKind, Tuple)>,
+    stop: &AtomicBool,
+    idx: usize,
+    d: DataTuple,
+    inject_panic: bool,
+) {
+    let retry = d.clone();
+    let mut op = slots[idx].op.take().expect("operator in flight");
+    let counters = Arc::clone(&slots[idx].counters);
+    let t0 = Instant::now();
+    let mut completed = false;
+    let result = {
+        let mut sink = PeSink {
+            out_ports: &mut slots[idx].out_ports,
+            pending,
+            stop,
+        };
+        let completed = &mut completed;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let ctx = &mut OpContext::new(&mut sink, &counters);
+            op.process(d, ctx);
+            *completed = true;
+            if inject_panic {
+                panic!("injected fault: deterministic panic from the fault plan");
+            }
+        }))
+    };
+    counters.add_busy(t0.elapsed().as_nanos() as u64);
+    slots[idx].op = Some(op);
+    if result.is_err() {
+        // A real mid-process panic left the tuple unprocessed: redeliver it
+        // after recovery. The injected panic fires after completion, so its
+        // tuple is never redelivered (zero loss outside the fault window).
+        let redeliver = if completed { None } else { Some(retry) };
+        handle_panic(slots, pending, stop, idx, redeliver);
+    }
+}
+
+/// Runs `on_control` under `catch_unwind`. Control tuples are never
+/// redelivered: sync commands are periodic and a missed one is simply the
+/// next skipped sync, not data loss.
+fn supervised_control(
+    slots: &mut [OpSlot],
+    pending: &mut VecDeque<(usize, PortKind, Tuple)>,
+    stop: &AtomicBool,
+    idx: usize,
+    c: crate::tuple::ControlTuple,
+) {
+    let mut op = slots[idx].op.take().expect("operator in flight");
+    let counters = Arc::clone(&slots[idx].counters);
+    let t0 = Instant::now();
+    let result = {
+        let mut sink = PeSink {
+            out_ports: &mut slots[idx].out_ports,
+            pending,
+            stop,
+        };
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let ctx = &mut OpContext::new(&mut sink, &counters);
+            op.on_control(c, ctx);
+        }))
+    };
+    counters.add_busy(t0.elapsed().as_nanos() as u64);
+    slots[idx].op = Some(op);
+    if result.is_err() {
+        handle_panic(slots, pending, stop, idx, None);
+    }
+}
+
+/// The supervisor's panic path: capped exponential backoff, then a guarded
+/// `recover` call. A recovered operator resumes (optionally re-fed the
+/// in-flight tuple, once); an unrecoverable one — or one past its restart
+/// budget — is finished so end-of-stream still propagates downstream.
+fn handle_panic(
+    slots: &mut [OpSlot],
+    pending: &mut VecDeque<(usize, PortKind, Tuple)>,
+    stop: &AtomicBool,
+    idx: usize,
+    retry: Option<DataTuple>,
+) {
+    let attempt = slots[idx].restart_attempts + 1;
+    let policy = slots[idx].policy;
+    if attempt > policy.max_restarts {
+        eprintln!(
+            "[supervisor] operator '{}' exceeded {} restarts; finishing it",
+            slots[idx].name, policy.max_restarts
+        );
+        finish_op(slots, pending, stop, idx);
+        return;
+    }
+    std::thread::sleep(policy.backoff(attempt));
+    let mut op = slots[idx].op.take().expect("operator in flight");
+    // recover() itself runs guarded: an operator that panics while
+    // restoring is unrecoverable.
+    let recovered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op.recover(attempt)));
+    slots[idx].op = Some(op);
+    match recovered {
+        Ok(true) => {
+            slots[idx].restart_attempts = attempt;
+            slots[idx].counters.add_restart();
+            if let Some(d) = retry {
+                // Redeliver the in-flight tuple exactly once: a tuple whose
+                // retry panics again is a poison pill and is dropped.
+                if slots[idx].last_redelivered != Some(d.seq) {
+                    slots[idx].last_redelivered = Some(d.seq);
+                    deliver_supervised(slots, pending, stop, idx, d, false);
+                }
+            }
+        }
+        _ => {
+            eprintln!(
+                "[supervisor] operator '{}' did not recover (attempt {attempt}); finishing it",
+                slots[idx].name
+            );
+            finish_op(slots, pending, stop, idx);
         }
     }
 }

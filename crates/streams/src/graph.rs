@@ -9,6 +9,7 @@
 //! deployment that drives process placement; here it labels metrics and
 //! feeds the cluster simulator.
 
+use crate::fault::{FaultPlan, RestartPolicy};
 use crate::operator::Operator;
 
 /// Identifies an operator within a graph.
@@ -69,6 +70,8 @@ pub struct GraphBuilder {
     pub(crate) channel_capacity: usize,
     pub(crate) batch_size: usize,
     pub(crate) inter_node_delay_us: u64,
+    pub(crate) fault_plan: Option<FaultPlan>,
+    pub(crate) restart_policy: RestartPolicy,
 }
 
 /// Default cross-PE transport batch size (tuples per frame).
@@ -106,6 +109,21 @@ impl GraphBuilder {
     /// The configured cross-PE transport batch size.
     pub fn batch_size(&self) -> usize {
         self.batch_size
+    }
+
+    /// Installs a deterministic [`FaultPlan`]. Targets are resolved against
+    /// operator/edge names when the engine starts; an unresolvable target
+    /// is a build-time panic, not a silently inert fault.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the supervisor's [`RestartPolicy`] for panicking operators
+    /// (default: 8 restarts, 1 ms backoff base, 100 ms cap).
+    pub fn with_restart_policy(mut self, policy: RestartPolicy) -> Self {
+        self.restart_policy = policy;
+        self
     }
 
     /// Adds a non-source operator.

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod graph;
 pub mod metrics;
 pub mod operator;
@@ -52,6 +53,7 @@ pub mod optimize;
 pub mod tuple;
 
 pub use engine::{Engine, LinkReport, RunReport};
+pub use fault::{Fault, FaultAction, FaultPlan, FaultTarget, RestartPolicy};
 pub use graph::{GraphBuilder, LinkKind, OpId, PortKind, DEFAULT_BATCH_SIZE};
 pub use operator::{OpContext, Operator, SourceState};
 pub use tuple::{ControlTuple, DataTuple, Frame, FramePool, Punctuation, Tuple};

@@ -21,6 +21,12 @@ pub struct OpCounters {
     pub control_in: AtomicU64,
     /// Nanoseconds spent inside `process`/`on_control`.
     pub busy_ns: AtomicU64,
+    /// Supervisor restarts after an isolated panic.
+    pub restarts: AtomicU64,
+    /// Tuples diverted to quarantine (non-finite payloads).
+    pub quarantined: AtomicU64,
+    /// Synchronization steps skipped (gate not passed / engine not alive).
+    pub sync_skips: AtomicU64,
 }
 
 /// Live counters for one cross-PE link.
@@ -43,6 +49,12 @@ pub struct OpSnapshot {
     pub control_in: u64,
     /// Nanoseconds of busy time.
     pub busy_ns: u64,
+    /// Supervisor restarts after an isolated panic.
+    pub restarts: u64,
+    /// Tuples diverted to quarantine (non-finite payloads).
+    pub quarantined: u64,
+    /// Synchronization steps skipped (gate not passed / engine not alive).
+    pub sync_skips: u64,
 }
 
 /// Immutable snapshot of one link's counters.
@@ -62,6 +74,9 @@ impl OpCounters {
             tuples_out: self.tuples_out.load(Ordering::Relaxed),
             control_in: self.control_in.load(Ordering::Relaxed),
             busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            sync_skips: self.sync_skips.load(Ordering::Relaxed),
         }
     }
 
@@ -79,6 +94,18 @@ impl OpCounters {
 
     pub(crate) fn add_busy(&self, ns: u64) {
         self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_restart(&self) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_quarantined(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_sync_skip(&self) {
+        self.sync_skips.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -237,6 +264,9 @@ mod tests {
             tuples_out: 0,
             control_in: 0,
             busy_ns: 0,
+            restarts: 0,
+            quarantined: 0,
+            sync_skips: 0,
         };
         let probe = RateProbe::start(vec![mk(100), mk(50)]);
         std::thread::sleep(std::time::Duration::from_millis(20));
@@ -254,6 +284,9 @@ mod tests {
             tuples_out: 0,
             control_in: 0,
             busy_ns: 0,
+            restarts: 0,
+            quarantined: 0,
+            sync_skips: 0,
         };
         let probe = RateProbe::start(vec![mk(500)]);
         // A smaller later value (shouldn't happen, but must not underflow).

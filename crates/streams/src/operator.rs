@@ -44,6 +44,16 @@ pub trait Operator: Send {
     /// source, when it reported `Done` / the engine stopped it), before
     /// end-of-stream propagates downstream. Emit final results here.
     fn on_finish(&mut self, _ctx: &mut OpContext<'_>) {}
+
+    /// Called by the supervisor after this operator panicked and was
+    /// isolated via `catch_unwind`. Restore internal state (e.g. rehydrate
+    /// from an on-disk snapshot) and return `true` to resume processing;
+    /// return `false` (the default) to finish the operator instead —
+    /// end-of-stream then propagates as if its inputs had closed.
+    /// `attempt` is the 1-based restart attempt number.
+    fn recover(&mut self, _attempt: u64) -> bool {
+        false
+    }
 }
 
 /// Engine-side sink the context forwards emissions to.
@@ -137,6 +147,18 @@ impl<'a> OpContext<'a> {
     /// should wind down promptly).
     pub fn stop_requested(&self) -> bool {
         self.sink.stop_requested()
+    }
+
+    /// Records a tuple diverted to quarantine (non-finite payload). Shows
+    /// up as `quarantined` in the operator's `OpSnapshot`/`RunReport`.
+    pub fn add_quarantined(&self) {
+        self.counters.add_quarantined();
+    }
+
+    /// Records a skipped synchronization step (independence gate not
+    /// passed, or a dead/lagging engine excluded from a sync command).
+    pub fn add_sync_skip(&self) {
+        self.counters.add_sync_skip();
     }
 }
 
@@ -235,6 +257,17 @@ pub mod testing {
     pub fn with_sink<F: FnOnce(&mut OpContext<'_>)>(sink: &mut CaptureSink, f: F) {
         let counters = OpCounters::default();
         let mut ctx = OpContext::new(sink, &counters);
+        f(&mut ctx);
+    }
+
+    /// Like [`with_sink`] but with caller-owned counters, so tests can
+    /// assert on quarantine/sync-skip accounting after the operator ran.
+    pub fn with_sink_counters<F: FnOnce(&mut OpContext<'_>)>(
+        sink: &mut CaptureSink,
+        counters: &OpCounters,
+        f: F,
+    ) {
+        let mut ctx = OpContext::new(sink, counters);
         f(&mut ctx);
     }
 }

@@ -138,6 +138,9 @@ mod tests {
                 tuples_out: 1000,
                 control_in: 0,
                 busy_ns: busy_ms * 1_000_000,
+                restarts: 0,
+                quarantined: 0,
+                sync_skips: 0,
             },
         )
     }

@@ -48,6 +48,23 @@ impl DataTuple {
         }
     }
 
+    /// True when every value is finite (no NaN/Inf anywhere in the
+    /// observation). Operators use this as the quarantine boundary check.
+    pub fn all_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+
+    /// A copy of this tuple with every value replaced by `fill` — used by
+    /// deterministic poison-tuple fault injection.
+    pub fn poisoned(&self, fill: f64) -> Self {
+        DataTuple {
+            seq: self.seq,
+            timestamp_ns: self.timestamp_ns,
+            values: Arc::new(vec![fill; self.values.len()]),
+            mask: self.mask.clone(),
+        }
+    }
+
     /// Approximate serialized size in bytes (used by link-traffic metrics
     /// and the cluster simulator's bandwidth model).
     pub fn wire_bytes(&self) -> u64 {
@@ -246,6 +263,19 @@ mod tests {
     fn eos_detection() {
         assert!(Tuple::Punct(Punctuation::EndOfStream).is_eos());
         assert!(!Tuple::Data(DataTuple::new(0, vec![])).is_eos());
+    }
+
+    #[test]
+    fn finiteness_check_and_poisoning() {
+        let t = DataTuple::new(3, vec![1.0, 2.0]);
+        assert!(t.all_finite());
+        assert!(!DataTuple::new(0, vec![1.0, f64::NAN]).all_finite());
+        assert!(!DataTuple::new(0, vec![f64::INFINITY]).all_finite());
+        let p = t.poisoned(f64::NAN);
+        assert_eq!(p.seq, 3);
+        assert_eq!(p.values.len(), 2);
+        assert!(!p.all_finite());
+        assert!(t.all_finite(), "poisoning copies, never mutates");
     }
 
     #[test]

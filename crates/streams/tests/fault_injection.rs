@@ -1,0 +1,369 @@
+//! Integration tests of deterministic fault injection and supervised
+//! operator restart: the fault plan reproduces the same failure at the
+//! same tuple every run, the supervisor bounds data loss to the declared
+//! fault window, and end-of-stream always propagates — a dead operator
+//! never wedges the graph.
+
+use spca_streams::ops::{CollectSink, GeneratorSource};
+use spca_streams::{
+    ControlTuple, DataTuple, Engine, FaultPlan, GraphBuilder, OpContext, Operator, PortKind,
+    RestartPolicy, RunReport, SourceState,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn counting_source(n: u64) -> Box<dyn Operator> {
+    Box::new(GeneratorSource::new(|seq| Some((vec![seq as f64], None))).with_max_tuples(n))
+}
+
+/// A restart policy with near-zero backoff so tests stay fast.
+fn fast_policy(max_restarts: u64) -> RestartPolicy {
+    RestartPolicy {
+        max_restarts,
+        backoff_base: Duration::from_micros(10),
+        backoff_cap: Duration::from_millis(1),
+    }
+}
+
+fn op_snapshot(report: &RunReport, name: &str) -> spca_streams::metrics::OpSnapshot {
+    report
+        .ops
+        .iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("no op '{name}' in report"))
+        .1
+}
+
+/// Forwards data tuples, panicking every `every`-th call *before* the
+/// forward (so the in-flight tuple is unprocessed and must be redelivered).
+/// State survives the unwind because the supervisor restarts the same
+/// instance.
+struct Flaky {
+    every: u64,
+    seen: u64,
+    recoverable: bool,
+}
+
+impl Operator for Flaky {
+    fn process(&mut self, t: DataTuple, ctx: &mut OpContext<'_>) {
+        self.seen += 1;
+        if self.every > 0 && self.seen.is_multiple_of(self.every) {
+            panic!("flaky operator failing on call {}", self.seen);
+        }
+        ctx.emit_data(0, t);
+    }
+
+    fn recover(&mut self, _attempt: u64) -> bool {
+        self.recoverable
+    }
+}
+
+/// Forwards data tuples; `recover` always succeeds (state is trivially
+/// intact). Used to exercise plan-injected panics.
+struct RecoveringForward;
+
+impl Operator for RecoveringForward {
+    fn process(&mut self, t: DataTuple, ctx: &mut OpContext<'_>) {
+        ctx.emit_data(0, t);
+    }
+
+    fn recover(&mut self, _attempt: u64) -> bool {
+        true
+    }
+}
+
+/// Forwards data tuples with the default (declining) `recover`.
+struct Forward;
+
+impl Operator for Forward {
+    fn process(&mut self, t: DataTuple, ctx: &mut OpContext<'_>) {
+        ctx.emit_data(0, t);
+    }
+}
+
+#[test]
+fn supervised_restart_is_loss_bounded() {
+    // 100 tuples through an operator that panics on every 10th call.
+    // Each panicked tuple is redelivered after recovery, so the run is
+    // loss-free: calls c satisfy c - c/10 = 100 → 111 calls, 11 panics.
+    let mut g = GraphBuilder::new().with_restart_policy(fast_policy(32));
+    let src = g.add_source("src", counting_source(100));
+    let flaky = g.add_op(
+        "flaky",
+        Box::new(Flaky {
+            every: 10,
+            seen: 0,
+            recoverable: true,
+        }),
+    );
+    let (sink, store) = CollectSink::new();
+    let out = g.add_op("sink", Box::new(sink));
+    g.connect(src, 0, flaky, PortKind::Data);
+    g.connect(flaky, 0, out, PortKind::Data);
+    let report = Engine::run(g);
+
+    let collected = store.lock();
+    assert_eq!(collected.len(), 100, "no tuple may be lost to a restart");
+    let mut seqs: Vec<u64> = collected.iter().map(|t| t.seq).collect();
+    seqs.sort_unstable();
+    assert_eq!(seqs, (0..100).collect::<Vec<_>>(), "each seq exactly once");
+    assert_eq!(op_snapshot(&report, "flaky").restarts, 11);
+    assert_eq!(report.total_restarts(), 11);
+}
+
+#[test]
+fn unrecoverable_operator_finishes_and_eos_propagates() {
+    // Default recover() declines: the first panic finishes the operator,
+    // EOS reaches the sink, and the run terminates instead of wedging.
+    let mut g = GraphBuilder::new().with_restart_policy(fast_policy(8));
+    let src = g.add_source("src", counting_source(100));
+    let flaky = g.add_op(
+        "flaky",
+        Box::new(Flaky {
+            every: 10,
+            seen: 0,
+            recoverable: false,
+        }),
+    );
+    let (sink, store) = CollectSink::new();
+    let out = g.add_op("sink", Box::new(sink));
+    g.connect(src, 0, flaky, PortKind::Data);
+    g.connect(flaky, 0, out, PortKind::Data);
+    let report = Engine::run(g);
+
+    assert_eq!(store.lock().len(), 9, "nine forwards before the fatal call");
+    assert_eq!(op_snapshot(&report, "flaky").restarts, 0);
+}
+
+#[test]
+fn restart_budget_caps_supervision() {
+    // every = 3 with a budget of 2: panics on calls 3, 6 (restarted), 9
+    // (budget exceeded → finished). Forwards = 9 calls - 3 panics = 6.
+    let mut g = GraphBuilder::new().with_restart_policy(fast_policy(2));
+    let src = g.add_source("src", counting_source(100));
+    let flaky = g.add_op(
+        "flaky",
+        Box::new(Flaky {
+            every: 3,
+            seen: 0,
+            recoverable: true,
+        }),
+    );
+    let (sink, store) = CollectSink::new();
+    let out = g.add_op("sink", Box::new(sink));
+    g.connect(src, 0, flaky, PortKind::Data);
+    g.connect(flaky, 0, out, PortKind::Data);
+    let report = Engine::run(g);
+
+    assert_eq!(store.lock().len(), 6);
+    assert_eq!(op_snapshot(&report, "flaky").restarts, 2);
+}
+
+#[test]
+fn injected_panic_fires_after_the_tuple_is_processed() {
+    // A plan-injected panic deliberately fires *after* process() returns:
+    // tuple 30 is already forwarded when the operator dies, so with a
+    // declining recover() exactly 30 tuples arrive.
+    let mut g = GraphBuilder::new()
+        .with_restart_policy(fast_policy(8))
+        .with_fault_plan(FaultPlan::parse("panic@fwd:30").unwrap());
+    let src = g.add_source("src", counting_source(100));
+    let fwd = g.add_op("fwd", Box::new(Forward));
+    let (sink, store) = CollectSink::new();
+    let out = g.add_op("sink", Box::new(sink));
+    g.connect(src, 0, fwd, PortKind::Data);
+    g.connect(fwd, 0, out, PortKind::Data);
+    let report = Engine::run(g);
+
+    assert_eq!(store.lock().len(), 30);
+    assert_eq!(op_snapshot(&report, "fwd").restarts, 0);
+}
+
+#[test]
+fn injected_panic_with_recovery_loses_nothing() {
+    let mut g = GraphBuilder::new()
+        .with_restart_policy(fast_policy(8))
+        .with_fault_plan(FaultPlan::parse("panic@fwd:30").unwrap());
+    let src = g.add_source("src", counting_source(100));
+    let fwd = g.add_op("fwd", Box::new(RecoveringForward));
+    let (sink, store) = CollectSink::new();
+    let out = g.add_op("sink", Box::new(sink));
+    g.connect(src, 0, fwd, PortKind::Data);
+    g.connect(fwd, 0, out, PortKind::Data);
+    let report = Engine::run(g);
+
+    let collected = store.lock();
+    assert_eq!(collected.len(), 100);
+    let mut seqs: Vec<u64> = collected.iter().map(|t| t.seq).collect();
+    seqs.sort_unstable();
+    assert_eq!(seqs, (0..100).collect::<Vec<_>>());
+    assert_eq!(op_snapshot(&report, "fwd").restarts, 1);
+}
+
+#[test]
+fn drop_fault_loses_exactly_the_named_tuple() {
+    let mut g = GraphBuilder::new().with_fault_plan(FaultPlan::parse("drop@src>sink:50").unwrap());
+    let src = g.add_source("src", counting_source(100));
+    let (sink, store) = CollectSink::new();
+    let out = g.add_op("sink", Box::new(sink));
+    g.connect(src, 0, out, PortKind::Data);
+    Engine::run(g);
+
+    let collected = store.lock();
+    assert_eq!(collected.len(), 99);
+    // The 50th data tuple on the link is seq 49.
+    assert!(collected.iter().all(|t| t.seq != 49), "seq 49 was dropped");
+}
+
+#[test]
+fn dup_fault_duplicates_adjacently() {
+    let mut g = GraphBuilder::new().with_fault_plan(FaultPlan::parse("dup@src>sink:50").unwrap());
+    let src = g.add_source("src", counting_source(100));
+    let (sink, store) = CollectSink::new();
+    let out = g.add_op("sink", Box::new(sink));
+    g.connect(src, 0, out, PortKind::Data);
+    Engine::run(g);
+
+    let collected = store.lock();
+    assert_eq!(collected.len(), 101);
+    let dups: Vec<usize> = collected
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.seq == 49)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(dups.len(), 2, "seq 49 must appear twice");
+    assert_eq!(dups[1], dups[0] + 1, "the duplicate is adjacent");
+}
+
+#[test]
+fn delay_and_stall_lose_nothing() {
+    let mut g = GraphBuilder::new()
+        .with_fault_plan(FaultPlan::parse("delay@src>fwd:10:2,stall@fwd:20:2").unwrap());
+    let src = g.add_source("src", counting_source(100));
+    let fwd = g.add_op("fwd", Box::new(Forward));
+    let (sink, store) = CollectSink::new();
+    let out = g.add_op("sink", Box::new(sink));
+    g.connect(src, 0, fwd, PortKind::Data);
+    g.connect(fwd, 0, out, PortKind::Data);
+    Engine::run(g);
+
+    let collected = store.lock();
+    assert_eq!(collected.len(), 100, "latency faults must not lose tuples");
+    let seqs: Vec<u64> = collected.iter().map(|t| t.seq).collect();
+    assert_eq!(seqs, (0..100).collect::<Vec<_>>(), "order preserved");
+}
+
+#[test]
+fn poison_faults_rewrite_the_named_payloads() {
+    let mut g = GraphBuilder::new()
+        .with_fault_plan(FaultPlan::parse("poison-nan@fwd:5,poison-inf@fwd:7").unwrap());
+    let src = g.add_source("src", counting_source(100));
+    let fwd = g.add_op("fwd", Box::new(Forward));
+    let (sink, store) = CollectSink::new();
+    let out = g.add_op("sink", Box::new(sink));
+    g.connect(src, 0, fwd, PortKind::Data);
+    g.connect(fwd, 0, out, PortKind::Data);
+    Engine::run(g);
+
+    let collected = store.lock();
+    assert_eq!(collected.len(), 100, "poisoning corrupts, never drops");
+    for t in collected.iter() {
+        match t.seq {
+            4 => assert!(t.values.iter().all(|v| v.is_nan()), "5th tuple is NaN"),
+            6 => assert!(
+                t.values.iter().all(|v| *v == f64::INFINITY),
+                "7th tuple is Inf"
+            ),
+            s => assert_eq!(t.values[0], s as f64, "others untouched"),
+        }
+    }
+}
+
+/// Emits a single control tuple, then finishes.
+struct OneShotControl {
+    sent: bool,
+}
+
+impl Operator for OneShotControl {
+    fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {}
+    fn drive(&mut self, ctx: &mut OpContext<'_>) -> SourceState {
+        if self.sent {
+            return SourceState::Done;
+        }
+        self.sent = true;
+        ctx.emit_control(0, ControlTuple::new(7, 0, Arc::new(())));
+        SourceState::Emitted
+    }
+}
+
+/// Forwards data; panics on every control tuple; recovery succeeds.
+struct ControlPanicker;
+
+impl Operator for ControlPanicker {
+    fn process(&mut self, t: DataTuple, ctx: &mut OpContext<'_>) {
+        ctx.emit_data(0, t);
+    }
+    fn on_control(&mut self, _t: ControlTuple, _ctx: &mut OpContext<'_>) {
+        panic!("control handler failure");
+    }
+    fn recover(&mut self, _attempt: u64) -> bool {
+        true
+    }
+}
+
+#[test]
+fn control_panic_recovers_without_redelivery() {
+    // A panic in on_control restarts the operator but the control tuple is
+    // NOT redelivered (a missed sync command is just a skipped sync): one
+    // restart, every data tuple still arrives.
+    let mut g = GraphBuilder::new().with_restart_policy(fast_policy(8));
+    let src = g.add_source("src", counting_source(10));
+    let ctrl = g.add_source("ctrl", Box::new(OneShotControl { sent: false }));
+    let op = g.add_op("op", Box::new(ControlPanicker));
+    let (sink, store) = CollectSink::new();
+    let out = g.add_op("sink", Box::new(sink));
+    g.connect(src, 0, op, PortKind::Data);
+    g.connect(ctrl, 0, op, PortKind::Control);
+    g.connect(op, 0, out, PortKind::Data);
+    let report = Engine::run(g);
+
+    assert_eq!(store.lock().len(), 10);
+    assert_eq!(op_snapshot(&report, "op").restarts, 1);
+}
+
+#[test]
+#[should_panic(expected = "fault plan targets unknown operator")]
+fn unknown_op_target_panics_at_start() {
+    let mut g = GraphBuilder::new().with_fault_plan(FaultPlan::parse("panic@nonesuch:1").unwrap());
+    let src = g.add_source("src", counting_source(5));
+    let (sink, _store) = CollectSink::new();
+    let out = g.add_op("sink", Box::new(sink));
+    g.connect(src, 0, out, PortKind::Data);
+    Engine::run(g);
+}
+
+#[test]
+#[should_panic(expected = "fault plan targets unknown link")]
+fn unknown_link_target_panics_at_start() {
+    let mut g = GraphBuilder::new().with_fault_plan(FaultPlan::parse("drop@sink>src:1").unwrap());
+    let src = g.add_source("src", counting_source(5));
+    let (sink, _store) = CollectSink::new();
+    let out = g.add_op("sink", Box::new(sink));
+    g.connect(src, 0, out, PortKind::Data);
+    Engine::run(g);
+}
+
+#[test]
+#[should_panic(expected = "cross-PE")]
+fn link_fault_on_fused_edge_is_rejected() {
+    // Link faults model the network; a fused (in-memory) hand-off has no
+    // network to fail, so targeting it is a plan error, not a no-op.
+    let mut g = GraphBuilder::new().with_fault_plan(FaultPlan::parse("drop@src>sink:1").unwrap());
+    let src = g.add_source("src", counting_source(5));
+    let (sink, _store) = CollectSink::new();
+    let out = g.add_op("sink", Box::new(sink));
+    g.connect(src, 0, out, PortKind::Data);
+    g.fuse(&[src, out]);
+    Engine::run(g);
+}

@@ -47,6 +47,8 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "snapshots",
             "report",
             "batch",
+            "faults",
+            "snapshot-dir",
         ],
         "inspect" => &["snapshot"],
         "simulate" => &["engines", "dim", "nodes", "placement"],
@@ -98,11 +100,19 @@ USAGE:
                 [--engines 4] [--components 4] [--memory 5000] [--dim D]
                 [--sync ring|broadcast|none] [--snapshots DIR]
                 [--report outliers.csv] [--batch 64]
+                [--faults SPEC] [--snapshot-dir DIR]
   spca inspect  --snapshot FILE
   spca simulate [--engines 20] [--dim 250] [--nodes 10]
                 [--placement rr|single|grouped2]
 
-Every flag is --key value; unknown flags are rejected.";
+Every flag is --key value; unknown flags are rejected.
+
+--faults injects deterministic failures: a comma-separated plan of
+  panic@ENGINE:N, poison-nan@ENGINE:N, poison-inf@ENGINE:N,
+  stall@ENGINE:N:MS, drop@FROM>TO:N, dup@FROM>TO:N, delay@FROM>TO:N:MS
+  (e.g. \"panic@engine1:5000\"). Enables failure-aware synchronization;
+  pair with --snapshot-dir DIR so crashed engines restart from their
+  latest recovery snapshot instead of losing their state.";
 
 struct Opts(HashMap<String, String>);
 
@@ -187,6 +197,14 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     if batch == 0 {
         return Err("--batch must be at least 1".to_string());
     }
+    // Validate the fault plan before any I/O, so a bad spec is reported
+    // even when the input is also wrong.
+    let faults = opts
+        .get("faults")
+        .map(|spec| {
+            astro_stream_pca::streams::FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))
+        })
+        .transpose()?;
 
     let source: Box<dyn Operator> = match (opts.get("input"), opts.get("listen"), opts.get("url")) {
         (Some(path), None, None) => {
@@ -240,6 +258,15 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     if let Some(dir) = opts.get("snapshots") {
         cfg.snapshot_dir = Some(PathBuf::from(dir));
     }
+    if let Some(plan) = faults {
+        cfg.faults = Some(astro_stream_pca::engine::normalize_fault_targets(plan));
+        // Injected failures only make sense with the failure-aware
+        // controller watching for them.
+        cfg.failure_aware_sync = true;
+    }
+    if let Some(dir) = opts.get("snapshot-dir") {
+        cfg.recovery_dir = Some(PathBuf::from(dir));
+    }
 
     let (graph, handles) = ParallelPcaApp::build(&cfg, source);
     println!("running {engines} engines (d = {dim}, p = {components}, N = {memory}) ...");
@@ -250,6 +277,17 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         report.elapsed.as_secs_f64(),
         consumed as f64 / report.elapsed.as_secs_f64().max(1e-9)
     );
+    let (restarts, quarantined, sync_skips) = (
+        report.total_restarts(),
+        report.total_quarantined(),
+        report.total_sync_skips(),
+    );
+    if restarts + quarantined + sync_skips > 0 {
+        println!(
+            "fault summary: {restarts} operator restarts, {quarantined} quarantined tuples, \
+             {sync_skips} skipped syncs"
+        );
+    }
 
     if let Some(path) = opts.get("report") {
         let outcomes = handles.outcomes.expect("enabled above");

@@ -76,6 +76,63 @@ fn help_exits_zero() {
 }
 
 #[test]
+fn bad_fault_spec_is_rejected_and_named() {
+    // Spec validation happens before any input I/O, so no file is needed.
+    for bad in ["panic@engine1", "jitter@engine0:5", "drop@split:3"] {
+        let out = spca(&["run", "--input", "nonexistent.csv", "--faults", bad]);
+        assert!(!out.status.success(), "'{bad}': expected nonzero exit");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--faults"),
+            "'{bad}': stderr must name the flag, got: {stderr}"
+        );
+        assert!(
+            stderr.contains(bad),
+            "'{bad}': stderr must echo the offending entry, got: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn fault_flags_pass_the_allow_list() {
+    // A valid spec with a missing input must fail on the *input*, proving
+    // --faults and --snapshot-dir themselves were accepted.
+    let out = spca(&[
+        "run",
+        "--input",
+        "nonexistent.csv",
+        "--faults",
+        "panic@engine1:5000",
+        "--snapshot-dir",
+        "/tmp/does-not-matter",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("does not exist"),
+        "expected the input-file error, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("unknown flag"),
+        "fault flags must be allow-listed, got: {stderr}"
+    );
+}
+
+#[test]
+fn repeated_fault_flag_is_rejected() {
+    let out = spca(&[
+        "run",
+        "--faults",
+        "panic@engine0:1",
+        "--faults",
+        "panic@engine1:1",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("more than once"), "got: {stderr}");
+}
+
+#[test]
 fn valid_generate_round_trips() {
     let dir = std::env::temp_dir().join(format!("spca-cli-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
