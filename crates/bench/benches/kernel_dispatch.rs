@@ -1,0 +1,88 @@
+//! Dispatched vs. forced-scalar kernel timings under criterion — the
+//! continuously-tracked companion of the recorded `BENCH_kernels.json`
+//! artifact (which is produced by the `fig_kernels` binary).
+//!
+//! Each group pins the backend via the process-wide override before its
+//! iterations run, so a single `cargo bench` reports both columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spca_linalg::kernels::{self, Backend};
+use std::hint::black_box;
+
+const GEMM_K: usize = 32;
+const GEMM_W: usize = 32;
+
+fn fill(n: usize, phase: f64) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.37 + phase).sin()).collect()
+}
+
+/// Backends to measure: scalar always, the SIMD path when the CPU has it.
+fn backends() -> Vec<Backend> {
+    let mut v = vec![Backend::Scalar];
+    if Backend::Avx2Fma.available() {
+        v.push(Backend::Avx2Fma);
+    }
+    v
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_dispatch/dot");
+    g.sample_size(20);
+    for be in backends() {
+        for d in [256usize, 1000, 4000] {
+            let a = fill(d, 0.0);
+            let b = fill(d, 1.0);
+            kernels::set_backend_override(Some(be));
+            g.throughput(Throughput::Elements(d as u64));
+            g.bench_with_input(BenchmarkId::new(be.name(), d), &d, |bch, _| {
+                bch.iter(|| black_box(kernels::dot(black_box(&a), black_box(&b))))
+            });
+            kernels::set_backend_override(None);
+        }
+    }
+    g.finish();
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_dispatch/axpy");
+    g.sample_size(20);
+    for be in backends() {
+        for d in [256usize, 1000, 4000] {
+            let x = fill(d, 0.0);
+            let mut y = fill(d, 1.0);
+            kernels::set_backend_override(Some(be));
+            g.throughput(Throughput::Elements(d as u64));
+            g.bench_with_input(BenchmarkId::new(be.name(), d), &d, |bch, _| {
+                bch.iter(|| kernels::axpy(black_box(1.0000000001), black_box(&x), &mut y))
+            });
+            kernels::set_backend_override(None);
+        }
+    }
+    g.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_dispatch/gemm");
+    g.sample_size(20);
+    for be in backends() {
+        for d in [256usize, 1000, 4000] {
+            let a = fill(d * GEMM_K, 0.0);
+            let b = fill(GEMM_K * GEMM_W, 1.0);
+            let mut out = vec![0.0; d * GEMM_W];
+            kernels::set_backend_override(Some(be));
+            g.throughput(Throughput::Elements((d * GEMM_K * GEMM_W) as u64));
+            g.bench_with_input(BenchmarkId::new(be.name(), d), &d, |bch, _| {
+                bch.iter(|| {
+                    out.fill(0.0);
+                    kernels::gemm_block(d, GEMM_K, GEMM_W, black_box(&a), black_box(&b), &mut out);
+                    black_box(&out);
+                })
+            });
+            kernels::set_backend_override(None);
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dot, bench_axpy, bench_gemm);
+criterion_main!(benches);

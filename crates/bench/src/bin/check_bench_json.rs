@@ -1,28 +1,50 @@
 //! CI gate for recorded benchmark artifacts: parses `BENCH_engine.json`
-//! (or the paths given as arguments) against the schema in
-//! [`spca_bench::json`] and exits nonzero on any malformed file, so a
-//! hand-edited or truncated artifact cannot land silently.
+//! and `BENCH_kernels.json` (or the paths given as arguments) against the
+//! schemas in [`spca_bench::json`] and exits nonzero on any malformed
+//! file, so a hand-edited or truncated artifact cannot land silently.
+//!
+//! Artifacts self-identify via a `"schema"` discriminator field:
+//! `"kernels-v1"` selects the kernel-dispatch schema; its absence selects
+//! the original engine-transport schema (recorded before discriminators
+//! existed).
 
-use spca_bench::json::EngineBenchReport;
+use spca_bench::json::{EngineBenchReport, Json, KernelBenchReport, KERNELS_SCHEMA};
 use std::process::ExitCode;
 
 fn check(path: &str) -> Result<(), String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
-    let report = EngineBenchReport::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    println!(
-        "{path}: ok ({} cells, {} tuples/run, batch {})",
-        report.results.len(),
-        report.tuples,
-        report.batch
-    );
+    let value = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match value.get("schema").and_then(|s| s.as_str()) {
+        Some(KERNELS_SCHEMA) => {
+            let report =
+                KernelBenchReport::from_json(&value).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{path}: ok (kernels-v1, {} cells, backend {}, {} reps)",
+                report.results.len(),
+                report.backend,
+                report.reps
+            );
+        }
+        Some(other) => return Err(format!("{path}: unknown schema '{other}'")),
+        None => {
+            let report =
+                EngineBenchReport::from_json(&value).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{path}: ok ({} cells, {} tuples/run, batch {})",
+                report.results.len(),
+                report.tuples,
+                report.batch
+            );
+        }
+    }
     Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paths: Vec<&str> = if args.is_empty() {
-        vec!["BENCH_engine.json"]
+        vec!["BENCH_engine.json", "BENCH_kernels.json"]
     } else {
         args.iter().map(|s| s.as_str()).collect()
     };

@@ -533,6 +533,150 @@ impl EngineBenchReport {
     }
 }
 
+/// One row of the kernel-dispatch benchmark: a (kernel, dimension) cell
+/// timed under the scalar backend and under the dispatched backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelBenchRow {
+    /// Kernel name: `"dot"`, `"axpy"` or `"gemm"`.
+    pub kernel: String,
+    /// Problem dimension (vector length; GEMM row/column count).
+    pub d: usize,
+    /// Median nanoseconds per call on the forced-scalar backend.
+    pub scalar_ns: f64,
+    /// Median nanoseconds per call on the dispatched backend.
+    pub dispatched_ns: f64,
+    /// `scalar_ns / dispatched_ns`.
+    pub speedup: f64,
+}
+
+/// The recorded kernel-dispatch benchmark artifact (`BENCH_kernels.json`).
+///
+/// Distinguished from [`EngineBenchReport`] by the `"schema": "kernels-v1"`
+/// discriminator field, which lets one CI gate validate both artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelBenchReport {
+    /// What was measured and how.
+    pub benchmark: String,
+    /// Machine / build caveats for reproducing the numbers.
+    pub machine_note: String,
+    /// Backend the dispatcher selected (`"scalar"` on non-AVX2 hosts).
+    pub backend: String,
+    /// Timing repetitions per cell (the median is recorded).
+    pub reps: u64,
+    /// The acceptance target the grid was recorded against.
+    pub target: String,
+    /// One row per (kernel, dimension) cell.
+    pub results: Vec<KernelBenchRow>,
+}
+
+/// Value of the schema discriminator for [`KernelBenchReport`].
+pub const KERNELS_SCHEMA: &str = "kernels-v1";
+
+impl KernelBenchRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kernel".into(), Json::Str(self.kernel.clone())),
+            ("d".into(), Json::Num(self.d as f64)),
+            ("scalar_ns".into(), Json::Num(self.scalar_ns)),
+            ("dispatched_ns".into(), Json::Num(self.dispatched_ns)),
+            ("speedup".into(), Json::Num(self.speedup)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let row = KernelBenchRow {
+            kernel: str_field(v, "kernel")?,
+            d: num_field(v, "d")? as usize,
+            scalar_ns: num_field(v, "scalar_ns")?,
+            dispatched_ns: num_field(v, "dispatched_ns")?,
+            speedup: num_field(v, "speedup")?,
+        };
+        if row.d == 0 {
+            return Err(format!("{}: zero dimension", row.kernel));
+        }
+        if row.scalar_ns <= 0.0 || row.dispatched_ns <= 0.0 {
+            return Err(format!("{}@{}: non-positive timing", row.kernel, row.d));
+        }
+        let expect = row.scalar_ns / row.dispatched_ns;
+        if (row.speedup - expect).abs() > 0.02 * expect {
+            return Err(format!(
+                "{}@{}: speedup {} inconsistent with medians (expected {expect:.3})",
+                row.kernel, row.d, row.speedup
+            ));
+        }
+        Ok(row)
+    }
+}
+
+impl KernelBenchReport {
+    /// Serializes to the committed artifact layout.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(KERNELS_SCHEMA.into())),
+            ("benchmark".into(), Json::Str(self.benchmark.clone())),
+            ("machine_note".into(), Json::Str(self.machine_note.clone())),
+            ("backend".into(), Json::Str(self.backend.clone())),
+            ("reps".into(), Json::Num(self.reps as f64)),
+            ("target".into(), Json::Str(self.target.clone())),
+            (
+                "results".into(),
+                Json::Arr(self.results.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Parses and schema-checks an artifact. CI-gate strictness: missing
+    /// fields, wrong types, non-finite or non-positive timings, an
+    /// internally inconsistent speedup, a missing `dot`/`gemm` d=1000 row,
+    /// or (on a SIMD backend) a sub-1.5× speedup on those rows all fail.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        match field(v, "schema")?.as_str() {
+            Some(KERNELS_SCHEMA) => {}
+            other => return Err(format!("unexpected schema {other:?}")),
+        }
+        let results_json = field(v, "results")?
+            .as_arr()
+            .ok_or("field 'results' is not an array")?;
+        if results_json.is_empty() {
+            return Err("'results' is empty".to_string());
+        }
+        let results = results_json
+            .iter()
+            .map(KernelBenchRow::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let report = KernelBenchReport {
+            benchmark: str_field(v, "benchmark")?,
+            machine_note: str_field(v, "machine_note")?,
+            backend: str_field(v, "backend")?,
+            reps: num_field(v, "reps")? as u64,
+            target: str_field(v, "target")?,
+            results,
+        };
+        if report.reps == 0 {
+            return Err("'reps' must be positive".to_string());
+        }
+        for kernel in ["dot", "gemm"] {
+            let row = report
+                .results
+                .iter()
+                .find(|r| r.kernel == kernel && r.d == 1000)
+                .ok_or_else(|| format!("missing required row {kernel}@1000"))?;
+            if report.backend != "scalar" && row.speedup < 1.5 {
+                return Err(format!(
+                    "{kernel}@1000: speedup {:.3} below the 1.5x acceptance floor",
+                    row.speedup
+                ));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Round-trips a report through text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -630,5 +774,72 @@ mod tests {
     fn schema_check_catches_missing_fields() {
         let err = EngineBenchReport::parse(r#"{"benchmark": "x"}"#).unwrap_err();
         assert!(err.contains("missing field"), "{err}");
+    }
+
+    fn sample_kernel_report() -> KernelBenchReport {
+        let row = |kernel: &str, d: usize, s: f64, v: f64| KernelBenchRow {
+            kernel: kernel.into(),
+            d,
+            scalar_ns: s,
+            dispatched_ns: v,
+            speedup: s / v,
+        };
+        KernelBenchReport {
+            benchmark: "kernel dispatch".into(),
+            machine_note: "test".into(),
+            backend: "avx2_fma".into(),
+            reps: 25,
+            target: ">=1.5x on dot and gemm at d=1000".into(),
+            results: vec![
+                row("dot", 256, 100.0, 40.0),
+                row("dot", 1000, 400.0, 150.0),
+                row("gemm", 1000, 9000.0, 3000.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn kernel_report_round_trips() {
+        let report = sample_kernel_report();
+        let text = report.to_json().to_string();
+        assert_eq!(KernelBenchReport::parse(&text).unwrap(), report);
+    }
+
+    #[test]
+    fn kernel_report_requires_discriminator() {
+        let Json::Obj(fields) = sample_kernel_report().to_json() else {
+            unreachable!()
+        };
+        let pruned = Json::Obj(fields.into_iter().filter(|(k, _)| k != "schema").collect());
+        let err = KernelBenchReport::parse(&pruned.to_string()).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn kernel_report_requires_d1000_rows() {
+        let mut report = sample_kernel_report();
+        report.results.retain(|r| r.kernel != "gemm");
+        let err = KernelBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("gemm@1000"), "{err}");
+    }
+
+    #[test]
+    fn kernel_report_enforces_speedup_floor_on_simd_backend() {
+        let mut report = sample_kernel_report();
+        report.results[1].dispatched_ns = 390.0; // 1.03x at dot@1000
+        report.results[1].speedup = 400.0 / 390.0;
+        let err = KernelBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("1.5x"), "{err}");
+        // The same numbers are fine when the host had no SIMD backend.
+        report.backend = "scalar".into();
+        assert!(KernelBenchReport::parse(&report.to_json().to_string()).is_ok());
+    }
+
+    #[test]
+    fn kernel_report_catches_inconsistent_speedup() {
+        let mut report = sample_kernel_report();
+        report.results[0].speedup = 9.0;
+        let err = KernelBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("inconsistent"), "{err}");
     }
 }

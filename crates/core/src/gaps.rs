@@ -145,6 +145,15 @@ pub fn masked_coefficients(
 /// [`masked_coefficients`] into caller-owned buffers: the Gram matrix and
 /// right-hand side are built in `g`/`b`, the coefficients land in
 /// `solve.x`.
+///
+/// The Gram build exploits the orthonormality of the eigenbasis: with
+/// `M` zeroing the missing bins, `EᵀME = EᵀE − E_missᵀE_miss =
+/// I_k − E_missᵀE_miss`, so when fewer than half the bins are missing the
+/// `k × k` Gram is assembled from the `m` *missing* rows in O(m·k²)
+/// instead of scanning all `d` observed rows. Gappy astronomical spectra
+/// are overwhelmingly in that regime (a few masked pixels out of
+/// thousands of bins). The dense observed-row scan remains for
+/// heavily-masked inputs, where it is the cheaper of the two.
 fn masked_coefficients_into(
     eig: &EigenSystem,
     x: &[f64],
@@ -160,8 +169,14 @@ fn masked_coefficients_into(
         solve.x.clear();
         return Ok(());
     }
-    // Build G = EᵀME (k×k) and b = EᵀM(x−µ) over observed bins only.
-    g.reset_zeroed(k, k);
+    let n_miss = mask.iter().filter(|&&m| !m).count();
+    if 2 * n_miss < d {
+        masked_gram_from_missing(eig, mask, k, g);
+    } else {
+        masked_gram_dense(eig, mask, k, g);
+    }
+    // b = EᵀM(x−µ) always comes from the observed bins (the masked entries
+    // of x carry no information).
     b.clear();
     b.resize(k, 0.0);
     for i in 0..d {
@@ -169,21 +184,61 @@ fn masked_coefficients_into(
             continue;
         }
         let yi = x[i] - eig.mean[i];
+        for (a, ba) in b.iter_mut().enumerate() {
+            *ba += eig.basis[(i, a)] * yi;
+        }
+    }
+    spd_solve_into(g, b, solve)?;
+    Ok(())
+}
+
+/// Builds `G = EᵀME` (`k × k`) by scanning every observed bin — the
+/// original O((d−m)·k²) construction, kept for heavily-masked inputs and
+/// as the reference the fast path is tested against.
+fn masked_gram_dense(eig: &EigenSystem, mask: &[bool], k: usize, g: &mut Mat) {
+    g.reset_zeroed(k, k);
+    for (i, &observed) in mask.iter().enumerate().take(eig.dim()) {
+        if !observed {
+            continue;
+        }
         for a in 0..k {
             let ea = eig.basis[(i, a)];
-            b[a] += ea * yi;
             for c in a..k {
                 g[(a, c)] += ea * eig.basis[(i, c)];
             }
         }
     }
+    mirror_upper(g, k);
+}
+
+/// Builds `G = I_k − E_missᵀE_miss` from the missing rows only — O(m·k²).
+///
+/// Valid because the eigenbasis columns are orthonormal (`EᵀE = I_k`),
+/// which the streaming update maintains by construction (every update
+/// ends in a QR or SVD re-orthonormalization).
+fn masked_gram_from_missing(eig: &EigenSystem, mask: &[bool], k: usize, g: &mut Mat) {
+    g.reset_identity(k);
+    for (i, &observed) in mask.iter().enumerate().take(eig.dim()) {
+        if observed {
+            continue;
+        }
+        for a in 0..k {
+            let ea = eig.basis[(i, a)];
+            for c in a..k {
+                g[(a, c)] -= ea * eig.basis[(i, c)];
+            }
+        }
+    }
+    mirror_upper(g, k);
+}
+
+/// Copies the strict upper triangle onto the lower one.
+fn mirror_upper(g: &mut Mat, k: usize) {
     for a in 0..k {
         for c in 0..a {
             g[(a, c)] = g[(c, a)];
         }
     }
-    spd_solve_into(g, b, solve)?;
-    Ok(())
 }
 
 /// Fits an overall normalization shift together with the gap fill (Wild et
@@ -345,6 +400,82 @@ mod tests {
         let proj = e.project(&y);
         assert!((c[0] - proj[0]).abs() < 1e-9);
         assert!((c[1] - proj[1]).abs() < 1e-9);
+    }
+
+    /// A d×k eigensystem with a random (QR-orthonormalized) basis.
+    fn random_orthonormal_system(d: usize, k: usize, seed: u64) -> EigenSystem {
+        use spca_linalg::qr::orthonormalize;
+        use spca_linalg::rng::fill_standard_normal;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let mut m = Mat::zeros(d, k);
+        fill_standard_normal(&mut rng, m.as_mut_slice());
+        let mut e = EigenSystem::zeros(d, k);
+        e.basis = orthonormalize(&m).unwrap();
+        e.values = (0..k).map(|j| (k - j) as f64).collect();
+        e.mean = (0..d).map(|i| (i % 7) as f64 * 0.1).collect();
+        e.sigma2 = 0.1;
+        e
+    }
+
+    #[test]
+    fn fast_gram_matches_dense_on_orthonormal_basis() {
+        // The O(m·k²) missing-row construction and the O((d−m)·k²)
+        // observed-row scan must agree (up to rounding) whenever the basis
+        // is orthonormal — over sparse, clustered and empty masks.
+        let (d, k) = (60usize, 5usize);
+        let e = random_orthonormal_system(d, k, 7);
+        for (name, missing) in [
+            ("none", vec![]),
+            ("one", vec![3usize]),
+            ("sparse", vec![0, 9, 17, 41, 59]),
+            ("clustered", (20..35).collect::<Vec<_>>()),
+        ] {
+            let mut mask = vec![true; d];
+            for &i in &missing {
+                mask[i] = false;
+            }
+            let mut dense = Mat::default();
+            let mut fast = Mat::default();
+            masked_gram_dense(&e, &mask, k, &mut dense);
+            masked_gram_from_missing(&e, &mask, k, &mut fast);
+            assert!(
+                fast.sub(&dense).unwrap().max_abs() < 1e-12,
+                "{name}: max diff {}",
+                fast.sub(&dense).unwrap().max_abs()
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_coefficients_match_dense_construction() {
+        // On a lightly-masked spectrum the production path takes the
+        // missing-row Gram; solving the same system with the dense
+        // observed-row Gram must give the same coefficients.
+        let (d, k) = (50usize, 4usize);
+        let e = random_orthonormal_system(d, k, 11);
+        let x: Vec<f64> = (0..d).map(|i| (i as f64 * 0.3).sin() + 1.0).collect();
+        let mut mask = vec![true; d];
+        for i in [2usize, 13, 27, 44] {
+            mask[i] = false;
+        }
+        // Production path (m = 4 < d/2 → fast Gram).
+        let fast = masked_coefficients(&e, &x, &mask, k).unwrap();
+        // Reference: dense Gram + identical rhs, solved the same way.
+        let mut g = Mat::default();
+        masked_gram_dense(&e, &mask, k, &mut g);
+        let mut b = vec![0.0; k];
+        for i in 0..d {
+            if mask[i] {
+                let yi = x[i] - e.mean[i];
+                for (a, ba) in b.iter_mut().enumerate() {
+                    *ba += e.basis[(i, a)] * yi;
+                }
+            }
+        }
+        let dense = spd_solve(&g, &b).unwrap();
+        for (f, r) in fast.iter().zip(&dense) {
+            assert!((f - r).abs() < 1e-10 * (1.0 + r.abs()), "{f} vs {r}");
+        }
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //!   covariance baselines.
 //! * [`rng`] — Gaussian sampling helpers (Box–Muller) so that workload
 //!   generators do not need `rand_distr`.
+//! * [`kernels`] — the hardware-aware kernel layer underneath all of the
+//!   above: runtime-dispatched AVX2+FMA implementations of `dot`, `axpy`,
+//!   `scale`, `norm_sq`, the Jacobi plane rotation and the GEMM inner
+//!   block, with the portable unrolled scalar code as fallback (pin it
+//!   with `SPCA_FORCE_SCALAR=1`).
 //!
 //! All routines are pure Rust, allocation-conscious, and tested against
 //! algebraic identities (orthogonality, reconstruction) with both unit and
@@ -33,6 +38,7 @@
 
 pub mod eigen;
 pub mod gemm;
+pub mod kernels;
 pub mod mat;
 pub mod par_svd;
 pub mod qr;

@@ -245,11 +245,9 @@ impl Mat {
         crate::gemm::gemm(self, other)
     }
 
-    /// In-place scalar multiply.
+    /// In-place scalar multiply (dispatched SIMD over the whole buffer).
     pub fn scale_mut(&mut self, s: f64) {
-        for v in &mut self.data {
-            *v *= s;
-        }
+        vecops::scale(&mut self.data, s);
     }
 
     /// Returns `self * s`.
@@ -262,18 +260,14 @@ impl Mat {
     /// In-place addition `self += other`.
     pub fn add_assign(&mut self, other: &Mat) -> Result<()> {
         self.check_same_shape(other)?;
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        vecops::axpy(1.0, &other.data, &mut self.data);
         Ok(())
     }
 
     /// In-place scaled addition `self += s * other`.
     pub fn axpy_mat(&mut self, s: f64, other: &Mat) -> Result<()> {
         self.check_same_shape(other)?;
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += s * b;
-        }
+        vecops::axpy(s, &other.data, &mut self.data);
         Ok(())
     }
 
@@ -306,7 +300,7 @@ impl Mat {
 
     /// Frobenius norm.
     pub fn fro_norm(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+        vecops::norm_sq(&self.data).sqrt()
     }
 
     /// Maximum absolute entry.

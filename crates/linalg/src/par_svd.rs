@@ -181,18 +181,8 @@ fn rotate_pair(
     let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
     let c = 1.0 / (1.0 + t * t).sqrt();
     let s = c * t;
-    for (a, b) in up.iter_mut().zip(uq.iter_mut()) {
-        let x = *a;
-        let y = *b;
-        *a = c * x - s * y;
-        *b = s * x + c * y;
-    }
-    for (a, b) in vp.iter_mut().zip(vq.iter_mut()) {
-        let x = *a;
-        let y = *b;
-        *a = c * x - s * y;
-        *b = s * x + c * y;
-    }
+    crate::kernels::rotate2(up, uq, c, s);
+    crate::kernels::rotate2(vp, vq, c, s);
     rel
 }
 

@@ -95,19 +95,21 @@ fn try_factor_into(a: &Mat, jitter: f64, l: &mut Mat) -> bool {
 }
 
 /// In-place forward (`L z = b`) then backward (`Lᵀ x = z`) substitution.
+///
+/// Both passes are column-oriented so the inner loops run down contiguous
+/// column tails of `L` and ride the dispatched `axpy`/`dot` kernels: the
+/// forward pass scatters each solved entry into the remaining rows, the
+/// backward pass gathers `Lᵀ`'s row `i` as the tail of column `i`.
 fn solve_in_place(l: &Mat, z: &mut [f64]) {
     let n = l.rows();
-    for i in 0..n {
-        for k in 0..i {
-            z[i] -= l[(i, k)] * z[k];
-        }
-        z[i] /= l[(i, i)];
+    for k in 0..n {
+        z[k] /= l[(k, k)];
+        let zk = z[k];
+        crate::vecops::axpy(-zk, &l.col(k)[k + 1..], &mut z[k + 1..]);
     }
     for i in (0..n).rev() {
-        for k in (i + 1)..n {
-            z[i] -= l[(k, i)] * z[k];
-        }
-        z[i] /= l[(i, i)];
+        let tail = crate::vecops::dot(&l.col(i)[i + 1..], &z[i + 1..]);
+        z[i] = (z[i] - tail) / l[(i, i)];
     }
 }
 

@@ -222,16 +222,12 @@ pub fn thin_svd_into(a: &Mat, ws: &mut SvdWorkspace) -> Result<()> {
     Ok(())
 }
 
-/// Applies the rotation `[c -s; s c]` to columns `(p, q)` of `m`.
+/// Applies the rotation `[c -s; s c]` to columns `(p, q)` of `m` via the
+/// dispatched plane-rotation kernel.
 #[inline]
 fn rotate_cols(m: &mut Mat, p: usize, q: usize, c: f64, s: f64) {
     let (cp, cq) = m.two_cols_mut(p, q);
-    for (a, b) in cp.iter_mut().zip(cq.iter_mut()) {
-        let x = *a;
-        let y = *b;
-        *a = c * x - s * y;
-        *b = s * x + c * y;
-    }
+    crate::kernels::rotate2(cp, cq, c, s);
 }
 
 /// Replaces zero columns of `u` (those with `s[j] == 0`) by unit vectors

@@ -1,74 +1,46 @@
 //! Vector primitives on plain slices.
 //!
 //! These are the innermost loops of the whole system (every incoming
-//! spectrum runs through dots, axpys and norms), written so LLVM can
-//! auto-vectorize them: straight-line iteration, no bounds checks in the
-//! hot path after the explicit length assert.
+//! spectrum runs through dots, axpys and norms). The heavy ones — `dot`,
+//! `axpy`, `scale`, `norm_sq` — delegate to the runtime-dispatched
+//! [`crate::kernels`] layer, so every caller automatically rides AVX2+FMA
+//! where the CPU has it and the portable unrolled scalar code elsewhere
+//! (or under `SPCA_FORCE_SCALAR`).
+
+use crate::kernels;
 
 /// Dot product. Panics if lengths differ.
 ///
-/// Unrolled four-wide with independent accumulators: a naive loop is a
-/// serial floating-point dependency chain (one fused multiply-add per
-/// ~4-cycle latency), while four partial sums keep the FPU pipeline full.
-/// The combine order `(s0+s1)+(s2+s3)` is fixed so results are
-/// deterministic run-to-run.
+/// Dispatched: AVX2+FMA with four independent 4-lane accumulators where
+/// available, otherwise the four-wide unrolled scalar loop. Both paths use
+/// a fixed combine order, so results are deterministic run-to-run.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    let mut ca = a.chunks_exact(4);
-    let mut cb = b.chunks_exact(4);
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-    for (x, y) in (&mut ca).zip(&mut cb) {
-        s0 += x[0] * y[0];
-        s1 += x[1] * y[1];
-        s2 += x[2] * y[2];
-        s3 += x[3] * y[3];
-    }
-    let mut s = (s0 + s1) + (s2 + s3);
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        s += x * y;
-    }
-    s
+    kernels::dot(a, b)
 }
 
-/// `y += alpha * x`. Panics if lengths differ.
-///
-/// Unrolled four-wide to match [`dot`]; each lane is independent, so this
-/// mostly helps LLVM pick wider vector stores.
+/// `y += alpha * x`. Panics if lengths differ. Dispatched like [`dot`].
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    let mut cy = y.chunks_exact_mut(4);
-    let mut cx = x.chunks_exact(4);
-    for (yc, xc) in (&mut cy).zip(&mut cx) {
-        yc[0] += alpha * xc[0];
-        yc[1] += alpha * xc[1];
-        yc[2] += alpha * xc[2];
-        yc[3] += alpha * xc[3];
-    }
-    for (yi, xi) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
-        *yi += alpha * xi;
-    }
+    kernels::axpy(alpha, x, y);
 }
 
 /// Euclidean norm.
 #[inline]
 pub fn norm(a: &[f64]) -> f64 {
-    dot(a, a).sqrt()
+    kernels::norm_sq(a).sqrt()
 }
 
 /// Squared Euclidean norm.
 #[inline]
 pub fn norm_sq(a: &[f64]) -> f64 {
-    dot(a, a)
+    kernels::norm_sq(a)
 }
 
-/// In-place scalar multiply.
+/// In-place scalar multiply. Dispatched like [`dot`].
 #[inline]
 pub fn scale(a: &mut [f64], s: f64) {
-    for v in a {
-        *v *= s;
-    }
+    kernels::scale(a, s);
 }
 
 /// Element-wise `a - b` into a new vector.
