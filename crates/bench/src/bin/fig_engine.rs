@@ -41,7 +41,7 @@ fn run_once(
     n_engines: usize,
     fuse: bool,
     batch: usize,
-) -> (f64, u64) {
+) -> (f64, u64, u64) {
     let pca = PcaConfig::new(DIM, 2).with_memory(2000).with_init_size(20);
     let mut cfg = AppConfig::new(n_engines, pca);
     cfg.fuse = fuse;
@@ -64,7 +64,11 @@ fn run_once(
     let report = Engine::run(g);
     let dt = t0.elapsed().as_secs_f64();
     assert_eq!(report.tuples_in_matching("pca-"), TUPLES);
-    (TUPLES as f64 / dt, report.total_restarts())
+    (
+        TUPLES as f64 / dt,
+        report.total_restarts(),
+        report.total_pe_restarts(),
+    )
 }
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -72,16 +76,23 @@ fn median(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn measure(samples: &Arc<Vec<Vec<f64>>>, n_engines: usize, fuse: bool, batch: usize) -> (f64, u64) {
+fn measure(
+    samples: &Arc<Vec<Vec<f64>>>,
+    n_engines: usize,
+    fuse: bool,
+    batch: usize,
+) -> (f64, u64, u64) {
     let mut restarts = 0;
+    let mut pe_restarts = 0;
     let mut rates: Vec<f64> = (0..RUNS)
         .map(|_| {
-            let (rate, r) = run_once(samples, n_engines, fuse, batch);
+            let (rate, r, pr) = run_once(samples, n_engines, fuse, batch);
             restarts += r;
+            pe_restarts += pr;
             rate
         })
         .collect();
-    (median(&mut rates), restarts)
+    (median(&mut rates), restarts, pe_restarts)
 }
 
 fn main() {
@@ -98,11 +109,13 @@ fn main() {
     let mut rows = Vec::new();
     let mut report_rows = Vec::new();
     let mut total_restarts = 0;
+    let mut total_pe_restarts = 0;
     for fuse in [true, false] {
         for engines in [1usize, 2, 4] {
-            let (batch1, r1) = measure(&samples, engines, fuse, 1);
-            let (batched, rb) = measure(&samples, engines, fuse, DEFAULT_BATCH_SIZE);
+            let (batch1, r1, pr1) = measure(&samples, engines, fuse, 1);
+            let (batched, rb, prb) = measure(&samples, engines, fuse, DEFAULT_BATCH_SIZE);
             total_restarts += r1 + rb;
+            total_pe_restarts += pr1 + prb;
             let speedup = batched / batch1;
             rows.push(vec![
                 if fuse { 1.0 } else { 0.0 },
@@ -145,6 +158,7 @@ fn main() {
         batch: DEFAULT_BATCH_SIZE,
         target: "unfused 2-engine batched ≥ 1.5x over batch-size-1".to_string(),
         restarts: total_restarts,
+        pe_restarts: total_pe_restarts,
         results: report_rows,
     };
     std::fs::write("BENCH_engine.json", format!("{}\n", report.to_json()))

@@ -395,6 +395,10 @@ pub struct EngineBenchReport {
     /// fails validation: a fault plan leaking into a benchmark run can
     /// never land as a committed artifact.
     pub restarts: u64,
+    /// Total whole-PE restarts (operator-weighted, see
+    /// `RunReport::total_pe_restarts`) across every measured run. Gated to
+    /// zero exactly like `restarts`.
+    pub pe_restarts: u64,
     /// One row per (fusion, engines) cell.
     pub results: Vec<EngineBenchRow>,
 }
@@ -477,6 +481,7 @@ impl EngineBenchReport {
             ("batch".into(), Json::Num(self.batch as f64)),
             ("target".into(), Json::Str(self.target.clone())),
             ("restarts".into(), Json::Num(self.restarts as f64)),
+            ("pe_restarts".into(), Json::Num(self.pe_restarts as f64)),
             (
                 "results".into(),
                 Json::Arr(self.results.iter().map(|r| r.to_json()).collect()),
@@ -510,6 +515,11 @@ impl EngineBenchReport {
                 None => 0,
                 Some(_) => num_field(v, "restarts")? as u64,
             },
+            // Absent in artifacts recorded before PE-level supervision.
+            pe_restarts: match v.get("pe_restarts") {
+                None => 0,
+                Some(_) => num_field(v, "pe_restarts")? as u64,
+            },
             results,
         };
         if report.batch < 2 {
@@ -522,6 +532,12 @@ impl EngineBenchReport {
             return Err(format!(
                 "'restarts' is {} — benchmark artifacts must be recorded fault-free",
                 report.restarts
+            ));
+        }
+        if report.pe_restarts > 0 {
+            return Err(format!(
+                "'pe_restarts' is {} — benchmark artifacts must be recorded fault-free",
+                report.pe_restarts
             ));
         }
         Ok(report)
@@ -716,6 +732,7 @@ mod tests {
             batch: 64,
             target: "1.5x".into(),
             restarts: 0,
+            pe_restarts: 0,
             results: vec![EngineBenchRow {
                 config: "unfused-2".into(),
                 fused: false,
@@ -755,6 +772,16 @@ mod tests {
     }
 
     #[test]
+    fn nonzero_pe_restarts_is_rejected() {
+        let mut report = sample_report();
+        report.pe_restarts = 1;
+        let text = report.to_json().to_string();
+        let err = EngineBenchReport::parse(&text).unwrap_err();
+        assert!(err.contains("fault-free"), "{err}");
+        assert!(err.contains("pe_restarts"), "{err}");
+    }
+
+    #[test]
     fn missing_restarts_field_defaults_to_zero() {
         // Back-compat with artifacts recorded before the field existed.
         let Json::Obj(fields) = sample_report().to_json() else {
@@ -763,11 +790,12 @@ mod tests {
         let pruned = Json::Obj(
             fields
                 .into_iter()
-                .filter(|(k, _)| k != "restarts")
+                .filter(|(k, _)| k != "restarts" && k != "pe_restarts")
                 .collect(),
         );
         let back = EngineBenchReport::parse(&pruned.to_string()).unwrap();
         assert_eq!(back.restarts, 0);
+        assert_eq!(back.pe_restarts, 0);
     }
 
     #[test]

@@ -79,7 +79,9 @@ pub struct AppConfig {
     pub restart: RestartPolicy,
     /// When set, every engine synchronously persists its eigensystem under
     /// this directory (see [`StreamingPcaOp::with_recovery`]) and
-    /// rehydrates from it after a supervised restart.
+    /// rehydrates from it after a supervised restart. Whole-PE restarts
+    /// additionally keep per-PE snapshot manifests under `<dir>/pe`, from
+    /// which *every* stateful operator in a killed PE is rehydrated.
     pub recovery_dir: Option<std::path::PathBuf>,
     /// Recovery-snapshot cadence in processed tuples.
     pub recovery_every: u64,
@@ -180,6 +182,12 @@ impl ParallelPcaApp {
             .with_restart_policy(cfg.restart);
         if let Some(ref plan) = cfg.faults {
             g = g.with_fault_plan(plan.clone());
+        }
+        if let Some(ref dir) = cfg.recovery_dir {
+            // Whole-PE restarts rehydrate every stateful operator (source
+            // cursor, split, engines, sync controller) from per-PE manifests
+            // kept next to the engines' recovery snapshots.
+            g = g.with_checkpoint_dir(dir.join("pe"));
         }
         let data_link = if cfg.fuse || cfg.network_delay_us == 0 {
             LinkKind::Local

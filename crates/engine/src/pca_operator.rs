@@ -35,6 +35,7 @@ use crate::messages::{
 use crate::persist;
 use parking_lot::Mutex;
 use spca_core::{merge, PcaConfig, RobustPca};
+use spca_streams::checkpoint::{decode_kv, encode_kv, kv_u64, Checkpoint};
 use spca_streams::{ControlTuple, DataTuple, OpContext, Operator};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -88,11 +89,16 @@ impl StreamingPcaOp {
     /// independent, so never gated *open*... which would disable sync; for
     /// α = 1 the gate is instead pinned to `1.5 · init_size`).
     pub fn new(engine_id: u32, cfg: PcaConfig, n_peer_ports: usize) -> Self {
+        // `ceil`, not truncation: the gate is compared with strict `>`, so
+        // a truncated `(1.5 * mem) as u64` would let an engine share one
+        // observation before `obs_since_sync > 1.5·N` actually holds
+        // whenever 1.5·N is fractional (e.g. N = 3 → gate 4, shared at 5
+        // observations instead of the required ⌈4.5⌉ = 5 → shared at 6).
         let mem = cfg.effective_memory();
         let sync_gate = if mem.is_finite() {
-            (1.5 * mem) as u64
+            (1.5 * mem).ceil() as u64
         } else {
-            (1.5 * cfg.init_size as f64) as u64
+            (1.5 * cfg.init_size as f64).ceil() as u64
         };
         StreamingPcaOp {
             engine_id,
@@ -492,6 +498,84 @@ impl Operator for StreamingPcaOp {
         );
         true
     }
+
+    fn checkpoint(&mut self) -> Option<&mut dyn Checkpoint> {
+        Some(self)
+    }
+}
+
+/// Marker line separating the counter header from the embedded eigensystem
+/// (absent while the operator is still warming up).
+const EIG_MARKER: &[u8] = b"eigensystem\n";
+
+/// Universal-checkpoint facet: the counters as a key-value header, followed
+/// by the eigensystem in the same self-describing text format as the
+/// on-disk snapshots ([`persist::encode_snapshot`]), so a PE-manifest blob
+/// is inspectable with a text editor exactly like a standalone snapshot.
+/// `last_peer` is deliberately not captured: like a supervised restart, a
+/// restored engine forgets pre-crash peer gossip and re-earns it.
+impl Checkpoint for StreamingPcaOp {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = encode_kv(&[
+            ("processed", self.processed.to_string()),
+            ("obs_since_sync", self.obs_since_sync.to_string()),
+            ("outliers_flagged", self.outliers_flagged.to_string()),
+            ("dropped", self.dropped.to_string()),
+            ("quarantined", self.quarantined.to_string()),
+            ("merges_applied", self.merges_applied.to_string()),
+            ("shares_sent", self.shares_sent.to_string()),
+        ]);
+        let eig = {
+            let st = self.state.lock();
+            st.full_eigensystem().cloned()
+        };
+        if let Some(eig) = eig {
+            out.extend_from_slice(EIG_MARKER);
+            out.extend_from_slice(&persist::encode_snapshot(&eig));
+        }
+        out
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        // Split at the marker line: kv header before, eigensystem after.
+        let (head, eig_bytes) = if bytes.starts_with(EIG_MARKER) {
+            (&bytes[..0], Some(&bytes[EIG_MARKER.len()..]))
+        } else {
+            let pat = b"\neigensystem\n";
+            match bytes.windows(pat.len()).position(|w| w == pat) {
+                Some(pos) => (&bytes[..pos + 1], Some(&bytes[pos + pat.len()..])),
+                None => (bytes, None),
+            }
+        };
+        let kv = decode_kv(head)?;
+        let cfg = self.state.lock().config().clone();
+        let mut fresh = RobustPca::new(cfg);
+        if let Some(eig_bytes) = eig_bytes {
+            let eig = persist::decode_snapshot(eig_bytes)?;
+            fresh
+                .install_eigensystem(eig)
+                .map_err(|e| bad(&format!("checkpoint does not fit the configuration: {e}")))?;
+        }
+        self.processed = kv_u64(&kv, "processed")?;
+        self.obs_since_sync = kv_u64(&kv, "obs_since_sync")?;
+        self.outliers_flagged = kv_u64(&kv, "outliers_flagged")?;
+        self.dropped = kv_u64(&kv, "dropped")?;
+        self.quarantined = kv_u64(&kv, "quarantined")?;
+        self.merges_applied = kv_u64(&kv, "merges_applied")?;
+        self.shares_sent = kv_u64(&kv, "shares_sent")?;
+        self.last_peer = None;
+        *self.state.lock() = fresh;
+        Ok(())
+    }
+
+    fn checkpoint_every(&self) -> u64 {
+        if self.recovery_every > 0 {
+            self.recovery_every
+        } else {
+            spca_streams::DEFAULT_CHECKPOINT_EVERY
+        }
+    }
 }
 
 #[cfg(test)]
@@ -559,6 +643,53 @@ mod tests {
             sink.ports[0].is_empty(),
             "gate should have blocked the share"
         );
+        assert_eq!(op.shares_sent, 0);
+    }
+
+    #[test]
+    fn sync_gate_boundary_rounds_up_never_down() {
+        // `with_memory(N)` stores α = 1 − 1/N; recovering N = 1/(1−α) in
+        // floats can land a hair *below* the integer (e.g. 4999.999…), so a
+        // truncating cast would yield gate 1.5·N − 1 and the strict `>`
+        // comparison would admit a share one observation early. `ceil`
+        // pins the gate at ≥ 1.5·N for every memory value.
+        for mem in [3usize, 7, 200, 5000, 9999] {
+            let c = PcaConfig::new(D, 2).with_memory(mem).with_init_size(20);
+            let op = StreamingPcaOp::new(0, c, 1);
+            let exact = 1.5 * mem as f64;
+            assert!(
+                (op.sync_gate as f64) >= exact - 1e-6,
+                "memory {mem}: gate {} fell below 1.5·N = {exact}",
+                op.sync_gate
+            );
+            assert!(
+                (op.sync_gate as f64) <= exact + 1.0,
+                "memory {mem}: gate {} overshot 1.5·N = {exact} by > 1",
+                op.sync_gate
+            );
+        }
+        // Fractional boundary pinned exactly: N = 3 → 1.5·N = 4.5 → gate 5.
+        let op = StreamingPcaOp::new(0, PcaConfig::new(D, 2).with_memory(3), 1);
+        assert_eq!(op.sync_gate, 5, "⌈4.5⌉ = 5, truncation would give 4");
+        // Exact-integer boundary unchanged: N = 200 → gate 300, and a share
+        // at obs_since_sync = 300 is still blocked (strict `>`).
+        let mut op = StreamingPcaOp::new(0, cfg(), 1);
+        assert_eq!(op.sync_gate, 300);
+        feed(&mut op, 300, 21);
+        op.obs_since_sync = 300;
+        let sink = with_ctx(3, |ctx| {
+            op.on_control(
+                ControlTuple::new(
+                    KIND_SYNC_COMMAND,
+                    99,
+                    Arc::new(SyncCommand {
+                        share_ports: vec![0],
+                    }),
+                ),
+                ctx,
+            );
+        });
+        assert!(sink.ports[0].is_empty(), "obs == gate must stay gated");
         assert_eq!(op.shares_sent, 0);
     }
 
@@ -983,6 +1114,46 @@ mod tests {
         assert!(op.recover(1), "missing snapshot means a fresh restart");
         assert_eq!(op.processed, 0);
         assert!(!op.state_handle().lock().is_initialized());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn universal_checkpoint_round_trips_state_and_counters_bit_exactly() {
+        let mut op = StreamingPcaOp::new(4, cfg(), 1);
+        feed(&mut op, 500, 18);
+        op.obs_since_sync = 123;
+        op.shares_sent = 2;
+        let before = op.state_handle().lock().full_eigensystem().unwrap().clone();
+        let bytes = Checkpoint::snapshot(&op);
+
+        let mut fresh = StreamingPcaOp::new(4, cfg(), 1);
+        fresh.restore(&bytes).unwrap();
+        assert_eq!(fresh.processed, 500);
+        assert_eq!(fresh.obs_since_sync, 123);
+        assert_eq!(fresh.shares_sent, 2);
+        assert!(fresh.last_peer.is_none());
+        let after = fresh.state_handle().lock().full_eigensystem().unwrap().clone();
+        assert_eig_bits_equal(&before, &after);
+    }
+
+    #[test]
+    fn warmup_checkpoint_carries_counters_but_no_eigensystem() {
+        let mut op = StreamingPcaOp::new(4, cfg(), 0);
+        feed(&mut op, 5, 19); // still inside the init-20 warm-up
+        let bytes = Checkpoint::snapshot(&op);
+        let mut fresh = StreamingPcaOp::new(4, cfg(), 0);
+        fresh.restore(&bytes).unwrap();
+        assert_eq!(fresh.processed, 5);
+        assert!(!fresh.state_handle().lock().is_initialized());
+    }
+
+    #[test]
+    fn checkpoint_cadence_follows_recovery_cadence() {
+        let dir = recovery_tmp("cadence");
+        let op = StreamingPcaOp::new(8, cfg(), 0).with_recovery(&dir, 250);
+        assert_eq!(op.checkpoint_every(), 250);
+        let plain = StreamingPcaOp::new(8, cfg(), 0);
+        assert_eq!(plain.checkpoint_every(), spca_streams::DEFAULT_CHECKPOINT_EVERY);
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -11,7 +11,7 @@ use crate::messages::{PeerState, KIND_SNAPSHOT};
 use spca_core::EigenSystem;
 use spca_linalg::Mat;
 use spca_streams::{ControlTuple, DataTuple, OpContext, Operator};
-use std::io::{BufRead, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &str = "spca-eigensystem-v1";
@@ -21,11 +21,17 @@ const MAGIC: &str = "spca-eigensystem-v1";
 static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// Writes an eigensystem to `path`, crash-safely: the bytes go to a temp
-/// file in the same directory which is atomically renamed over `path`, so
-/// a crash mid-write can never leave a truncated file where the last good
-/// snapshot was. (The write is not fsynced — the failure model here is a
-/// crashing *process*, the paper's operator restart story, not a crashing
-/// kernel.)
+/// file in the same directory, the temp file is fsynced, and only then is
+/// it atomically renamed over `path` — so a crash mid-write can never
+/// leave a truncated file where the last good snapshot was, and a crash
+/// *after* the rename can never expose an empty or stale file the rename
+/// outran in the page cache. The failure model covers both a crashing
+/// process (the paper's operator restart story) and a crashing kernel:
+/// without the fsync-before-rename, journaled filesystems may commit the
+/// rename before the data blocks, which is exactly the window PE-level
+/// recovery trusts. The containing directory is fsynced best-effort so the
+/// rename itself is durable; directory fsync is not supported everywhere,
+/// so its failure is ignored.
 pub fn write_snapshot(path: &Path, eig: &EigenSystem) -> std::io::Result<()> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let stamp = TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -43,25 +49,48 @@ pub fn write_snapshot(path: &Path, eig: &EigenSystem) -> std::io::Result<()> {
     let result = (|| {
         let f = std::fs::File::create(&tmp)?;
         let mut w = BufWriter::new(f);
-        writeln!(w, "{MAGIC}")?;
-        writeln!(w, "dim {} components {}", eig.dim(), eig.n_components())?;
-        writeln!(
-            w,
-            "sums sigma2 {:e} u {:e} v {:e} q {:e} n_obs {}",
-            eig.sigma2, eig.sum_u, eig.sum_v, eig.sum_q, eig.n_obs
-        )?;
-        write_row(&mut w, "values", &eig.values)?;
-        for k in 0..eig.n_components() {
-            write_row(&mut w, "vector", eig.basis.col(k))?;
+        w.write_all(&encode_snapshot(eig))?;
+        // Flush the buffer, then fsync the temp file *before* the rename:
+        // rename-before-data-reaches-disk is the classic crash window where
+        // recovery would read an empty or stale snapshot it trusts.
+        let f = w.into_inner().map_err(|e| e.into_error())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        // Best-effort directory fsync so the rename is durable too.
+        if let Some(d) = dir {
+            if let Ok(dirf) = std::fs::File::open(d) {
+                let _ = dirf.sync_all();
+            }
         }
-        write_row(&mut w, "mean", &eig.mean)?;
-        w.flush()?;
-        std::fs::rename(&tmp, path)
+        Ok(())
     })();
     if result.is_err() {
         std::fs::remove_file(&tmp).ok();
     }
     result
+}
+
+/// Serializes an eigensystem in the snapshot text format, in memory. This
+/// is the byte layer under [`write_snapshot`]; the PE-level `Checkpoint`
+/// machinery stores the same bytes inside per-PE manifests, so an engine
+/// state is readable with a text editor wherever it ends up.
+pub fn encode_snapshot(eig: &EigenSystem) -> Vec<u8> {
+    let mut w = Vec::new();
+    // Writes to a Vec cannot fail.
+    let _ = writeln!(w, "{MAGIC}");
+    let _ = writeln!(w, "dim {} components {}", eig.dim(), eig.n_components());
+    let _ = writeln!(
+        w,
+        "sums sigma2 {:e} u {:e} v {:e} q {:e} n_obs {}",
+        eig.sigma2, eig.sum_u, eig.sum_v, eig.sum_q, eig.n_obs
+    );
+    let _ = write_row(&mut w, "values", &eig.values);
+    for k in 0..eig.n_components() {
+        let _ = write_row(&mut w, "vector", eig.basis.col(k));
+    }
+    let _ = write_row(&mut w, "mean", &eig.mean);
+    w
 }
 
 /// The recovery-snapshot path for an engine: written *synchronously* by the
@@ -86,13 +115,31 @@ fn bad(msg: impl Into<String>) -> std::io::Error {
 }
 
 /// Reads an eigensystem previously written by [`write_snapshot`].
+///
+/// Every failure mode — wrong magic, malformed header, short file, a file
+/// torn at an arbitrary *byte* offset — yields a clean
+/// [`std::io::ErrorKind::InvalidData`] error; a torn snapshot can never
+/// parse into a plausible-but-wrong eigensystem. The writer terminates
+/// every line (including the last), so a file that does not end in `\n`
+/// was cut off mid-write even when every token it kept still parses.
 pub fn read_snapshot(path: &Path) -> std::io::Result<EigenSystem> {
-    let f = std::fs::File::open(path)?;
-    let mut lines = std::io::BufReader::new(f).lines();
+    decode_snapshot(&std::fs::read(path)?)
+}
+
+/// Parses the snapshot text format from memory — the read-side counterpart
+/// of [`encode_snapshot`], with the same torn-input guarantees as
+/// [`read_snapshot`].
+pub fn decode_snapshot(bytes: &[u8]) -> std::io::Result<EigenSystem> {
+    let text = std::str::from_utf8(bytes).map_err(|_| bad("snapshot is not UTF-8"))?;
+    if !text.ends_with('\n') {
+        return Err(bad("truncated snapshot"));
+    }
+    let mut lines = text.lines();
     let mut next = || {
         lines
             .next()
-            .unwrap_or_else(|| Err(bad("truncated snapshot")))
+            .map(|l| l.to_string())
+            .ok_or_else(|| bad("truncated snapshot"))
     };
 
     if next()? != MAGIC {
@@ -269,6 +316,49 @@ mod tests {
                 err.kind(),
                 std::io::ErrorKind::InvalidData,
                 "keep={keep}: expected InvalidData, got {err}"
+            );
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// A valid snapshot truncated at *any* byte offset must come back
+        /// as a clean `InvalidData` error — never a panic, never a
+        /// plausible-but-wrong eigensystem. This covers torn writes at
+        /// byte granularity, including a cut inside the final token of the
+        /// last line (where every kept token still parses).
+        #[test]
+        fn truncation_at_any_byte_offset_is_invalid_data(frac in 0.0f64..1.0) {
+            let eig = sample_eig();
+            let path = tmp(&format!("bytetrunc_{:x}.snapshot", frac.to_bits()));
+            write_snapshot(&path, &eig).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            let cut = ((bytes.len() as f64) * frac) as usize;
+            std::fs::write(&path, &bytes[..cut.min(bytes.len() - 1)]).unwrap();
+            let err = read_snapshot(&path).expect_err("torn snapshot must not parse");
+            std::fs::remove_file(&path).ok();
+            proptest::prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        }
+    }
+
+    #[test]
+    fn byte_truncation_sweeps_every_offset() {
+        // Exhaustive companion to the proptest: every prefix of a valid
+        // snapshot is rejected with `InvalidData`.
+        let eig = sample_eig();
+        let path = tmp("bytesweep.snapshot");
+        write_snapshot(&path, &eig).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let err = read_snapshot(&path).expect_err("torn snapshot must not parse");
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::InvalidData,
+                "cut at byte {cut}/{}: expected InvalidData, got {err}",
+                bytes.len()
             );
         }
         std::fs::remove_file(path).ok();

@@ -12,7 +12,8 @@
 //! port `i` connects to engine `i`'s control port; the command tells that
 //! engine which of *its* peer-state ports to share on.
 
-use crate::messages::{SyncCommand, KIND_HEARTBEAT, KIND_SNAPSHOT, KIND_SYNC_COMMAND};
+use crate::messages::{Heartbeat, PeerState, SyncCommand, KIND_HEARTBEAT, KIND_SNAPSHOT, KIND_SYNC_COMMAND};
+use spca_streams::checkpoint::{decode_kv, encode_kv, kv_parse, kv_u64, Checkpoint};
 use spca_streams::{ControlTuple, DataTuple, OpContext, Operator, SourceState};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -98,6 +99,12 @@ pub struct SyncController {
     /// Ticks where the rotating sender was skipped as dead, plus ticks
     /// where a live sender had no live receiver left.
     pub skipped_dead: u64,
+    /// Malformed or foreign control tuples ignored instead of acted on: a
+    /// liveness-bearing kind whose payload fails the typed downcast, whose
+    /// payload contradicts its `sender` header, or whose sender is out of
+    /// range. The controller must never panic on junk from the mesh — a
+    /// poisoned control tuple would otherwise kill the whole sync loop.
+    pub ignored_control: u64,
 }
 
 impl SyncController {
@@ -112,6 +119,7 @@ impl SyncController {
             liveness: None,
             issued: 0,
             skipped_dead: 0,
+            ignored_control: 0,
         }
     }
 
@@ -190,13 +198,25 @@ impl Operator for SyncController {
     fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {}
 
     fn on_control(&mut self, t: ControlTuple, _ctx: &mut OpContext<'_>) {
-        if let Some(lv) = &mut self.liveness {
-            if t.kind == KIND_HEARTBEAT || t.kind == KIND_SNAPSHOT {
-                let i = t.sender as usize;
-                if i < lv.heard.len() {
-                    lv.heard[i] = Some(Instant::now());
-                }
+        if self.liveness.is_none() {
+            return;
+        }
+        // Validate before trusting: a malformed or foreign control tuple
+        // (wrong payload type, payload/header sender mismatch, out-of-range
+        // sender) is *ignored with a counter*, never unwrapped — one junk
+        // tuple on the mesh must not kill the sync loop or let a spoofed
+        // header keep a dead engine "alive".
+        let claimed = match t.kind {
+            KIND_HEARTBEAT => t.payload_as::<Heartbeat>().map(|h| h.engine),
+            KIND_SNAPSHOT => t.payload_as::<PeerState>().map(|s| s.engine),
+            _ => return, // not a liveness-bearing kind; none of our business
+        };
+        let lv = self.liveness.as_mut().expect("checked above");
+        match claimed {
+            Some(engine) if engine == t.sender && (engine as usize) < lv.heard.len() => {
+                lv.heard[engine as usize] = Some(Instant::now());
             }
+            _ => self.ignored_control += 1,
         }
     }
 
@@ -241,6 +261,42 @@ impl Operator for SyncController {
             return SourceState::Emitted;
         }
         SourceState::Idle
+    }
+
+    fn checkpoint(&mut self) -> Option<&mut dyn Checkpoint> {
+        Some(self)
+    }
+}
+
+/// The controller's durable state is its rotation cursor and the exchange
+/// counters. Wall-clock anchors (`last`, liveness timestamps) deliberately
+/// do not survive: after a restart the pacing timer re-arms and every
+/// engine gets a fresh startup grace window, so a controller that was down
+/// for longer than the liveness timeout does not wrongly declare the whole
+/// fleet dead on its first post-restart drive.
+impl Checkpoint for SyncController {
+    fn snapshot(&self) -> Vec<u8> {
+        encode_kv(&[
+            ("cursor", self.cursor.to_string()),
+            ("issued", self.issued.to_string()),
+            ("skipped_dead", self.skipped_dead.to_string()),
+            ("ignored_control", self.ignored_control.to_string()),
+        ])
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let kv = decode_kv(bytes)?;
+        self.cursor = kv_parse(&kv, "cursor")?;
+        self.issued = kv_u64(&kv, "issued")?;
+        self.skipped_dead = kv_u64(&kv, "skipped_dead")?;
+        self.ignored_control = kv_u64(&kv, "ignored_control")?;
+        self.cursor %= self.n_engines.max(1);
+        self.last = None;
+        if let Some(lv) = self.liveness.as_mut() {
+            lv.started = None;
+            lv.heard = vec![None; self.n_engines];
+        }
+        Ok(())
     }
 }
 
@@ -332,8 +388,6 @@ mod tests {
     }
 
     // ---- failure-aware mode ----
-
-    use crate::messages::Heartbeat;
 
     fn beat(c: &mut SyncController, engine: u32) {
         with_ctx(0, |ctx| {
@@ -435,6 +489,72 @@ mod tests {
         });
         // Sender 0's full-mesh ports: 1 → 0, 2 → 1, 3 → 2; dead 2 dropped.
         assert_eq!(shared_ports(&sink, 0), vec![0, 2]);
+    }
+
+    #[test]
+    fn junk_control_tuples_are_ignored_with_counter_not_a_panic() {
+        let mut c = SyncController::new(SyncStrategy::Ring, 2, Duration::from_micros(10))
+            .with_liveness(Duration::from_millis(50), Duration::ZERO);
+        with_ctx(2, |ctx| {
+            // Heartbeat kind carrying a completely foreign payload.
+            c.on_control(
+                ControlTuple::new(KIND_HEARTBEAT, 0, Arc::new("junk".to_string())),
+                ctx,
+            );
+            // Snapshot kind with a unit payload (signal-only tuple).
+            c.on_control(ControlTuple::signal(KIND_SNAPSHOT, 1), ctx);
+            // Spoofed header: payload says engine 1, header says engine 0.
+            c.on_control(
+                ControlTuple::new(
+                    KIND_HEARTBEAT,
+                    0,
+                    Arc::new(Heartbeat { engine: 1, n_obs: 1 }),
+                ),
+                ctx,
+            );
+            // Out-of-range sender.
+            c.on_control(
+                ControlTuple::new(
+                    KIND_HEARTBEAT,
+                    9,
+                    Arc::new(Heartbeat { engine: 9, n_obs: 1 }),
+                ),
+                ctx,
+            );
+            // A kind the controller does not care about is not "junk".
+            c.on_control(ControlTuple::signal(KIND_SYNC_COMMAND, 0), ctx);
+        });
+        assert_eq!(c.ignored_control, 4);
+        // None of the junk registered liveness: both engines still unheard.
+        let lv = c.liveness.as_ref().unwrap();
+        assert!(lv.heard.iter().all(|h| h.is_none()));
+        // A well-formed heartbeat still works.
+        beat(&mut c, 0);
+        assert!(c.liveness.as_ref().unwrap().heard[0].is_some());
+        assert_eq!(c.ignored_control, 4);
+    }
+
+    #[test]
+    fn controller_checkpoint_round_trips_cursor_but_resets_liveness() {
+        let mut c = SyncController::new(SyncStrategy::Ring, 4, Duration::from_micros(1))
+            .with_liveness(Duration::from_millis(50), Duration::ZERO);
+        beat(&mut c, 0);
+        c.cursor = 3;
+        c.issued = 7;
+        c.skipped_dead = 2;
+        c.ignored_control = 1;
+        let bytes = Checkpoint::snapshot(&c);
+        let mut r = SyncController::new(SyncStrategy::Ring, 4, Duration::from_micros(1))
+            .with_liveness(Duration::from_millis(50), Duration::ZERO);
+        r.restore(&bytes).unwrap();
+        assert_eq!(r.cursor, 3);
+        assert_eq!(r.issued, 7);
+        assert_eq!(r.skipped_dead, 2);
+        assert_eq!(r.ignored_control, 1);
+        // Liveness starts over: no engine is condemned by pre-crash silence.
+        let lv = r.liveness.as_ref().unwrap();
+        assert!(lv.started.is_none());
+        assert!(lv.heard.iter().all(|h| h.is_none()));
     }
 
     #[test]

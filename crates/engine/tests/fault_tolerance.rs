@@ -194,6 +194,57 @@ fn panicked_engine_restarts_from_snapshot_and_matches_fault_free_run() {
 }
 
 #[test]
+fn killed_pe_rehydrates_from_its_manifest_and_matches_fault_free_run() {
+    // The whole-PE variant of the restart bar: `kill-pe@engine1:5000`
+    // (normalized to pca-1) tears down the entire processing element after
+    // its 5000th delivered tuple — well past warm-up, so the teardown
+    // manifest carries a full eigensystem. The supervisor rebuilds the PE,
+    // reconnects its frame channels, and rehydrates every member from the
+    // per-PE snapshot manifest under `<recovery>/pe`; the run must finish
+    // bit-identical to the fault-free one.
+    let clean_dir = tmp_dir("pe_clean");
+    let fault_dir = tmp_dir("pe_faulted");
+
+    let clean = run_once(None, &clean_dir);
+    let faulted = run_once(Some("kill-pe@engine1:5000"), &fault_dir);
+
+    // No tuple lost or duplicated across the PE teardown.
+    assert_eq!(clean.report.tuples_in_matching("pca-"), N_TUPLES);
+    assert_eq!(faulted.report.tuples_in_matching("pca-"), N_TUPLES);
+
+    // The restart is counted at the PE level, not the operator level.
+    assert_eq!(clean.report.total_pe_restarts(), 0);
+    assert!(faulted.report.total_pe_restarts() > 0);
+    assert!(op_snapshot(&faulted.report, "pca-1").pe_restarts >= 1);
+    assert_eq!(
+        op_snapshot(&faulted.report, "pca-1").restarts,
+        0,
+        "a whole-PE kill must not also count an operator restart"
+    );
+
+    // Recovery wrote a consistent per-PE manifest set on disk.
+    let manifests = std::fs::read_dir(fault_dir.join("pe"))
+        .expect("PE checkpoint directory exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".manifest"))
+        .count();
+    assert!(manifests >= 1, "the killed PE left a snapshot manifest");
+
+    // Every engine — including the one whose PE died and was rehydrated
+    // from the manifest — finishes bit-identical to the fault-free run.
+    assert_eq!(clean.reporting, 4);
+    assert_eq!(faulted.reporting, 4);
+    for (i, (a, b)) in clean.eigs.iter().zip(&faulted.eigs).enumerate() {
+        assert_eig_bits_equal(i, a, b);
+    }
+    let dist = subspace_distance(&clean.merged.basis, &faulted.merged.basis).unwrap();
+    assert!(dist < 1e-6, "merged subspace distance {dist}");
+
+    std::fs::remove_dir_all(clean_dir).ok();
+    std::fs::remove_dir_all(fault_dir).ok();
+}
+
+#[test]
 fn ring_survives_a_killed_engine_and_still_converges() {
     // No recovery directory: engine 1's recover() declines and the
     // supervisor finishes it — a true crash. The failure-aware controller

@@ -1,0 +1,358 @@
+//! Generic operator checkpointing and per-PE snapshot manifests.
+//!
+//! The paper's prototype leaned on InfoSphere Streams' managed runtime to
+//! keep PEs alive across the cluster; our PE-level supervisor (see the
+//! engine docs) reproduces that by tearing down and rebuilding a whole
+//! processing element when its thread dies. Rebuilding is only correct if
+//! *every* stateful operator in the PE can rejoin with consistent state —
+//! not just the PCA engine with its bespoke snapshot file — so this module
+//! defines the uniform [`Checkpoint`] contract plus the on-disk layout the
+//! supervisor uses:
+//!
+//! * each checkpointable operator serializes to an opaque blob (text
+//!   `key value` lines by convention — see [`encode_kv`]);
+//! * all blobs of one PE are written together under a generation number,
+//!   then a per-PE **manifest** is atomically renamed into place naming
+//!   exactly the files of that generation. Recovery trusts only blobs the
+//!   manifest names, so a crash mid-checkpoint can never mix operators from
+//!   two different generations — the manifest *is* the consistency point.
+//!
+//! Durability follows the same failure model as the engine crate's
+//! eigensystem snapshots: blob and manifest temp files are fsynced before
+//! the rename and the directory is fsynced best-effort afterwards, so a
+//! manifest never names a blob whose bytes could still be lost by a crash.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Default cadence (data tuples between periodic PE checkpoints) for
+/// operators that don't override [`Checkpoint::checkpoint_every`].
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 512;
+
+/// Uniform snapshot/restore contract for stateful operators.
+///
+/// Implementors serialize *logical* state (cursors, counters, estimates) —
+/// not transport state: channels, file handles and sockets are re-acquired
+/// lazily after a restore. `restore` must leave the operator equivalent to
+/// one that processed exactly the tuples reflected in the snapshot, so a
+/// restarted PE neither loses nor double-counts work.
+pub trait Checkpoint {
+    /// Serializes the operator's logical state as a self-contained blob.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Restores state from a blob produced by [`Checkpoint::snapshot`].
+    /// A malformed blob is an `InvalidData` error, never a panic.
+    fn restore(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Preferred cadence in data tuples between periodic PE checkpoints.
+    /// The PE takes the *minimum* over its member operators.
+    fn checkpoint_every(&self) -> u64 {
+        DEFAULT_CHECKPOINT_EVERY
+    }
+}
+
+/// Encodes `key value` lines — the shared text idiom for snapshot blobs.
+pub fn encode_kv(pairs: &[(&str, String)]) -> Vec<u8> {
+    let mut out = String::new();
+    for (k, v) in pairs {
+        out.push_str(k);
+        out.push(' ');
+        out.push_str(v);
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+/// Decodes `key value` lines produced by [`encode_kv`]. Duplicate keys and
+/// non-UTF-8 bytes are `InvalidData`.
+pub fn decode_kv(bytes: &[u8]) -> io::Result<BTreeMap<String, String>> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "snapshot blob is not UTF-8"))?;
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let (k, v) = line.split_once(' ').ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("snapshot blob line '{line}' is not 'key value'"),
+            )
+        })?;
+        if map.insert(k.to_string(), v.to_string()).is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("snapshot blob repeats key '{k}'"),
+            ));
+        }
+    }
+    Ok(map)
+}
+
+/// Looks up `key` in a decoded blob and parses it as `u64`.
+pub fn kv_u64(map: &BTreeMap<String, String>, key: &str) -> io::Result<u64> {
+    kv_parse(map, key)
+}
+
+/// Looks up `key` in a decoded blob and parses it with `FromStr`.
+pub fn kv_parse<T: std::str::FromStr>(map: &BTreeMap<String, String>, key: &str) -> io::Result<T> {
+    let raw = map.get(key).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("snapshot blob missing key '{key}'"),
+        )
+    })?;
+    raw.parse().map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("snapshot blob key '{key}' has unparsable value '{raw}'"),
+        )
+    })
+}
+
+const MANIFEST_MAGIC: &str = "spca-pe-manifest-v1";
+
+/// One consistent snapshot set: `(operator name, blob)` pairs in manifest
+/// order.
+pub type SnapshotSet = Vec<(String, Vec<u8>)>;
+
+/// Writes `bytes` to `path` atomically and durably: temp file in the same
+/// directory, fsync, rename, best-effort directory fsync.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    if let Some(d) = dir {
+        if let Ok(dirf) = File::open(d) {
+            let _ = dirf.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// One PE's checkpoint writer: owns the generation counter and prunes the
+/// previous generation's blobs once a new manifest is durable.
+#[derive(Debug)]
+pub struct PeCheckpointer {
+    dir: PathBuf,
+    pe_index: usize,
+    gen: u64,
+    prev_files: Vec<PathBuf>,
+}
+
+impl PeCheckpointer {
+    /// Creates (or reopens) the checkpoint directory for one PE.
+    pub fn new(dir: impl Into<PathBuf>, pe_index: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(PeCheckpointer {
+            dir,
+            pe_index,
+            gen: 0,
+            prev_files: Vec::new(),
+        })
+    }
+
+    /// The PE's manifest path: `pe{index}.manifest`.
+    pub fn manifest_path(&self) -> PathBuf {
+        manifest_path(&self.dir, self.pe_index)
+    }
+
+    /// Reads this PE's latest consistent snapshot set, possibly written by
+    /// a previous incarnation of the PE. See [`read_pe_manifest`].
+    pub fn read(&self) -> io::Result<Option<SnapshotSet>> {
+        read_pe_manifest(&self.dir, self.pe_index)
+    }
+
+    /// Writes one consistent snapshot set: every blob under a fresh
+    /// generation, then the manifest naming exactly those files. Stale
+    /// generations are pruned only after the new manifest is durable, so a
+    /// crash at any byte offset leaves a complete older set readable.
+    pub fn write(&mut self, parts: &[(String, Vec<u8>)]) -> io::Result<()> {
+        self.gen += 1;
+        let mut files = Vec::with_capacity(parts.len());
+        let mut manifest = format!("{MANIFEST_MAGIC}\npe {}\ngen {}\n", self.pe_index, self.gen);
+        for (ordinal, (name, blob)) in parts.iter().enumerate() {
+            let file = format!("pe{}-g{}-{}.ckpt", self.pe_index, self.gen, ordinal);
+            write_atomic(&self.dir.join(&file), blob)?;
+            manifest.push_str(&format!("op {} {} {}\n", file, blob.len(), name));
+            files.push(self.dir.join(file));
+        }
+        manifest.push_str("end\n");
+        write_atomic(&self.manifest_path(), manifest.as_bytes())?;
+        for stale in self.prev_files.drain(..) {
+            let _ = std::fs::remove_file(stale);
+        }
+        self.prev_files = files;
+        Ok(())
+    }
+}
+
+fn manifest_path(dir: &Path, pe_index: usize) -> PathBuf {
+    dir.join(format!("pe{pe_index}.manifest"))
+}
+
+/// Reads the latest consistent snapshot set for a PE: `(op name, blob)`
+/// pairs in manifest order. `Ok(None)` when no manifest exists yet (the PE
+/// never checkpointed); any structural problem — bad magic, truncated
+/// manifest, missing blob, blob length mismatch — is `InvalidData`, so
+/// recovery never rehydrates from a torn or mixed-generation set.
+pub fn read_pe_manifest(dir: &Path, pe_index: usize) -> io::Result<Option<SnapshotSet>> {
+    let path = manifest_path(dir, pe_index);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_MAGIC) {
+        return Err(bad(format!("manifest {path:?} has a bad magic line")));
+    }
+    let mut parts = Vec::new();
+    let mut ended = false;
+    for line in lines {
+        if line == "end" {
+            ended = true;
+            break;
+        }
+        if line.starts_with("pe ") || line.starts_with("gen ") {
+            continue;
+        }
+        let rest = line
+            .strip_prefix("op ")
+            .ok_or_else(|| bad(format!("manifest {path:?} has unknown line '{line}'")))?;
+        let mut it = rest.splitn(3, ' ');
+        let (file, len, name) = match (it.next(), it.next(), it.next()) {
+            (Some(f), Some(l), Some(n)) => (f, l, n),
+            _ => return Err(bad(format!("manifest {path:?} has malformed entry '{line}'"))),
+        };
+        let len: usize = len
+            .parse()
+            .map_err(|_| bad(format!("manifest {path:?} has bad length in '{line}'")))?;
+        let mut blob = Vec::new();
+        File::open(dir.join(file))
+            .and_then(|mut f| f.read_to_end(&mut blob))
+            .map_err(|e| bad(format!("manifest {path:?} names unreadable blob {file}: {e}")))?;
+        if blob.len() != len {
+            return Err(bad(format!(
+                "blob {file} is {} bytes, manifest says {len} — torn checkpoint",
+                blob.len()
+            )));
+        }
+        parts.push((name.to_string(), blob));
+    }
+    if !ended {
+        return Err(bad(format!("manifest {path:?} is truncated (no 'end')")));
+    }
+    Ok(Some(parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "spca-ckpt-test-{}-{}",
+            std::process::id(),
+            DIR_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn kv_round_trips() {
+        let blob = encode_kv(&[("seq", "42".to_string()), ("next_rr", "3".to_string())]);
+        let map = decode_kv(&blob).unwrap();
+        assert_eq!(kv_u64(&map, "seq").unwrap(), 42);
+        assert_eq!(kv_u64(&map, "next_rr").unwrap(), 3);
+        assert!(kv_u64(&map, "missing").is_err());
+        assert!(decode_kv(b"noseparator").is_err());
+        assert!(decode_kv(b"a 1\na 2\n").is_err(), "duplicate keys rejected");
+    }
+
+    #[test]
+    fn manifest_round_trips_a_consistent_set() {
+        let dir = temp_dir();
+        let mut w = PeCheckpointer::new(&dir, 3).unwrap();
+        let parts = vec![
+            ("src".to_string(), b"seq 10\n".to_vec()),
+            ("split".to_string(), b"next_rr 2\npicks 10\n".to_vec()),
+        ];
+        w.write(&parts).unwrap();
+        let back = read_pe_manifest(&dir, 3).unwrap().unwrap();
+        assert_eq!(back, parts);
+        // A second generation replaces the first and prunes stale blobs.
+        let parts2 = vec![("src".to_string(), b"seq 20\n".to_vec())];
+        w.write(&parts2).unwrap();
+        let back2 = read_pe_manifest(&dir, 3).unwrap().unwrap();
+        assert_eq!(back2, parts2);
+        let stale: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("-g1-"))
+            .collect();
+        assert!(stale.is_empty(), "generation 1 blobs must be pruned");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_none_not_error() {
+        let dir = temp_dir();
+        assert!(read_pe_manifest(&dir, 0).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_manifest_is_invalid_data() {
+        let dir = temp_dir();
+        let mut w = PeCheckpointer::new(&dir, 0).unwrap();
+        w.write(&[("a".to_string(), b"x 1\n".to_vec())]).unwrap();
+        let path = manifest_path(&dir, 0);
+        let full = std::fs::read_to_string(&path).unwrap();
+        for cut in 0..full.len().saturating_sub(4) {
+            std::fs::write(&path, &full.as_bytes()[..cut]).unwrap();
+            let err = read_pe_manifest(&dir, 0).expect_err("torn manifest must fail");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn blob_length_mismatch_is_invalid_data() {
+        let dir = temp_dir();
+        let mut w = PeCheckpointer::new(&dir, 1).unwrap();
+        w.write(&[("a".to_string(), b"cursor 99\n".to_vec())])
+            .unwrap();
+        // Truncate the blob the manifest names.
+        let blob = dir.join("pe1-g1-0.ckpt");
+        std::fs::write(&blob, b"cursor").unwrap();
+        let err = read_pe_manifest(&dir, 1).expect_err("length mismatch must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn no_temp_files_survive_a_write() {
+        let dir = temp_dir();
+        let mut w = PeCheckpointer::new(&dir, 2).unwrap();
+        w.write(&[("a".to_string(), b"k 1\n".to_vec())]).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -21,17 +21,36 @@
 //!
 //! ## Supervision
 //!
-//! Operator callbacks on the tuple path (`process` / `on_control`) run
-//! under a supervisor: a panic is isolated with `catch_unwind`, the
-//! operator instance survives (it is borrowed, not moved, into the guarded
-//! call), and after a capped exponential backoff the supervisor asks it to
-//! [`Operator::recover`]. A recovered operator resumes where it left off —
-//! the in-flight data tuple is redelivered exactly once — while an
-//! unrecoverable one is finished so its end-of-stream still propagates and
-//! the rest of the graph drains normally. Restart counts surface as
-//! `restarts` in [`OpSnapshot`]/[`RunReport`]. Deterministic faults
-//! (panic/poison/stall on operators, drop/dup/delay on cross-PE links) are
-//! injected from the builder's [`crate::fault::FaultPlan`].
+//! Two nested layers, mirroring InfoSphere's operator/PE split:
+//!
+//! **Operator-level.** Callbacks on the tuple path (`process` /
+//! `on_control`) run under a supervisor: a panic is isolated with
+//! `catch_unwind`, the operator instance survives (it is borrowed, not
+//! moved, into the guarded call), and after a capped exponential backoff
+//! the supervisor asks it to [`Operator::recover`]. A recovered operator
+//! resumes where it left off — the in-flight data tuple is redelivered
+//! exactly once — while an unrecoverable one is finished so its
+//! end-of-stream still propagates and the rest of the graph drains
+//! normally. Restart counts surface as `restarts` in
+//! [`OpSnapshot`]/[`RunReport`].
+//!
+//! **PE-level.** A panic that escapes the operator layer — a source's
+//! `drive` blowing up, or an injected `kill-pe` fault — unwinds the PE's
+//! scheduler loop itself. The PE's channels, in-flight tuples and operator
+//! slots live *outside* that unwind (in [`PeRuntime`], owned across the
+//! `catch_unwind`), so the supervisor tears the PE down and rebuilds it in
+//! place: every [`crate::checkpoint::Checkpoint`]-able operator is
+//! rehydrated from the PE's snapshot manifest (written periodically at the
+//! operators' cadence, and — for a clean injected kill — once more at
+//! teardown so recovery round-trips consistent state through disk), cross-PE
+//! frame channels reconnect untouched (no tuple is lost or duplicated: the
+//! pending queue and edge buffers survive in `PeRuntime`), and the loop
+//! re-enters. PE restarts count as `pe_restarts` on every member operator
+//! and are bounded by the same [`RestartPolicy`] as operator restarts.
+//!
+//! Deterministic faults (panic/kill-pe/poison/stall on operators,
+//! drop/dup/delay on cross-PE links) are injected from the builder's
+//! [`crate::fault::FaultPlan`].
 //!
 //! ## Shutdown semantics
 //!
@@ -45,6 +64,7 @@
 //! * `on_finish` runs before the operator's own end-of-stream propagates,
 //!   so terminal operators can emit final results.
 
+use crate::checkpoint::PeCheckpointer;
 use crate::fault::{FaultAction, FaultTarget, RestartPolicy};
 use crate::graph::{GraphBuilder, LinkKind, PortKind};
 use crate::metrics::{LinkCounters, LinkSnapshot, MetricsRegistry, OpCounters, OpSnapshot};
@@ -302,6 +322,20 @@ struct OpSlot {
     last_redelivered: Option<u64>,
 }
 
+/// Panic payload used to unwind a PE's scheduler loop on purpose. `clean`
+/// means the unwind started between tuples with every operator box parked
+/// in its slot (the injected `kill-pe` case), so the in-memory state is a
+/// consistent set worth persisting before the rebuild.
+struct PeKill {
+    clean: bool,
+}
+
+/// Everything a PE owns that must survive a whole-PE restart. The
+/// scheduler body (`run_pe_once`) only *borrows* this, so when a panic
+/// unwinds the body, channel endpoints (senders live in `slots`' remote
+/// targets, receivers in `rxs`), partially consumed frame cursors, the
+/// in-PE pending queue, and the operator boxes themselves all survive for
+/// the supervisor to rebuild around.
 struct PeRuntime {
     slots: Vec<OpSlot>,
     /// Frame receivers, parallel to `metas`. Kept separate (and never
@@ -310,6 +344,22 @@ struct PeRuntime {
     rxs: Vec<Receiver<Frame>>,
     metas: Vec<ChanMeta>,
     stop: Arc<AtomicBool>,
+    /// In-PE dispatch queue. Owned here — not in the scheduler body — so
+    /// tuples queued at the moment a PE dies are redelivered, not lost.
+    pending: VecDeque<(usize, PortKind, Tuple)>,
+    /// This PE's index in the graph's PE list (manifest identity).
+    pe_index: usize,
+    /// Bounds PE-level restarts (same policy as operator restarts).
+    policy: RestartPolicy,
+    /// Snapshot writer, when the graph has a checkpoint dir configured.
+    checkpoint: Option<PeCheckpointer>,
+    /// Whole-PE restarts performed so far.
+    pe_restarts: u64,
+    /// Sum of member `tuples_in` at the last periodic checkpoint.
+    last_ckpt_total: u64,
+    /// True once `on_start` hooks have run; a restarted PE must not re-run
+    /// them (operators resume via `Checkpoint::restore`, not a fresh start).
+    started: bool,
 }
 
 /// Traffic report for one cross-PE link.
@@ -366,6 +416,14 @@ impl RunReport {
     /// run; benchmark artifacts are rejected when this is nonzero.
     pub fn total_restarts(&self) -> u64 {
         self.ops.iter().map(|(_, s)| s.restarts).sum()
+    }
+
+    /// Total whole-PE restarts, summed over operators (each member of a
+    /// restarted PE counts the restart it lived through). Zero in a
+    /// fault-free run; benchmark artifacts are rejected when this is
+    /// nonzero.
+    pub fn total_pe_restarts(&self) -> u64 {
+        self.ops.iter().map(|(_, s)| s.pe_restarts).sum()
     }
 
     /// Total tuples diverted to quarantine across all operators.
@@ -590,13 +648,29 @@ impl Engine {
         }
 
         let stop = Arc::new(AtomicBool::new(false));
+        let checkpoint_dir = builder.checkpoint_dir.take();
         let mut handles = Vec::with_capacity(pes.len());
-        for ((slots, rxs), metas) in slots_per_pe.into_iter().zip(rxs_per_pe).zip(metas_per_pe) {
+        for (pe_index, ((slots, rxs), metas)) in slots_per_pe
+            .into_iter()
+            .zip(rxs_per_pe)
+            .zip(metas_per_pe)
+            .enumerate()
+        {
+            let checkpoint = checkpoint_dir.as_ref().map(|dir| {
+                PeCheckpointer::new(dir, pe_index).expect("create checkpoint directory")
+            });
             let pe = PeRuntime {
                 slots,
                 rxs,
                 metas,
                 stop: Arc::clone(&stop),
+                pending: VecDeque::new(),
+                pe_index,
+                policy,
+                checkpoint,
+                pe_restarts: 0,
+                last_ckpt_total: 0,
+                started: false,
             };
             handles.push(
                 std::thread::Builder::new()
@@ -735,33 +809,228 @@ macro_rules! with_op {
     }};
 }
 
-fn run_pe(pe: PeRuntime) {
+/// PE thread entry: the PE-level supervisor. The scheduler body runs under
+/// `catch_unwind` while [`PeRuntime`] stays owned out here, so a panic that
+/// escapes the operator layer (source `drive`, injected `kill-pe`) tears
+/// down only the *stack* of the scheduler — channels, cursors, pending
+/// tuples and operator boxes all survive for [`restart_pe`] to rebuild
+/// around, and the loop re-enters.
+fn run_pe(mut pe: PeRuntime) {
+    loop {
+        let unwound =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_pe_once(&mut pe)));
+        match unwound {
+            Ok(()) => return,
+            Err(payload) => {
+                let clean = payload
+                    .downcast_ref::<PeKill>()
+                    .map(|k| k.clean)
+                    .unwrap_or(false);
+                if !restart_pe(&mut pe, clean) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Writes one consistent checkpoint of every live checkpointable operator
+/// in the PE (blobs + manifest; see [`crate::checkpoint`]). A write failure
+/// is logged, not fatal: the previous manifest generation stays readable.
+fn write_pe_checkpoint(slots: &mut [OpSlot], ckpt: &mut PeCheckpointer) {
+    let mut parts = Vec::new();
+    for slot in slots.iter_mut() {
+        if slot.finished {
+            continue;
+        }
+        if let Some(cp) = slot.op.as_mut().and_then(|op| op.checkpoint()) {
+            parts.push((slot.name.clone(), cp.snapshot()));
+        }
+    }
+    if parts.is_empty() {
+        return;
+    }
+    if let Err(e) = ckpt.write(&parts) {
+        eprintln!("[supervisor] PE checkpoint write failed: {e}");
+    }
+}
+
+/// The PE-level supervisor's recovery path. Returns false when the restart
+/// budget is exhausted — the PE is then wound down (EOS on every port) so
+/// the rest of the graph still drains.
+fn restart_pe(pe: &mut PeRuntime, clean: bool) -> bool {
+    pe.pe_restarts += 1;
+    let attempt = pe.pe_restarts;
+    let policy = pe.policy;
     let PeRuntime {
-        mut slots,
-        rxs,
-        mut metas,
+        slots,
         stop,
+        pending,
+        pe_index,
+        checkpoint,
+        ..
+    } = pe;
+    let slots = &mut slots[..];
+    let stop = &**stop;
+    if attempt > policy.max_restarts {
+        eprintln!(
+            "[supervisor] PE {pe_index} exceeded {} restarts; winding it down",
+            policy.max_restarts
+        );
+        for i in 0..slots.len() {
+            if slots[i].finished {
+                continue;
+            }
+            if slots[i].op.is_some() {
+                finish_op(slots, pending, stop, i);
+            } else {
+                finish_op_without_instance(slots, pending, stop, i);
+            }
+        }
+        drain_pending(slots, pending, stop);
+        flush_all(slots);
+        return false;
+    }
+    eprintln!(
+        "[supervisor] PE {pe_index} died ({}); restarting (attempt {attempt})",
+        if clean { "injected kill" } else { "escaped panic" }
+    );
+    std::thread::sleep(policy.backoff(attempt));
+
+    if let Some(ckpt) = checkpoint.as_mut() {
+        // A clean (injected) kill unwound between tuples with consistent
+        // in-memory state: persist that exact state first, so the restore
+        // below genuinely round-trips every operator through disk and the
+        // run stays bit-identical to a fault-free one. After an escaped
+        // panic the in-memory state is suspect, so recovery falls back to
+        // the last *periodic* manifest (loss bounded by the checkpoint
+        // cadence).
+        if clean {
+            write_pe_checkpoint(slots, ckpt);
+        }
+        match ckpt.read() {
+            Ok(Some(parts)) => {
+                for (name, blob) in &parts {
+                    let Some(i) = slots.iter().position(|s| &s.name == name && !s.finished)
+                    else {
+                        continue; // operator finished since that checkpoint
+                    };
+                    if let Some(cp) = slots[i].op.as_mut().and_then(|op| op.checkpoint()) {
+                        if let Err(e) = cp.restore(blob) {
+                            eprintln!(
+                                "[supervisor] operator '{name}' failed to restore from the PE \
+                                 manifest ({e}); keeping its in-memory state"
+                            );
+                        }
+                    }
+                }
+            }
+            Ok(None) => {} // never checkpointed; in-memory state stands
+            Err(e) => eprintln!(
+                "[supervisor] PE {pe_index} manifest unreadable ({e}); \
+                 continuing with in-memory state"
+            ),
+        }
+    }
+
+    // An operator whose box was consumed by the unwind (panic inside
+    // on_start/on_finish hooks) cannot be rebuilt; finish it so its EOS
+    // propagates while the rest of the PE comes back.
+    for i in 0..slots.len() {
+        if slots[i].op.is_none() && !slots[i].finished {
+            eprintln!(
+                "[supervisor] operator '{}' was lost in the PE unwind; finishing it",
+                slots[i].name
+            );
+            finish_op_without_instance(slots, pending, stop, i);
+        }
+    }
+    for s in slots.iter() {
+        s.counters.add_pe_restart();
+    }
+    true
+}
+
+/// Like [`finish_op`] but for a slot whose operator box did not survive the
+/// PE unwind: no `on_finish` can run, but end-of-stream still propagates.
+fn finish_op_without_instance(
+    slots: &mut [OpSlot],
+    pending: &mut VecDeque<(usize, PortKind, Tuple)>,
+    stop: &AtomicBool,
+    idx: usize,
+) {
+    if slots[idx].finished {
+        return;
+    }
+    slots[idx].finished = true;
+    let n_ports = slots[idx].out_ports.len();
+    for p in 0..n_ports {
+        let mut sink = PeSink {
+            out_ports: &mut slots[idx].out_ports,
+            pending,
+            stop,
+        };
+        sink.emit(p, Tuple::Punct(Punctuation::EndOfStream));
+    }
+    for p in slots[idx].out_ports.iter_mut() {
+        p.clear();
+    }
+}
+
+/// One incarnation of the PE's scheduler loop; everything that must outlive
+/// a panic is borrowed from [`PeRuntime`], nothing is owned here but the
+/// cached selector and index scratch.
+fn run_pe_once(pe: &mut PeRuntime) {
+    let PeRuntime {
+        slots,
+        rxs,
+        metas,
+        stop,
+        pending,
+        checkpoint,
+        last_ckpt_total,
+        started,
+        ..
     } = pe;
     let slots = &mut slots[..];
     let metas = &mut metas[..];
-    let stop = &*stop;
-    let mut pending: VecDeque<(usize, PortKind, Tuple)> = VecDeque::new();
+    let rxs = &rxs[..];
+    let stop = &**stop;
 
-    // Start hooks. (Index loop: the macro needs `slots` whole, by index.)
-    #[allow(clippy::needless_range_loop)]
-    for i in 0..slots.len() {
-        with_op!(slots, &mut pending, stop, i, |op, ctx| op.on_start(ctx));
-    }
-    drain_pending(slots, &mut pending, stop);
+    // Periodic checkpoint cadence: the tightest cadence any member
+    // operator asks for. None when nothing in this PE is checkpointable.
+    let cadence: Option<u64> = slots
+        .iter_mut()
+        .filter(|s| !s.finished)
+        .filter_map(|s| s.op.as_mut().and_then(|op| op.checkpoint()))
+        .map(|cp| cp.checkpoint_every().max(1))
+        .min();
 
-    // Operators with no inputs that aren't sources are trivially finished.
-    for i in 0..slots.len() {
-        let s = &slots[i];
-        if !s.is_source && s.data_in_degree == 0 && s.ctrl_in_degree == 0 {
-            finish_op(slots, &mut pending, stop, i);
+    if !*started {
+        *started = true;
+
+        // Start hooks. (Index loop: the macro needs `slots` whole, by
+        // index.)
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..slots.len() {
+            with_op!(slots, pending, stop, i, |op, ctx| op.on_start(ctx));
         }
+        drain_pending(slots, pending, stop);
+
+        // Operators with no inputs that aren't sources are trivially
+        // finished.
+        for i in 0..slots.len() {
+            let s = &slots[i];
+            if !s.is_source && s.data_in_degree == 0 && s.ctrl_in_degree == 0 {
+                finish_op(slots, pending, stop, i);
+            }
+        }
+        drain_pending(slots, pending, stop);
+    } else {
+        // Re-entry after a PE restart: tuples queued at the moment of death
+        // are still in `pending`; deliver them before touching channels.
+        drain_pending(slots, pending, stop);
     }
-    drain_pending(slots, &mut pending, stop);
 
     let source_idxs: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_source).collect();
 
@@ -780,21 +1049,20 @@ fn run_pe(pe: PeRuntime) {
                 continue;
             }
             if stop.load(Ordering::Relaxed) {
-                finish_op(slots, &mut pending, stop, i);
-                drain_pending(slots, &mut pending, stop);
+                finish_op(slots, pending, stop, i);
+                drain_pending(slots, pending, stop);
                 continue;
             }
-            let state: SourceState =
-                with_op!(slots, &mut pending, stop, i, |op, ctx| op.drive(ctx));
+            let state: SourceState = supervised_drive(slots, pending, stop, i);
             match state {
                 SourceState::Emitted => progressed = true,
                 SourceState::Idle => {}
                 SourceState::Done => {
-                    finish_op(slots, &mut pending, stop, i);
+                    finish_op(slots, pending, stop, i);
                     progressed = true;
                 }
             }
-            drain_pending(slots, &mut pending, stop);
+            drain_pending(slots, pending, stop);
         }
 
         let sources_alive = source_idxs.iter().any(|&i| !slots[i].finished);
@@ -802,7 +1070,7 @@ fn run_pe(pe: PeRuntime) {
         // 2. Receive from cross-PE channels.
         if sources_alive {
             // Non-blocking frame sweep so sources keep producing.
-            if sweep_channels(slots, &rxs, metas, &mut pending, stop) {
+            if sweep_channels(slots, rxs, metas, pending, stop) {
                 progressed = true;
             }
         } else {
@@ -813,7 +1081,7 @@ fn run_pe(pe: PeRuntime) {
             // stranded partial batch could be exactly what the upstream PE
             // is waiting for.
             flush_all(slots);
-            if sweep_channels(slots, &rxs, metas, &mut pending, stop) {
+            if sweep_channels(slots, rxs, metas, pending, stop) {
                 progressed = true;
             } else {
                 let n_alive = metas.iter().filter(|m| m.alive).count();
@@ -843,19 +1111,35 @@ fn run_pe(pe: PeRuntime) {
                                 // Drain the selected frame plus whatever else
                                 // queued meanwhile before paying another
                                 // select.
-                                sweep_channels(slots, &rxs, metas, &mut pending, stop);
+                                sweep_channels(slots, rxs, metas, pending, stop);
                             }
                             Err(_) => {
-                                on_disconnect(slots, metas, &mut pending, stop, ci);
+                                on_disconnect(slots, metas, pending, stop, ci);
                             }
                         }
                     }
                 }
             }
         }
-        drain_pending(slots, &mut pending, stop);
+        drain_pending(slots, pending, stop);
 
-        // 3. Exit when everything is finished.
+        // 3. Periodic checkpoint: once the PE's members have consumed a
+        //    cadence worth of data tuples since the last snapshot set,
+        //    write a fresh consistent generation. This sits between tuples
+        //    (the pending queue is drained), so the set is consistent by
+        //    construction.
+        if let (Some(every), Some(ckpt)) = (cadence, checkpoint.as_mut()) {
+            let total: u64 = slots
+                .iter()
+                .map(|s| s.counters.tuples_in.load(Ordering::Relaxed))
+                .sum();
+            if total.saturating_sub(*last_ckpt_total) >= every {
+                *last_ckpt_total = total;
+                write_pe_checkpoint(slots, ckpt);
+            }
+        }
+
+        // 4. Exit when everything is finished.
         if slots.iter().all(|s| s.finished) {
             break;
         }
@@ -867,10 +1151,10 @@ fn run_pe(pe: PeRuntime) {
         if !progressed && !sources_alive && !channels_alive && pending.is_empty() {
             for i in 0..slots.len() {
                 if !slots[i].finished {
-                    finish_op(slots, &mut pending, stop, i);
+                    finish_op(slots, pending, stop, i);
                 }
             }
-            drain_pending(slots, &mut pending, stop);
+            drain_pending(slots, pending, stop);
         }
         if !progressed && sources_alive {
             // Idle sources: flush buffered output (nothing else will), then
@@ -1032,6 +1316,46 @@ fn dispatch(
     }
 }
 
+/// Drives a source under `catch_unwind`. A panicking `drive` cannot be
+/// isolated at the operator layer — the source's cursor may be mid-emission
+/// and there is no in-flight tuple to redeliver — so the panic is
+/// *escalated*: the operator box is parked back in its slot first (it must
+/// survive for checkpoint recovery), then the whole PE is unwound for the
+/// PE-level supervisor to rebuild.
+fn supervised_drive(
+    slots: &mut [OpSlot],
+    pending: &mut VecDeque<(usize, PortKind, Tuple)>,
+    stop: &AtomicBool,
+    idx: usize,
+) -> SourceState {
+    let mut op = slots[idx].op.take().expect("operator in flight");
+    let counters = Arc::clone(&slots[idx].counters);
+    let t0 = Instant::now();
+    let result = {
+        let mut sink = PeSink {
+            out_ports: &mut slots[idx].out_ports,
+            pending,
+            stop,
+        };
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let ctx = &mut OpContext::new(&mut sink, &counters);
+            op.drive(ctx)
+        }))
+    };
+    counters.add_busy(t0.elapsed().as_nanos() as u64);
+    slots[idx].op = Some(op);
+    match result {
+        Ok(state) => state,
+        Err(_) => {
+            eprintln!(
+                "[supervisor] source '{}' panicked in drive; escalating to a PE restart",
+                slots[idx].name
+            );
+            std::panic::panic_any(PeKill { clean: false })
+        }
+    }
+}
+
 /// Applies pre-delivery operator faults (poison/stall), determines whether
 /// an injected panic is due, and hands the tuple to the supervised call.
 fn supervised_process(
@@ -1043,6 +1367,7 @@ fn supervised_process(
 ) {
     let mut d = d;
     let mut panic_due = false;
+    let mut kill_pe_due = false;
     if !slots[idx].faults.is_empty() {
         slots[idx].fault_data_seen += 1;
         let seen = slots[idx].fault_data_seen;
@@ -1070,11 +1395,22 @@ fn supervised_process(
                     f.fired = true;
                     panic_due = true;
                 }
+                FaultAction::KillPe(n) if n == seen => {
+                    f.fired = true;
+                    kill_pe_due = true;
+                }
                 _ => {}
             }
         }
     }
     deliver_supervised(slots, pending, stop, idx, d, panic_due);
+    if kill_pe_due {
+        // Fires after `process` returned and the operator box is parked
+        // back in its slot: the whole PE unwinds from a consistent
+        // between-tuples state (`clean`), so teardown can persist it and
+        // recovery loses nothing.
+        std::panic::panic_any(PeKill { clean: true });
+    }
 }
 
 /// Runs `process` under `catch_unwind`, borrowing (not moving) the operator
@@ -1511,6 +1847,272 @@ mod tests {
         let g = GraphBuilder::new();
         let report = Engine::run(g);
         assert!(report.ops.is_empty());
+    }
+
+    #[test]
+    fn kill_pe_restarts_the_pe_without_losing_tuples() {
+        // Kill the PE hosting `double` after its 50th tuple. The injected
+        // kill fires between tuples, the PE rebuilds in place, and every
+        // tuple still arrives exactly once, in order.
+        let mut g = GraphBuilder::new()
+            .with_fault_plan(crate::fault::FaultPlan::parse("kill-pe@double:50").unwrap());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let src = g.add_source("src", Box::new(CountSource { n: 1000, next: 0 }));
+        let mid = g.add_op("double", Box::new(Double));
+        let sink = g.add_op(
+            "collect",
+            Box::new(Collect {
+                seen: Arc::clone(&seen),
+            }),
+        );
+        g.connect(src, 0, mid, PortKind::Data);
+        g.connect(mid, 0, sink, PortKind::Data);
+        let report = Engine::run(g);
+        let data = seen.lock().clone();
+        assert_eq!(data.len(), 1000, "kill-pe must not lose or duplicate");
+        assert!(data.windows(2).all(|w| w[1] == w[0] + 1), "order violated");
+        assert_eq!(report.op("double").unwrap().pe_restarts, 1);
+        assert_eq!(report.op("src").unwrap().pe_restarts, 0);
+        assert_eq!(report.total_pe_restarts(), 1);
+        // Operator-level restarts are a different counter and stay zero.
+        assert_eq!(report.total_restarts(), 0);
+    }
+
+    #[test]
+    fn kill_pe_in_fused_pe_counts_every_member() {
+        let mut g = GraphBuilder::new()
+            .with_fault_plan(crate::fault::FaultPlan::parse("kill-pe@double:10").unwrap());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let src = g.add_source("src", Box::new(CountSource { n: 200, next: 0 }));
+        let mid = g.add_op("double", Box::new(Double));
+        let sink = g.add_op(
+            "collect",
+            Box::new(Collect {
+                seen: Arc::clone(&seen),
+            }),
+        );
+        g.connect(src, 0, mid, PortKind::Data);
+        g.connect(mid, 0, sink, PortKind::Data);
+        g.fuse(&[mid, sink]);
+        let report = Engine::run(g);
+        assert_eq!(seen.lock().len(), 200);
+        // Both fused members lived through the same PE restart.
+        assert_eq!(report.op("double").unwrap().pe_restarts, 1);
+        assert_eq!(report.op("collect").unwrap().pe_restarts, 1);
+        assert_eq!(report.op("src").unwrap().pe_restarts, 0);
+    }
+
+    /// A source with a durable cursor: emits `0..n`, checkpointing `next`.
+    /// On a dirty restart the cursor would rewind to the last snapshot; the
+    /// `emitted` log records what actually went out.
+    struct DurableSource {
+        n: u64,
+        next: u64,
+        every: u64,
+    }
+
+    impl Operator for DurableSource {
+        fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {}
+        fn drive(&mut self, ctx: &mut OpContext<'_>) -> SourceState {
+            if self.next >= self.n {
+                return SourceState::Done;
+            }
+            let d = DataTuple::new(self.next, vec![self.next as f64]);
+            self.next += 1;
+            ctx.emit_data(0, d);
+            SourceState::Emitted
+        }
+        fn checkpoint(&mut self) -> Option<&mut dyn crate::checkpoint::Checkpoint> {
+            Some(self)
+        }
+    }
+
+    impl crate::checkpoint::Checkpoint for DurableSource {
+        fn snapshot(&self) -> Vec<u8> {
+            crate::checkpoint::encode_kv(&[("next", self.next.to_string())])
+        }
+        fn restore(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+            let map = crate::checkpoint::decode_kv(bytes)?;
+            self.next = crate::checkpoint::kv_u64(&map, "next")?;
+            Ok(())
+        }
+        fn checkpoint_every(&self) -> u64 {
+            self.every
+        }
+    }
+
+    #[test]
+    fn kill_pe_with_checkpoint_dir_round_trips_state_through_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "spca-engine-ckpt-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Fault triggers count data tuples *delivered to* an operator, so
+        // the kill targets `double` — fused with the source below, its PE
+        // death tears the checkpointable source down with it.
+        let mut g = GraphBuilder::new()
+            .with_fault_plan(crate::fault::FaultPlan::parse("kill-pe@double:40").unwrap())
+            .with_checkpoint_dir(&dir);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let src = g.add_source(
+            "src",
+            Box::new(DurableSource {
+                n: 500,
+                next: 0,
+                every: 25,
+            }),
+        );
+        let mid = g.add_op("double", Box::new(Double));
+        let sink = g.add_op(
+            "collect",
+            Box::new(Collect {
+                seen: Arc::clone(&seen),
+            }),
+        );
+        g.connect(src, 0, mid, PortKind::Data);
+        g.connect(mid, 0, sink, PortKind::Data);
+        // Fuse the source with `double` so killing the PE (triggered by
+        // double's 40th tuple) also tears down the checkpointable source;
+        // the clean kill persists `next` at teardown and restores it, so
+        // the stream continues exactly where it left off.
+        g.fuse(&[src, mid]);
+        let report = Engine::run(g);
+        let data = seen.lock().clone();
+        assert_eq!(data.len(), 500, "restored cursor must not skip or repeat");
+        assert!(data.windows(2).all(|w| w[1] == w[0] + 1), "order violated");
+        assert_eq!(report.op("src").unwrap().pe_restarts, 1);
+        // The teardown manifest is on disk and names the durable source.
+        let manifest = crate::checkpoint::read_pe_manifest(&dir, 0)
+            .unwrap()
+            .expect("PE 0 wrote a manifest");
+        assert!(manifest.iter().any(|(name, _)| name == "src"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drive_panic_escalates_to_pe_restart_and_recovers_from_checkpoint() {
+        // A source that panics in drive() once, at tuple 30. The PE-level
+        // supervisor restores its cursor from the last periodic checkpoint
+        // (cadence 10), so some tuples repeat but none are skipped.
+        struct FlakySource {
+            inner: DurableSource,
+            panic_at: u64,
+            panicked: bool,
+        }
+        impl Operator for FlakySource {
+            fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {}
+            fn drive(&mut self, ctx: &mut OpContext<'_>) -> SourceState {
+                if !self.panicked && self.inner.next == self.panic_at {
+                    self.panicked = true;
+                    panic!("flaky source");
+                }
+                self.inner.drive(ctx)
+            }
+            fn checkpoint(&mut self) -> Option<&mut dyn crate::checkpoint::Checkpoint> {
+                Some(&mut self.inner)
+            }
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "spca-engine-ckpt-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut g = GraphBuilder::new().with_checkpoint_dir(&dir);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let src = g.add_source(
+            "src",
+            Box::new(FlakySource {
+                inner: DurableSource {
+                    n: 100,
+                    next: 0,
+                    every: 10,
+                },
+                panic_at: 30,
+                panicked: true,
+            }),
+        );
+        let sink = g.add_op(
+            "collect",
+            Box::new(Collect {
+                seen: Arc::clone(&seen),
+            }),
+        );
+        g.connect(src, 0, sink, PortKind::Data);
+        // First make sure the no-panic baseline works, then the panic run.
+        let report = Engine::run(g);
+        assert_eq!(seen.lock().len(), 100);
+        assert_eq!(report.total_pe_restarts(), 0);
+
+        let mut g = GraphBuilder::new().with_checkpoint_dir(&dir);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let src = g.add_source(
+            "src",
+            Box::new(FlakySource {
+                inner: DurableSource {
+                    n: 100,
+                    next: 0,
+                    every: 10,
+                },
+                panic_at: 30,
+                panicked: false,
+            }),
+        );
+        let sink = g.add_op(
+            "collect",
+            Box::new(Collect {
+                seen: Arc::clone(&seen),
+            }),
+        );
+        g.connect(src, 0, sink, PortKind::Data);
+        let report = Engine::run(g);
+        let data = seen.lock().clone();
+        assert_eq!(report.op("src").unwrap().pe_restarts, 1);
+        // The cursor rewound to a checkpoint at or before tuple 30: every
+        // value 0..100 is present (no loss), duplicates only inside the
+        // rewind window.
+        let mut uniq: Vec<u64> = data.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq, (0..100).collect::<Vec<u64>>(), "values lost");
+        assert!(
+            data.len() >= 100 && data.len() <= 100 + 30,
+            "rewind window too large: {} tuples",
+            data.len()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pe_restart_budget_exhaustion_winds_the_pe_down() {
+        // Every drive() call panics: the PE burns its restart budget and is
+        // wound down; EOS still propagates so the run terminates.
+        struct AlwaysPanics;
+        impl Operator for AlwaysPanics {
+            fn process(&mut self, _t: DataTuple, _ctx: &mut OpContext<'_>) {}
+            fn drive(&mut self, _ctx: &mut OpContext<'_>) -> SourceState {
+                panic!("always");
+            }
+        }
+        let mut g = GraphBuilder::new().with_restart_policy(crate::fault::RestartPolicy {
+            max_restarts: 2,
+            backoff_base: Duration::from_micros(100),
+            backoff_cap: Duration::from_millis(1),
+        });
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let src = g.add_source("bad", Box::new(AlwaysPanics));
+        let sink = g.add_op(
+            "collect",
+            Box::new(Collect {
+                seen: Arc::clone(&seen),
+            }),
+        );
+        g.connect(src, 0, sink, PortKind::Data);
+        let report = Engine::run(g);
+        assert!(seen.lock().is_empty());
+        assert_eq!(report.op("bad").unwrap().pe_restarts, 2);
     }
 
     #[test]

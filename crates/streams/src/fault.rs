@@ -13,6 +13,7 @@
 //!
 //! ```text
 //! panic@OP:N            operator OP panics after processing its N-th data tuple
+//! kill-pe@OP:N          the whole PE hosting OP dies after OP's N-th data tuple
 //! poison-nan@OP:N       the N-th data tuple delivered to OP has NaN values
 //! poison-inf@OP:N       the N-th data tuple delivered to OP has Inf values
 //! stall@OP:N:MS         OP stalls MS milliseconds before its N-th data tuple
@@ -20,6 +21,12 @@
 //! dup@FROM>TO:N         the N-th data tuple on link FROM>TO is delivered twice
 //! delay@FROM>TO:N:MS    the N-th data tuple on link FROM>TO is held MS ms
 //! ```
+//!
+//! `kill-pe` targets an *operator* (PE indices depend on fusion resolution
+//! order and would make plans fragile): the fault tears down the entire
+//! processing element that operator was fused into. The PE-level supervisor
+//! then rebuilds every operator in the PE from its [`Checkpoint`]
+//! (crate::checkpoint::Checkpoint) snapshot; see the engine docs.
 //!
 //! Tuple indices `N` are 1-based and count *data* tuples only — control
 //! traffic and punctuation are never faulted (a plan that corrupted EOS
@@ -34,6 +41,11 @@ use std::time::Duration;
 pub enum FaultAction {
     /// Panic inside the operator after it finishes processing tuple `N`.
     PanicAfter(u64),
+    /// Kill the whole PE hosting the operator after it finishes processing
+    /// tuple `N`. Unlike [`FaultAction::PanicAfter`] — which the
+    /// operator-level supervisor isolates — this unwinds the PE's scheduler
+    /// loop itself, exercising whole-PE teardown and checkpoint recovery.
+    KillPe(u64),
     /// Replace tuple `N`'s values with NaN before delivery.
     PoisonNan(u64),
     /// Replace tuple `N`'s values with +Inf before delivery.
@@ -64,6 +76,7 @@ impl FaultAction {
         matches!(
             self,
             FaultAction::PanicAfter(_)
+                | FaultAction::KillPe(_)
                 | FaultAction::PoisonNan(_)
                 | FaultAction::PoisonInf(_)
                 | FaultAction::Stall { .. }
@@ -214,6 +227,10 @@ fn parse_entry(entry: &str) -> Result<Fault, String> {
             op_target(t)?,
             FaultAction::PanicAfter(parse_n(n, "tuple index")?),
         ),
+        ("kill-pe", [t, n]) => (
+            op_target(t)?,
+            FaultAction::KillPe(parse_n(n, "tuple index")?),
+        ),
         ("poison-nan", [t, n]) => (
             op_target(t)?,
             FaultAction::PoisonNan(parse_n(n, "tuple index")?),
@@ -244,14 +261,14 @@ fn parse_entry(entry: &str) -> Result<Fault, String> {
                 ms: parse_ms(ms)?,
             },
         ),
-        ("panic" | "poison-nan" | "poison-inf" | "drop" | "dup", _) => {
+        ("panic" | "kill-pe" | "poison-nan" | "poison-inf" | "drop" | "dup", _) => {
             return Err(bad("expected KIND@TARGET:N"))
         }
         ("stall" | "delay", _) => return Err(bad("expected KIND@TARGET:N:MS")),
         (other, _) => {
             return Err(bad(&format!(
-                "unknown fault kind '{other}' (expected panic, poison-nan, poison-inf, stall, \
-                 drop, dup, or delay)"
+                "unknown fault kind '{other}' (expected panic, kill-pe, poison-nan, poison-inf, \
+                 stall, drop, dup, or delay)"
             )))
         }
     };
@@ -299,10 +316,10 @@ mod tests {
     fn parses_every_fault_kind() {
         let plan = FaultPlan::parse(
             "panic@pca-1:5000, poison-nan@pca-0:17,poison-inf@pca-2:3, stall@pca-3:10:25, \
-             drop@split>pca-1:7, dup@split>pca-2:9, delay@split>pca-0:11:5",
+             drop@split>pca-1:7, dup@split>pca-2:9, delay@split>pca-0:11:5, kill-pe@pca-3:800",
         )
         .unwrap();
-        assert_eq!(plan.faults.len(), 7);
+        assert_eq!(plan.faults.len(), 8);
         assert_eq!(
             plan.faults[0],
             Fault {
@@ -322,6 +339,21 @@ mod tests {
             }
         );
         assert_eq!(plan.faults[6].action, FaultAction::Delay { at: 11, ms: 5 });
+        assert_eq!(
+            plan.faults[7],
+            Fault {
+                target: FaultTarget::Op("pca-3".into()),
+                action: FaultAction::KillPe(800),
+            }
+        );
+        assert!(FaultAction::KillPe(1).is_op_action());
+    }
+
+    #[test]
+    fn kill_pe_rejects_malformed_entries() {
+        for bad in ["kill-pe@pca-1", "kill-pe@pca-1:0", "kill-pe@a>b:5"] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} must be rejected");
+        }
     }
 
     #[test]

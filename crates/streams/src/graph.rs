@@ -72,6 +72,7 @@ pub struct GraphBuilder {
     pub(crate) inter_node_delay_us: u64,
     pub(crate) fault_plan: Option<FaultPlan>,
     pub(crate) restart_policy: RestartPolicy,
+    pub(crate) checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 /// Default cross-PE transport batch size (tuples per frame).
@@ -120,9 +121,21 @@ impl GraphBuilder {
     }
 
     /// Sets the supervisor's [`RestartPolicy`] for panicking operators
-    /// (default: 8 restarts, 1 ms backoff base, 100 ms cap).
+    /// (default: 8 restarts, 1 ms backoff base, 100 ms cap). The same
+    /// policy bounds whole-PE restarts.
     pub fn with_restart_policy(mut self, policy: RestartPolicy) -> Self {
         self.restart_policy = policy;
+        self
+    }
+
+    /// Enables periodic per-PE checkpointing into `dir`: every PE hosting
+    /// at least one [`Checkpoint`](crate::checkpoint::Checkpoint)-able
+    /// operator writes a consistent snapshot set (blobs + manifest) at the
+    /// operators' cadence, and a restarted PE rehydrates from the latest
+    /// manifest. Without a checkpoint dir, whole-PE restarts still work but
+    /// recover purely from the surviving in-memory operator state.
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
         self
     }
 

@@ -43,6 +43,7 @@
 //! assert_eq!(store.lock().len(), 10);
 //! ```
 
+pub mod checkpoint;
 pub mod engine;
 pub mod fault;
 pub mod graph;
@@ -52,6 +53,7 @@ pub mod ops;
 pub mod optimize;
 pub mod tuple;
 
+pub use checkpoint::{Checkpoint, DEFAULT_CHECKPOINT_EVERY};
 pub use engine::{Engine, LinkReport, RunReport};
 pub use fault::{Fault, FaultAction, FaultPlan, FaultTarget, RestartPolicy};
 pub use graph::{GraphBuilder, LinkKind, OpId, PortKind, DEFAULT_BATCH_SIZE};

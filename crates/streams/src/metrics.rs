@@ -23,6 +23,9 @@ pub struct OpCounters {
     pub busy_ns: AtomicU64,
     /// Supervisor restarts after an isolated panic.
     pub restarts: AtomicU64,
+    /// Whole-PE restarts this operator lived through (the hosting thread
+    /// died and every fused operator was rebuilt from its checkpoint).
+    pub pe_restarts: AtomicU64,
     /// Tuples diverted to quarantine (non-finite payloads).
     pub quarantined: AtomicU64,
     /// Synchronization steps skipped (gate not passed / engine not alive).
@@ -51,6 +54,8 @@ pub struct OpSnapshot {
     pub busy_ns: u64,
     /// Supervisor restarts after an isolated panic.
     pub restarts: u64,
+    /// Whole-PE restarts this operator lived through.
+    pub pe_restarts: u64,
     /// Tuples diverted to quarantine (non-finite payloads).
     pub quarantined: u64,
     /// Synchronization steps skipped (gate not passed / engine not alive).
@@ -75,6 +80,7 @@ impl OpCounters {
             control_in: self.control_in.load(Ordering::Relaxed),
             busy_ns: self.busy_ns.load(Ordering::Relaxed),
             restarts: self.restarts.load(Ordering::Relaxed),
+            pe_restarts: self.pe_restarts.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
             sync_skips: self.sync_skips.load(Ordering::Relaxed),
         }
@@ -98,6 +104,10 @@ impl OpCounters {
 
     pub(crate) fn add_restart(&self) {
         self.restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_pe_restart(&self) {
+        self.pe_restarts.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn add_quarantined(&self) {
@@ -182,9 +192,24 @@ impl RateProbe {
     }
 
     /// Ends the window: returns per-operator `tuples_in` rates (tuples/s),
-    /// aligned with the snapshot order. Operators added since `start`
-    /// (none, in practice — graphs are static) are ignored.
+    /// aligned with the snapshot order.
+    ///
+    /// Contract: `now_snapshots` must come from the **same registry** as the
+    /// snapshots passed to [`RateProbe::start`], so both vectors have the
+    /// same length and order (graphs are static, so operators are never
+    /// added or removed mid-run). A length mismatch means the caller paired
+    /// a probe with the wrong engine's snapshots; `zip` would silently drop
+    /// the surplus operators, so this is a debug assertion rather than an
+    /// accepted input.
     pub fn rates_in(&self, now_snapshots: &[OpSnapshot]) -> Vec<f64> {
+        debug_assert_eq!(
+            self.baseline.len(),
+            now_snapshots.len(),
+            "RateProbe::rates_in: snapshot count changed between start ({}) and now ({}); \
+             both must come from the same MetricsRegistry",
+            self.baseline.len(),
+            now_snapshots.len()
+        );
         let dt = self.taken_at.elapsed().as_secs_f64().max(1e-9);
         self.baseline
             .iter()
@@ -265,6 +290,7 @@ mod tests {
             control_in: 0,
             busy_ns: 0,
             restarts: 0,
+            pe_restarts: 0,
             quarantined: 0,
             sync_skips: 0,
         };
@@ -285,6 +311,7 @@ mod tests {
             control_in: 0,
             busy_ns: 0,
             restarts: 0,
+            pe_restarts: 0,
             quarantined: 0,
             sync_skips: 0,
         };
@@ -292,6 +319,24 @@ mod tests {
         // A smaller later value (shouldn't happen, but must not underflow).
         let rates = probe.rates_in(&[mk(100)]);
         assert_eq!(rates[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot count changed")]
+    #[cfg(debug_assertions)]
+    fn rate_probe_rejects_mismatched_snapshot_lengths() {
+        let mk = |n: u64| OpSnapshot {
+            tuples_in: n,
+            tuples_out: 0,
+            control_in: 0,
+            busy_ns: 0,
+            restarts: 0,
+            pe_restarts: 0,
+            quarantined: 0,
+            sync_skips: 0,
+        };
+        let probe = RateProbe::start(vec![mk(1), mk(2)]);
+        let _ = probe.rates_in(&[mk(1)]);
     }
 
     #[test]

@@ -54,6 +54,18 @@ pub trait Operator: Send {
     fn recover(&mut self, _attempt: u64) -> bool {
         false
     }
+
+    /// Exposes this operator's [`Checkpoint`](crate::checkpoint::Checkpoint)
+    /// facet, if it has durable state. The PE-level supervisor snapshots
+    /// every checkpointable operator into the per-PE manifest and restores
+    /// them all together after a whole-PE restart. Stateless operators keep
+    /// the default `None` and are simply re-entered as-is.
+    ///
+    /// (A separate method rather than a trait upcast because Rust cannot
+    /// cross-cast `&mut dyn Operator` to `&mut dyn Checkpoint`.)
+    fn checkpoint(&mut self) -> Option<&mut dyn crate::checkpoint::Checkpoint> {
+        None
+    }
 }
 
 /// Engine-side sink the context forwards emissions to.

@@ -7,6 +7,7 @@
 //! feeds a `TcpSource` on another, and anything that can open a socket
 //! (including `nc`) can feed the pipeline.
 
+use crate::checkpoint::{decode_kv, encode_kv, kv_u64, Checkpoint};
 use crate::operator::{OpContext, Operator, SourceState};
 use crate::tuple::DataTuple;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -153,6 +154,32 @@ impl Operator for TcpSource {
             }
         }
     }
+
+    fn checkpoint(&mut self) -> Option<&mut dyn Checkpoint> {
+        Some(self)
+    }
+}
+
+/// A TCP feed is live — the wire position cannot rewind, so the checkpoint
+/// carries only the sequence cursor. A restore keeps the open connection
+/// (the common case: the instance survived a PE restart in memory) and
+/// resumes numbering where the snapshot left off; observations the peer sent
+/// while the PE was down were already absorbed by kernel buffering or are
+/// simply the stream's present, as with any live telescope feed.
+impl Checkpoint for TcpSource {
+    fn snapshot(&self) -> Vec<u8> {
+        encode_kv(&[
+            ("seq", self.seq.to_string()),
+            ("delivered", self.delivered.to_string()),
+        ])
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let kv = decode_kv(bytes)?;
+        self.seq = kv_u64(&kv, "seq")?;
+        self.delivered = kv_u64(&kv, "delivered")?;
+        Ok(())
+    }
 }
 
 /// Writes data tuples to a TCP peer in the newline-CSV wire format.
@@ -225,6 +252,30 @@ impl Operator for TcpSink {
         }
         // Dropping the writer closes the socket, signalling EOF.
         self.writer = None;
+    }
+
+    fn checkpoint(&mut self) -> Option<&mut dyn Checkpoint> {
+        Some(self)
+    }
+}
+
+/// Counterpart of [`TcpSource`]'s checkpoint: the written-tuple counter only.
+/// A restore flushes and keeps the live connection if one is open, and
+/// clears the failure latch so a sink that lost its peer in the crash that
+/// triggered the restart redials on the next tuple.
+impl Checkpoint for TcpSink {
+    fn snapshot(&self) -> Vec<u8> {
+        encode_kv(&[("written", self.written.to_string())])
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let kv = decode_kv(bytes)?;
+        self.written = kv_u64(&kv, "written")?;
+        if let Some(w) = self.writer.as_mut() {
+            let _ = w.flush();
+        }
+        self.failed = false;
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! Terminal operators: collectors, callbacks, CSV file sinks.
 
+use crate::checkpoint::{decode_kv, encode_kv, kv_u64, Checkpoint};
 use crate::operator::{OpContext, Operator};
 use crate::tuple::{ControlTuple, DataTuple};
 use parking_lot::Mutex;
@@ -151,6 +152,63 @@ impl Operator for CsvFileSink {
             let _ = w.flush();
         }
     }
+
+    fn checkpoint(&mut self) -> Option<&mut dyn Checkpoint> {
+        Some(self)
+    }
+}
+
+/// Byte length of the first `n` newline-terminated rows of `f` (or the whole
+/// file if it holds fewer).
+fn byte_len_of_first_rows(f: &std::fs::File, n: u64) -> std::io::Result<u64> {
+    use std::io::BufRead;
+    let mut reader = std::io::BufReader::new(f);
+    let mut buf = Vec::new();
+    let mut offset = 0u64;
+    for _ in 0..n {
+        buf.clear();
+        let got = reader.read_until(b'\n', &mut buf)?;
+        if got == 0 {
+            break;
+        }
+        offset += got as u64;
+    }
+    Ok(offset)
+}
+
+impl Checkpoint for CsvFileSink {
+    fn snapshot(&self) -> Vec<u8> {
+        encode_kv(&[("written", self.written.to_string())])
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let kv = decode_kv(bytes)?;
+        let written = kv_u64(&kv, "written")?;
+        // Push buffered rows to disk before repositioning: any snapshot
+        // taken from this instance counted them, so they must be on disk
+        // before the row-count cursor is trusted.
+        if let Some(w) = self.writer.as_mut() {
+            let _ = w.flush();
+        }
+        self.writer = None;
+        self.written = written;
+        if written == 0 {
+            // The lazy `File::create` in `process` starts the file over.
+            return Ok(());
+        }
+        // Drop rows written after the checkpoint, then reopen in append
+        // mode — re-creating the file would wipe the checkpointed rows too.
+        let f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)?;
+        let keep = byte_len_of_first_rows(&f, written)?;
+        f.set_len(keep)?;
+        drop(f);
+        let f = std::fs::OpenOptions::new().append(true).open(&self.path)?;
+        self.writer = Some(std::io::BufWriter::new(f));
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +254,55 @@ mod tests {
             }
         });
         assert_eq!(*count.lock(), 7);
+    }
+
+    #[test]
+    fn csv_sink_restore_truncates_uncheckpointed_rows_and_appends() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("spca_sink_ckpt_{}.csv", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let mut sink = CsvFileSink::new(&path, 1);
+        let bytes = {
+            let mut snap = Vec::new();
+            with_ctx(0, |ctx| {
+                sink.process(DataTuple::new(0, vec![1.0]), ctx);
+                sink.process(DataTuple::new(1, vec![2.0]), ctx);
+                snap = Checkpoint::snapshot(&sink);
+                // Rows after the checkpoint must vanish on restore.
+                sink.process(DataTuple::new(2, vec![99.0]), ctx);
+                sink.on_finish(ctx);
+            });
+            snap
+        };
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "1\n2\n99\n");
+
+        sink.restore(&bytes).unwrap();
+        with_ctx(0, |ctx| {
+            sink.process(DataTuple::new(2, vec![3.0]), ctx);
+            sink.on_finish(ctx);
+        });
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "1\n2\n3\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn csv_sink_restore_at_zero_starts_the_file_over() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("spca_sink_ckpt0_{}.csv", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let mut sink = CsvFileSink::new(&path, 1);
+        with_ctx(0, |ctx| {
+            sink.process(DataTuple::new(0, vec![7.0]), ctx);
+            sink.on_finish(ctx);
+        });
+        let empty = Checkpoint::snapshot(&CsvFileSink::new(&path, 1));
+        sink.restore(&empty).unwrap();
+        with_ctx(0, |ctx| {
+            sink.process(DataTuple::new(0, vec![8.0]), ctx);
+            sink.on_finish(ctx);
+        });
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "8\n");
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

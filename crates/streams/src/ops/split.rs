@@ -14,10 +14,15 @@
 //! fast ones, exactly the paper's semantics. Only when *every* queue is
 //! full does the split block (backpressure to the source).
 
+use crate::checkpoint::{decode_kv, encode_kv, kv_parse, kv_u64, Checkpoint};
 use crate::operator::{OpContext, Operator};
 use crate::tuple::{DataTuple, Tuple};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Seed for the random strategy's generator — fixed so runs (and restarts)
+/// are reproducible.
+const SPLIT_SEED: u64 = 0x517EC7;
 
 /// Target-selection strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +41,11 @@ pub struct Split {
     strategy: SplitStrategy,
     rng: StdRng,
     next_rr: usize,
+    /// Picks made so far — checkpointed so a restored split can fast-forward
+    /// the seeded generator and continue the same random target sequence.
+    picks: u64,
+    /// Draws to replay on the next pick after a checkpoint restore.
+    replay: u64,
     /// Tuples that had to block because every target was full.
     pub blocked: u64,
 }
@@ -45,13 +55,27 @@ impl Split {
     pub fn new(strategy: SplitStrategy) -> Self {
         Split {
             strategy,
-            rng: StdRng::seed_from_u64(0x517EC7),
+            rng: StdRng::seed_from_u64(SPLIT_SEED),
             next_rr: 0,
+            picks: 0,
+            replay: 0,
             blocked: 0,
         }
     }
 
     fn pick(&mut self, n: usize, ctx: &OpContext<'_>) -> usize {
+        if self.replay > 0 {
+            // Fast-forward the freshly reseeded generator past the draws
+            // consumed before the checkpoint. The port count is fixed for a
+            // given graph, so the draws replay bit-for-bit.
+            if self.strategy == SplitStrategy::Random {
+                for _ in 0..self.replay {
+                    let _ = self.rng.gen_range(0..n);
+                }
+            }
+            self.replay = 0;
+        }
+        self.picks += 1;
         match self.strategy {
             SplitStrategy::Random => self.rng.gen_range(0..n),
             SplitStrategy::RoundRobin => {
@@ -85,6 +109,30 @@ impl Operator for Split {
         }
         self.blocked += 1;
         ctx.emit(first, t);
+    }
+
+    fn checkpoint(&mut self) -> Option<&mut dyn Checkpoint> {
+        Some(self)
+    }
+}
+
+impl Checkpoint for Split {
+    fn snapshot(&self) -> Vec<u8> {
+        encode_kv(&[
+            ("next_rr", self.next_rr.to_string()),
+            ("picks", self.picks.to_string()),
+            ("blocked", self.blocked.to_string()),
+        ])
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let kv = decode_kv(bytes)?;
+        self.next_rr = kv_parse(&kv, "next_rr")?;
+        self.picks = kv_u64(&kv, "picks")?;
+        self.blocked = kv_u64(&kv, "blocked")?;
+        self.rng = StdRng::seed_from_u64(SPLIT_SEED);
+        self.replay = self.picks;
+        Ok(())
     }
 }
 
@@ -163,6 +211,45 @@ mod tests {
         // CaptureSink's blocking emit still records the tuple.
         let total: usize = (0..2).map(|p| sink.data_at(p).len()).sum();
         assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn random_split_resumes_identical_target_sequence_after_restore() {
+        // Run one split uninterrupted; run another that checkpoints and is
+        // replaced by a restored instance mid-stream. The per-port tuple
+        // sequences must match exactly — the restored rng fast-forwards to
+        // where the original left off.
+        let mut whole = Split::new(SplitStrategy::Random);
+        let expected = feed(&mut whole, 4, 300);
+
+        let mut first_half = Split::new(SplitStrategy::Random);
+        let sink_a = feed(&mut first_half, 4, 120);
+        let bytes = Checkpoint::snapshot(&first_half);
+        let mut second_half = Split::new(SplitStrategy::Random);
+        second_half.restore(&bytes).unwrap();
+        let sink_b = with_ctx(4, |ctx| {
+            for seq in 120..300 {
+                second_half.process(DataTuple::new(seq, vec![seq as f64]), ctx);
+            }
+        });
+
+        for p in 0..4 {
+            let mut got: Vec<u64> = sink_a.data_at(p).iter().map(|d| d.seq).collect();
+            got.extend(sink_b.data_at(p).iter().map(|d| d.seq));
+            let want: Vec<u64> = expected.data_at(p).iter().map(|d| d.seq).collect();
+            assert_eq!(got, want, "port {p}");
+        }
+    }
+
+    #[test]
+    fn round_robin_split_restores_its_cursor() {
+        let mut s = Split::new(SplitStrategy::RoundRobin);
+        feed(&mut s, 4, 7); // cursor now mid-cycle at 7 % 4 == 3
+        let bytes = Checkpoint::snapshot(&s);
+        let mut restored = Split::new(SplitStrategy::RoundRobin);
+        restored.restore(&bytes).unwrap();
+        let sink = feed(&mut restored, 4, 1);
+        assert_eq!(sink.data_at(3).len(), 1);
     }
 
     #[test]

@@ -139,6 +139,7 @@ mod tests {
                 control_in: 0,
                 busy_ns: busy_ms * 1_000_000,
                 restarts: 0,
+                pe_restarts: 0,
                 quarantined: 0,
                 sync_skips: 0,
             },

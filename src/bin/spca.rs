@@ -109,10 +109,13 @@ Every flag is --key value; unknown flags are rejected.
 
 --faults injects deterministic failures: a comma-separated plan of
   panic@ENGINE:N, poison-nan@ENGINE:N, poison-inf@ENGINE:N,
-  stall@ENGINE:N:MS, drop@FROM>TO:N, dup@FROM>TO:N, delay@FROM>TO:N:MS
-  (e.g. \"panic@engine1:5000\"). Enables failure-aware synchronization;
-  pair with --snapshot-dir DIR so crashed engines restart from their
-  latest recovery snapshot instead of losing their state.";
+  stall@ENGINE:N:MS, kill-pe@ENGINE:N, drop@FROM>TO:N, dup@FROM>TO:N,
+  delay@FROM>TO:N:MS (e.g. \"panic@engine1:5000\"). kill-pe tears down the
+  whole processing element hosting the target operator; every operator in
+  it is rebuilt and rehydrated from the per-PE snapshot manifest. Enables
+  failure-aware synchronization; pair with --snapshot-dir DIR so crashed
+  engines restart from their latest recovery snapshot (and PEs from their
+  manifests) instead of losing their state.";
 
 struct Opts(HashMap<String, String>);
 
@@ -277,14 +280,16 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         report.elapsed.as_secs_f64(),
         consumed as f64 / report.elapsed.as_secs_f64().max(1e-9)
     );
-    let (restarts, quarantined, sync_skips) = (
+    let (restarts, pe_restarts, quarantined, sync_skips) = (
         report.total_restarts(),
+        report.total_pe_restarts(),
         report.total_quarantined(),
         report.total_sync_skips(),
     );
-    if restarts + quarantined + sync_skips > 0 {
+    if restarts + pe_restarts + quarantined + sync_skips > 0 {
         println!(
-            "fault summary: {restarts} operator restarts, {quarantined} quarantined tuples, \
+            "fault summary: {restarts} operator restarts, {pe_restarts} PE restarts \
+             (operator-weighted), {quarantined} quarantined tuples, \
              {sync_skips} skipped syncs"
         );
     }
