@@ -4,11 +4,14 @@
 //! file, so a hand-edited or truncated artifact cannot land silently.
 //!
 //! Artifacts self-identify via a `"schema"` discriminator field:
-//! `"kernels-v1"` selects the kernel-dispatch schema; its absence selects
-//! the original engine-transport schema (recorded before discriminators
-//! existed).
+//! `"kernels-v1"` selects the kernel-dispatch schema, `"backfill-v1"` the
+//! partitioned-backfill schema; its absence selects the original
+//! engine-transport schema (recorded before discriminators existed).
 
-use spca_bench::json::{EngineBenchReport, Json, KernelBenchReport, KERNELS_SCHEMA};
+use spca_bench::json::{
+    BackfillBenchReport, EngineBenchReport, Json, KernelBenchReport, BACKFILL_SCHEMA,
+    KERNELS_SCHEMA,
+};
 use std::process::ExitCode;
 
 fn check(path: &str) -> Result<(), String> {
@@ -24,6 +27,14 @@ fn check(path: &str) -> Result<(), String> {
                 report.results.len(),
                 report.backend,
                 report.reps
+            );
+        }
+        Some(BACKFILL_SCHEMA) => {
+            let report =
+                BackfillBenchReport::from_json(&value).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{path}: ok (backfill-v1, {} partitions, warm {:.1}x, {} cores)",
+                report.partitions, report.warm_speedup, report.cores
             );
         }
         Some(other) => return Err(format!("{path}: unknown schema '{other}'")),

@@ -693,6 +693,259 @@ impl KernelBenchReport {
     }
 }
 
+/// One row of the backfill scaling sweep: a cold corpus backfill timed at
+/// a given worker-pool size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackfillScalingRow {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Median cold wall-clock seconds.
+    pub wall_s: f64,
+    /// `wall(1 worker) / wall(workers)`.
+    pub speedup: f64,
+}
+
+/// The recorded partitioned-backfill benchmark artifact
+/// (`BENCH_backfill.json`), discriminated by `"schema": "backfill-v1"`.
+///
+/// Three claims, all CI-gated by [`BackfillBenchReport::from_json`]:
+/// parallel scaling (≥2.5× at 4 workers — waived when the recording host
+/// has fewer than 4 cores, mirroring the kernels-v1 scalar-backend
+/// waiver), warm-store speedup (a full-cache-hit re-run ≥10× faster than
+/// cold), and O(partition) incrementality (adding k partitions recomputes
+/// exactly k).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackfillBenchReport {
+    /// What was measured and how.
+    pub benchmark: String,
+    /// Machine / build caveats for reproducing the numbers.
+    pub machine_note: String,
+    /// Cores available on the recording host (`available_parallelism`);
+    /// governs the scaling-floor waiver.
+    pub cores: usize,
+    /// Partitions in the backfill corpus.
+    pub partitions: u64,
+    /// Corpus rows.
+    pub rows: u64,
+    /// Row dimensionality.
+    pub dim: usize,
+    /// The acceptance target the artifact was recorded against.
+    pub target: String,
+    /// Engine restarts during recording (must be 0: backfill never runs
+    /// the fault machinery, and a faulted recording is not an artifact).
+    pub restarts: u64,
+    /// PE restarts during recording (must be 0, as above).
+    pub pe_restarts: u64,
+    /// Cold scaling sweep, one row per worker count.
+    pub scaling: Vec<BackfillScalingRow>,
+    /// Median cold wall seconds at the reference worker count.
+    pub cold_wall_s: f64,
+    /// Median warm (full cache hit) wall seconds at the same worker count.
+    pub warm_wall_s: f64,
+    /// `cold_wall_s / warm_wall_s`.
+    pub warm_speedup: f64,
+    /// Store hits observed on the warm run — must equal `partitions`.
+    pub warm_cache_hits: u64,
+    /// Partitions added for the incremental measurement.
+    pub incremental_added: u64,
+    /// Partitions recomputed when they were added — must equal
+    /// `incremental_added`.
+    pub incremental_recomputed: u64,
+}
+
+/// Value of the schema discriminator for [`BackfillBenchReport`].
+pub const BACKFILL_SCHEMA: &str = "backfill-v1";
+
+/// Scaling floor at 4 workers, and the core count below which it is
+/// unmeasurable and therefore waived.
+pub const BACKFILL_SCALING_FLOOR: f64 = 2.5;
+const BACKFILL_SCALING_WORKERS: usize = 4;
+/// Warm re-runs must beat cold runs by at least this factor.
+pub const BACKFILL_WARM_FLOOR: f64 = 10.0;
+
+impl BackfillScalingRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workers".into(), Json::Num(self.workers as f64)),
+            ("wall_s".into(), Json::Num(self.wall_s)),
+            ("speedup".into(), Json::Num(self.speedup)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let row = BackfillScalingRow {
+            workers: num_field(v, "workers")? as usize,
+            wall_s: num_field(v, "wall_s")?,
+            speedup: num_field(v, "speedup")?,
+        };
+        if row.workers == 0 {
+            return Err("scaling row with zero workers".to_string());
+        }
+        if row.wall_s <= 0.0 {
+            return Err(format!("workers={}: non-positive wall time", row.workers));
+        }
+        Ok(row)
+    }
+}
+
+impl BackfillBenchReport {
+    /// Serializes to the committed artifact layout.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(BACKFILL_SCHEMA.into())),
+            ("benchmark".into(), Json::Str(self.benchmark.clone())),
+            ("machine_note".into(), Json::Str(self.machine_note.clone())),
+            ("cores".into(), Json::Num(self.cores as f64)),
+            ("partitions".into(), Json::Num(self.partitions as f64)),
+            ("rows".into(), Json::Num(self.rows as f64)),
+            ("dim".into(), Json::Num(self.dim as f64)),
+            ("target".into(), Json::Str(self.target.clone())),
+            ("restarts".into(), Json::Num(self.restarts as f64)),
+            ("pe_restarts".into(), Json::Num(self.pe_restarts as f64)),
+            (
+                "scaling".into(),
+                Json::Arr(self.scaling.iter().map(|r| r.to_json()).collect()),
+            ),
+            ("cold_wall_s".into(), Json::Num(self.cold_wall_s)),
+            ("warm_wall_s".into(), Json::Num(self.warm_wall_s)),
+            ("warm_speedup".into(), Json::Num(self.warm_speedup)),
+            (
+                "warm_cache_hits".into(),
+                Json::Num(self.warm_cache_hits as f64),
+            ),
+            (
+                "incremental_added".into(),
+                Json::Num(self.incremental_added as f64),
+            ),
+            (
+                "incremental_recomputed".into(),
+                Json::Num(self.incremental_recomputed as f64),
+            ),
+        ])
+    }
+
+    /// Parses and schema-checks an artifact. CI-gate strictness: on top of
+    /// the usual missing-field / type / finiteness checks, `restarts` and
+    /// `pe_restarts` must be 0, `warm_cache_hits` must equal `partitions`
+    /// (a warm recording that recomputed anything was not warm),
+    /// `warm_speedup` must clear the 10× floor and match the recorded wall
+    /// times within 2%, the incremental run must have recomputed exactly
+    /// the partitions it added, and the 4-worker scaling row must clear
+    /// the 2.5× floor — unless the recording host had fewer than 4 cores,
+    /// where physical scaling is unmeasurable and the floor is waived
+    /// (the kernels-v1 scalar-backend precedent).
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        match field(v, "schema")?.as_str() {
+            Some(BACKFILL_SCHEMA) => {}
+            other => return Err(format!("unexpected schema {other:?}")),
+        }
+        let scaling_json = field(v, "scaling")?
+            .as_arr()
+            .ok_or("field 'scaling' is not an array")?;
+        if scaling_json.is_empty() {
+            return Err("'scaling' is empty".to_string());
+        }
+        let scaling = scaling_json
+            .iter()
+            .map(BackfillScalingRow::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let report = BackfillBenchReport {
+            benchmark: str_field(v, "benchmark")?,
+            machine_note: str_field(v, "machine_note")?,
+            cores: num_field(v, "cores")? as usize,
+            partitions: num_field(v, "partitions")? as u64,
+            rows: num_field(v, "rows")? as u64,
+            dim: num_field(v, "dim")? as usize,
+            target: str_field(v, "target")?,
+            restarts: num_field(v, "restarts")? as u64,
+            pe_restarts: num_field(v, "pe_restarts")? as u64,
+            scaling,
+            cold_wall_s: num_field(v, "cold_wall_s")?,
+            warm_wall_s: num_field(v, "warm_wall_s")?,
+            warm_speedup: num_field(v, "warm_speedup")?,
+            warm_cache_hits: num_field(v, "warm_cache_hits")? as u64,
+            incremental_added: num_field(v, "incremental_added")? as u64,
+            incremental_recomputed: num_field(v, "incremental_recomputed")? as u64,
+        };
+        if report.cores == 0 {
+            return Err("'cores' must be positive".to_string());
+        }
+        if report.partitions == 0 {
+            return Err("'partitions' must be positive".to_string());
+        }
+        if report.restarts > 0 || report.pe_restarts > 0 {
+            return Err(format!(
+                "restarts {} / pe_restarts {} — benchmark artifacts must be recorded fault-free",
+                report.restarts, report.pe_restarts
+            ));
+        }
+        if report.warm_cache_hits != report.partitions {
+            return Err(format!(
+                "warm run hit the store {} times for {} partitions — not a warm recording",
+                report.warm_cache_hits, report.partitions
+            ));
+        }
+        if report.cold_wall_s <= 0.0 || report.warm_wall_s <= 0.0 {
+            return Err("non-positive cold/warm wall time".to_string());
+        }
+        let expect_warm = report.cold_wall_s / report.warm_wall_s;
+        if (report.warm_speedup - expect_warm).abs() > 0.02 * expect_warm {
+            return Err(format!(
+                "warm_speedup {} inconsistent with walls (expected {expect_warm:.3})",
+                report.warm_speedup
+            ));
+        }
+        if report.warm_speedup < BACKFILL_WARM_FLOOR {
+            return Err(format!(
+                "warm_speedup {:.2} below the {BACKFILL_WARM_FLOOR}x acceptance floor",
+                report.warm_speedup
+            ));
+        }
+        if report.incremental_added == 0 {
+            return Err("'incremental_added' must be positive".to_string());
+        }
+        if report.incremental_recomputed != report.incremental_added {
+            return Err(format!(
+                "adding {} partition(s) recomputed {} — incrementality is O(partition), \
+                 recomputed must equal added",
+                report.incremental_added, report.incremental_recomputed
+            ));
+        }
+        let base = report
+            .scaling
+            .iter()
+            .find(|r| r.workers == 1)
+            .ok_or("missing required scaling row at 1 worker")?;
+        for row in &report.scaling {
+            let expect = base.wall_s / row.wall_s;
+            if (row.speedup - expect).abs() > 0.02 * expect.abs() {
+                return Err(format!(
+                    "workers={}: speedup {} inconsistent with walls (expected {expect:.3})",
+                    row.workers, row.speedup
+                ));
+            }
+        }
+        let four = report
+            .scaling
+            .iter()
+            .find(|r| r.workers == BACKFILL_SCALING_WORKERS)
+            .ok_or("missing required scaling row at 4 workers")?;
+        if report.cores >= BACKFILL_SCALING_WORKERS && four.speedup < BACKFILL_SCALING_FLOOR {
+            return Err(format!(
+                "4-worker speedup {:.3} below the {BACKFILL_SCALING_FLOOR}x acceptance floor \
+                 on a {}-core host",
+                four.speedup, report.cores
+            ));
+        }
+        Ok(report)
+    }
+
+    /// Round-trips a report through text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -861,6 +1114,118 @@ mod tests {
         // The same numbers are fine when the host had no SIMD backend.
         report.backend = "scalar".into();
         assert!(KernelBenchReport::parse(&report.to_json().to_string()).is_ok());
+    }
+
+    fn sample_backfill_report() -> BackfillBenchReport {
+        let row = |workers: usize, wall_s: f64| BackfillScalingRow {
+            workers,
+            wall_s,
+            speedup: 8.0 / wall_s,
+        };
+        BackfillBenchReport {
+            benchmark: "partitioned backfill".into(),
+            machine_note: "test".into(),
+            cores: 8,
+            partitions: 8,
+            rows: 6000,
+            dim: 64,
+            target: ">=2.5x at 4 workers; warm >=10x; +1 partition recomputes 1".into(),
+            restarts: 0,
+            pe_restarts: 0,
+            scaling: vec![row(1, 8.0), row(2, 4.2), row(4, 2.5), row(8, 1.6)],
+            cold_wall_s: 2.5,
+            warm_wall_s: 0.05,
+            warm_speedup: 50.0,
+            warm_cache_hits: 8,
+            incremental_added: 1,
+            incremental_recomputed: 1,
+        }
+    }
+
+    #[test]
+    fn backfill_report_round_trips() {
+        let report = sample_backfill_report();
+        let text = report.to_json().to_string();
+        assert_eq!(BackfillBenchReport::parse(&text).unwrap(), report);
+    }
+
+    #[test]
+    fn backfill_report_rejects_partial_cache_hits() {
+        let mut report = sample_backfill_report();
+        report.warm_cache_hits = 7;
+        let err = BackfillBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("not a warm recording"), "{err}");
+    }
+
+    #[test]
+    fn backfill_report_requires_warm_cache_hits_field() {
+        let Json::Obj(fields) = sample_backfill_report().to_json() else {
+            unreachable!()
+        };
+        let pruned = Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "warm_cache_hits")
+                .collect(),
+        );
+        let err = BackfillBenchReport::parse(&pruned.to_string()).unwrap_err();
+        assert!(err.contains("warm_cache_hits"), "{err}");
+    }
+
+    #[test]
+    fn backfill_report_rejects_nonzero_restarts() {
+        let mut report = sample_backfill_report();
+        report.restarts = 1;
+        let err = BackfillBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("fault-free"), "{err}");
+        report.restarts = 0;
+        report.pe_restarts = 2;
+        let err = BackfillBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("fault-free"), "{err}");
+    }
+
+    #[test]
+    fn backfill_report_enforces_warm_floor() {
+        let mut report = sample_backfill_report();
+        report.warm_wall_s = 1.0;
+        report.warm_speedup = 2.5;
+        let err = BackfillBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("10"), "{err}");
+    }
+
+    #[test]
+    fn backfill_report_enforces_incrementality() {
+        let mut report = sample_backfill_report();
+        report.incremental_recomputed = 9; // recomputed history too
+        let err = BackfillBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("recomputed must equal added"), "{err}");
+    }
+
+    #[test]
+    fn backfill_report_scaling_floor_waived_below_four_cores() {
+        let mut report = sample_backfill_report();
+        // No physical parallelism: every worker count takes as long as one.
+        for row in report.scaling.iter_mut() {
+            row.wall_s = 8.0;
+            row.speedup = 1.0;
+        }
+        report.cold_wall_s = 8.0;
+        report.warm_wall_s = 0.1;
+        report.warm_speedup = 80.0;
+        // On a 4+-core host that is a failed recording...
+        let err = BackfillBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("2.5"), "{err}");
+        // ...on a 1-core container the floor is unmeasurable and waived.
+        report.cores = 1;
+        assert!(BackfillBenchReport::parse(&report.to_json().to_string()).is_ok());
+    }
+
+    #[test]
+    fn backfill_report_catches_inconsistent_scaling_speedup() {
+        let mut report = sample_backfill_report();
+        report.scaling[2].speedup = 9.0;
+        let err = BackfillBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("inconsistent"), "{err}");
     }
 
     #[test]

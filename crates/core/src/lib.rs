@@ -58,7 +58,7 @@ pub use basis_scale::{BasisScaleTracker, RobustScale};
 pub use classic::{ClassicIncrementalPca, UpdateWorkspace};
 pub use config::{PcaConfig, RhoKind};
 pub use eigensystem::EigenSystem;
-pub use merge::merge;
+pub use merge::{merge, merge_all, merge_tree};
 pub use robust::{RobustPca, UpdateOutcome};
 pub use window::WindowedPca;
 

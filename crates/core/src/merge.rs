@@ -23,7 +23,11 @@ use spca_linalg::{svd, vecops, Mat};
 pub fn merge(s1: &EigenSystem, s2: &EigenSystem) -> Result<EigenSystem> {
     if s1.dim() != s2.dim() {
         return Err(PcaError::IncompatibleMerge(format!(
-            "dimension {} vs {}",
+            "cannot merge eigensystem of shape {}×{} with {}×{}: dimensions {} vs {} differ",
+            s1.dim(),
+            s1.n_components(),
+            s2.dim(),
+            s2.n_components(),
             s1.dim(),
             s2.dim()
         )));
@@ -86,12 +90,23 @@ pub fn merge(s1: &EigenSystem, s2: &EigenSystem) -> Result<EigenSystem> {
         }
     }
 
-    let f = svd::thin_svd(&a)?;
+    // The factor is d×(k₁+k₂+2); when the combined component count exceeds
+    // the dimension (full-rank merges, where nothing is truncated and the
+    // combination is exact) the matrix is wide, and thin SVD wants rows ≥
+    // cols — so factor the transpose instead: A = UΣVᵀ ⇔ Aᵀ = VΣUᵀ, and
+    // the left singular vectors of A are the right ones of Aᵀ.
+    let (left, s) = if a.rows() >= a.cols() {
+        let f = svd::thin_svd(&a)?;
+        (f.u, f.s)
+    } else {
+        let f = svd::thin_svd(&a.transpose())?;
+        (f.v, f.s)
+    };
     let mut basis = Mat::zeros(d, k_out);
     let mut values = vec![0.0; k_out];
-    for (j, val) in values.iter_mut().enumerate().take(k_out.min(f.s.len())) {
-        basis.col_mut(j).copy_from_slice(f.u.col(j));
-        *val = f.s[j] * f.s[j];
+    for (j, val) in values.iter_mut().enumerate().take(k_out.min(s.len())) {
+        basis.col_mut(j).copy_from_slice(left.col(j));
+        *val = s[j] * s[j];
     }
 
     // Scales combine v-weighted; running sums add (both engines' decayed
@@ -114,6 +129,11 @@ pub fn merge(s1: &EigenSystem, s2: &EigenSystem) -> Result<EigenSystem> {
 
 /// Merges many eigensystems left-to-right. Returns an error on an empty
 /// input slice.
+///
+/// The left fold is the synchronization-path shape (one accumulator, peers
+/// folded in as they arrive). For batch reductions over many partitions,
+/// prefer [`merge_tree`]: same algebra, balanced γ-weighting, and a
+/// log-depth critical path.
 pub fn merge_all(systems: &[EigenSystem]) -> Result<EigenSystem> {
     let (first, rest) = systems
         .split_first()
@@ -123,6 +143,82 @@ pub fn merge_all(systems: &[EigenSystem]) -> Result<EigenSystem> {
         acc = merge(&acc, s)?;
     }
     Ok(acc)
+}
+
+/// Merges many eigensystems by pairwise tree reduction, parallelized over
+/// the machine's available cores.
+///
+/// Each level merges adjacent pairs `(0,1), (2,3), …` — an odd trailing
+/// element passes through to the next level — so the reduction finishes in
+/// ⌈log₂ n⌉ levels instead of `n − 1` sequential folds, and every merge
+/// combines subtrees of (nearly) equal observation mass, which keeps the
+/// γ weights of eq. 15 balanced instead of letting a long-running
+/// accumulator dominate every step. The pairing is fixed by index, so the
+/// result is **bit-identical regardless of worker count** — independent
+/// pair merges never observe each other.
+///
+/// Returns a [`PcaError`] on an empty input slice.
+pub fn merge_tree(systems: &[EigenSystem]) -> Result<EigenSystem> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    merge_tree_threads(systems, threads)
+}
+
+/// [`merge_tree`] with an explicit worker-thread cap (`0` and `1` both mean
+/// sequential). The reduction shape — and therefore the result, bit for
+/// bit — does not depend on `threads`.
+pub fn merge_tree_threads(systems: &[EigenSystem], threads: usize) -> Result<EigenSystem> {
+    if systems.is_empty() {
+        return Err(PcaError::IncompatibleMerge(
+            "cannot merge zero systems".into(),
+        ));
+    }
+    let mut level: Vec<EigenSystem> = systems.to_vec();
+    while level.len() > 1 {
+        level = merge_level(&level, threads)?;
+    }
+    Ok(level.pop().expect("non-empty by construction"))
+}
+
+/// Merges adjacent pairs of one tree level, in parallel when it pays.
+fn merge_level(level: &[EigenSystem], threads: usize) -> Result<Vec<EigenSystem>> {
+    let pairs = level.len() / 2;
+    let workers = threads.min(pairs).max(1);
+    if workers <= 1 {
+        let mut next = Vec::with_capacity(pairs + level.len() % 2);
+        for pair in 0..pairs {
+            next.push(merge(&level[2 * pair], &level[2 * pair + 1])?);
+        }
+        if level.len() % 2 == 1 {
+            next.push(level[level.len() - 1].clone());
+        }
+        return Ok(next);
+    }
+    // Contiguous chunks of pair indices per worker; each worker fills its
+    // own output slots, so no result depends on scheduling order.
+    let mut slots: Vec<Option<Result<EigenSystem>>> = Vec::new();
+    slots.resize_with(pairs, || None);
+    let chunk = pairs.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, out) in slots.chunks_mut(chunk).enumerate() {
+            let start = w * chunk;
+            scope.spawn(move || {
+                for (off, slot) in out.iter_mut().enumerate() {
+                    let pair = start + off;
+                    *slot = Some(merge(&level[2 * pair], &level[2 * pair + 1]));
+                }
+            });
+        }
+    });
+    let mut next = Vec::with_capacity(pairs + level.len() % 2);
+    for slot in slots {
+        next.push(slot.expect("every pair slot is written")?);
+    }
+    if level.len() % 2 == 1 {
+        next.push(level[level.len() - 1].clone());
+    }
+    Ok(next)
 }
 
 /// Pads (or truncates) an eigensystem to exactly `k` components, filling
@@ -313,6 +409,68 @@ mod tests {
     #[test]
     fn merge_all_empty_is_error() {
         assert!(merge_all(&[]).is_err());
+        assert!(merge_tree(&[]).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_error_names_both_shapes() {
+        let a = EigenSystem::zeros(4, 2);
+        let b = EigenSystem::zeros(5, 3);
+        let err = merge(&a, &b).unwrap_err();
+        let msg = format!("{err:?}");
+        assert!(msg.contains("4×2"), "missing left shape: {msg}");
+        assert!(msg.contains("5×3"), "missing right shape: {msg}");
+    }
+
+    #[test]
+    fn tree_merge_matches_left_fold() {
+        let mut rng = StdRng::seed_from_u64(27);
+        for n in [1usize, 2, 3, 5, 8] {
+            let parts: Vec<EigenSystem> = (0..n)
+                .map(|_| batch_pca(&planted(&mut rng, 150), 2).unwrap())
+                .collect();
+            let fold = merge_all(&parts).unwrap();
+            let tree = merge_tree(&parts).unwrap();
+            let dist = subspace_distance(&fold.basis, &tree.basis).unwrap();
+            assert!(dist < 0.05, "n={n}: association error {dist}");
+            assert!((fold.sum_v - tree.sum_v).abs() < 1e-9 * fold.sum_v.max(1.0));
+            assert_eq!(fold.n_obs, tree.n_obs);
+        }
+    }
+
+    #[test]
+    fn tree_merge_is_bit_identical_across_worker_counts() {
+        let mut rng = StdRng::seed_from_u64(28);
+        let parts: Vec<EigenSystem> = (0..7)
+            .map(|_| batch_pca(&planted(&mut rng, 120), 2).unwrap())
+            .collect();
+        let seq = merge_tree_threads(&parts, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let par = merge_tree_threads(&parts, threads).unwrap();
+            assert_eq!(par.n_obs, seq.n_obs);
+            for (a, b) in par.mean.iter().zip(&seq.mean) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} workers: mean");
+            }
+            for (a, b) in par.values.iter().zip(&seq.values) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} workers: values");
+            }
+            assert_eq!(
+                par.basis.sub(&seq.basis).unwrap().max_abs(),
+                0.0,
+                "{threads} workers: basis"
+            );
+            assert_eq!(par.sigma2.to_bits(), seq.sigma2.to_bits());
+            assert_eq!(par.sum_v.to_bits(), seq.sum_v.to_bits());
+        }
+    }
+
+    #[test]
+    fn tree_merge_single_system_passes_through() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let only = batch_pca(&planted(&mut rng, 100), 2).unwrap();
+        let out = merge_tree(std::slice::from_ref(&only)).unwrap();
+        assert_eq!(out.n_obs, only.n_obs);
+        assert_eq!(out.basis.sub(&only.basis).unwrap().max_abs(), 0.0);
     }
 
     #[test]

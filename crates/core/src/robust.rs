@@ -116,6 +116,14 @@ impl RobustPca {
         &self.cfg
     }
 
+    /// Returns the estimator to its initial warm-up state while keeping the
+    /// grown workspace buffers, so a pooled worker (e.g. a backfill worker
+    /// iterating over partitions) re-enters the allocation-free steady
+    /// state without re-growing scratch on every partition.
+    pub fn reset(&mut self) {
+        self.state = State::WarmUp(Vec::new());
+    }
+
     /// True once the warm-up batch has been consumed.
     pub fn is_initialized(&self) -> bool {
         matches!(self.state, State::Running(_))

@@ -1,10 +1,66 @@
 //! Property-based tests for the streaming-PCA invariants.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use spca_core::batch::batch_pca;
-use spca_core::merge::merge;
+use spca_core::merge::{merge, merge_all, merge_tree};
 use spca_core::metrics::subspace_distance;
-use spca_core::{ClassicIncrementalPca, PcaConfig, RhoKind, RobustPca};
+use spca_core::{ClassicIncrementalPca, EigenSystem, PcaConfig, RhoKind, RobustPca};
+use spca_linalg::Mat;
+
+/// A random *full-rank* eigensystem (`k = d`): orthonormal basis from a
+/// product of random Givens rotations, well-separated descending
+/// eigenvalues, random mean and running sums. Full rank matters: the merge
+/// of eq. 15 is algebraically exact when nothing is truncated, which is
+/// what makes tree-vs-fold agreement a 1e-10 statement instead of the
+/// ~0.05 association tolerance of truncated merges.
+fn random_full_rank_system(rng: &mut StdRng, d: usize) -> EigenSystem {
+    let mut basis = Mat::zeros(d, d);
+    for i in 0..d {
+        basis.col_mut(i)[i] = 1.0;
+    }
+    for i in 0..d {
+        for j in (i + 1)..d {
+            let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let (s, c) = theta.sin_cos();
+            // Row rotation in the (i, j) plane, applied across all columns.
+            for col in 0..d {
+                let cm = basis.col_mut(col);
+                let (a, b) = (cm[i], cm[j]);
+                cm[i] = c * a - s * b;
+                cm[j] = s * a + c * b;
+            }
+        }
+    }
+    // Descending with guaranteed separation ≥ 0.7 (jitter < spacing).
+    let values: Vec<f64> = (0..d)
+        .map(|j| (d - j) as f64 + rng.gen_range(0.0..0.3))
+        .collect();
+    let n_obs = rng.gen_range(20..500u64);
+    EigenSystem {
+        mean: (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+        basis,
+        values,
+        sigma2: rng.gen_range(0.01..1.0),
+        sum_u: rng.gen_range(10.0..300.0),
+        sum_v: rng.gen_range(10.0..300.0),
+        sum_q: rng.gen_range(0.1..10.0),
+        n_obs,
+    }
+}
+
+/// `E diag(λ) Eᵀ` — the rotation-invariant content of (basis, values).
+fn reconstruct(e: &EigenSystem) -> Mat {
+    let d = e.dim();
+    let mut scaled = Mat::zeros(d, e.n_components());
+    for j in 0..e.n_components() {
+        for (o, &b) in scaled.col_mut(j).iter_mut().zip(e.basis.col(j)) {
+            *o = e.values[j] * b;
+        }
+    }
+    spca_linalg::gemm::gemm(&scaled, &e.basis.transpose()).unwrap()
+}
 
 /// A stream living (mostly) on a planted low-rank subspace.
 fn stream_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
@@ -163,6 +219,56 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Tree reduction and left fold are the *same algebra* when nothing is
+    /// truncated: for full-rank eigensystems the merge of eq. 15 is exact,
+    /// so any association order — and any shuffle of the partitions — must
+    /// land on the same merged state to floating-point accuracy (1e-10),
+    /// not the ~0.05 association tolerance truncated merges carry. This is
+    /// the guarantee the partitioned backfill leans on when it tree-merges
+    /// per-partition states in whatever order the store yields them.
+    #[test]
+    fn tree_merge_equals_left_fold_for_full_rank(seed in any::<u64>(), k in 2usize..16) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let systems: Vec<EigenSystem> =
+            (0..k).map(|_| random_full_rank_system(&mut rng, 5)).collect();
+        // Fisher–Yates shuffle (the vendored rand has no `seq` module).
+        let mut shuffled = systems.clone();
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            shuffled.swap(i, j);
+        }
+
+        let fold = merge_all(&shuffled).unwrap();
+        let tree = merge_tree(&shuffled).unwrap();
+
+        // Subspace agreement. Both spans are full-rank, so the binding
+        // 1e-10 statement is the eigenvalue-weighted one below; the raw
+        // sin-of-largest-angle only carries a sqrt of the bases'
+        // orthonormality roundoff (~1e-15 → ~1e-7) and is checked at that
+        // floor.
+        let dist = subspace_distance(&fold.basis, &tree.basis).unwrap();
+        prop_assert!(dist < 1e-6, "subspace angle {dist}");
+        let (rf, rt) = (reconstruct(&fold), reconstruct(&tree));
+        let scale = fold.values[0].max(1.0);
+        let dcov = rf.sub(&rt).unwrap().max_abs();
+        prop_assert!(dcov <= 1e-10 * scale, "E Λ Eᵀ differs by {dcov}");
+
+        // Eigenvalues, mean, scale: gap-independent 1e-10 agreement.
+        for (a, b) in fold.values.iter().zip(&tree.values) {
+            prop_assert!((a - b).abs() <= 1e-10 * (1.0 + a.abs()), "values {a} vs {b}");
+        }
+        for (a, b) in fold.mean.iter().zip(&tree.mean) {
+            prop_assert!((a - b).abs() <= 1e-10, "mean {a} vs {b}");
+        }
+        prop_assert!((fold.sigma2 - tree.sigma2).abs() <= 1e-10 * (1.0 + fold.sigma2));
+
+        // Running sums: plain additions, associative to roundoff.
+        prop_assert!((fold.sum_u - tree.sum_u).abs() <= 1e-10 * fold.sum_u);
+        prop_assert!((fold.sum_v - tree.sum_v).abs() <= 1e-10 * fold.sum_v);
+        prop_assert!((fold.sum_q - tree.sum_q).abs() <= 1e-10 * fold.sum_q.max(1.0));
+        prop_assert_eq!(fold.n_obs, tree.n_obs);
     }
 
     /// The windowed estimator maintains invariants and bounded pane count

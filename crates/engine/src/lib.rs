@@ -22,6 +22,7 @@
 //!   eigensystems, merged global estimates, outlier feed.
 
 pub mod app;
+pub mod backfill;
 pub mod messages;
 pub mod pca_operator;
 pub mod persist;
@@ -29,6 +30,10 @@ pub mod results;
 pub mod sync;
 
 pub use app::{normalize_fault_targets, AppConfig, AppHandles, ParallelPcaApp};
+pub use backfill::{
+    backfill, partition_csv_files, partition_csv_rows, BackfillConfig, BackfillOutcome,
+    CorpusSlice, PartitionWorker,
+};
 pub use messages::{
     Heartbeat, PeerState, SyncCommand, KIND_HEARTBEAT, KIND_PEER_STATE, KIND_SNAPSHOT,
     KIND_SYNC_COMMAND,

@@ -1132,7 +1132,12 @@ mod tests {
         assert_eq!(fresh.obs_since_sync, 123);
         assert_eq!(fresh.shares_sent, 2);
         assert!(fresh.last_peer.is_none());
-        let after = fresh.state_handle().lock().full_eigensystem().unwrap().clone();
+        let after = fresh
+            .state_handle()
+            .lock()
+            .full_eigensystem()
+            .unwrap()
+            .clone();
         assert_eig_bits_equal(&before, &after);
     }
 
@@ -1153,7 +1158,10 @@ mod tests {
         let op = StreamingPcaOp::new(8, cfg(), 0).with_recovery(&dir, 250);
         assert_eq!(op.checkpoint_every(), 250);
         let plain = StreamingPcaOp::new(8, cfg(), 0);
-        assert_eq!(plain.checkpoint_every(), spca_streams::DEFAULT_CHECKPOINT_EVERY);
+        assert_eq!(
+            plain.checkpoint_every(),
+            spca_streams::DEFAULT_CHECKPOINT_EVERY
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 

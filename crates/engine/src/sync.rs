@@ -12,7 +12,9 @@
 //! port `i` connects to engine `i`'s control port; the command tells that
 //! engine which of *its* peer-state ports to share on.
 
-use crate::messages::{Heartbeat, PeerState, SyncCommand, KIND_HEARTBEAT, KIND_SNAPSHOT, KIND_SYNC_COMMAND};
+use crate::messages::{
+    Heartbeat, PeerState, SyncCommand, KIND_HEARTBEAT, KIND_SNAPSHOT, KIND_SYNC_COMMAND,
+};
 use spca_streams::checkpoint::{decode_kv, encode_kv, kv_parse, kv_u64, Checkpoint};
 use spca_streams::{ControlTuple, DataTuple, OpContext, Operator, SourceState};
 use std::sync::Arc;
@@ -508,7 +510,10 @@ mod tests {
                 ControlTuple::new(
                     KIND_HEARTBEAT,
                     0,
-                    Arc::new(Heartbeat { engine: 1, n_obs: 1 }),
+                    Arc::new(Heartbeat {
+                        engine: 1,
+                        n_obs: 1,
+                    }),
                 ),
                 ctx,
             );
@@ -517,7 +522,10 @@ mod tests {
                 ControlTuple::new(
                     KIND_HEARTBEAT,
                     9,
-                    Arc::new(Heartbeat { engine: 9, n_obs: 1 }),
+                    Arc::new(Heartbeat {
+                        engine: 9,
+                        n_obs: 1,
+                    }),
                 ),
                 ctx,
             );

@@ -7,7 +7,7 @@
 //! leading mask column block for gappy data (`NaN` marks a missing bin on
 //! read).
 
-use std::io::{BufRead, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
 /// Writes observations as CSV, one vector per line.
@@ -59,38 +59,44 @@ pub fn write_csv_masked<P: AsRef<Path>>(
 /// Reads CSV observations; `nan` / empty fields become missing bins.
 /// Returns `(values, mask)` per row with missing bins set to 0.0.
 pub fn read_csv<P: AsRef<Path>>(path: P) -> std::io::Result<Vec<(Vec<f64>, Vec<bool>)>> {
-    let f = std::fs::File::open(path)?;
-    let reader = std::io::BufReader::new(f);
+    Ok(parse_csv_str(&std::fs::read_to_string(path)?))
+}
+
+/// Parses CSV observations already in memory — the text layer under
+/// [`read_csv`], used by the backfill runner to parse byte-range
+/// partitions of a corpus without re-reading the file per partition.
+pub fn parse_csv_str(text: &str) -> Vec<(Vec<f64>, Vec<bool>)> {
     let mut out = Vec::new();
-    let mut line = String::new();
-    let mut r = reader;
-    loop {
-        line.clear();
-        if r.read_line(&mut line)? == 0 {
-            break;
+    for line in text.lines() {
+        if let Some(row) = parse_csv_line(line) {
+            out.push(row);
         }
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let mut values = Vec::new();
-        let mut mask = Vec::new();
-        for field in trimmed.split(',') {
-            let field = field.trim();
-            match field.parse::<f64>() {
-                Ok(v) if v.is_finite() => {
-                    values.push(v);
-                    mask.push(true);
-                }
-                _ => {
-                    values.push(0.0);
-                    mask.push(false);
-                }
+    }
+    out
+}
+
+/// Parses one CSV line; `None` for blank and `#`-comment lines.
+pub fn parse_csv_line(line: &str) -> Option<(Vec<f64>, Vec<bool>)> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return None;
+    }
+    let mut values = Vec::new();
+    let mut mask = Vec::new();
+    for field in trimmed.split(',') {
+        let field = field.trim();
+        match field.parse::<f64>() {
+            Ok(v) if v.is_finite() => {
+                values.push(v);
+                mask.push(true);
+            }
+            _ => {
+                values.push(0.0);
+                mask.push(false);
             }
         }
-        out.push((values, mask));
     }
-    Ok(out)
+    Some((values, mask))
 }
 
 /// Writes an eigensystem snapshot: first line the eigenvalues, then one

@@ -1,0 +1,519 @@
+//! Partitioned backfill: a persistent state store plus a parallel
+//! partition runner.
+//!
+//! The paper's merge step (eq. 15–16) makes the per-substream analytics
+//! state *algebraically mergeable* — which is exactly the contract of an
+//! incremental analyzer framework: shard a historical corpus by a
+//! partition key, compute each partition's state independently, persist
+//! it, and merge the persisted states without ever replaying history.
+//! Adding a partition then costs O(partition), never O(history), and a
+//! re-run over an unchanged corpus is pure cache hits.
+//!
+//! This module is the engine-agnostic half of that story:
+//!
+//! * [`Partition`] — a unit of backfill work: a stable id, a content hash
+//!   of the partition's input bytes, and an opaque payload the caller's
+//!   worker knows how to compute over;
+//! * [`StateStore`] — a filesystem store of finished per-partition state
+//!   blobs, keyed by partition id and invalidated by content hash. Writes
+//!   go through the same fsync+atomic-rename plumbing as PE checkpoints
+//!   ([`crate::checkpoint::write_atomic`]), so the store never serves a
+//!   torn blob;
+//! * [`run_partitions`] — a worker pool that drains the partition list,
+//!   serving unchanged partitions from the store and dispatching the rest
+//!   to per-worker compute closures.
+//!
+//! What a "state blob" means is up to the caller — the PCA application
+//! stores serialized eigensystems and merges them with the core crate's
+//! tree reduction, but nothing here knows that.
+
+use crate::checkpoint::write_atomic;
+use parking_lot::Mutex;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// One unit of backfill work.
+///
+/// `id` must be stable across runs (it keys the state store); `content_hash`
+/// must change whenever the partition's input bytes change (it invalidates
+/// the store); `payload` carries whatever the compute closure needs to
+/// produce the partition's state.
+#[derive(Debug, Clone)]
+pub struct Partition<T> {
+    /// Stable partition key (e.g. `"rows-00000-02500"` or a file name).
+    pub id: String,
+    /// Hash of the partition's raw input bytes (see [`content_hash`]).
+    pub content_hash: u64,
+    /// Caller-defined input handle for the compute closure.
+    pub payload: T,
+}
+
+/// FNV-1a over the partition's input bytes — the store's invalidation key.
+///
+/// Not cryptographic, and deliberately so: the store defends against stale
+/// results after an edit, not against an adversary forging collisions.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const STATE_MAGIC: &str = "spca-partition-state-v1";
+
+/// A filesystem store of finished per-partition state blobs.
+///
+/// One file per partition id, written atomically; the file records the
+/// content hash it was computed from, so [`StateStore::load`] returns a
+/// hit only when the partition's current input still matches. A torn or
+/// hand-edited file reads as a miss-with-error, never as plausible state.
+#[derive(Debug)]
+pub struct StateStore {
+    dir: PathBuf,
+}
+
+impl StateStore {
+    /// Opens (creating if needed) a state store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(StateStore { dir })
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path for a partition id.
+    pub fn path_for(&self, id: &str) -> PathBuf {
+        // Percent-encode anything that is not filename-safe so arbitrary
+        // partition keys (paths, dates, plate ids) cannot escape the dir.
+        let mut name = String::with_capacity(id.len());
+        for b in id.bytes() {
+            match b {
+                b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'_' | b'-' => {
+                    name.push(b as char)
+                }
+                other => name.push_str(&format!("%{other:02x}")),
+            }
+        }
+        self.dir.join(format!("{name}.state"))
+    }
+
+    /// Loads the stored state for `id`, if present **and** computed from
+    /// input bytes hashing to `want_hash`. A hash mismatch (the partition's
+    /// input changed since the state was computed) is `Ok(None)` — a miss
+    /// that the runner resolves by recomputing and overwriting. A
+    /// structurally invalid file is an `InvalidData` error.
+    pub fn load(&self, id: &str, want_hash: u64) -> io::Result<Option<Vec<u8>>> {
+        let path = self.path_for(id);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        // Header: magic \n id <id> \n hash <hex> \n len <n> \n payload
+        let header_end = find_header_end(&bytes)
+            .ok_or_else(|| bad(format!("state file {path:?} has a truncated header")))?;
+        let header = std::str::from_utf8(&bytes[..header_end])
+            .map_err(|_| bad(format!("state file {path:?} header is not UTF-8")))?;
+        let mut lines = header.lines();
+        if lines.next() != Some(STATE_MAGIC) {
+            return Err(bad(format!("state file {path:?} has a bad magic line")));
+        }
+        let id_line = lines
+            .next()
+            .and_then(|l| l.strip_prefix("id "))
+            .ok_or_else(|| bad(format!("state file {path:?} is missing its id line")))?;
+        if id_line != id {
+            return Err(bad(format!(
+                "state file {path:?} records id '{id_line}', expected '{id}'"
+            )));
+        }
+        let hash_line = lines
+            .next()
+            .and_then(|l| l.strip_prefix("hash "))
+            .ok_or_else(|| bad(format!("state file {path:?} is missing its hash line")))?;
+        let got_hash = u64::from_str_radix(hash_line, 16)
+            .map_err(|_| bad(format!("state file {path:?} has an unparsable hash")))?;
+        let len_line = lines
+            .next()
+            .and_then(|l| l.strip_prefix("len "))
+            .ok_or_else(|| bad(format!("state file {path:?} is missing its len line")))?;
+        let len: usize = len_line
+            .parse()
+            .map_err(|_| bad(format!("state file {path:?} has an unparsable len")))?;
+        let payload = &bytes[header_end..];
+        if payload.len() != len {
+            return Err(bad(format!(
+                "state file {path:?} payload is {} bytes, header says {len} — torn write",
+                payload.len()
+            )));
+        }
+        if got_hash != want_hash {
+            // The partition's input changed: stale state, recompute.
+            return Ok(None);
+        }
+        Ok(Some(payload.to_vec()))
+    }
+
+    /// Atomically persists `state` for `id` as computed from input bytes
+    /// hashing to `hash`. Overwrites any previous generation.
+    pub fn store(&self, id: &str, hash: u64, state: &[u8]) -> io::Result<()> {
+        let mut file = format!(
+            "{STATE_MAGIC}\nid {id}\nhash {hash:016x}\nlen {}\n",
+            state.len()
+        )
+        .into_bytes();
+        file.extend_from_slice(state);
+        write_atomic(&self.path_for(id), &file)
+    }
+}
+
+/// Byte offset just past the 4-line header, or `None` if the file has
+/// fewer than 4 newlines.
+fn find_header_end(bytes: &[u8]) -> Option<usize> {
+    let mut newlines = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            newlines += 1;
+            if newlines == 4 {
+                return Some(i + 1);
+            }
+        }
+    }
+    None
+}
+
+/// How one partition's state was obtained by [`run_partitions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionSource {
+    /// Served from the state store (input unchanged since last computed).
+    CacheHit,
+    /// Computed by a worker this run (and persisted for the next one).
+    Computed,
+}
+
+/// Aggregate statistics of one [`run_partitions`] call.
+#[derive(Debug, Clone)]
+pub struct BackfillStats {
+    /// Total partitions processed.
+    pub partitions: usize,
+    /// Partitions served from the store without running the worker.
+    pub cache_hits: usize,
+    /// Partitions computed (missing, or invalidated by a content change).
+    pub computed: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Per-partition provenance, in input order.
+    pub sources: Vec<PartitionSource>,
+}
+
+type ResultSlot = Mutex<Option<io::Result<(Vec<u8>, PartitionSource)>>>;
+
+/// Runs the backfill worker pool: every partition's state is either served
+/// from `store` (id present, content hash unchanged) or computed by a
+/// worker closure and persisted.
+///
+/// `workers` caps the pool (`0` means one worker per available core);
+/// `make_worker(w)` builds worker `w`'s compute closure once, so a worker
+/// can own reusable scratch (estimator workspaces) across the partitions
+/// it drains. Partitions are claimed from a shared cursor — work-stealing
+/// granularity is one partition — and results land in input order, so the
+/// output does not depend on scheduling.
+///
+/// The first error (store I/O or worker failure) aborts the run: workers
+/// finish their current partition and stop claiming new ones.
+pub fn run_partitions<T, W>(
+    partitions: &[Partition<T>],
+    store: &StateStore,
+    workers: usize,
+    make_worker: impl Fn(usize) -> W + Sync,
+) -> io::Result<(Vec<Vec<u8>>, BackfillStats)>
+where
+    T: Sync,
+    W: FnMut(&Partition<T>) -> io::Result<Vec<u8>> + Send,
+{
+    let t0 = Instant::now();
+    let pool = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    }
+    .min(partitions.len())
+    .max(1);
+
+    let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let mut slots: Vec<ResultSlot> = Vec::new();
+    slots.resize_with(partitions.len(), || Mutex::new(None));
+
+    std::thread::scope(|scope| {
+        for w in 0..pool {
+            let cursor = &cursor;
+            let failed = &failed;
+            let slots = &slots;
+            let make_worker = &make_worker;
+            scope.spawn(move || {
+                let mut job = make_worker(w);
+                loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(part) = partitions.get(i) else {
+                        break;
+                    };
+                    let result = process_one(part, store, &mut job);
+                    if result.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    *slots[i].lock() = Some(result);
+                }
+            });
+        }
+    });
+
+    let mut states = Vec::with_capacity(partitions.len());
+    let mut sources = Vec::with_capacity(partitions.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner() {
+            Some(Ok((bytes, src))) => {
+                states.push(bytes);
+                sources.push(src);
+            }
+            Some(Err(e)) => {
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!("partition '{}': {e}", partitions[i].id),
+                ))
+            }
+            // A worker saw the failure flag and stopped before claiming i.
+            None => {
+                return Err(io::Error::other(format!(
+                    "partition '{}' was abandoned after an earlier failure",
+                    partitions[i].id
+                )))
+            }
+        }
+    }
+    let stats = BackfillStats {
+        partitions: partitions.len(),
+        cache_hits: sources
+            .iter()
+            .filter(|s| **s == PartitionSource::CacheHit)
+            .count(),
+        computed: sources
+            .iter()
+            .filter(|s| **s == PartitionSource::Computed)
+            .count(),
+        workers: pool,
+        wall: t0.elapsed(),
+        sources,
+    };
+    Ok((states, stats))
+}
+
+fn process_one<T>(
+    part: &Partition<T>,
+    store: &StateStore,
+    job: &mut impl FnMut(&Partition<T>) -> io::Result<Vec<u8>>,
+) -> io::Result<(Vec<u8>, PartitionSource)> {
+    if let Some(bytes) = store.load(&part.id, part.content_hash)? {
+        return Ok((bytes, PartitionSource::CacheHit));
+    }
+    let bytes = job(part)?;
+    store.store(&part.id, part.content_hash, &bytes)?;
+    Ok((bytes, PartitionSource::Computed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_store() -> (PathBuf, StateStore) {
+        let d = std::env::temp_dir().join(format!(
+            "spca-backfill-test-{}-{}",
+            std::process::id(),
+            DIR_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store = StateStore::open(&d).unwrap();
+        (d, store)
+    }
+
+    fn parts(n: usize) -> Vec<Partition<Vec<u8>>> {
+        (0..n)
+            .map(|i| {
+                let payload = vec![i as u8; 8];
+                Partition {
+                    id: format!("part-{i}"),
+                    content_hash: content_hash(&payload),
+                    payload,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn store_round_trips_and_validates_hash() {
+        let (dir, store) = temp_store();
+        store.store("a", 0xdead, b"state-bytes").unwrap();
+        assert_eq!(
+            store.load("a", 0xdead).unwrap().as_deref(),
+            Some(&b"state-bytes"[..])
+        );
+        // Content change → miss, not error.
+        assert!(store.load("a", 0xbeef).unwrap().is_none());
+        // Unknown id → miss.
+        assert!(store.load("zzz", 0).unwrap().is_none());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_state_file_is_invalid_data_never_a_hit() {
+        let (dir, store) = temp_store();
+        store.store("a", 1, b"0123456789").unwrap();
+        let path = store.path_for("a");
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let got = store.load("a", 1);
+            match got {
+                Err(e) => assert_eq!(e.kind(), io::ErrorKind::InvalidData, "cut at {cut}"),
+                Ok(hit) => assert!(hit.is_none(), "cut at {cut} served a torn payload"),
+            }
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn ids_with_path_characters_stay_inside_the_store() {
+        let (dir, store) = temp_store();
+        let id = "../escape/attempt";
+        store.store(id, 7, b"x").unwrap();
+        assert_eq!(store.load(id, 7).unwrap().as_deref(), Some(&b"x"[..]));
+        let path = store.path_for(id);
+        assert!(
+            path.starts_with(store.dir()),
+            "encoded path {path:?} escaped the store"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn cold_run_computes_everything_then_warm_run_hits() {
+        let (dir, store) = temp_store();
+        let partitions = parts(5);
+        let compute = |_w: usize| {
+            |p: &Partition<Vec<u8>>| -> io::Result<Vec<u8>> {
+                Ok(p.payload.iter().map(|b| b ^ 0xff).collect())
+            }
+        };
+        let (cold, stats) = run_partitions(&partitions, &store, 2, compute).unwrap();
+        assert_eq!(stats.computed, 5);
+        assert_eq!(stats.cache_hits, 0);
+        let (warm, stats2) = run_partitions(&partitions, &store, 2, compute).unwrap();
+        assert_eq!(stats2.computed, 0);
+        assert_eq!(stats2.cache_hits, 5);
+        assert_eq!(cold, warm, "warm bytes must be bit-identical");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn adding_one_partition_recomputes_exactly_one() {
+        let (dir, store) = temp_store();
+        let partitions = parts(4);
+        let calls = AtomicUsize::new(0);
+        let compute = |_w: usize| {
+            |p: &Partition<Vec<u8>>| -> io::Result<Vec<u8>> {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(p.payload.clone())
+            }
+        };
+        run_partitions(&partitions, &store, 2, compute).unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+        let grown = parts(5);
+        let (_, stats) = run_partitions(&grown, &store, 2, compute).unwrap();
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            5,
+            "only the new partition runs"
+        );
+        assert_eq!(stats.computed, 1);
+        assert_eq!(stats.cache_hits, 4);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn content_change_invalidates_exactly_that_partition() {
+        let (dir, store) = temp_store();
+        let mut partitions = parts(4);
+        let compute =
+            |_w: usize| |p: &Partition<Vec<u8>>| -> io::Result<Vec<u8>> { Ok(p.payload.clone()) };
+        run_partitions(&partitions, &store, 1, compute).unwrap();
+        partitions[2].payload[0] ^= 1;
+        partitions[2].content_hash = content_hash(&partitions[2].payload);
+        let (states, stats) = run_partitions(&partitions, &store, 1, compute).unwrap();
+        assert_eq!(stats.computed, 1);
+        assert_eq!(stats.cache_hits, 3);
+        assert_eq!(states[2], partitions[2].payload);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn worker_error_aborts_with_partition_context() {
+        let (dir, store) = temp_store();
+        let partitions = parts(3);
+        let compute = |_w: usize| {
+            |p: &Partition<Vec<u8>>| -> io::Result<Vec<u8>> {
+                if p.id == "part-1" {
+                    Err(io::Error::other("boom"))
+                } else {
+                    Ok(p.payload.clone())
+                }
+            }
+        };
+        let err = run_partitions(&partitions, &store, 1, compute).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("part-1"),
+            "error must name the partition: {msg}"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn results_land_in_input_order_regardless_of_workers() {
+        let (dir, store) = temp_store();
+        let partitions = parts(9);
+        let compute = |_w: usize| {
+            |p: &Partition<Vec<u8>>| -> io::Result<Vec<u8>> { Ok(p.id.clone().into_bytes()) }
+        };
+        let (states, stats) = run_partitions(&partitions, &store, 4, compute).unwrap();
+        assert!(stats.workers >= 1);
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(s, format!("part-{i}").as_bytes());
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_sensitive() {
+        assert_eq!(content_hash(b"abc"), content_hash(b"abc"));
+        assert_ne!(content_hash(b"abc"), content_hash(b"abd"));
+        assert_ne!(content_hash(b""), content_hash(b"\0"));
+    }
+}

@@ -116,8 +116,10 @@ const MANIFEST_MAGIC: &str = "spca-pe-manifest-v1";
 pub type SnapshotSet = Vec<(String, Vec<u8>)>;
 
 /// Writes `bytes` to `path` atomically and durably: temp file in the same
-/// directory, fsync, rename, best-effort directory fsync.
-fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+/// directory, fsync, rename, best-effort directory fsync. Shared by the
+/// PE checkpoint writer and the [`crate::backfill`] state store — both
+/// trust that a named file is never torn.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let dir = path.parent();
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
@@ -230,7 +232,11 @@ pub fn read_pe_manifest(dir: &Path, pe_index: usize) -> io::Result<Option<Snapsh
         let mut it = rest.splitn(3, ' ');
         let (file, len, name) = match (it.next(), it.next(), it.next()) {
             (Some(f), Some(l), Some(n)) => (f, l, n),
-            _ => return Err(bad(format!("manifest {path:?} has malformed entry '{line}'"))),
+            _ => {
+                return Err(bad(format!(
+                    "manifest {path:?} has malformed entry '{line}'"
+                )))
+            }
         };
         let len: usize = len
             .parse()
@@ -238,7 +244,11 @@ pub fn read_pe_manifest(dir: &Path, pe_index: usize) -> io::Result<Option<Snapsh
         let mut blob = Vec::new();
         File::open(dir.join(file))
             .and_then(|mut f| f.read_to_end(&mut blob))
-            .map_err(|e| bad(format!("manifest {path:?} names unreadable blob {file}: {e}")))?;
+            .map_err(|e| {
+                bad(format!(
+                    "manifest {path:?} names unreadable blob {file}: {e}"
+                ))
+            })?;
         if blob.len() != len {
             return Err(bad(format!(
                 "blob {file} is {} bytes, manifest says {len} — torn checkpoint",
@@ -352,7 +362,10 @@ mod tests {
             .filter_map(|e| e.ok())
             .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
             .collect();
-        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -893,7 +893,11 @@ fn restart_pe(pe: &mut PeRuntime, clean: bool) -> bool {
     }
     eprintln!(
         "[supervisor] PE {pe_index} died ({}); restarting (attempt {attempt})",
-        if clean { "injected kill" } else { "escaped panic" }
+        if clean {
+            "injected kill"
+        } else {
+            "escaped panic"
+        }
     );
     std::thread::sleep(policy.backoff(attempt));
 
@@ -911,8 +915,7 @@ fn restart_pe(pe: &mut PeRuntime, clean: bool) -> bool {
         match ckpt.read() {
             Ok(Some(parts)) => {
                 for (name, blob) in &parts {
-                    let Some(i) = slots.iter().position(|s| &s.name == name && !s.finished)
-                    else {
+                    let Some(i) = slots.iter().position(|s| &s.name == name && !s.finished) else {
                         continue; // operator finished since that checkpoint
                     };
                     if let Some(cp) = slots[i].op.as_mut().and_then(|op| op.checkpoint()) {

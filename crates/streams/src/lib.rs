@@ -43,6 +43,7 @@
 //! assert_eq!(store.lock().len(), 10);
 //! ```
 
+pub mod backfill;
 pub mod checkpoint;
 pub mod engine;
 pub mod fault;
@@ -53,6 +54,9 @@ pub mod ops;
 pub mod optimize;
 pub mod tuple;
 
+pub use backfill::{
+    content_hash, run_partitions, BackfillStats, Partition, PartitionSource, StateStore,
+};
 pub use checkpoint::{Checkpoint, DEFAULT_CHECKPOINT_EVERY};
 pub use engine::{Engine, LinkReport, RunReport};
 pub use fault::{Fault, FaultAction, FaultPlan, FaultTarget, RestartPolicy};

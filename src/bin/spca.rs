@@ -49,6 +49,16 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "batch",
             "faults",
             "snapshot-dir",
+            "warm-start",
+        ],
+        "backfill" => &[
+            "input",
+            "partitions",
+            "state-dir",
+            "workers",
+            "components",
+            "memory",
+            "out",
         ],
         "inspect" => &["snapshot"],
         "simulate" => &["engines", "dim", "nodes", "placement"],
@@ -72,6 +82,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&opts),
         "run" => cmd_run(&opts),
+        "backfill" => cmd_backfill(&opts),
         "inspect" => cmd_inspect(&opts),
         "simulate" => cmd_simulate(&opts),
         "help" | "--help" | "-h" => {
@@ -101,6 +112,10 @@ USAGE:
                 [--sync ring|broadcast|none] [--snapshots DIR]
                 [--report outliers.csv] [--batch 64]
                 [--faults SPEC] [--snapshot-dir DIR]
+                [--warm-start merged.snapshot]
+  spca backfill --input extract.csv|DIR [--partitions 8] [--workers 0]
+                [--state-dir spca-state] [--components 4] [--memory 5000]
+                [--out merged.snapshot]
   spca inspect  --snapshot FILE
   spca simulate [--engines 20] [--dim 250] [--nodes 10]
                 [--placement rr|single|grouped2]
@@ -115,7 +130,16 @@ Every flag is --key value; unknown flags are rejected.
   it is rebuilt and rehydrated from the per-PE snapshot manifest. Enables
   failure-aware synchronization; pair with --snapshot-dir DIR so crashed
   engines restart from their latest recovery snapshot (and PEs from their
-  manifests) instead of losing their state.";
+  manifests) instead of losing their state.
+
+backfill shards a historical corpus by partition key (row ranges of a
+  file, or one partition per file when --input is a directory), estimates
+  every partition in parallel, persists each finished eigensystem in the
+  --state-dir store keyed by partition id + content hash, and tree-merges
+  the partition states into one corpus-wide eigensystem. Re-running over
+  an unchanged corpus is pure cache hits; appending one partition
+  recomputes exactly one. Pass the merged snapshot to `spca run
+  --warm-start` to splice archive history into a live stream.";
 
 struct Opts(HashMap<String, String>);
 
@@ -270,6 +294,21 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     if let Some(dir) = opts.get("snapshot-dir") {
         cfg.recovery_dir = Some(PathBuf::from(dir));
     }
+    if let Some(path) = opts.get("warm-start") {
+        let eig = persist::read_snapshot(std::path::Path::new(path))
+            .map_err(|e| format!("--warm-start {path}: {e}"))?;
+        if eig.dim() != dim {
+            return Err(format!(
+                "--warm-start snapshot has dimension {}, stream has {dim}",
+                eig.dim()
+            ));
+        }
+        println!(
+            "warm-starting every engine from {path} (n_obs = {})",
+            eig.n_obs
+        );
+        cfg.warm_start = Some(eig);
+    }
 
     let (graph, handles) = ParallelPcaApp::build(&cfg, source);
     println!("running {engines} engines (d = {dim}, p = {components}, N = {memory}) ...");
@@ -324,6 +363,95 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             );
         }
         Err(e) => println!("no merged estimate: {e}"),
+    }
+    Ok(())
+}
+
+fn cmd_backfill(opts: &Opts) -> Result<(), String> {
+    use astro_stream_pca::engine::{backfill, partition_csv_files, partition_csv_rows};
+
+    // Validate flag values before any I/O, so a bad value is reported even
+    // when the input is also wrong (same policy as `run --batch`).
+    let n_partitions: usize = opts.num("partitions", 8)?;
+    if n_partitions == 0 {
+        return Err("--partitions must be at least 1".to_string());
+    }
+    let workers: usize = opts.num("workers", 0)?;
+    let components: usize = opts.num("components", 4)?;
+    let memory: usize = opts.num("memory", 5000)?;
+    let state_dir = PathBuf::from(opts.get("state-dir").unwrap_or("spca-state"));
+    let input = PathBuf::from(opts.get("input").ok_or("--input is required")?);
+    if !input.exists() {
+        return Err(format!("input '{}' does not exist", input.display()));
+    }
+
+    let partitions = if input.is_dir() {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&input)
+            .map_err(|e| e.to_string())?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().map(|x| x == "csv").unwrap_or(false))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("no .csv files in '{}'", input.display()));
+        }
+        partition_csv_files(&files).map_err(|e| e.to_string())?
+    } else {
+        partition_csv_rows(&input, n_partitions).map_err(|e| e.to_string())?
+    };
+
+    // Probe the dimensionality from the first data row of the first
+    // partition (the partitions already hold the corpus bytes).
+    let first_text = partitions[0].payload.as_str().map_err(|e| e.to_string())?;
+    let dim = first_text
+        .lines()
+        .find_map(io::parse_csv_line)
+        .ok_or("corpus has no data rows")?
+        .0
+        .len();
+    if components + 2 >= dim {
+        return Err(format!(
+            "--components {components} too large for dimension {dim}"
+        ));
+    }
+
+    let pca = PcaConfig::new(dim, components)
+        .with_memory(memory)
+        .with_extra(2);
+    let cfg = astro_stream_pca::engine::BackfillConfig {
+        pca,
+        workers,
+        state_dir,
+    };
+    let outcome = backfill(&cfg, &partitions).map_err(|e| e.to_string())?;
+    println!(
+        "backfill: {} partitions ({} cache hits, {} computed) on {} workers in {:.2}s",
+        outcome.stats.partitions,
+        outcome.stats.cache_hits,
+        outcome.stats.computed,
+        outcome.stats.workers,
+        outcome.stats.wall.as_secs_f64()
+    );
+    let merged = &outcome.merged;
+    println!(
+        "merged eigensystem: d = {}, components = {}, n_obs = {}",
+        merged.dim(),
+        merged.n_components(),
+        merged.n_obs
+    );
+    println!(
+        "merged eigenvalues: {:?}",
+        merged
+            .values
+            .iter()
+            .take(components)
+            .map(|v| (v * 1e4).round() / 1e4)
+            .collect::<Vec<_>>()
+    );
+    if let Some(out) = opts.get("out") {
+        persist::write_snapshot(std::path::Path::new(out), merged).map_err(|e| e.to_string())?;
+        println!("wrote merged snapshot to {out}");
     }
     Ok(())
 }

@@ -133,6 +133,135 @@ fn repeated_fault_flag_is_rejected() {
 }
 
 #[test]
+fn backfill_unknown_and_duplicate_flags_rejected() {
+    let out = spca(&["backfill", "--partitons", "4"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--partitons"), "got: {stderr}");
+    assert!(stderr.contains("backfill"), "got: {stderr}");
+
+    let out = spca(&["backfill", "--workers", "2", "--workers", "4"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("more than once"), "got: {stderr}");
+
+    // `run`-only flags do not leak into backfill's allow list.
+    let out = spca(&["backfill", "--sync", "ring"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--sync"));
+}
+
+#[test]
+fn backfill_flags_parse_and_missing_input_is_the_only_error() {
+    // All backfill flags accepted: the failure must be the missing input
+    // file, not flag parsing.
+    let out = spca(&[
+        "backfill",
+        "--input",
+        "nonexistent.csv",
+        "--partitions",
+        "4",
+        "--state-dir",
+        "/tmp/does-not-matter",
+        "--workers",
+        "2",
+        "--components",
+        "3",
+        "--memory",
+        "1000",
+        "--out",
+        "merged.snapshot",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("does not exist"),
+        "expected the input error, got: {stderr}"
+    );
+    assert!(!stderr.contains("unknown flag"), "got: {stderr}");
+}
+
+#[test]
+fn backfill_rejects_bad_flag_values() {
+    let out = spca(&["backfill", "--input", "x.csv", "--partitions", "abc"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--partitions"), "got: {stderr}");
+
+    let out = spca(&["backfill", "--input", "x.csv", "--partitions", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--partitions"));
+
+    let out = spca(&["backfill", "--workers"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing a value"));
+}
+
+#[test]
+fn backfill_requires_input() {
+    let out = spca(&["backfill", "--partitions", "4"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+}
+
+#[test]
+fn backfill_cold_then_warm_round_trip() {
+    let dir = std::env::temp_dir().join(format!("spca-cli-backfill-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("corpus.csv");
+    let gen = spca(&[
+        "generate",
+        "--out",
+        csv.to_str().unwrap(),
+        "--n",
+        "400",
+        "--pixels",
+        "24",
+        "--seed",
+        "9",
+    ]);
+    assert!(gen.status.success());
+
+    let store = dir.join("store");
+    let run = |out_name: &str| {
+        spca(&[
+            "backfill",
+            "--input",
+            csv.to_str().unwrap(),
+            "--partitions",
+            "4",
+            "--state-dir",
+            store.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--components",
+            "3",
+            "--out",
+            dir.join(out_name).to_str().unwrap(),
+        ])
+    };
+    let cold = run("cold.snapshot");
+    assert!(
+        cold.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let cold_out = String::from_utf8_lossy(&cold.stdout);
+    assert!(cold_out.contains("0 cache hits, 4 computed"), "{cold_out}");
+
+    let warm = run("warm.snapshot");
+    assert!(warm.status.success());
+    let warm_out = String::from_utf8_lossy(&warm.stdout);
+    assert!(warm_out.contains("4 cache hits, 0 computed"), "{warm_out}");
+
+    let a = std::fs::read(dir.join("cold.snapshot")).unwrap();
+    let b = std::fs::read(dir.join("warm.snapshot")).unwrap();
+    assert_eq!(a, b, "cold and warm merged snapshots must be bit-identical");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn valid_generate_round_trips() {
     let dir = std::env::temp_dir().join(format!("spca-cli-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
