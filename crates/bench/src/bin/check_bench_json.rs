@@ -5,12 +5,13 @@
 //!
 //! Artifacts self-identify via a `"schema"` discriminator field:
 //! `"kernels-v1"` selects the kernel-dispatch schema, `"backfill-v1"` the
-//! partitioned-backfill schema; its absence selects the original
-//! engine-transport schema (recorded before discriminators existed).
+//! partitioned-backfill schema, `"serving-v1"` the always-on-serving
+//! schema; its absence selects the original engine-transport schema
+//! (recorded before discriminators existed).
 
 use spca_bench::json::{
-    BackfillBenchReport, EngineBenchReport, Json, KernelBenchReport, BACKFILL_SCHEMA,
-    KERNELS_SCHEMA,
+    BackfillBenchReport, EngineBenchReport, Json, KernelBenchReport, ServingBenchReport,
+    BACKFILL_SCHEMA, KERNELS_SCHEMA, SERVING_SCHEMA,
 };
 use std::process::ExitCode;
 
@@ -35,6 +36,14 @@ fn check(path: &str) -> Result<(), String> {
             println!(
                 "{path}: ok (backfill-v1, {} partitions, warm {:.1}x, {} cores)",
                 report.partitions, report.warm_speedup, report.cores
+            );
+        }
+        Some(SERVING_SCHEMA) => {
+            let report =
+                ServingBenchReport::from_json(&value).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{path}: ok (serving-v1, {:.0} qps, p99 {:.0}us, ingest ratio {:.3}, {} cores)",
+                report.qps, report.p99_us, report.ingest_ratio, report.cores
             );
         }
         Some(other) => return Err(format!("{path}: unknown schema '{other}'")),

@@ -946,6 +946,182 @@ impl BackfillBenchReport {
     }
 }
 
+/// The recorded always-on-serving benchmark artifact
+/// (`BENCH_serving.json`), discriminated by `"schema": "serving-v1"`.
+///
+/// Three claims, all CI-gated by [`ServingBenchReport::from_json`]: the
+/// server sustains the recorded QPS with sane latency quantiles
+/// (p50 ≤ p99 ≤ p999), the recording ran fault-free (restarts and PE
+/// restarts both zero), and serving costs the ingest path at most 10%
+/// throughput (`ingest_ratio ≥ 0.9` — waived when the recording host has
+/// fewer than 4 cores, where the query clients and the engines fight for
+/// the same cores and the degradation measures the scheduler, not the
+/// serving design; the backfill-v1 scaling-floor precedent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingBenchReport {
+    /// What was measured and how.
+    pub benchmark: String,
+    /// Machine / build caveats for reproducing the numbers.
+    pub machine_note: String,
+    /// Cores available on the recording host (`available_parallelism`);
+    /// governs the ingest-ratio waiver.
+    pub cores: usize,
+    /// Row dimensionality of the served eigensystem.
+    pub dim: usize,
+    /// Tuples ingested per measured run.
+    pub tuples: u64,
+    /// The acceptance target the artifact was recorded against.
+    pub target: String,
+    /// Operator restarts during recording (must be 0).
+    pub restarts: u64,
+    /// Whole-PE restarts during recording (must be 0).
+    pub pe_restarts: u64,
+    /// Concurrent query clients driving load.
+    pub clients: usize,
+    /// Total queries answered during the measured window.
+    pub requests: u64,
+    /// Sustained queries per second over the measured window.
+    pub qps: f64,
+    /// Median query latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile query latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile query latency, microseconds.
+    pub p999_us: f64,
+    /// Ingest throughput with serving disabled (tuples/s).
+    pub baseline_tuples_per_s: f64,
+    /// Ingest throughput under full query load (tuples/s).
+    pub serving_tuples_per_s: f64,
+    /// `serving_tuples_per_s / baseline_tuples_per_s`.
+    pub ingest_ratio: f64,
+}
+
+/// Value of the schema discriminator for [`ServingBenchReport`].
+pub const SERVING_SCHEMA: &str = "serving-v1";
+
+/// Serving may cost the ingest path at most this fraction of its
+/// no-serving throughput, and the core count below which the floor is
+/// unmeasurable and therefore waived.
+pub const SERVING_INGEST_FLOOR: f64 = 0.9;
+const SERVING_MIN_CORES: usize = 4;
+
+impl ServingBenchReport {
+    /// Serializes to the committed artifact layout.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SERVING_SCHEMA.into())),
+            ("benchmark".into(), Json::Str(self.benchmark.clone())),
+            ("machine_note".into(), Json::Str(self.machine_note.clone())),
+            ("cores".into(), Json::Num(self.cores as f64)),
+            ("dim".into(), Json::Num(self.dim as f64)),
+            ("tuples".into(), Json::Num(self.tuples as f64)),
+            ("target".into(), Json::Str(self.target.clone())),
+            ("restarts".into(), Json::Num(self.restarts as f64)),
+            ("pe_restarts".into(), Json::Num(self.pe_restarts as f64)),
+            ("clients".into(), Json::Num(self.clients as f64)),
+            ("requests".into(), Json::Num(self.requests as f64)),
+            ("qps".into(), Json::Num(self.qps)),
+            ("p50_us".into(), Json::Num(self.p50_us)),
+            ("p99_us".into(), Json::Num(self.p99_us)),
+            ("p999_us".into(), Json::Num(self.p999_us)),
+            (
+                "baseline_tuples_per_s".into(),
+                Json::Num(self.baseline_tuples_per_s),
+            ),
+            (
+                "serving_tuples_per_s".into(),
+                Json::Num(self.serving_tuples_per_s),
+            ),
+            ("ingest_ratio".into(), Json::Num(self.ingest_ratio)),
+        ])
+    }
+
+    /// Parses and schema-checks an artifact. CI-gate strictness: on top
+    /// of the usual missing-field / type / finiteness checks, `restarts`
+    /// and `pe_restarts` must be 0, latency quantiles must be positive
+    /// and monotone (p50 ≤ p99 ≤ p999), `qps` must agree with
+    /// `requests / (tuples-window)`-free recording to the extent the
+    /// artifact can express (positive and finite), `ingest_ratio` must
+    /// match the recorded throughputs within 2%, and the ratio must
+    /// clear the 0.9× floor — unless the recording host had fewer than
+    /// 4 cores, where the floor is waived.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        match field(v, "schema")?.as_str() {
+            Some(SERVING_SCHEMA) => {}
+            other => return Err(format!("unexpected schema {other:?}")),
+        }
+        let report = ServingBenchReport {
+            benchmark: str_field(v, "benchmark")?,
+            machine_note: str_field(v, "machine_note")?,
+            cores: num_field(v, "cores")? as usize,
+            dim: num_field(v, "dim")? as usize,
+            tuples: num_field(v, "tuples")? as u64,
+            target: str_field(v, "target")?,
+            restarts: num_field(v, "restarts")? as u64,
+            pe_restarts: num_field(v, "pe_restarts")? as u64,
+            clients: num_field(v, "clients")? as usize,
+            requests: num_field(v, "requests")? as u64,
+            qps: num_field(v, "qps")?,
+            p50_us: num_field(v, "p50_us")?,
+            p99_us: num_field(v, "p99_us")?,
+            p999_us: num_field(v, "p999_us")?,
+            baseline_tuples_per_s: num_field(v, "baseline_tuples_per_s")?,
+            serving_tuples_per_s: num_field(v, "serving_tuples_per_s")?,
+            ingest_ratio: num_field(v, "ingest_ratio")?,
+        };
+        if report.cores == 0 {
+            return Err("'cores' must be positive".to_string());
+        }
+        if report.dim == 0 || report.tuples == 0 {
+            return Err("'dim' and 'tuples' must be positive".to_string());
+        }
+        if report.restarts > 0 || report.pe_restarts > 0 {
+            return Err(format!(
+                "restarts {} / pe_restarts {} — benchmark artifacts must be recorded fault-free",
+                report.restarts, report.pe_restarts
+            ));
+        }
+        if report.clients == 0 || report.requests == 0 {
+            return Err("'clients' and 'requests' must be positive".to_string());
+        }
+        if report.qps <= 0.0 {
+            return Err("'qps' must be positive".to_string());
+        }
+        if report.p50_us <= 0.0 {
+            return Err("'p50_us' must be positive".to_string());
+        }
+        if report.p50_us > report.p99_us || report.p99_us > report.p999_us {
+            return Err(format!(
+                "latency quantiles must be monotone: p50 {} / p99 {} / p999 {}",
+                report.p50_us, report.p99_us, report.p999_us
+            ));
+        }
+        if report.baseline_tuples_per_s <= 0.0 || report.serving_tuples_per_s <= 0.0 {
+            return Err("ingest throughputs must be positive".to_string());
+        }
+        let expect = report.serving_tuples_per_s / report.baseline_tuples_per_s;
+        if (report.ingest_ratio - expect).abs() > 0.02 * expect {
+            return Err(format!(
+                "ingest_ratio {} inconsistent with throughputs (expected {expect:.3})",
+                report.ingest_ratio
+            ));
+        }
+        if report.cores >= SERVING_MIN_CORES && report.ingest_ratio < SERVING_INGEST_FLOOR {
+            return Err(format!(
+                "ingest_ratio {:.3} below the {SERVING_INGEST_FLOOR} acceptance floor \
+                 on a {}-core host — serving must not cost ingest more than 10%",
+                report.ingest_ratio, report.cores
+            ));
+        }
+        Ok(report)
+    }
+
+    /// Round-trips a report through text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1225,6 +1401,76 @@ mod tests {
         let mut report = sample_backfill_report();
         report.scaling[2].speedup = 9.0;
         let err = BackfillBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("inconsistent"), "{err}");
+    }
+
+    fn sample_serving_report() -> ServingBenchReport {
+        ServingBenchReport {
+            benchmark: "always-on eigensystem serving".into(),
+            machine_note: "test".into(),
+            cores: 8,
+            dim: 64,
+            tuples: 200_000,
+            target: "ingest ratio >= 0.9 under full query load".into(),
+            restarts: 0,
+            pe_restarts: 0,
+            clients: 4,
+            requests: 120_000,
+            qps: 24_000.0,
+            p50_us: 80.0,
+            p99_us: 400.0,
+            p999_us: 1_500.0,
+            baseline_tuples_per_s: 100_000.0,
+            serving_tuples_per_s: 95_000.0,
+            ingest_ratio: 0.95,
+        }
+    }
+
+    #[test]
+    fn serving_report_round_trips() {
+        let report = sample_serving_report();
+        let text = report.to_json().to_string();
+        assert_eq!(ServingBenchReport::parse(&text).unwrap(), report);
+    }
+
+    #[test]
+    fn serving_report_rejects_nonzero_restarts() {
+        let mut report = sample_serving_report();
+        report.restarts = 1;
+        let err = ServingBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("fault-free"), "{err}");
+        report.restarts = 0;
+        report.pe_restarts = 1;
+        let err = ServingBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("fault-free"), "{err}");
+    }
+
+    #[test]
+    fn serving_report_requires_monotone_quantiles() {
+        let mut report = sample_serving_report();
+        report.p99_us = report.p999_us * 2.0;
+        let err = ServingBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("monotone"), "{err}");
+    }
+
+    #[test]
+    fn serving_report_enforces_ingest_floor_with_core_waiver() {
+        let mut report = sample_serving_report();
+        report.serving_tuples_per_s = 60_000.0;
+        report.ingest_ratio = 0.6;
+        // On a 4+-core host the degradation gate fails the artifact...
+        let err = ServingBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("0.9"), "{err}");
+        // ...on a small container the floor is unmeasurable and waived.
+        report.cores = 2;
+        assert!(ServingBenchReport::parse(&report.to_json().to_string()).is_ok());
+    }
+
+    #[test]
+    fn serving_report_catches_inconsistent_ratio() {
+        let mut report = sample_serving_report();
+        report.ingest_ratio = 0.99;
+        let err = ServingBenchReport::parse(&report.to_json().to_string()).unwrap_err();
         assert!(err.contains("inconsistent"), "{err}");
     }
 

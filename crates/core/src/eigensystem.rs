@@ -148,6 +148,23 @@ impl EigenSystem {
         self.values.iter().take(p).sum::<f64>() / total
     }
 
+    /// Makes `self` an exact copy of `src`, reusing existing allocations
+    /// whenever capacity suffices. After the first call at a given
+    /// `(d, k)`, subsequent calls perform no heap allocation — this is the
+    /// snapshot-copy primitive of the epoch-versioned serving store.
+    pub fn copy_from(&mut self, src: &EigenSystem) {
+        self.mean.clear();
+        self.mean.extend_from_slice(&src.mean);
+        self.basis.copy_from(&src.basis);
+        self.values.clear();
+        self.values.extend_from_slice(&src.values);
+        self.sigma2 = src.sigma2;
+        self.sum_u = src.sum_u;
+        self.sum_v = src.sum_v;
+        self.sum_q = src.sum_q;
+        self.n_obs = src.n_obs;
+    }
+
     /// Truncates to the top `p` components (no-op if already ≤ p).
     pub fn truncated(&self, p: usize) -> EigenSystem {
         if p >= self.n_components() {

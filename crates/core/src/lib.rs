@@ -50,6 +50,7 @@ pub mod eigensystem;
 pub mod gaps;
 pub mod merge;
 pub mod metrics;
+pub mod query;
 pub mod rho;
 pub mod robust;
 pub mod window;
@@ -59,6 +60,7 @@ pub use classic::{ClassicIncrementalPca, UpdateWorkspace};
 pub use config::{PcaConfig, RhoKind};
 pub use eigensystem::EigenSystem;
 pub use merge::{merge, merge_all, merge_tree};
+pub use query::{OutlierScore, QueryWorkspace, SimilarityHit};
 pub use robust::{RobustPca, UpdateOutcome};
 pub use window::WindowedPca;
 

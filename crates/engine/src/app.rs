@@ -94,6 +94,14 @@ pub struct AppConfig {
     pub liveness_timeout: Duration,
     /// Engines heartbeat every `n` processed tuples (failure-aware mode).
     pub heartbeat_every: u64,
+    /// Serving layer: when set, every engine publishes epoch-numbered
+    /// eigensystem snapshots into this store (see
+    /// [`StreamingPcaOp::with_epoch_store`]) so HTTP query handlers can
+    /// read the live estimate locklessly.
+    pub epoch_store: Option<Arc<crate::epoch::EpochStore>>,
+    /// Snapshot publication cadence in processed tuples per engine
+    /// (0 = only on initialization, merges, and finish).
+    pub publish_every: u64,
 }
 
 impl AppConfig {
@@ -124,6 +132,8 @@ impl AppConfig {
             failure_aware_sync: false,
             liveness_timeout: Duration::from_millis(100),
             heartbeat_every: 64,
+            epoch_store: None,
+            publish_every: 64,
         }
     }
 }
@@ -227,6 +237,9 @@ impl ParallelPcaApp {
             }
             if let Some(threshold) = cfg.divergence_gate {
                 op = op.with_divergence_gate(threshold);
+            }
+            if let Some(ref store) = cfg.epoch_store {
+                op = op.with_epoch_store(Arc::clone(store), cfg.publish_every);
             }
             if cfg.emit_outcomes {
                 op = op.with_outcomes();

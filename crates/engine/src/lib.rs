@@ -23,10 +23,12 @@
 
 pub mod app;
 pub mod backfill;
+pub mod epoch;
 pub mod messages;
 pub mod pca_operator;
 pub mod persist;
 pub mod results;
+pub mod serve;
 pub mod sync;
 
 pub use app::{normalize_fault_targets, AppConfig, AppHandles, ParallelPcaApp};
@@ -34,6 +36,7 @@ pub use backfill::{
     backfill, partition_csv_files, partition_csv_rows, BackfillConfig, BackfillOutcome,
     CorpusSlice, PartitionWorker,
 };
+pub use epoch::{EigenSnapshot, EpochReader, EpochStore, PinnedSnapshot};
 pub use messages::{
     Heartbeat, PeerState, SyncCommand, KIND_HEARTBEAT, KIND_PEER_STATE, KIND_SNAPSHOT,
     KIND_SYNC_COMMAND,
@@ -41,4 +44,5 @@ pub use messages::{
 pub use pca_operator::StreamingPcaOp;
 pub use persist::{read_snapshot, recovery_path, write_snapshot, SnapshotWriter};
 pub use results::ResultsHub;
+pub use serve::{endpoint_index, EigenQueryHandler, FaultCounters, ServeShared};
 pub use sync::{SyncController, SyncStrategy};

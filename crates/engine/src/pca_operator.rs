@@ -80,6 +80,17 @@ pub struct StreamingPcaOp {
     /// the first processed tuple and every `heartbeat_every` thereafter,
     /// feeding the failure-aware sync controller's liveness tracker.
     heartbeat_every: u64,
+    /// Serving-layer publication target: when set, the operator publishes
+    /// an immutable snapshot of its eigensystem into the epoch store
+    /// every `publish_every` processed tuples, after every merge, and at
+    /// finish. The copy reuses recycled snapshot buffers, so steady-state
+    /// publishing keeps the update path allocation-free.
+    epoch_store: Option<Arc<crate::epoch::EpochStore>>,
+    publish_every: u64,
+    /// True once the first post-warm-up snapshot has been published, so
+    /// serving opens as soon as the estimator initializes instead of at
+    /// the next cadence boundary.
+    published_once: bool,
 }
 
 impl StreamingPcaOp {
@@ -120,6 +131,9 @@ impl StreamingPcaOp {
             recovery_dir: None,
             recovery_every: 0,
             heartbeat_every: 0,
+            epoch_store: None,
+            publish_every: 0,
+            published_once: false,
         }
     }
 
@@ -181,6 +195,58 @@ impl StreamingPcaOp {
         assert!((0.0..=1.0).contains(&threshold));
         self.divergence_gate = Some(threshold);
         self
+    }
+
+    /// Publishes epoch-numbered eigensystem snapshots into `store` every
+    /// `every` processed tuples (plus after every merge and at finish),
+    /// making the live eigensystem queryable by the serving layer. A
+    /// cadence of 0 publishes only on initialization, merges, and finish.
+    /// Prewarms the store's snapshot pool here (build time, off the
+    /// update thread) so steady-state publishing never allocates and
+    /// pool exhaustion sheds a publish instead of allocating.
+    pub fn with_epoch_store(mut self, store: Arc<crate::epoch::EpochStore>, every: u64) -> Self {
+        let (d, k) = {
+            let st = self.state.lock();
+            let c = st.config();
+            (c.dim, c.p_total())
+        };
+        store.prewarm(crate::epoch::PREWARM_PER_WRITER, d, k);
+        self.epoch_store = Some(store);
+        self.publish_every = every;
+        self
+    }
+
+    /// Copies the current eigensystem into a recycled snapshot buffer and
+    /// publishes it — allocation-free unconditionally: the pool is
+    /// prewarmed, and if stalled readers have drained it the publish is
+    /// shed (readers keep the previous epoch) rather than allocating on
+    /// the update thread. The state lock covers only the copy; the
+    /// pointer swap happens after release, so readers and the publish
+    /// itself never touch the update hot path.
+    fn publish_epoch(&mut self) {
+        let Some(store) = &self.epoch_store else {
+            return;
+        };
+        let Some(mut buf) = store.try_checkout() else {
+            return; // pool drained by stalled readers: shed this publish
+        };
+        let filled = {
+            let st = self.state.lock();
+            match st.full_eigensystem() {
+                Some(eig) => {
+                    buf.eig.copy_from(eig);
+                    buf.p = st.config().p;
+                    true
+                }
+                None => false, // warm-up: nothing to serve yet
+            }
+        };
+        if filled {
+            store.publish(buf);
+            self.published_once = true;
+        } else {
+            store.recycle(buf);
+        }
     }
 
     /// Warm-starts the engine from a previously persisted eigensystem:
@@ -341,6 +407,13 @@ impl Operator for StreamingPcaOp {
             // Arc, so this is pointer-cheap).
             ctx.emit_data(self.quarantine_port(), tuple.clone());
         }
+        if self.epoch_store.is_some()
+            && outcome.initialized
+            && (!self.published_once
+                || (self.publish_every > 0 && self.processed.is_multiple_of(self.publish_every)))
+        {
+            self.publish_epoch();
+        }
         if self.snapshot_every > 0 && self.processed.is_multiple_of(self.snapshot_every) {
             self.snapshot(ctx);
         }
@@ -424,18 +497,26 @@ impl Operator for StreamingPcaOp {
                     // Not initialized yet: adopt the peer's state outright.
                     None => Ok(peer.eigensystem.clone()),
                 };
-                match merged.and_then(|m| st.install_eigensystem(m)) {
+                let merged_ok = match merged.and_then(|m| st.install_eigensystem(m)) {
                     Ok(()) => {
                         self.merges_applied += 1;
                         // A merge resets the independence clock too.
                         self.obs_since_sync = 0;
+                        true
                     }
                     Err(e) => {
                         eprintln!(
                             "engine {}: rejected peer state from {}: {e}",
                             self.engine_id, peer.engine
                         );
+                        false
                     }
+                };
+                drop(st);
+                // A merge changes the served estimate discontinuously, so
+                // the serving layer gets the new state immediately.
+                if merged_ok {
+                    self.publish_epoch();
                 }
             }
             _ => {}
@@ -444,6 +525,7 @@ impl Operator for StreamingPcaOp {
 
     fn on_finish(&mut self, ctx: &mut OpContext<'_>) {
         self.snapshot(ctx);
+        self.publish_epoch();
     }
 
     /// Supervised-restart hook: rehydrate from the latest recovery

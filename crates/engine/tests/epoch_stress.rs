@@ -1,0 +1,108 @@
+//! Concurrent epoch-publishing stress test (ISSUE 7 satellite): one
+//! writer publishing at full rate, N reader threads continuously pinning
+//! and querying. Every observed snapshot must be internally consistent —
+//! the epoch sequence each reader observes is monotonic, and the
+//! projection of a fixed probe vector through the pinned snapshot is
+//! bit-identical to an offline computation against the eigensystem that
+//! was published under that same epoch.
+
+use spca_core::{EigenSystem, PcaConfig, QueryWorkspace, RobustPca};
+use spca_engine::EpochStore;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const DIM: usize = 24;
+const P: usize = 3;
+const N_SOURCES: usize = 32;
+const N_READERS: usize = 4;
+const N_PUBLISHES: u64 = 3000;
+
+fn fitted_eig(seed: u64) -> EigenSystem {
+    let mut pca = RobustPca::new(PcaConfig::new(DIM, P));
+    for i in 0..60u64 {
+        let t = (seed * 97 + i) as f64;
+        let x: Vec<f64> = (0..DIM)
+            .map(|j| (t * 0.31 + j as f64 * 0.7).sin() * (1.0 + seed as f64 * 0.1))
+            .collect();
+        pca.update(&x).unwrap();
+    }
+    pca.full_eigensystem().unwrap().clone()
+}
+
+#[test]
+fn concurrent_publish_readers_see_consistent_epochs() {
+    let store = Arc::new(EpochStore::new());
+    let probe: Vec<f64> = (0..DIM).map(|j| (j as f64 * 0.13).cos() * 2.0).collect();
+
+    // Distinct source eigensystems cycled by the writer; epoch e serves
+    // sources[(e - 1) % N_SOURCES], so the expected projection for any
+    // epoch is known offline without synchronizing with the writer.
+    let sources: Vec<EigenSystem> = (0..N_SOURCES as u64).map(fitted_eig).collect();
+    let expected: Vec<Vec<f64>> = sources
+        .iter()
+        .map(|eig| {
+            let mut ws = QueryWorkspace::new();
+            ws.project(eig, P, &probe).unwrap().to_vec()
+        })
+        .collect();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let verified = Arc::new(AtomicU64::new(0));
+
+    let readers: Vec<_> = (0..N_READERS)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            let probe = probe.clone();
+            let expected = expected.clone();
+            let done = Arc::clone(&done);
+            let verified = Arc::clone(&verified);
+            std::thread::spawn(move || {
+                let mut reader = store.reader().expect("reader slot");
+                let mut ws = QueryWorkspace::new();
+                let mut last_epoch = 0u64;
+                let mut checked = 0u64;
+                while !done.load(Ordering::Relaxed) || checked == 0 {
+                    let Some(pinned) = reader.pin() else {
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    let epoch = pinned.epoch;
+                    assert!(
+                        epoch >= last_epoch,
+                        "epoch went backwards: {last_epoch} -> {epoch}"
+                    );
+                    last_epoch = epoch;
+                    let got = ws.project(&pinned.eig, pinned.p, &probe).unwrap();
+                    let want = &expected[((epoch - 1) % N_SOURCES as u64) as usize];
+                    assert_eq!(
+                        got, want,
+                        "projection at epoch {epoch} not bit-identical to offline"
+                    );
+                    checked += 1;
+                    drop(pinned);
+                }
+                verified.fetch_add(checked, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    // Writer: publish at full rate, recycling buffers through the store.
+    for i in 0..N_PUBLISHES {
+        let src = &sources[(i % N_SOURCES as u64) as usize];
+        let mut buf = store.checkout();
+        buf.eig.copy_from(src);
+        buf.p = P;
+        let epoch = store.publish(buf);
+        assert_eq!(epoch, i + 1, "single-writer epochs must be sequential");
+    }
+    done.store(true, Ordering::Relaxed);
+
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert_eq!(store.epoch(), N_PUBLISHES);
+    assert!(
+        verified.load(Ordering::Relaxed) >= N_READERS as u64,
+        "every reader must verify at least one snapshot"
+    );
+}

@@ -1,0 +1,127 @@
+//! `/metrics` ↔ CLI fault-summary parity (ISSUE 7 satellite).
+//!
+//! The CLI's fault summary prints `report.total_restarts()`,
+//! `total_pe_restarts()`, `total_quarantined()` and `total_sync_skips()`
+//! verbatim. `/metrics` exposes the same four counters (mirrored into
+//! [`ServeShared`] via [`FaultCounters::from_report`]). This test drives
+//! a real engine run that exercises every counter — an injected panic
+//! (restart), NaN observations (quarantine), a forced-shut independence
+//! gate (sync skips) — publishes eigensystem epochs into the store along
+//! the way, then scrapes `/metrics` and asserts the served values are
+//! identical to the report totals.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spca_core::PcaConfig;
+use spca_engine::{
+    normalize_fault_targets, AppConfig, EigenQueryHandler, EpochStore, FaultCounters,
+    ParallelPcaApp, ServeShared, SyncStrategy,
+};
+use spca_spectra::PlantedSubspace;
+use spca_streams::ops::http_server::{HttpServer, ServerConfig};
+use spca_streams::ops::{GeneratorSource, SplitStrategy};
+use spca_streams::{Engine, FaultPlan, Operator};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const D: usize = 12;
+const N_TUPLES: u64 = 12_000;
+const NAN_SEQS: [u64; 5] = [100, 501, 1202, 4003, 9004];
+
+fn seeded_source() -> Box<dyn Operator> {
+    let w = PlantedSubspace::new(D, 2, 0.05);
+    let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(11)));
+    Box::new(
+        GeneratorSource::new(move |seq| {
+            let v = w.sample(&mut *rng.lock());
+            if NAN_SEQS.contains(&seq) {
+                Some((vec![f64::NAN; D], None))
+            } else {
+                Some((v, None))
+            }
+        })
+        .with_max_tuples(N_TUPLES),
+    )
+}
+
+/// Scrapes one `spca_<name> <value>` line out of a `/metrics` body.
+fn metric(body: &str, name: &str) -> u64 {
+    let prefix = format!("{name} ");
+    body.lines()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .unwrap_or_else(|| panic!("metric {name} missing from:\n{body}"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("metric {name} is not an integer"))
+}
+
+#[test]
+fn metrics_endpoint_matches_cli_fault_summary_values() {
+    let recovery = std::env::temp_dir().join(format!("spca_parity_{}", std::process::id()));
+    std::fs::remove_dir_all(&recovery).ok();
+
+    let store = Arc::new(EpochStore::new());
+    let mut cfg = AppConfig::new(2, PcaConfig::new(D, 2).with_memory(300).with_init_size(20));
+    cfg.split = SplitStrategy::RoundRobin;
+    cfg.sync = SyncStrategy::Ring;
+    cfg.sync_period = Duration::from_millis(1);
+    cfg.channel_capacity = 100_000;
+    cfg.recovery_dir = Some(recovery.clone());
+    cfg.recovery_every = 500;
+    cfg.faults = Some(normalize_fault_targets(
+        FaultPlan::parse("panic@engine1:2000").unwrap(),
+    ));
+    cfg.epoch_store = Some(Arc::clone(&store));
+    cfg.publish_every = 64;
+
+    // Gate forced shut: sync commands flow and are counted as skips.
+    let (g, _h) = ParallelPcaApp::build_with_gate(&cfg, seeded_source(), Some(u64::MAX));
+    let report = Engine::run(g);
+
+    // The run must have exercised all the counters we claim parity for,
+    // and published epochs while doing so.
+    assert!(store.epoch() > 0, "operators must publish into the store");
+    assert_eq!(report.total_restarts(), 1);
+    assert_eq!(report.total_quarantined(), NAN_SEQS.len() as u64);
+    assert!(report.total_sync_skips() > 0);
+
+    // Summing live per-op snapshots gives the same totals the report
+    // aggregates — the in-flight mirroring path agrees with the final one.
+    assert_eq!(
+        FaultCounters::from_op_snapshots(&report.ops),
+        FaultCounters::from_report(&report)
+    );
+
+    let shared = Arc::new(ServeShared::new(Arc::clone(&store)));
+    shared.set_counters(FaultCounters::from_report(&report));
+    let server = {
+        let shared = Arc::clone(&shared);
+        HttpServer::start("127.0.0.1:0", ServerConfig::default(), move |_| {
+            EigenQueryHandler::new(Arc::clone(&shared))
+        })
+        .unwrap()
+    };
+
+    let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    drop(conn);
+    server.shutdown();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).unwrap();
+
+    // The CLI fault summary prints exactly these four report totals; the
+    // endpoint must serve identical values.
+    assert_eq!(metric(body, "spca_restarts"), report.total_restarts());
+    assert_eq!(metric(body, "spca_pe_restarts"), report.total_pe_restarts());
+    assert_eq!(metric(body, "spca_quarantined"), report.total_quarantined());
+    assert_eq!(metric(body, "spca_sync_skips"), report.total_sync_skips());
+    assert_eq!(metric(body, "spca_epoch"), store.epoch());
+
+    std::fs::remove_dir_all(&recovery).ok();
+}

@@ -475,6 +475,12 @@ impl RunningEngine {
         self.started.elapsed()
     }
 
+    /// Whether every PE thread has exited (the pipeline has drained).
+    /// Non-blocking; [`RunningEngine::join`] still collects the report.
+    pub fn is_finished(&self) -> bool {
+        self.handles.iter().all(|h| h.is_finished())
+    }
+
     /// Waits for every PE thread and returns the final report.
     pub fn join(self) -> RunReport {
         for h in self.handles {

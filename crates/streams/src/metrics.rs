@@ -230,6 +230,71 @@ impl RateProbe {
     }
 }
 
+/// Number of buckets in a [`LatencyHistogram`]: powers of two from 1µs
+/// (bucket 0: `< 2·2¹⁰ ns`) up past 1s, plus an overflow bucket.
+pub const LATENCY_BUCKETS: usize = 22;
+
+/// A fixed-bucket latency histogram with lock-free, allocation-free
+/// recording — the serving layer's per-endpoint latency tracker.
+///
+/// Buckets are powers of two in nanoseconds starting at 2¹¹ ns (~2µs):
+/// bucket `i` counts samples in `[2^(10+i), 2^(11+i))` ns, bucket 0 also
+/// absorbs everything faster, and the last bucket absorbs everything
+/// slower (> ~4s). Quantiles are read as the upper bound of the bucket
+/// containing the requested rank — a ≤ 2× overestimate by construction,
+/// which is adequate for tail-latency reporting and costs no memory or
+/// locking on the hot path.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        // floor(log2(ns)) - 10, clamped into range.
+        let log2 = 63 - (ns | 1).leading_zeros() as usize;
+        log2.saturating_sub(10).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Upper bound (ns) of bucket `i`.
+    fn bucket_upper(i: usize) -> u64 {
+        1u64 << (11 + i)
+    }
+
+    /// Records one sample. Lock-free, allocation-free.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) in nanoseconds, as the upper bound
+    /// of the bucket holding that rank. Returns 0 with no samples.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(LATENCY_BUCKETS - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,5 +417,33 @@ mod tests {
         .join()
         .unwrap();
         assert_eq!(r.op_snapshots()[0].tuples_in, 100);
+    }
+
+    #[test]
+    fn latency_histogram_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.99), 0);
+        // 99 fast samples (~4µs) and one slow (~1ms).
+        for _ in 0..99 {
+            h.record_ns(4_000);
+        }
+        h.record_ns(1_000_000);
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ns(0.5);
+        let p99 = h.quantile_ns(0.99);
+        let p999 = h.quantile_ns(0.999);
+        assert!((4_000..=8_192).contains(&p50), "p50 = {p50}");
+        assert!(p99 <= 8_192, "p99 = {p99}");
+        assert!(p999 >= 1_000_000, "p999 = {p999}");
+        assert!(p50 <= p99 && p99 <= p999);
+    }
+
+    #[test]
+    fn latency_histogram_bucket_edges() {
+        let h = LatencyHistogram::new();
+        h.record_ns(0); // clamps into bucket 0
+        h.record_ns(u64::MAX); // clamps into the overflow bucket
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_ns(1.0) >= 1 << 31);
     }
 }

@@ -42,12 +42,29 @@ impl HttpUrl {
         if authority.is_empty() {
             return Err("empty host".to_string());
         }
-        let (host, port) = match authority.rsplit_once(':') {
-            Some((h, p)) => {
-                let port: u16 = p.parse().map_err(|_| format!("bad port '{p}'"))?;
-                (h.to_string(), port)
+        let (host, port) = if let Some(rest) = authority.strip_prefix('[') {
+            // Bracketed IPv6 literal: `[addr]` or `[addr]:port`. A bare
+            // rsplit on ':' would chop inside the address. The brackets
+            // are kept in `host` so the dial string and the Host header
+            // stay in the `[addr]:port` form the socket layer expects.
+            let (addr, after) = rest.split_once(']').ok_or("unclosed '[' in host")?;
+            if addr.is_empty() {
+                return Err("empty host".to_string());
             }
-            None => (authority.to_string(), 80),
+            let port: u16 = match after.strip_prefix(':') {
+                Some(p) => p.parse().map_err(|_| format!("bad port '{p}'"))?,
+                None if after.is_empty() => 80,
+                None => return Err(format!("junk after ']': '{after}'")),
+            };
+            (format!("[{addr}]"), port)
+        } else {
+            match authority.rsplit_once(':') {
+                Some((h, p)) => {
+                    let port: u16 = p.parse().map_err(|_| format!("bad port '{p}'"))?;
+                    (h.to_string(), port)
+                }
+                None => (authority.to_string(), 80),
+            }
         };
         if host.is_empty() {
             return Err("empty host".to_string());
@@ -399,6 +416,31 @@ mod tests {
         assert!(HttpUrl::parse("https://secure").is_err());
         assert!(HttpUrl::parse("ftp://x").is_err());
         assert!(HttpUrl::parse("http://:80/").is_err());
+    }
+
+    #[test]
+    fn url_parsing_ipv6() {
+        // Regression: `rsplit_once(':')` used to mis-split a bracketed
+        // literal with no port (`http://[::1]/x` -> "bad port '1]'").
+        let u = HttpUrl::parse("http://[::1]/x").unwrap();
+        assert_eq!(u.host, "[::1]");
+        assert_eq!(u.port, 80);
+        assert_eq!(u.path, "/x");
+
+        let u = HttpUrl::parse("http://[::1]:9000/metrics").unwrap();
+        assert_eq!(u.host, "[::1]");
+        assert_eq!(u.port, 9000);
+        assert_eq!(u.path, "/metrics");
+
+        let u = HttpUrl::parse("http://[2001:db8::7]").unwrap();
+        assert_eq!(u.host, "[2001:db8::7]");
+        assert_eq!(u.port, 80);
+        assert_eq!(u.path, "/");
+
+        assert!(HttpUrl::parse("http://[::1").is_err());
+        assert!(HttpUrl::parse("http://[]/x").is_err());
+        assert!(HttpUrl::parse("http://[::1]x/").is_err());
+        assert!(HttpUrl::parse("http://[::1]:bad/").is_err());
     }
 
     #[test]

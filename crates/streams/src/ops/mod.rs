@@ -8,6 +8,7 @@
 
 pub mod functor;
 pub mod http;
+pub mod http_server;
 pub mod net;
 pub mod sink;
 pub mod source;
@@ -16,6 +17,9 @@ pub mod throttle;
 
 pub use functor::{Filter, Map};
 pub use http::HttpSource;
+pub use http_server::{
+    ConnHandler, HttpServer, RateLimitConfig, Request, ResponseBuf, ServerConfig, ServerStats,
+};
 pub use net::{TcpSink, TcpSource};
 pub use sink::{CallbackSink, CollectSink, CsvFileSink, NullSink};
 pub use source::{CsvFileSource, FollowFileSource, GeneratorSource};

@@ -17,11 +17,15 @@
 
 use astro_stream_pca::cluster::{ClusterSim, ClusterSpec, CostModel, Placement, SimConfig};
 use astro_stream_pca::core::PcaConfig;
-use astro_stream_pca::engine::{persist, AppConfig, ParallelPcaApp, SyncStrategy};
+use astro_stream_pca::engine::{
+    persist, AppConfig, EigenQueryHandler, EpochStore, FaultCounters, ParallelPcaApp, ServeShared,
+    SyncStrategy,
+};
 use astro_stream_pca::spectra::contaminants::{self, ContaminantKind};
 use astro_stream_pca::spectra::io;
 use astro_stream_pca::spectra::normalize::unit_norm_masked;
 use astro_stream_pca::spectra::GalaxyGenerator;
+use astro_stream_pca::streams::ops::http_server::{HttpServer, RateLimitConfig, ServerConfig};
 use astro_stream_pca::streams::ops::{CsvFileSource, HttpSource, TcpSource};
 use astro_stream_pca::streams::{Engine, Operator};
 use rand::rngs::StdRng;
@@ -30,6 +34,8 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Flags each subcommand accepts; anything else is rejected up front.
 fn allowed_flags(cmd: &str) -> &'static [&'static str] {
@@ -50,6 +56,26 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "faults",
             "snapshot-dir",
             "warm-start",
+            "serve",
+            "serve-threads",
+            "rate-limit",
+            "publish-every",
+        ],
+        "serve" => &[
+            "addr",
+            "input",
+            "listen",
+            "url",
+            "engines",
+            "components",
+            "memory",
+            "dim",
+            "sync",
+            "batch",
+            "threads",
+            "rate-limit",
+            "serve-for",
+            "publish-every",
         ],
         "backfill" => &[
             "input",
@@ -82,6 +108,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&opts),
         "run" => cmd_run(&opts),
+        "serve" => cmd_serve(&opts),
         "backfill" => cmd_backfill(&opts),
         "inspect" => cmd_inspect(&opts),
         "simulate" => cmd_simulate(&opts),
@@ -113,6 +140,14 @@ USAGE:
                 [--report outliers.csv] [--batch 64]
                 [--faults SPEC] [--snapshot-dir DIR]
                 [--warm-start merged.snapshot]
+                [--serve IP:PORT [--serve-threads 4] [--rate-limit QPS]
+                 [--publish-every 64]]
+  spca serve    --addr IP:PORT
+                --input extract.csv | --listen 127.0.0.1:7070 |
+                --url http://host/data.csv
+                [--engines 4] [--components 4] [--memory 5000] [--dim D]
+                [--sync ring|broadcast|none] [--batch 64] [--threads 4]
+                [--rate-limit QPS] [--serve-for SECS] [--publish-every 64]
   spca backfill --input extract.csv|DIR [--partitions 8] [--workers 0]
                 [--state-dir spca-state] [--components 4] [--memory 5000]
                 [--out merged.snapshot]
@@ -131,6 +166,16 @@ Every flag is --key value; unknown flags are rejected.
   failure-aware synchronization; pair with --snapshot-dir DIR so crashed
   engines restart from their latest recovery snapshot (and PEs from their
   manifests) instead of losing their state.
+
+serve answers live eigensystem queries over HTTP while the stream is
+  ingested: POST /project, /reconstruct, /score, /topk?k=K (CSV
+  observation in, CSV out; X-Epoch names the snapshot answered against),
+  GET /healthz and /metrics. Operators publish epoch-versioned snapshots
+  into a lock-free store every --publish-every updates; queries never
+  block ingest. --rate-limit enables a per-client token bucket; overload
+  sheds with 429 + Retry-After. --serve-for keeps serving the final
+  eigensystem SECS after the stream drains. `run --serve IP:PORT`
+  attaches the same server to a normal run.
 
 backfill shards a historical corpus by partition key (row ranges of a
   file, or one partition per file when --input is a directory), estimates
@@ -216,23 +261,10 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(opts: &Opts) -> Result<(), String> {
-    let engines: usize = opts.num("engines", 4)?;
-    let components: usize = opts.num("components", 4)?;
-    let memory: usize = opts.num("memory", 5000)?;
-    let batch: usize = opts.num("batch", astro_stream_pca::streams::DEFAULT_BATCH_SIZE)?;
-    if batch == 0 {
-        return Err("--batch must be at least 1".to_string());
-    }
-    // Validate the fault plan before any I/O, so a bad spec is reported
-    // even when the input is also wrong.
-    let faults = opts
-        .get("faults")
-        .map(|spec| {
-            astro_stream_pca::streams::FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))
-        })
-        .transpose()?;
-
+/// Resolves the ingest source (exactly one of `--input`, `--listen`,
+/// `--url`) and the stream dimensionality (probed from the file, or
+/// `--dim` for network streams). Shared by `run` and `serve`.
+fn ingest_source_and_dim(opts: &Opts) -> Result<(Box<dyn Operator>, usize), String> {
     let source: Box<dyn Operator> = match (opts.get("input"), opts.get("listen"), opts.get("url")) {
         (Some(path), None, None) => {
             if !std::path::Path::new(path).exists() {
@@ -248,9 +280,6 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         (None, None, Some(url)) => Box::new(HttpSource::get(url)?),
         _ => return Err("exactly one of --input, --listen or --url is required".to_string()),
     };
-
-    // Probe the dimensionality from the input when it is a file; network
-    // streams must state it.
     let dim: usize = match opts.get("input") {
         Some(path) => {
             let first = io::read_csv(path).map_err(|e| e.to_string())?;
@@ -264,6 +293,129 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             }
         })?,
     };
+    Ok((source, dim))
+}
+
+fn parse_sync(opts: &Opts) -> Result<SyncStrategy, String> {
+    match opts.get("sync").unwrap_or("ring") {
+        "ring" => Ok(SyncStrategy::Ring),
+        "broadcast" => Ok(SyncStrategy::Broadcast),
+        "none" => Ok(SyncStrategy::None),
+        other => Err(format!("--sync: unknown strategy '{other}'")),
+    }
+}
+
+/// Strict IP:PORT parse for the query-server bind address (hostnames are
+/// rejected up front so a typo'd port fails fast, before any ingest I/O).
+fn parse_serve_addr(flag: &str, addr: &str) -> Result<std::net::SocketAddr, String> {
+    addr.parse()
+        .map_err(|_| format!("--{flag}: cannot parse '{addr}' as IP:PORT (e.g. 127.0.0.1:8080)"))
+}
+
+fn parse_rate_limit(opts: &Opts) -> Result<Option<RateLimitConfig>, String> {
+    match opts.get("rate-limit") {
+        None => Ok(None),
+        Some(v) => {
+            let per_sec: f64 = v
+                .parse()
+                .map_err(|_| format!("--rate-limit: cannot parse '{v}'"))?;
+            if !per_sec.is_finite() || per_sec <= 0.0 {
+                return Err("--rate-limit must be a positive request rate".to_string());
+            }
+            Ok(Some(RateLimitConfig {
+                per_sec,
+                burst: (2.0 * per_sec).max(1.0),
+            }))
+        }
+    }
+}
+
+/// Boots the eigensystem query server over `store` and wires its stats
+/// into `/metrics`.
+fn start_query_server(
+    addr: std::net::SocketAddr,
+    threads: usize,
+    rate_limit: Option<RateLimitConfig>,
+    shared: &Arc<ServeShared>,
+) -> Result<HttpServer, String> {
+    let cfg = ServerConfig {
+        threads,
+        rate_limit,
+        ..ServerConfig::default()
+    };
+    let factory_shared = Arc::clone(shared);
+    let server = HttpServer::start(addr, cfg, move |_| {
+        EigenQueryHandler::new(Arc::clone(&factory_shared))
+    })
+    .map_err(|e| format!("cannot bind query server on {addr}: {e}"))?;
+    shared.set_server_stats(server.stats());
+    println!("serving queries on http://{}", server.local_addr());
+    Ok(server)
+}
+
+/// Runs the dataflow to completion while mirroring live fault counters
+/// into `/metrics`; the final mirror comes from the finished report, so
+/// the endpoint and the CLI fault summary report identical values.
+fn run_mirroring_counters(
+    graph: astro_stream_pca::streams::GraphBuilder,
+    shared: &Arc<ServeShared>,
+) -> astro_stream_pca::streams::RunReport {
+    let running = Engine::start(graph);
+    while !running.is_finished() {
+        shared.set_counters(FaultCounters::from_op_snapshots(&running.op_snapshots()));
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let report = running.join();
+    shared.set_counters(FaultCounters::from_report(&report));
+    report
+}
+
+fn print_server_stats(server: &HttpServer) {
+    let stats = server.stats();
+    use std::sync::atomic::Ordering::Relaxed;
+    println!(
+        "query server: {} served, {} shed, {} rate-limited",
+        stats.served.load(Relaxed),
+        stats.shed.load(Relaxed),
+        stats.rate_limited.load(Relaxed)
+    );
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let engines: usize = opts.num("engines", 4)?;
+    let components: usize = opts.num("components", 4)?;
+    let memory: usize = opts.num("memory", 5000)?;
+    let batch: usize = opts.num("batch", astro_stream_pca::streams::DEFAULT_BATCH_SIZE)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".to_string());
+    }
+    // Validate the fault plan and serving flags before any I/O, so a bad
+    // spec is reported even when the input is also wrong.
+    let faults = opts
+        .get("faults")
+        .map(|spec| {
+            astro_stream_pca::streams::FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))
+        })
+        .transpose()?;
+    let serve_addr = opts
+        .get("serve")
+        .map(|a| parse_serve_addr("serve", a))
+        .transpose()?;
+    let serve_threads: usize = opts.num("serve-threads", 4)?;
+    let rate_limit = parse_rate_limit(opts)?;
+    let publish_every: u64 = opts.num("publish-every", 64)?;
+    if serve_addr.is_none() {
+        for flag in ["serve-threads", "rate-limit", "publish-every"] {
+            if opts.get(flag).is_some() {
+                return Err(format!("--{flag} requires --serve"));
+            }
+        }
+    }
+    if serve_addr.is_some() && serve_threads == 0 {
+        return Err("--serve-threads must be at least 1".to_string());
+    }
+
+    let (source, dim) = ingest_source_and_dim(opts)?;
     if components + 2 >= dim {
         return Err(format!(
             "--components {components} too large for dimension {dim}"
@@ -276,12 +428,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     let mut cfg = AppConfig::new(engines, pca);
     cfg.batch_size = batch;
     cfg.emit_outcomes = opts.get("report").is_some();
-    cfg.sync = match opts.get("sync").unwrap_or("ring") {
-        "ring" => SyncStrategy::Ring,
-        "broadcast" => SyncStrategy::Broadcast,
-        "none" => SyncStrategy::None,
-        other => return Err(format!("--sync: unknown strategy '{other}'")),
-    };
+    cfg.sync = parse_sync(opts)?;
     if let Some(dir) = opts.get("snapshots") {
         cfg.snapshot_dir = Some(PathBuf::from(dir));
     }
@@ -310,9 +457,24 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         cfg.warm_start = Some(eig);
     }
 
+    let serving = match serve_addr {
+        Some(addr) => {
+            let store = Arc::new(EpochStore::new());
+            cfg.epoch_store = Some(Arc::clone(&store));
+            cfg.publish_every = publish_every;
+            let shared = Arc::new(ServeShared::new(store));
+            let server = start_query_server(addr, serve_threads, rate_limit, &shared)?;
+            Some((shared, server))
+        }
+        None => None,
+    };
+
     let (graph, handles) = ParallelPcaApp::build(&cfg, source);
     println!("running {engines} engines (d = {dim}, p = {components}, N = {memory}) ...");
-    let report = Engine::run(graph);
+    let report = match &serving {
+        Some((shared, _)) => run_mirroring_counters(graph, shared),
+        None => Engine::run(graph),
+    };
     let consumed = report.tuples_in_matching("pca-");
     println!(
         "processed {consumed} tuples in {:.2}s ({:.0} tuples/s)",
@@ -364,6 +526,76 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         }
         Err(e) => println!("no merged estimate: {e}"),
     }
+    if let Some((_, server)) = serving {
+        print_server_stats(&server);
+        server.shutdown();
+    }
+    Ok(())
+}
+
+/// `spca serve` — always-on eigensystem serving: ingest the stream while
+/// answering HTTP queries against the live epoch store, then (optionally)
+/// keep serving the final eigensystem after the stream drains.
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let addr = parse_serve_addr("addr", opts.get("addr").ok_or("--addr is required")?)?;
+    let engines: usize = opts.num("engines", 4)?;
+    let components: usize = opts.num("components", 4)?;
+    let memory: usize = opts.num("memory", 5000)?;
+    let batch: usize = opts.num("batch", astro_stream_pca::streams::DEFAULT_BATCH_SIZE)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".to_string());
+    }
+    let threads: usize = opts.num("threads", 4)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    let serve_for: u64 = opts.num("serve-for", 0)?;
+    let rate_limit = parse_rate_limit(opts)?;
+    let publish_every: u64 = opts.num("publish-every", 64)?;
+
+    let (source, dim) = ingest_source_and_dim(opts)?;
+    if components + 2 >= dim {
+        return Err(format!(
+            "--components {components} too large for dimension {dim}"
+        ));
+    }
+
+    let pca = PcaConfig::new(dim, components)
+        .with_memory(memory)
+        .with_extra(2);
+    let mut cfg = AppConfig::new(engines, pca);
+    cfg.batch_size = batch;
+    cfg.sync = parse_sync(opts)?;
+    let store = Arc::new(EpochStore::new());
+    cfg.epoch_store = Some(Arc::clone(&store));
+    cfg.publish_every = publish_every;
+
+    let shared = Arc::new(ServeShared::new(Arc::clone(&store)));
+    let server = start_query_server(addr, threads, rate_limit, &shared)?;
+
+    let (graph, handles) = ParallelPcaApp::build(&cfg, source);
+    println!("running {engines} engines (d = {dim}, p = {components}, N = {memory}) ...");
+    let report = run_mirroring_counters(graph, &shared);
+    let consumed = report.tuples_in_matching("pca-");
+    println!(
+        "ingest drained: {consumed} tuples in {:.2}s ({:.0} tuples/s), {} epochs published",
+        report.elapsed.as_secs_f64(),
+        consumed as f64 / report.elapsed.as_secs_f64().max(1e-9),
+        store.epoch()
+    );
+    match handles.hub.merged_estimate() {
+        Ok(merged) => println!(
+            "variance captured by p components: {:.1}%",
+            100.0 * merged.variance_captured(components)
+        ),
+        Err(e) => println!("no merged estimate: {e}"),
+    }
+    if serve_for > 0 {
+        println!("serving the final eigensystem for {serve_for}s more");
+        std::thread::sleep(Duration::from_secs(serve_for));
+    }
+    print_server_stats(&server);
+    server.shutdown();
     Ok(())
 }
 

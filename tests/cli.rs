@@ -205,6 +205,97 @@ fn backfill_requires_input() {
 }
 
 #[test]
+fn serve_unknown_and_duplicate_flags_rejected() {
+    let out = spca(&["serve", "--adddr", "127.0.0.1:8080"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--adddr"), "got: {stderr}");
+    assert!(stderr.contains("serve"), "got: {stderr}");
+
+    let out = spca(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:8080",
+        "--addr",
+        "127.0.0.1:8081",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("more than once"), "got: {stderr}");
+}
+
+#[test]
+fn serve_requires_addr() {
+    let out = spca(&["serve", "--input", "nonexistent.csv"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--addr"));
+}
+
+#[test]
+fn serve_rejects_bad_bind_address() {
+    // Address validation happens before any ingest I/O, so a bad port is
+    // reported even though the input does not exist either.
+    for bad in ["127.0.0.1:notaport", "127.0.0.1", "localhost:8080"] {
+        let out = spca(&["serve", "--addr", bad, "--input", "nonexistent.csv"]);
+        assert!(!out.status.success(), "addr '{bad}' must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--addr"), "got: {stderr}");
+        assert!(stderr.contains("IP:PORT"), "got: {stderr}");
+    }
+}
+
+#[test]
+fn serve_rejects_bad_flag_values() {
+    let out = spca(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--threads",
+        "0",
+        "--input",
+        "nonexistent.csv",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads"));
+
+    let out = spca(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--rate-limit",
+        "-5",
+        "--input",
+        "nonexistent.csv",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--rate-limit"));
+}
+
+#[test]
+fn run_serve_flag_validates_address_and_dependents() {
+    let out = spca(&[
+        "run",
+        "--input",
+        "nonexistent.csv",
+        "--serve",
+        "1.2.3.4:bad",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--serve"), "got: {stderr}");
+    assert!(stderr.contains("IP:PORT"), "got: {stderr}");
+
+    // Serving-only flags are rejected when --serve is absent, same policy
+    // as every other inapplicable-flag case.
+    for flag in ["--serve-threads", "--rate-limit", "--publish-every"] {
+        let out = spca(&["run", "--input", "nonexistent.csv", flag, "4"]);
+        assert!(!out.status.success(), "{flag} without --serve must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("requires --serve"), "{flag}: got {stderr}");
+    }
+}
+
+#[test]
 fn backfill_cold_then_warm_round_trip() {
     let dir = std::env::temp_dir().join(format!("spca-cli-backfill-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
