@@ -61,13 +61,15 @@ pub const MAX_READERS: usize = 64;
 const SLOT_FREE: u64 = u64::MAX;
 const SLOT_IDLE: u64 = 0;
 
-/// How many retired boxes the free list keeps for recycling. Must be at
-/// least the total [`PREWARM_PER_WRITER`] across the publishing
-/// operators sharing a store (so reclamation never sheds a pooled box),
-/// with headroom for extra boxes minted by the allocating
-/// [`EpochStore::checkout`] convenience path. Snapshots are small (one
-/// (p+q)-component eigensystem), so a generous cap costs little.
-const FREE_LIST_CAP: usize = 64;
+/// Base capacity of the recycling free list — headroom for boxes minted
+/// by the allocating [`EpochStore::checkout`] convenience path. Every
+/// [`EpochStore::prewarm`] call *grows* the store's cap by the number of
+/// boxes it adds, so the cap always covers the total prewarmed across
+/// however many publishing operators share the store and reclamation
+/// never sheds a pooled box (which would silently free heap memory on
+/// the update thread and shrink the zero-allocation pool). Snapshots are
+/// small (one (p+q)-component eigensystem), so headroom costs little.
+const FREE_LIST_BASE_CAP: usize = 64;
 
 /// How many snapshot boxes each publishing operator should
 /// [`EpochStore::prewarm`] into the pool. Steady state keeps ~2 boxes in
@@ -96,6 +98,10 @@ struct WriterState {
     /// allocation rather than an inline element.
     #[allow(clippy::vec_box)]
     free: Vec<Box<EigenSnapshot>>,
+    /// Free-list capacity: [`FREE_LIST_BASE_CAP`] plus every box ever
+    /// [`EpochStore::prewarm`]ed, so pooled boxes are never dropped on
+    /// recycle/collect no matter how many writers share the store.
+    free_cap: usize,
 }
 
 // The raw pointers in `garbage` refer to heap allocations owned solely by
@@ -135,8 +141,9 @@ impl EpochStore {
                 // pins, at most a handful of retirees await their grace
                 // period, but the publish path must stay allocation-free
                 // even if slow readers stall advancement for a while.
-                garbage: Vec::with_capacity(8 * FREE_LIST_CAP),
-                free: Vec::with_capacity(FREE_LIST_CAP),
+                garbage: Vec::with_capacity(8 * FREE_LIST_BASE_CAP),
+                free: Vec::with_capacity(FREE_LIST_BASE_CAP),
+                free_cap: FREE_LIST_BASE_CAP,
             }),
         }
     }
@@ -156,6 +163,10 @@ impl EpochStore {
     /// [`try_checkout`]: EpochStore::try_checkout
     pub fn prewarm(&self, n: usize, d: usize, k: usize) {
         let mut w = self.writer.lock().unwrap();
+        // Grow the recycling cap with the pool so collect/recycle never
+        // shed a prewarmed box, however many writers share this store.
+        w.free_cap += n;
+        w.free.reserve(n);
         for _ in 0..n {
             w.free.push(Box::new(EigenSnapshot {
                 epoch: 0,
@@ -204,7 +215,7 @@ impl EpochStore {
     /// pool never shrinks on such a bail-out.
     pub fn recycle(&self, snap: Box<EigenSnapshot>) {
         let mut w = self.writer.lock().unwrap();
-        if w.free.len() < FREE_LIST_CAP {
+        if w.free.len() < w.free_cap {
             w.free.push(snap);
         }
     }
@@ -258,7 +269,7 @@ impl EpochStore {
                 // every reader pinned since has observed a strictly newer
                 // snapshot (see module docs); we are the sole owner.
                 let boxed = unsafe { Box::from_raw(ptr) };
-                if w.free.len() < FREE_LIST_CAP {
+                if w.free.len() < w.free_cap {
                     w.free.push(boxed);
                 }
             } else {
@@ -510,6 +521,32 @@ mod tests {
             store.try_checkout().is_some(),
             "recycled boxes must flow back after the reader unpins"
         );
+    }
+
+    #[test]
+    fn free_list_cap_scales_with_prewarmed_writers() {
+        let store = Arc::new(EpochStore::new());
+        // Far more publishing operators than the base cap covers: every
+        // prewarmed box must still survive a checkout/recycle round trip
+        // (the cap grows with the pool; nothing is silently dropped).
+        let writers = 3 * FREE_LIST_BASE_CAP / PREWARM_PER_WRITER;
+        for _ in 0..writers {
+            store.prewarm(PREWARM_PER_WRITER, 4, 2);
+        }
+        let total = writers * PREWARM_PER_WRITER;
+        let boxes: Vec<_> = (0..total)
+            .map(|_| store.try_checkout().expect("prewarmed box"))
+            .collect();
+        assert!(store.try_checkout().is_none(), "pool fully drained");
+        for b in boxes {
+            store.recycle(b);
+        }
+        for i in 0..total {
+            assert!(
+                store.try_checkout().is_some(),
+                "box {i}/{total} was shed by the free-list cap"
+            );
+        }
     }
 
     #[test]

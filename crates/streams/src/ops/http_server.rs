@@ -127,6 +127,10 @@ pub struct ServerConfig {
     pub rate_limit: Option<RateLimitConfig>,
     /// Keep-alive idle timeout before a worker closes the connection.
     pub idle_timeout: Duration,
+    /// Total budget for receiving one complete request (head + body)
+    /// once its first byte has arrived. Bounds slow-loris clients that
+    /// trickle bytes fast enough to defeat the per-read idle timeout.
+    pub request_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -136,6 +140,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             rate_limit: None,
             idle_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -160,17 +165,45 @@ struct Bucket {
     last: Instant,
 }
 
+struct BucketTable {
+    map: HashMap<IpAddr, Bucket>,
+    last_sweep: Instant,
+}
+
 struct RateLimiter {
     cfg: RateLimitConfig,
-    buckets: Mutex<HashMap<IpAddr, Bucket>>,
+    /// A bucket idle this long has fully refilled, so evicting it is
+    /// indistinguishable from keeping it — sweeping keeps the per-IP map
+    /// bounded under a churn of distinct client addresses.
+    stale_after: Duration,
+    buckets: Mutex<BucketTable>,
 }
 
 impl RateLimiter {
+    fn new(cfg: RateLimitConfig) -> Self {
+        let refill_secs = (cfg.burst / cfg.per_sec).clamp(1.0, 300.0);
+        RateLimiter {
+            cfg,
+            stale_after: Duration::from_secs_f64(refill_secs),
+            buckets: Mutex::new(BucketTable {
+                map: HashMap::new(),
+                last_sweep: Instant::now(),
+            }),
+        }
+    }
+
     /// Ok(()) to admit, Err(retry_after_secs) to reject.
     fn check(&self, peer: IpAddr) -> Result<(), u32> {
         let now = Instant::now();
         let mut buckets = self.buckets.lock().unwrap();
-        let b = buckets.entry(peer).or_insert(Bucket {
+        if now.duration_since(buckets.last_sweep) >= self.stale_after {
+            buckets.last_sweep = now;
+            let stale = self.stale_after;
+            buckets
+                .map
+                .retain(|_, b| now.duration_since(b.last) < stale);
+        }
+        let b = buckets.map.entry(peer).or_insert(Bucket {
             tokens: self.cfg.burst,
             last: now,
         });
@@ -214,12 +247,7 @@ impl HttpServer {
         let local = listener.local_addr()?;
         let stats = Arc::new(ServerStats::default());
         let stop = Arc::new(AtomicBool::new(false));
-        let limiter = cfg.rate_limit.map(|rl| {
-            Arc::new(RateLimiter {
-                cfg: rl,
-                buckets: Mutex::new(HashMap::new()),
-            })
-        });
+        let limiter = cfg.rate_limit.map(|rl| Arc::new(RateLimiter::new(rl)));
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -231,6 +259,7 @@ impl HttpServer {
                 let limiter = limiter.clone();
                 let mut handler = factory(i);
                 let idle = cfg.idle_timeout;
+                let request_timeout = cfg.request_timeout;
                 std::thread::Builder::new()
                     .name(format!("http-worker-{i}"))
                     .spawn(move || {
@@ -247,6 +276,7 @@ impl HttpServer {
                                 limiter.as_deref(),
                                 &stats,
                                 idle,
+                                request_timeout,
                             );
                         }
                     })
@@ -342,7 +372,16 @@ struct ConnBuffers {
     out: Vec<u8>,
 }
 
+/// Largest accepted request head, in bytes.
+const MAX_HEAD: usize = 1 << 20;
+/// Largest accepted request body, in bytes. Enforced straight from the
+/// parsed `Content-Length`, before any body byte is read or any offset
+/// arithmetic happens, so an attacker-controlled length can neither
+/// overflow `usize` nor make the server buffer unbounded input.
+const MAX_BODY: usize = 1 << 26;
+
 /// Serves requests on one connection until close/error/idle timeout.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     mut conn: TcpStream,
     handler: &mut dyn ConnHandler,
@@ -350,6 +389,7 @@ fn serve_connection(
     limiter: Option<&RateLimiter>,
     stats: &ServerStats,
     idle: Duration,
+    request_timeout: Duration,
 ) {
     let peer = match conn.peer_addr() {
         Ok(a) => a.ip(),
@@ -361,18 +401,34 @@ fn serve_connection(
     let mut filled = 0usize;
 
     loop {
+        // A connection may sit idle between keep-alive requests for up to
+        // `idle` (the per-read timeout), but once the first byte of a
+        // request is in, the whole request must arrive within
+        // `request_timeout` — a client trickling one byte per read
+        // (slow-loris) cannot hold the worker past that budget.
+        let mut deadline = (filled > 0).then(|| Instant::now() + request_timeout);
+        // Resume the terminator scan where the last fill stopped (minus
+        // the window overlap) instead of rescanning from the start.
+        let mut scanned = 0usize;
+
         // --- read one request head (carry-over aware) ---
         let head_end = loop {
-            if let Some(pos) = find_double_crlf(&bufs.buf[..filled]) {
+            if let Some(pos) = find_double_crlf(&bufs.buf[..filled], scanned) {
                 break pos;
             }
-            if filled > 1 << 20 {
+            scanned = filled.saturating_sub(3);
+            if filled > MAX_HEAD {
                 let _ = respond_simple(&mut conn, bufs, 431, "head too large\n", true);
                 return;
             }
             match read_more(&mut conn, &mut bufs.buf, &mut filled) {
                 Ok(0) | Err(_) => return, // clean close or timeout
                 Ok(_) => {}
+            }
+            match deadline {
+                None => deadline = Some(Instant::now() + request_timeout),
+                Some(d) if Instant::now() >= d => return,
+                Some(_) => {}
             }
         };
 
@@ -382,18 +438,24 @@ fn serve_connection(
             let _ = respond_simple(&mut conn, bufs, 400, "malformed request\n", true);
             return;
         };
+        if head.content_length > MAX_BODY {
+            let _ = respond_simple(&mut conn, bufs, 413, "body too large\n", true);
+            return;
+        }
         let body_start = head_end + 4;
-        let body_end = body_start + head.content_length;
+        let Some(body_end) = body_start.checked_add(head.content_length) else {
+            let _ = respond_simple(&mut conn, bufs, 413, "body too large\n", true);
+            return;
+        };
 
         // --- read the body ---
         while filled < body_end {
-            if head.content_length > 1 << 26 {
-                let _ = respond_simple(&mut conn, bufs, 413, "body too large\n", true);
-                return;
-            }
             match read_more(&mut conn, &mut bufs.buf, &mut filled) {
                 Ok(0) | Err(_) => return,
                 Ok(_) => {}
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return;
             }
         }
 
@@ -450,8 +512,14 @@ fn read_more(
     Ok(n)
 }
 
-fn find_double_crlf(hay: &[u8]) -> Option<usize> {
-    hay.windows(4).position(|w| w == b"\r\n\r\n")
+/// Position of `\r\n\r\n` in `hay`, scanning from `from` (callers pass
+/// the previous fill point minus the window overlap so repeated fills of
+/// a large head cost O(n), not O(n²)).
+fn find_double_crlf(hay: &[u8], from: usize) -> Option<usize> {
+    hay.get(from..)?
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| from + p)
 }
 
 struct ParsedHead {
@@ -596,7 +664,7 @@ mod tests {
         let mut buf = Vec::new();
         let mut chunk = [0u8; 1024];
         let head_end = loop {
-            if let Some(p) = find_double_crlf(&buf) {
+            if let Some(p) = find_double_crlf(&buf, 0) {
                 break p;
             }
             let n = conn.read(&mut chunk).unwrap();
@@ -708,6 +776,91 @@ mod tests {
         assert!(server.stats().rate_limited.load(Ordering::Relaxed) >= 1);
         drop(conn);
         server.shutdown();
+    }
+
+    #[test]
+    fn huge_content_length_rejected_413_without_killing_worker() {
+        let server = start(ServerConfig {
+            threads: 1,
+            ..ServerConfig::default()
+        });
+        let addr = server.local_addr();
+        // Near-usize::MAX Content-Length used to wrap `body_start + len`
+        // and panic the (sole) worker; it must now be shed with 413.
+        for len in [usize::MAX, usize::MAX - 3, (1 << 26) + 1] {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            let r = roundtrip(
+                &mut conn,
+                &format!("POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: {len}\r\n\r\n"),
+            );
+            assert!(r.starts_with("HTTP/1.1 413"), "len {len}: {r}");
+        }
+        // The single worker is still alive and serving.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let r = roundtrip(&mut conn, "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(r.ends_with("world"), "{r}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_trickle_is_disconnected_at_the_request_deadline() {
+        let server = start(ServerConfig {
+            threads: 1,
+            idle_timeout: Duration::from_millis(500),
+            request_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        });
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        // Trickle a never-ending head one byte at a time, always faster
+        // than the idle timeout: only the per-request budget can stop it.
+        let start_t = Instant::now();
+        let mut closed = false;
+        for chunk in "GET /hello HTTP/1.1\r\nX: y".bytes().cycle() {
+            if conn.write_all(&[chunk]).is_err() {
+                closed = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(30));
+            if start_t.elapsed() > Duration::from_secs(5) {
+                break;
+            }
+        }
+        if !closed {
+            // The write side may not see the RST immediately; a read
+            // observing EOF/reset also proves the server hung up.
+            let mut byte = [0u8; 1];
+            closed = matches!(conn.read(&mut byte), Ok(0) | Err(_));
+        }
+        assert!(closed, "trickling client must be disconnected");
+        // And the worker is free to serve someone else.
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        let r = roundtrip(&mut conn, "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(r.ends_with("world"), "{r}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn rate_limiter_evicts_stale_buckets() {
+        let limiter = RateLimiter::new(RateLimitConfig {
+            per_sec: 10.0,
+            burst: 10.0,
+        });
+        for i in 0..100u32 {
+            let _ = limiter.check(IpAddr::from([10, 0, (i >> 8) as u8, i as u8]));
+        }
+        assert_eq!(limiter.buckets.lock().unwrap().map.len(), 100);
+        // Age every bucket (and the sweep clock) past the stale window,
+        // then admit one fresh client: the sweep must drop the rest.
+        {
+            let mut t = limiter.buckets.lock().unwrap();
+            let old = Instant::now() - limiter.stale_after - Duration::from_secs(1);
+            t.last_sweep = old;
+            for b in t.map.values_mut() {
+                b.last = old;
+            }
+        }
+        let _ = limiter.check(IpAddr::from([192, 168, 0, 1]));
+        assert_eq!(limiter.buckets.lock().unwrap().map.len(), 1);
     }
 
     #[test]

@@ -312,6 +312,23 @@ fn parse_serve_addr(flag: &str, addr: &str) -> Result<std::net::SocketAddr, Stri
         .map_err(|_| format!("--{flag}: cannot parse '{addr}' as IP:PORT (e.g. 127.0.0.1:8080)"))
 }
 
+/// Server worker-pool size validation, shared by `run --serve-threads`
+/// and `serve --threads`. Each worker claims one epoch-store reader
+/// slot, so the pool is bounded by [`MAX_READERS`] — rejected here
+/// instead of panicking inside the handler factory at server start.
+fn validate_serve_threads(flag: &str, threads: usize) -> Result<(), String> {
+    use astro_stream_pca::engine::epoch::MAX_READERS;
+    if threads == 0 {
+        return Err(format!("--{flag} must be at least 1"));
+    }
+    if threads > MAX_READERS {
+        return Err(format!(
+            "--{flag} must be at most {MAX_READERS} (epoch-store reader slots)"
+        ));
+    }
+    Ok(())
+}
+
 fn parse_rate_limit(opts: &Opts) -> Result<Option<RateLimitConfig>, String> {
     match opts.get("rate-limit") {
         None => Ok(None),
@@ -411,8 +428,8 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             }
         }
     }
-    if serve_addr.is_some() && serve_threads == 0 {
-        return Err("--serve-threads must be at least 1".to_string());
+    if serve_addr.is_some() {
+        validate_serve_threads("serve-threads", serve_threads)?;
     }
 
     let (source, dim) = ingest_source_and_dim(opts)?;
@@ -546,9 +563,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         return Err("--batch must be at least 1".to_string());
     }
     let threads: usize = opts.num("threads", 4)?;
-    if threads == 0 {
-        return Err("--threads must be at least 1".to_string());
-    }
+    validate_serve_threads("threads", threads)?;
     let serve_for: u64 = opts.num("serve-for", 0)?;
     let rate_limit = parse_rate_limit(opts)?;
     let publish_every: u64 = opts.num("publish-every", 64)?;

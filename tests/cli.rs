@@ -272,6 +272,39 @@ fn serve_rejects_bad_flag_values() {
 }
 
 #[test]
+fn serve_thread_pools_beyond_reader_slots_rejected() {
+    // Each server worker claims one epoch-store reader slot (64 total);
+    // an oversized pool must be a CLI error, not a panic at server start.
+    let out = spca(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--threads",
+        "65",
+        "--input",
+        "nonexistent.csv",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--threads"), "got: {stderr}");
+    assert!(stderr.contains("at most 64"), "got: {stderr}");
+
+    let out = spca(&[
+        "run",
+        "--input",
+        "nonexistent.csv",
+        "--serve",
+        "127.0.0.1:0",
+        "--serve-threads",
+        "65",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--serve-threads"), "got: {stderr}");
+    assert!(stderr.contains("at most 64"), "got: {stderr}");
+}
+
+#[test]
 fn run_serve_flag_validates_address_and_dependents() {
     let out = spca(&[
         "run",
