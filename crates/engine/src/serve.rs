@@ -34,8 +34,8 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-/// The four fault counters the CLI fault summary prints; `/metrics`
-/// exposes the same values so the two can be asserted identical.
+/// The fault counters the CLI fault summary prints; `/metrics` exposes
+/// the same values so the two can be asserted identical.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct FaultCounters {
     /// Supervised operator restarts.
@@ -46,6 +46,15 @@ pub struct FaultCounters {
     pub quarantined: u64,
     /// Synchronization rounds skipped by the independence gate.
     pub sync_skips: u64,
+    /// Storage faults absorbed by the persistence layer (ENOSPC, fsync
+    /// failures, torn or bit-rotted files found at recovery).
+    pub io_faults: u64,
+    /// Checkpoint blobs/manifests moved aside as `*.corrupt-N` during
+    /// PE recovery.
+    pub quarantined_snapshots: u64,
+    /// Periodic checkpoints skipped because the write failed (the PE
+    /// keeps running and backs off its checkpoint window).
+    pub checkpoint_skips: u64,
 }
 
 impl FaultCounters {
@@ -57,6 +66,9 @@ impl FaultCounters {
             pe_restarts: report.total_pe_restarts(),
             quarantined: report.total_quarantined(),
             sync_skips: report.total_sync_skips(),
+            io_faults: report.total_io_faults(),
+            quarantined_snapshots: report.total_quarantined_snapshots(),
+            checkpoint_skips: report.total_checkpoint_skips(),
         }
     }
 
@@ -69,6 +81,9 @@ impl FaultCounters {
             c.pe_restarts += s.pe_restarts;
             c.quarantined += s.quarantined;
             c.sync_skips += s.sync_skips;
+            c.io_faults += s.io_faults;
+            c.quarantined_snapshots += s.quarantined_snapshots;
+            c.checkpoint_skips += s.checkpoint_skips;
         }
         c
     }
@@ -209,6 +224,9 @@ impl EigenQueryHandler {
         let _ = writeln!(b, "spca_pe_restarts {}", c.pe_restarts);
         let _ = writeln!(b, "spca_quarantined {}", c.quarantined);
         let _ = writeln!(b, "spca_sync_skips {}", c.sync_skips);
+        let _ = writeln!(b, "spca_io_faults {}", c.io_faults);
+        let _ = writeln!(b, "spca_quarantined_snapshots {}", c.quarantined_snapshots);
+        let _ = writeln!(b, "spca_checkpoint_skips {}", c.checkpoint_skips);
         if let Some(stats) = self.shared.server_stats.get() {
             let _ = writeln!(
                 b,
@@ -487,6 +505,9 @@ mod tests {
             pe_restarts: 1,
             quarantined: 7,
             sync_skips: 42,
+            io_faults: 5,
+            quarantined_snapshots: 2,
+            checkpoint_skips: 9,
         });
         let server = start_server(&shared);
         let addr = server.local_addr();
@@ -502,6 +523,9 @@ mod tests {
         assert!(body.contains("spca_pe_restarts 1"), "{body}");
         assert!(body.contains("spca_quarantined 7"), "{body}");
         assert!(body.contains("spca_sync_skips 42"), "{body}");
+        assert!(body.contains("spca_io_faults 5"), "{body}");
+        assert!(body.contains("spca_quarantined_snapshots 2"), "{body}");
+        assert!(body.contains("spca_checkpoint_skips 9"), "{body}");
         assert!(
             body.contains("spca_requests_total{endpoint=\"score\"} 1"),
             "{body}"

@@ -1,14 +1,17 @@
 //! `/metrics` ↔ CLI fault-summary parity (ISSUE 7 satellite).
 //!
 //! The CLI's fault summary prints `report.total_restarts()`,
-//! `total_pe_restarts()`, `total_quarantined()` and `total_sync_skips()`
-//! verbatim. `/metrics` exposes the same four counters (mirrored into
-//! [`ServeShared`] via [`FaultCounters::from_report`]). This test drives
-//! a real engine run that exercises every counter — an injected panic
-//! (restart), NaN observations (quarantine), a forced-shut independence
-//! gate (sync skips) — publishes eigensystem epochs into the store along
-//! the way, then scrapes `/metrics` and asserts the served values are
-//! identical to the report totals.
+//! `total_pe_restarts()`, `total_quarantined()`, `total_sync_skips()`,
+//! `total_io_faults()`, `total_quarantined_snapshots()` and
+//! `total_checkpoint_skips()` verbatim. `/metrics` exposes the same
+//! counters (mirrored into [`ServeShared`] via
+//! [`FaultCounters::from_report`]). This test drives a real engine run
+//! that exercises every counter — an injected panic (restart), NaN
+//! observations (quarantine), a forced-shut independence gate (sync
+//! skips), failing fsyncs (storage faults + checkpoint skips) —
+//! publishes eigensystem epochs into the store along the way, then
+//! scrapes `/metrics` and asserts the served values are identical to the
+//! report totals.
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -71,8 +74,10 @@ fn metrics_endpoint_matches_cli_fault_summary_values() {
     cfg.channel_capacity = 100_000;
     cfg.recovery_dir = Some(recovery.clone());
     cfg.recovery_every = 500;
+    // io-fsync-err makes every checkpoint fsync fail, so the storage
+    // counters (io faults, checkpoint skips) are exercised too.
     cfg.faults = Some(normalize_fault_targets(
-        FaultPlan::parse("panic@engine1:2000").unwrap(),
+        FaultPlan::parse("panic@engine1:2000,io-fsync-err").unwrap(),
     ));
     cfg.epoch_store = Some(Arc::clone(&store));
     cfg.publish_every = 64;
@@ -87,6 +92,11 @@ fn metrics_endpoint_matches_cli_fault_summary_values() {
     assert_eq!(report.total_restarts(), 1);
     assert_eq!(report.total_quarantined(), NAN_SEQS.len() as u64);
     assert!(report.total_sync_skips() > 0);
+    assert!(
+        report.total_checkpoint_skips() > 0,
+        "failing fsyncs must surface as skipped checkpoints"
+    );
+    assert!(report.total_io_faults() > 0);
 
     // Summing live per-op snapshots gives the same totals the report
     // aggregates — the in-flight mirroring path agrees with the final one.
@@ -121,6 +131,15 @@ fn metrics_endpoint_matches_cli_fault_summary_values() {
     assert_eq!(metric(body, "spca_pe_restarts"), report.total_pe_restarts());
     assert_eq!(metric(body, "spca_quarantined"), report.total_quarantined());
     assert_eq!(metric(body, "spca_sync_skips"), report.total_sync_skips());
+    assert_eq!(metric(body, "spca_io_faults"), report.total_io_faults());
+    assert_eq!(
+        metric(body, "spca_quarantined_snapshots"),
+        report.total_quarantined_snapshots()
+    );
+    assert_eq!(
+        metric(body, "spca_checkpoint_skips"),
+        report.total_checkpoint_skips()
+    );
     assert_eq!(metric(body, "spca_epoch"), store.epoch());
 
     std::fs::remove_dir_all(&recovery).ok();

@@ -27,11 +27,13 @@
 //! stores serialized eigensystems and merges them with the core crate's
 //! tree reduction, but nothing here knows that.
 
-use crate::checkpoint::write_atomic;
+use crate::checkpoint::{quarantine_file, write_atomic_vfs};
+use crate::vfs::{RealVfs, Vfs};
 use parking_lot::Mutex;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One unit of backfill work.
@@ -68,20 +70,31 @@ const STATE_MAGIC: &str = "spca-partition-state-v1";
 /// A filesystem store of finished per-partition state blobs.
 ///
 /// One file per partition id, written atomically; the file records the
-/// content hash it was computed from, so [`StateStore::load`] returns a
-/// hit only when the partition's current input still matches. A torn or
-/// hand-edited file reads as a miss-with-error, never as plausible state.
+/// content hash it was computed from — so [`StateStore::load`] returns a
+/// hit only when the partition's current input still matches — and a
+/// checksum of the payload itself, so bit-rot is detectable. A torn or
+/// hand-edited file reads as a miss-with-error, never as plausible state;
+/// the runner's [`StateStore::load_or_quarantine`] degrades that error to
+/// quarantine-and-recompute.
 #[derive(Debug)]
 pub struct StateStore {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl StateStore {
-    /// Opens (creating if needed) a state store rooted at `dir`.
+    /// Opens (creating if needed) a state store rooted at `dir`, on the
+    /// real filesystem.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_with_vfs(dir, Arc::new(RealVfs))
+    }
+
+    /// Opens (creating if needed) a state store against an explicit
+    /// [`Vfs`] backend — the fault-injection hook.
+    pub fn open_with_vfs(dir: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(StateStore { dir })
+        Ok(StateStore { dir, vfs })
     }
 
     /// The directory this store persists into.
@@ -112,13 +125,13 @@ impl StateStore {
     /// structurally invalid file is an `InvalidData` error.
     pub fn load(&self, id: &str, want_hash: u64) -> io::Result<Option<Vec<u8>>> {
         let path = self.path_for(id);
-        let bytes = match std::fs::read(&path) {
+        let bytes = match self.vfs.read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e),
         };
         let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
-        // Header: magic \n id <id> \n hash <hex> \n len <n> \n payload
+        // Header: magic \n id <id> \n hash <hex> \n len <n> \n sum <hex> \n payload
         let header_end = find_header_end(&bytes)
             .ok_or_else(|| bad(format!("state file {path:?} has a truncated header")))?;
         let header = std::str::from_utf8(&bytes[..header_end])
@@ -149,11 +162,22 @@ impl StateStore {
         let len: usize = len_line
             .parse()
             .map_err(|_| bad(format!("state file {path:?} has an unparsable len")))?;
+        let sum_line = lines
+            .next()
+            .and_then(|l| l.strip_prefix("sum "))
+            .ok_or_else(|| bad(format!("state file {path:?} is missing its sum line")))?;
+        let want_sum = u64::from_str_radix(sum_line, 16)
+            .map_err(|_| bad(format!("state file {path:?} has an unparsable sum")))?;
         let payload = &bytes[header_end..];
         if payload.len() != len {
             return Err(bad(format!(
                 "state file {path:?} payload is {} bytes, header says {len} — torn write",
                 payload.len()
+            )));
+        }
+        if content_hash(payload) != want_sum {
+            return Err(bad(format!(
+                "state file {path:?} payload fails its checksum — bit-rotted state"
             )));
         }
         if got_hash != want_hash {
@@ -163,27 +187,49 @@ impl StateStore {
         Ok(Some(payload.to_vec()))
     }
 
+    /// Degrading [`StateStore::load`]: a structurally invalid file (torn,
+    /// bit-rotted, wrong id — anything `InvalidData`) is quarantined aside
+    /// as `<file>.corrupt-N` and reported as a miss plus a `true` flag, so
+    /// the runner recomputes the partition instead of aborting the whole
+    /// backfill. Non-structural I/O errors (permissions, dead device)
+    /// still propagate.
+    pub fn load_or_quarantine(
+        &self,
+        id: &str,
+        want_hash: u64,
+    ) -> io::Result<(Option<Vec<u8>>, bool)> {
+        match self.load(id, want_hash) {
+            Ok(hit) => Ok((hit, false)),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                quarantine_file(self.vfs.as_ref(), &self.path_for(id));
+                Ok((None, true))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Atomically persists `state` for `id` as computed from input bytes
     /// hashing to `hash`. Overwrites any previous generation.
     pub fn store(&self, id: &str, hash: u64, state: &[u8]) -> io::Result<()> {
         let mut file = format!(
-            "{STATE_MAGIC}\nid {id}\nhash {hash:016x}\nlen {}\n",
-            state.len()
+            "{STATE_MAGIC}\nid {id}\nhash {hash:016x}\nlen {}\nsum {:016x}\n",
+            state.len(),
+            content_hash(state)
         )
         .into_bytes();
         file.extend_from_slice(state);
-        write_atomic(&self.path_for(id), &file)
+        write_atomic_vfs(self.vfs.as_ref(), &self.path_for(id), &file)
     }
 }
 
-/// Byte offset just past the 4-line header, or `None` if the file has
-/// fewer than 4 newlines.
+/// Byte offset just past the 5-line header, or `None` if the file has
+/// fewer than 5 newlines.
 fn find_header_end(bytes: &[u8]) -> Option<usize> {
     let mut newlines = 0;
     for (i, &b) in bytes.iter().enumerate() {
         if b == b'\n' {
             newlines += 1;
-            if newlines == 4 {
+            if newlines == 5 {
                 return Some(i + 1);
             }
         }
@@ -209,6 +255,9 @@ pub struct BackfillStats {
     pub cache_hits: usize,
     /// Partitions computed (missing, or invalidated by a content change).
     pub computed: usize,
+    /// Damaged state files quarantined aside (each also counts in
+    /// `computed`: the partition was recomputed from scratch).
+    pub quarantined: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Wall-clock time of the whole run.
@@ -255,6 +304,7 @@ where
 
     let cursor = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
+    let quarantined = AtomicUsize::new(0);
     let mut slots: Vec<ResultSlot> = Vec::new();
     slots.resize_with(partitions.len(), || Mutex::new(None));
 
@@ -262,6 +312,7 @@ where
         for w in 0..pool {
             let cursor = &cursor;
             let failed = &failed;
+            let quarantined = &quarantined;
             let slots = &slots;
             let make_worker = &make_worker;
             scope.spawn(move || {
@@ -274,7 +325,7 @@ where
                     let Some(part) = partitions.get(i) else {
                         break;
                     };
-                    let result = process_one(part, store, &mut job);
+                    let result = process_one(part, store, &mut job, quarantined);
                     if result.is_err() {
                         failed.store(true, Ordering::Relaxed);
                     }
@@ -317,6 +368,7 @@ where
             .iter()
             .filter(|s| **s == PartitionSource::Computed)
             .count(),
+        quarantined: quarantined.into_inner(),
         workers: pool,
         wall: t0.elapsed(),
         sources,
@@ -328,8 +380,13 @@ fn process_one<T>(
     part: &Partition<T>,
     store: &StateStore,
     job: &mut impl FnMut(&Partition<T>) -> io::Result<Vec<u8>>,
+    quarantined: &AtomicUsize,
 ) -> io::Result<(Vec<u8>, PartitionSource)> {
-    if let Some(bytes) = store.load(&part.id, part.content_hash)? {
+    let (hit, was_quarantined) = store.load_or_quarantine(&part.id, part.content_hash)?;
+    if was_quarantined {
+        quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(bytes) = hit {
         return Ok((bytes, PartitionSource::CacheHit));
     }
     let bytes = job(part)?;
@@ -397,6 +454,109 @@ mod tests {
             }
         }
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn bit_rotted_payload_is_invalid_data() {
+        let (dir, store) = temp_store();
+        store.store("a", 1, b"0123456789").unwrap();
+        let path = store.path_for("a");
+        let mut full = std::fs::read(&path).unwrap();
+        // Same length, one payload byte flipped: only the checksum sees it.
+        let last = full.len() - 1;
+        full[last] ^= 0x01;
+        std::fs::write(&path, &full).unwrap();
+        let err = store.load("a", 1).expect_err("bit-rot must not be a hit");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn load_or_quarantine_moves_the_damage_aside() {
+        let (dir, store) = temp_store();
+        store.store("a", 1, b"0123456789").unwrap();
+        let path = store.path_for("a");
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let (hit, quarantined) = store.load_or_quarantine("a", 1).unwrap();
+        assert!(hit.is_none() && quarantined);
+        assert!(!path.exists(), "damaged file must be moved aside");
+        let mut evidence = path.as_os_str().to_owned();
+        evidence.push(".corrupt-1");
+        assert!(PathBuf::from(evidence).exists(), "evidence preserved");
+        // A clean store after the quarantine works again.
+        store.store("a", 1, b"fresh").unwrap();
+        let (hit, quarantined) = store.load_or_quarantine("a", 1).unwrap();
+        assert_eq!(hit.as_deref(), Some(&b"fresh"[..]));
+        assert!(!quarantined);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_state_file_recomputes_that_partition_instead_of_aborting() {
+        let (dir, store) = temp_store();
+        let partitions = parts(4);
+        let compute =
+            |_w: usize| |p: &Partition<Vec<u8>>| -> io::Result<Vec<u8>> { Ok(p.payload.clone()) };
+        let (cold, _) = run_partitions(&partitions, &store, 2, compute).unwrap();
+        // Tear partition 2's state file.
+        let path = store.path_for("part-2");
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let (warm, stats) = run_partitions(&partitions, &store, 2, compute).unwrap();
+        assert_eq!(warm, cold, "recomputed bytes must match");
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.computed, 1, "only the torn partition recomputes");
+        assert_eq!(stats.cache_hits, 3);
+        // The rewritten file serves clean on the next run.
+        let (_, stats3) = run_partitions(&partitions, &store, 2, compute).unwrap();
+        assert_eq!(stats3.cache_hits, 4);
+        assert_eq!(stats3.quarantined, 0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// A stored state file truncated at *any* byte offset must read as
+        /// a clean `InvalidData` error or a miss — never a panic, never a
+        /// plausible-but-wrong payload.
+        #[test]
+        fn truncation_at_any_byte_offset_never_serves_state(frac in 0.0f64..1.0) {
+            let (dir, store) = temp_store();
+            store.store("p", 42, b"payload-bytes-here").unwrap();
+            let path = store.path_for("p");
+            let full = std::fs::read(&path).unwrap();
+            let cut = ((full.len() as f64) * frac) as usize;
+            std::fs::write(&path, &full[..cut.min(full.len() - 1)]).unwrap();
+            match store.load("p", 42) {
+                Err(e) => proptest::prop_assert_eq!(e.kind(), io::ErrorKind::InvalidData),
+                Ok(hit) => proptest::prop_assert!(hit.is_none()),
+            }
+            std::fs::remove_dir_all(dir).ok();
+        }
+
+        /// A single flipped byte at *any* offset must read as `InvalidData`
+        /// or a miss — the payload checksum catches what the length cannot.
+        #[test]
+        fn corruption_at_any_byte_offset_never_serves_state(frac in 0.0f64..1.0) {
+            let (dir, store) = temp_store();
+            store.store("p", 42, b"payload-bytes-here").unwrap();
+            let path = store.path_for("p");
+            let mut full = std::fs::read(&path).unwrap();
+            // Flip the low bit: unlike e.g. 0x20 (which only changes a hex
+            // digit's case, still parsing to the same value), this always
+            // changes what the byte means.
+            let at = (((full.len() as f64) * frac) as usize).min(full.len() - 1);
+            full[at] ^= 0x01;
+            std::fs::write(&path, &full).unwrap();
+            match store.load("p", 42) {
+                Err(e) => proptest::prop_assert_eq!(e.kind(), io::ErrorKind::InvalidData),
+                Ok(hit) => proptest::prop_assert!(hit.is_none()),
+            }
+            std::fs::remove_dir_all(dir).ok();
+        }
     }
 
     #[test]

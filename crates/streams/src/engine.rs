@@ -357,6 +357,11 @@ struct PeRuntime {
     pe_restarts: u64,
     /// Sum of member `tuples_in` at the last periodic checkpoint.
     last_ckpt_total: u64,
+    /// Consecutive periodic-checkpoint write failures. Each failure doubles
+    /// the effective checkpoint window (capped), so a full disk is polled
+    /// at a gentle rate instead of hammered every cadence; any success
+    /// resets the backoff.
+    ckpt_failures: u64,
     /// True once `on_start` hooks have run; a restarted PE must not re-run
     /// them (operators resume via `Checkpoint::restore`, not a fresh start).
     started: bool,
@@ -434,6 +439,21 @@ impl RunReport {
     /// Total skipped synchronization steps across all operators.
     pub fn total_sync_skips(&self) -> u64 {
         self.ops.iter().map(|(_, s)| s.sync_skips).sum()
+    }
+
+    /// Total storage faults survived across all operators.
+    pub fn total_io_faults(&self) -> u64 {
+        self.ops.iter().map(|(_, s)| s.io_faults).sum()
+    }
+
+    /// Total checkpoint/state files quarantined aside as `*.corrupt-N`.
+    pub fn total_quarantined_snapshots(&self) -> u64 {
+        self.ops.iter().map(|(_, s)| s.quarantined_snapshots).sum()
+    }
+
+    /// Total periodic checkpoints skipped because the write failed.
+    pub fn total_checkpoint_skips(&self) -> u64 {
+        self.ops.iter().map(|(_, s)| s.checkpoint_skips).sum()
     }
 }
 
@@ -558,8 +578,22 @@ impl Engine {
                          link faults model the network and need a cross-PE edge"
                     );
                 }
+                // Storage faults name persistence domains, not graph
+                // elements — nothing to resolve.
+                FaultTarget::Storage(_) => {}
             }
         }
+
+        // The persistence backend: an explicit override wins, then a
+        // fault-injecting backend when the plan carries io-* entries,
+        // otherwise the real filesystem.
+        let vfs: Arc<dyn crate::vfs::Vfs> = match builder.vfs.take() {
+            Some(v) => v,
+            None => match plan.io_spec() {
+                Some(spec) => Arc::new(crate::vfs::FaultVfs::new(spec)),
+                None => Arc::new(crate::vfs::RealVfs),
+            },
+        };
 
         let mut slots_per_pe: Vec<Vec<OpSlot>> = pes
             .iter()
@@ -663,7 +697,8 @@ impl Engine {
             .enumerate()
         {
             let checkpoint = checkpoint_dir.as_ref().map(|dir| {
-                PeCheckpointer::new(dir, pe_index).expect("create checkpoint directory")
+                PeCheckpointer::new_with_vfs(dir, pe_index, Arc::clone(&vfs))
+                    .expect("create checkpoint directory")
             });
             let pe = PeRuntime {
                 slots,
@@ -676,6 +711,7 @@ impl Engine {
                 checkpoint,
                 pe_restarts: 0,
                 last_ckpt_total: 0,
+                ckpt_failures: 0,
                 started: false,
             };
             handles.push(
@@ -842,8 +878,10 @@ fn run_pe(mut pe: PeRuntime) {
 
 /// Writes one consistent checkpoint of every live checkpointable operator
 /// in the PE (blobs + manifest; see [`crate::checkpoint`]). A write failure
-/// is logged, not fatal: the previous manifest generation stays readable.
-fn write_pe_checkpoint(slots: &mut [OpSlot], ckpt: &mut PeCheckpointer) {
+/// is returned, never panicked — the previous manifest generations stay
+/// readable, so callers degrade (skip + counter + backoff) instead of
+/// killing the PE over a full disk.
+fn write_pe_checkpoint(slots: &mut [OpSlot], ckpt: &mut PeCheckpointer) -> std::io::Result<()> {
     let mut parts = Vec::new();
     for slot in slots.iter_mut() {
         if slot.finished {
@@ -854,11 +892,9 @@ fn write_pe_checkpoint(slots: &mut [OpSlot], ckpt: &mut PeCheckpointer) {
         }
     }
     if parts.is_empty() {
-        return;
+        return Ok(());
     }
-    if let Err(e) = ckpt.write(&parts) {
-        eprintln!("[supervisor] PE checkpoint write failed: {e}");
-    }
+    ckpt.write(&parts)
 }
 
 /// The PE-level supervisor's recovery path. Returns false when the restart
@@ -916,29 +952,51 @@ fn restart_pe(pe: &mut PeRuntime, clean: bool) -> bool {
         // the last *periodic* manifest (loss bounded by the checkpoint
         // cadence).
         if clean {
-            write_pe_checkpoint(slots, ckpt);
+            if let Err(e) = write_pe_checkpoint(slots, ckpt) {
+                eprintln!(
+                    "[supervisor] PE {pe_index} teardown checkpoint failed ({e}); \
+                     recovering from the last durable generation"
+                );
+                slots[0].counters.add_io_faults(1);
+            }
         }
-        match ckpt.read() {
-            Ok(Some(parts)) => {
-                for (name, blob) in &parts {
-                    let Some(i) = slots.iter().position(|s| &s.name == name && !s.finished) else {
-                        continue; // operator finished since that checkpoint
-                    };
-                    if let Some(cp) = slots[i].op.as_mut().and_then(|op| op.checkpoint()) {
-                        if let Err(e) = cp.restore(blob) {
-                            eprintln!(
-                                "[supervisor] operator '{name}' failed to restore from the PE \
-                                 manifest ({e}); keeping its in-memory state"
-                            );
-                        }
+        // Degrading recovery: a torn or bit-rotted manifest/blob is
+        // quarantined aside and recovery falls back to the previous
+        // generation — never a PE error. Counters are PE-attributed to
+        // the PE's first slot.
+        let recovery = ckpt.recover();
+        if recovery.quarantined > 0 || recovery.fell_back {
+            eprintln!(
+                "[supervisor] PE {pe_index} recovery degraded: {} file(s) quarantined, \
+                 fell back to {}",
+                recovery.quarantined,
+                if recovery.set.is_some() {
+                    "an older generation"
+                } else {
+                    "in-memory state"
+                }
+            );
+            slots[0]
+                .counters
+                .add_quarantined_snapshots(recovery.quarantined);
+            slots[0].counters.add_io_faults(recovery.quarantined.max(1));
+        }
+        // With no usable set (never checkpointed, or everything
+        // quarantined) the in-memory state stands.
+        if let Some(parts) = recovery.set {
+            for (name, blob) in &parts {
+                let Some(i) = slots.iter().position(|s| &s.name == name && !s.finished) else {
+                    continue; // operator finished since that checkpoint
+                };
+                if let Some(cp) = slots[i].op.as_mut().and_then(|op| op.checkpoint()) {
+                    if let Err(e) = cp.restore(blob) {
+                        eprintln!(
+                            "[supervisor] operator '{name}' failed to restore from the PE \
+                             manifest ({e}); keeping its in-memory state"
+                        );
                     }
                 }
             }
-            Ok(None) => {} // never checkpointed; in-memory state stands
-            Err(e) => eprintln!(
-                "[supervisor] PE {pe_index} manifest unreadable ({e}); \
-                 continuing with in-memory state"
-            ),
         }
     }
 
@@ -998,7 +1056,9 @@ fn run_pe_once(pe: &mut PeRuntime) {
         pending,
         checkpoint,
         last_ckpt_total,
+        ckpt_failures,
         started,
+        pe_index,
         ..
     } = pe;
     let slots = &mut slots[..];
@@ -1136,15 +1196,32 @@ fn run_pe_once(pe: &mut PeRuntime) {
         //    cadence worth of data tuples since the last snapshot set,
         //    write a fresh consistent generation. This sits between tuples
         //    (the pending queue is drained), so the set is consistent by
-        //    construction.
+        //    construction. A failed write (ENOSPC, fsync error, dead
+        //    device) is a *skip*, never a PE panic: the last durable
+        //    generations stay readable, the skip is counted, and the
+        //    effective window doubles per consecutive failure (capped at
+        //    64×) so a full disk is retried at a gentle rate.
         if let (Some(every), Some(ckpt)) = (cadence, checkpoint.as_mut()) {
             let total: u64 = slots
                 .iter()
                 .map(|s| s.counters.tuples_in.load(Ordering::Relaxed))
                 .sum();
-            if total.saturating_sub(*last_ckpt_total) >= every {
+            let effective = every << (*ckpt_failures).min(6);
+            if total.saturating_sub(*last_ckpt_total) >= effective {
                 *last_ckpt_total = total;
-                write_pe_checkpoint(slots, ckpt);
+                match write_pe_checkpoint(slots, ckpt) {
+                    Ok(()) => *ckpt_failures = 0,
+                    Err(e) => {
+                        *ckpt_failures += 1;
+                        eprintln!(
+                            "[supervisor] PE {pe_index} periodic checkpoint skipped ({e}); \
+                             backing off to a {}x window",
+                            1u64 << (*ckpt_failures).min(6)
+                        );
+                        slots[0].counters.add_checkpoint_skip();
+                        slots[0].counters.add_io_faults(1);
+                    }
+                }
             }
         }
 

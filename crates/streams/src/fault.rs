@@ -20,6 +20,11 @@
 //! drop@FROM>TO:N        the N-th data tuple on cross-PE link FROM>TO is dropped
 //! dup@FROM>TO:N         the N-th data tuple on link FROM>TO is delivered twice
 //! delay@FROM>TO:N:MS    the N-th data tuple on link FROM>TO is held MS ms
+//! io-enospc@pe:N        the N-th checkpoint-domain disk write fails ENOSPC
+//! io-torn@pe:N          the N-th checkpoint-domain disk write lands torn
+//! io-fsync-err          every fsync (file and directory) fails
+//! io-corrupt@store:N    the N-th state-store disk write lands bit-rotted
+//! io-crash@op:K         the K-th disk operation and every later one fails
 //! ```
 //!
 //! `kill-pe` targets an *operator* (PE indices depend on fusion resolution
@@ -33,7 +38,15 @@
 //! would deadlock the graph rather than test recovery). Link faults apply
 //! only to cross-PE edges: they model the network, and a fused edge has no
 //! network to misbehave.
+//!
+//! The `io-*` kinds target the *storage layer* rather than an operator or
+//! link: their "target" word names a fault domain (`pe` for checkpoint
+//! blobs/manifests, `store` for backfill state files, `op` for the global
+//! disk-operation counter) and their indices count disk writes/operations,
+//! not tuples. They compile into an [`crate::vfs::IoFaultSpec`] via
+//! [`FaultPlan::io_spec`] and are injected by [`crate::vfs::FaultVfs`].
 
+use crate::vfs::IoFaultSpec;
 use std::time::Duration;
 
 /// What a single fault does, once its trigger point is reached.
@@ -68,6 +81,16 @@ pub enum FaultAction {
         /// Delay duration in milliseconds.
         ms: u64,
     },
+    /// The `N`-th checkpoint-domain disk write fails with `ENOSPC`.
+    IoEnospc(u64),
+    /// The `N`-th checkpoint-domain disk write lands torn (prefix only).
+    IoTorn(u64),
+    /// Every fsync (file and directory) fails.
+    IoFsyncErr,
+    /// The `N`-th state-store disk write lands with a flipped byte.
+    IoCorrupt(u64),
+    /// The `K`-th disk operation and every later one fails (crash).
+    IoCrash(u64),
 }
 
 impl FaultAction {
@@ -84,6 +107,19 @@ impl FaultAction {
     }
 }
 
+/// The persistence domain a storage fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageDomain {
+    /// PE checkpoint blobs and manifests.
+    PeCheckpoint,
+    /// Backfill state-store entries.
+    StateStore,
+    /// The global disk-operation counter (crash faults).
+    AnyOp,
+    /// Every domain at once (`io-fsync-err`).
+    All,
+}
+
 /// What a fault applies to.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultTarget {
@@ -96,6 +132,9 @@ pub enum FaultTarget {
         /// Consuming operator's name.
         to: String,
     },
+    /// The storage layer (`io-*` faults). Not resolved against the graph:
+    /// storage faults apply to whatever persistence the run performs.
+    Storage(StorageDomain),
 }
 
 /// One injected fault: an action bound to a target.
@@ -152,6 +191,8 @@ impl FaultPlan {
                     *from = f(from);
                     *to = f(to);
                 }
+                // Storage domains are not operator names.
+                FaultTarget::Storage(_) => {}
             }
         }
         self
@@ -176,9 +217,43 @@ impl FaultPlan {
             .map(|f| f.action.clone())
             .collect()
     }
+
+    /// Compiles the plan's storage faults into a VFS fault schedule, or
+    /// `None` when the plan contains no `io-*` entries.
+    pub fn io_spec(&self) -> Option<IoFaultSpec> {
+        let mut spec = IoFaultSpec::default();
+        let mut any = false;
+        for fault in &self.faults {
+            if !matches!(fault.target, FaultTarget::Storage(_)) {
+                continue;
+            }
+            any = true;
+            match fault.action {
+                FaultAction::IoEnospc(n) => spec.enospc_pe.push(n),
+                FaultAction::IoTorn(n) => spec.torn_pe.push(n),
+                FaultAction::IoFsyncErr => spec.fsync_err = true,
+                FaultAction::IoCorrupt(n) => spec.corrupt_store.push(n),
+                FaultAction::IoCrash(k) => {
+                    spec.crash_at_op = Some(match spec.crash_at_op {
+                        Some(prev) => prev.min(k),
+                        None => k,
+                    })
+                }
+                _ => unreachable!("storage targets only carry io actions"),
+            }
+        }
+        any.then_some(spec)
+    }
 }
 
 fn parse_entry(entry: &str) -> Result<Fault, String> {
+    // `io-fsync-err` takes no target or argument — every fsync fails.
+    if entry == "io-fsync-err" {
+        return Ok(Fault {
+            target: FaultTarget::Storage(StorageDomain::All),
+            action: FaultAction::IoFsyncErr,
+        });
+    }
     let (kind, rest) = entry
         .split_once('@')
         .ok_or_else(|| format!("fault entry '{entry}': expected KIND@TARGET:ARGS"))?;
@@ -261,6 +336,26 @@ fn parse_entry(entry: &str) -> Result<Fault, String> {
                 ms: parse_ms(ms)?,
             },
         ),
+        ("io-enospc", ["pe", n]) => (
+            FaultTarget::Storage(StorageDomain::PeCheckpoint),
+            FaultAction::IoEnospc(parse_n(n, "write index")?),
+        ),
+        ("io-torn", ["pe", n]) => (
+            FaultTarget::Storage(StorageDomain::PeCheckpoint),
+            FaultAction::IoTorn(parse_n(n, "write index")?),
+        ),
+        ("io-corrupt", ["store", n]) => (
+            FaultTarget::Storage(StorageDomain::StateStore),
+            FaultAction::IoCorrupt(parse_n(n, "write index")?),
+        ),
+        ("io-crash", ["op", k]) => (
+            FaultTarget::Storage(StorageDomain::AnyOp),
+            FaultAction::IoCrash(parse_n(k, "operation index")?),
+        ),
+        ("io-enospc" | "io-torn", _) => return Err(bad("expected KIND@pe:N")),
+        ("io-corrupt", _) => return Err(bad("expected io-corrupt@store:N")),
+        ("io-crash", _) => return Err(bad("expected io-crash@op:K")),
+        ("io-fsync-err", _) => return Err(bad("io-fsync-err takes no target or argument")),
         ("panic" | "kill-pe" | "poison-nan" | "poison-inf" | "drop" | "dup", _) => {
             return Err(bad("expected KIND@TARGET:N"))
         }
@@ -268,7 +363,8 @@ fn parse_entry(entry: &str) -> Result<Fault, String> {
         (other, _) => {
             return Err(bad(&format!(
                 "unknown fault kind '{other}' (expected panic, kill-pe, poison-nan, poison-inf, \
-                 stall, drop, dup, or delay)"
+                 stall, drop, dup, delay, io-enospc, io-torn, io-fsync-err, io-corrupt, or \
+                 io-crash)"
             )))
         }
     };
@@ -347,6 +443,61 @@ mod tests {
             }
         );
         assert!(FaultAction::KillPe(1).is_op_action());
+    }
+
+    #[test]
+    fn parses_every_io_fault_kind_into_a_spec() {
+        let plan = FaultPlan::parse(
+            "io-enospc@pe:3,io-torn@pe:7, io-fsync-err ,io-corrupt@store:2,io-crash@op:11",
+        )
+        .unwrap();
+        assert_eq!(plan.faults.len(), 5);
+        assert_eq!(
+            plan.faults[0].target,
+            FaultTarget::Storage(StorageDomain::PeCheckpoint)
+        );
+        assert_eq!(plan.faults[2].action, FaultAction::IoFsyncErr);
+        assert!(!FaultAction::IoCrash(1).is_op_action());
+        let spec = plan.io_spec().unwrap();
+        assert_eq!(spec.enospc_pe, vec![3]);
+        assert_eq!(spec.torn_pe, vec![7]);
+        assert!(spec.fsync_err);
+        assert_eq!(spec.corrupt_store, vec![2]);
+        assert_eq!(spec.crash_at_op, Some(11));
+    }
+
+    #[test]
+    fn io_spec_is_none_without_storage_faults_and_takes_earliest_crash() {
+        assert!(FaultPlan::parse("panic@a:1").unwrap().io_spec().is_none());
+        let spec = FaultPlan::parse("io-crash@op:9,io-crash@op:4")
+            .unwrap()
+            .io_spec()
+            .unwrap();
+        assert_eq!(spec.crash_at_op, Some(4));
+    }
+
+    #[test]
+    fn io_faults_mix_with_process_faults_and_survive_renames() {
+        let plan = FaultPlan::parse("kill-pe@engine1:500,io-torn@pe:1")
+            .unwrap()
+            .rename_targets(|n| n.replace("engine", "pca-"));
+        assert_eq!(plan.op_faults("pca-1"), vec![FaultAction::KillPe(500)]);
+        assert_eq!(plan.io_spec().unwrap().torn_pe, vec![1]);
+    }
+
+    #[test]
+    fn io_faults_reject_malformed_entries() {
+        for bad in [
+            "io-enospc@store:1", // wrong domain word
+            "io-enospc@pe:0",    // indices are 1-based
+            "io-torn@pe",        // missing index
+            "io-corrupt@pe:1",   // corrupt is store-domain only
+            "io-crash@pe:1",     // crash counts global ops
+            "io-fsync-err@pe:1", // fsync-err takes no target
+            "io-explode@pe:1",   // unknown kind
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} must be rejected");
+        }
     }
 
     #[test]

@@ -53,13 +53,15 @@ pub mod operator;
 pub mod ops;
 pub mod optimize;
 pub mod tuple;
+pub mod vfs;
 
 pub use backfill::{
     content_hash, run_partitions, BackfillStats, Partition, PartitionSource, StateStore,
 };
 pub use checkpoint::{Checkpoint, DEFAULT_CHECKPOINT_EVERY};
 pub use engine::{Engine, LinkReport, RunReport};
-pub use fault::{Fault, FaultAction, FaultPlan, FaultTarget, RestartPolicy};
+pub use fault::{Fault, FaultAction, FaultPlan, FaultTarget, RestartPolicy, StorageDomain};
 pub use graph::{GraphBuilder, LinkKind, OpId, PortKind, DEFAULT_BATCH_SIZE};
 pub use operator::{OpContext, Operator, SourceState};
 pub use tuple::{ControlTuple, DataTuple, Frame, FramePool, Punctuation, Tuple};
+pub use vfs::{FaultVfs, IoFaultSpec, RealVfs, Vfs};

@@ -30,6 +30,15 @@ pub struct OpCounters {
     pub quarantined: AtomicU64,
     /// Synchronization steps skipped (gate not passed / engine not alive).
     pub sync_skips: AtomicU64,
+    /// Storage faults survived (failed checkpoint writes, damaged files
+    /// discovered at recovery, state-store quarantines).
+    pub io_faults: AtomicU64,
+    /// Checkpoint/manifest/state files quarantined aside as `*.corrupt-N`
+    /// after failing structural validation.
+    pub quarantined_snapshots: AtomicU64,
+    /// Periodic PE checkpoints skipped because the write failed (ENOSPC,
+    /// fsync error, dead device) — the PE keeps running and backs off.
+    pub checkpoint_skips: AtomicU64,
 }
 
 /// Live counters for one cross-PE link.
@@ -42,7 +51,7 @@ pub struct LinkCounters {
 }
 
 /// Immutable snapshot of one operator's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpSnapshot {
     /// Data tuples consumed.
     pub tuples_in: u64,
@@ -60,6 +69,12 @@ pub struct OpSnapshot {
     pub quarantined: u64,
     /// Synchronization steps skipped (gate not passed / engine not alive).
     pub sync_skips: u64,
+    /// Storage faults survived.
+    pub io_faults: u64,
+    /// Files quarantined aside as `*.corrupt-N`.
+    pub quarantined_snapshots: u64,
+    /// Periodic checkpoints skipped because the write failed.
+    pub checkpoint_skips: u64,
 }
 
 /// Immutable snapshot of one link's counters.
@@ -83,6 +98,9 @@ impl OpCounters {
             pe_restarts: self.pe_restarts.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
             sync_skips: self.sync_skips.load(Ordering::Relaxed),
+            io_faults: self.io_faults.load(Ordering::Relaxed),
+            quarantined_snapshots: self.quarantined_snapshots.load(Ordering::Relaxed),
+            checkpoint_skips: self.checkpoint_skips.load(Ordering::Relaxed),
         }
     }
 
@@ -116,6 +134,18 @@ impl OpCounters {
 
     pub(crate) fn add_sync_skip(&self) {
         self.sync_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_io_faults(&self, n: u64) {
+        self.io_faults.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_quarantined_snapshots(&self, n: u64) {
+        self.quarantined_snapshots.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_checkpoint_skip(&self) {
+        self.checkpoint_skips.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -351,13 +381,7 @@ mod tests {
     fn rate_probe_differences_counters() {
         let mk = |n: u64| OpSnapshot {
             tuples_in: n,
-            tuples_out: 0,
-            control_in: 0,
-            busy_ns: 0,
-            restarts: 0,
-            pe_restarts: 0,
-            quarantined: 0,
-            sync_skips: 0,
+            ..OpSnapshot::default()
         };
         let probe = RateProbe::start(vec![mk(100), mk(50)]);
         std::thread::sleep(std::time::Duration::from_millis(20));
@@ -372,13 +396,7 @@ mod tests {
     fn rate_probe_handles_counter_reset_gracefully() {
         let mk = |n: u64| OpSnapshot {
             tuples_in: n,
-            tuples_out: 0,
-            control_in: 0,
-            busy_ns: 0,
-            restarts: 0,
-            pe_restarts: 0,
-            quarantined: 0,
-            sync_skips: 0,
+            ..OpSnapshot::default()
         };
         let probe = RateProbe::start(vec![mk(500)]);
         // A smaller later value (shouldn't happen, but must not underflow).
@@ -392,13 +410,7 @@ mod tests {
     fn rate_probe_rejects_mismatched_snapshot_lengths() {
         let mk = |n: u64| OpSnapshot {
             tuples_in: n,
-            tuples_out: 0,
-            control_in: 0,
-            busy_ns: 0,
-            restarts: 0,
-            pe_restarts: 0,
-            quarantined: 0,
-            sync_skips: 0,
+            ..OpSnapshot::default()
         };
         let probe = RateProbe::start(vec![mk(1), mk(2)]);
         let _ = probe.rates_in(&[mk(1)]);

@@ -136,12 +136,8 @@ mod tests {
             OpSnapshot {
                 tuples_in: 1000,
                 tuples_out: 1000,
-                control_in: 0,
                 busy_ns: busy_ms * 1_000_000,
-                restarts: 0,
-                pe_restarts: 0,
-                quarantined: 0,
-                sync_skips: 0,
+                ..OpSnapshot::default()
             },
         )
     }

@@ -462,6 +462,156 @@ fn kill_pe_without_checkpoint_dir_still_finishes_loss_free() {
     assert_eq!(op_snapshot(&report, "fwd").pe_restarts, 1);
 }
 
+/// Like [`DurableCounter`] but checkpointing every 10 tuples, so short
+/// runs exercise many periodic checkpoint attempts.
+struct EagerCounter {
+    seen: u64,
+    restored: Arc<AtomicBool>,
+}
+
+impl Operator for EagerCounter {
+    fn process(&mut self, t: DataTuple, ctx: &mut OpContext<'_>) {
+        self.seen += 1;
+        ctx.emit_data(0, t);
+    }
+
+    fn checkpoint(&mut self) -> Option<&mut dyn Checkpoint> {
+        Some(self)
+    }
+}
+
+impl Checkpoint for EagerCounter {
+    fn snapshot(&self) -> Vec<u8> {
+        spca_streams::checkpoint::encode_kv(&[("seen", self.seen.to_string())])
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let map = spca_streams::checkpoint::decode_kv(bytes)?;
+        self.seen = spca_streams::checkpoint::kv_u64(&map, "seen")?;
+        self.restored.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn checkpoint_every(&self) -> u64 {
+        10
+    }
+}
+
+/// Builds src → ctr(EagerCounter) → sink with a checkpoint dir and the
+/// given fault plan, runs it, and asserts the stream itself survived:
+/// every tuple delivered (duplicates tolerated only if `exact` is
+/// false), no operator-level restarts escaped the persistence layer.
+fn run_disk_fault_matrix(
+    tag: &str,
+    plan: &str,
+    n: u64,
+    exact: bool,
+) -> (RunReport, Arc<AtomicBool>) {
+    let dir = std::env::temp_dir().join(format!("spca_diskfault_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let restored = Arc::new(AtomicBool::new(false));
+    // Small batches so the periodic-checkpoint check runs often enough
+    // for the backoff schedule to get several attempts within `n` tuples.
+    let mut g = GraphBuilder::new()
+        .with_restart_policy(fast_policy(8))
+        .with_batch_size(8)
+        .with_fault_plan(FaultPlan::parse(plan).unwrap())
+        .with_checkpoint_dir(&dir);
+    let src = g.add_source("src", counting_source(n));
+    let ctr = g.add_op(
+        "ctr",
+        Box::new(EagerCounter {
+            seen: 0,
+            restored: Arc::clone(&restored),
+        }),
+    );
+    let (sink, store) = CollectSink::new();
+    let out = g.add_op("sink", Box::new(sink));
+    g.connect(src, 0, ctr, PortKind::Data);
+    g.connect(ctr, 0, out, PortKind::Data);
+    let report = Engine::run(g);
+
+    let collected = store.lock();
+    let mut seqs: Vec<u64> = collected.iter().map(|t| t.seq).collect();
+    seqs.sort_unstable();
+    if exact {
+        assert_eq!(
+            seqs,
+            (0..n).collect::<Vec<_>>(),
+            "{tag}: each seq exactly once"
+        );
+    } else {
+        seqs.dedup();
+        assert_eq!(
+            seqs,
+            (0..n).collect::<Vec<_>>(),
+            "{tag}: each seq at least once"
+        );
+    }
+    assert_eq!(
+        report.total_restarts(),
+        0,
+        "{tag}: a disk fault must never escalate into an operator panic"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    (report, restored)
+}
+
+#[test]
+fn enospc_skips_the_checkpoint_and_the_run_completes() {
+    // The first PE-checkpoint write hits ENOSPC: that periodic checkpoint
+    // is skipped (counted, window backed off) and later ones succeed —
+    // the stream itself never notices.
+    let (report, _) = run_disk_fault_matrix("enospc", "io-enospc@pe:1", 300, true);
+    assert!(report.total_checkpoint_skips() >= 1);
+    assert!(report.total_io_faults() >= 1);
+    assert_eq!(report.total_quarantined_snapshots(), 0);
+}
+
+#[test]
+fn fsync_failure_degrades_to_skips_never_a_panic() {
+    // Every fsync fails, so every periodic checkpoint attempt fails. The
+    // PE keeps running, backing its checkpoint window off each time, and
+    // the run finishes loss-free with the failures visible as counters.
+    let (report, _) = run_disk_fault_matrix("fsync", "io-fsync-err", 300, true);
+    assert!(
+        report.total_checkpoint_skips() >= 1,
+        "every checkpoint attempt fails, so at least one skip: {report:?}"
+    );
+    assert_eq!(report.total_io_faults(), report.total_checkpoint_skips());
+}
+
+#[test]
+fn dead_device_mid_run_degrades_to_skips() {
+    // The device dies a few operations in (io-crash): whatever checkpoint
+    // was in flight fails, and so does every attempt after it. The run
+    // still completes loss-free.
+    let (report, _) = run_disk_fault_matrix("crash", "io-crash@op:4", 300, true);
+    assert!(report.total_checkpoint_skips() >= 1);
+    assert!(report.total_io_faults() >= 1);
+}
+
+#[test]
+fn kill_pe_with_torn_checkpoints_quarantines_and_still_delivers() {
+    // Every PE-checkpoint write lands torn (half its bytes), then the PE
+    // is killed: rehydration finds only damaged generations, quarantines
+    // them to *.corrupt-N, and degrades to a restart without restored
+    // state — the frame channels still deliver every tuple.
+    let torn: Vec<String> = (1..=60).map(|w| format!("io-torn@pe:{w}")).collect();
+    let plan = format!("kill-pe@ctr:40,{}", torn.join(","));
+    let (report, restored) = run_disk_fault_matrix("torn", &plan, 100, false);
+    assert!(
+        report.total_quarantined_snapshots() >= 1,
+        "torn manifests must be quarantined at recovery: {report:?}"
+    );
+    assert!(report.total_io_faults() >= 1);
+    assert!(report.total_pe_restarts() >= 1);
+    assert!(
+        !restored.load(Ordering::SeqCst),
+        "nothing valid on disk: restore must not have run"
+    );
+}
+
 #[test]
 #[should_panic(expected = "cross-PE")]
 fn link_fault_on_fused_edge_is_rejected() {

@@ -167,6 +167,18 @@ Every flag is --key value; unknown flags are rejected.
   engines restart from their latest recovery snapshot (and PEs from their
   manifests) instead of losing their state.
 
+  Storage faults drill the persistence layer itself: io-enospc@pe:N
+  (N-th PE checkpoint write fails with ENOSPC), io-torn@pe:N (N-th PE
+  checkpoint write lands half its bytes), io-fsync-err (every fsync
+  fails), io-corrupt@store:N (N-th backfill state-store write flips its
+  last byte), io-crash@op:K (the K-th storage operation and everything
+  after it fails, simulating a dead device). The run degrades instead of
+  dying: failed checkpoints are skipped with backoff, torn or rotted
+  files are quarantined to *.corrupt-N and recovery falls back to the
+  previous manifest generation. Every absorbed fault shows up in the
+  fault summary and /metrics (spca_io_faults, spca_quarantined_snapshots,
+  spca_checkpoint_skips).
+
 serve answers live eigensystem queries over HTTP while the stream is
   ingested: POST /project, /reconstruct, /score, /topk?k=K (CSV
   observation in, CSV out; X-Epoch names the snapshot answered against),
@@ -504,11 +516,26 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         report.total_quarantined(),
         report.total_sync_skips(),
     );
-    if restarts + pe_restarts + quarantined + sync_skips > 0 {
+    let (io_faults, quarantined_snapshots, checkpoint_skips) = (
+        report.total_io_faults(),
+        report.total_quarantined_snapshots(),
+        report.total_checkpoint_skips(),
+    );
+    if restarts
+        + pe_restarts
+        + quarantined
+        + sync_skips
+        + io_faults
+        + quarantined_snapshots
+        + checkpoint_skips
+        > 0
+    {
         println!(
             "fault summary: {restarts} operator restarts, {pe_restarts} PE restarts \
              (operator-weighted), {quarantined} quarantined tuples, \
-             {sync_skips} skipped syncs"
+             {sync_skips} skipped syncs, {io_faults} storage faults absorbed, \
+             {quarantined_snapshots} quarantined snapshots, \
+             {checkpoint_skips} skipped checkpoints"
         );
     }
 
@@ -673,10 +700,12 @@ fn cmd_backfill(opts: &Opts) -> Result<(), String> {
     };
     let outcome = backfill(&cfg, &partitions).map_err(|e| e.to_string())?;
     println!(
-        "backfill: {} partitions ({} cache hits, {} computed) on {} workers in {:.2}s",
+        "backfill: {} partitions ({} cache hits, {} computed, {} quarantined) \
+         on {} workers in {:.2}s",
         outcome.stats.partitions,
         outcome.stats.cache_hits,
         outcome.stats.computed,
+        outcome.stats.quarantined,
         outcome.stats.workers,
         outcome.stats.wall.as_secs_f64()
     );

@@ -372,12 +372,18 @@ fn backfill_cold_then_warm_round_trip() {
         String::from_utf8_lossy(&cold.stderr)
     );
     let cold_out = String::from_utf8_lossy(&cold.stdout);
-    assert!(cold_out.contains("0 cache hits, 4 computed"), "{cold_out}");
+    assert!(
+        cold_out.contains("0 cache hits, 4 computed, 0 quarantined"),
+        "{cold_out}"
+    );
 
     let warm = run("warm.snapshot");
     assert!(warm.status.success());
     let warm_out = String::from_utf8_lossy(&warm.stdout);
-    assert!(warm_out.contains("4 cache hits, 0 computed"), "{warm_out}");
+    assert!(
+        warm_out.contains("4 cache hits, 0 computed, 0 quarantined"),
+        "{warm_out}"
+    );
 
     let a = std::fs::read(dir.join("cold.snapshot")).unwrap();
     let b = std::fs::read(dir.join("warm.snapshot")).unwrap();
