@@ -6,12 +6,13 @@
 //! Artifacts self-identify via a `"schema"` discriminator field:
 //! `"kernels-v1"` selects the kernel-dispatch schema, `"backfill-v1"` the
 //! partitioned-backfill schema, `"serving-v1"` the always-on-serving
-//! schema; its absence selects the original engine-transport schema
-//! (recorded before discriminators existed).
+//! schema, `"net-v1"` the wire-transport schema; its absence selects the
+//! original engine-transport schema (recorded before discriminators
+//! existed).
 
 use spca_bench::json::{
-    BackfillBenchReport, EngineBenchReport, Json, KernelBenchReport, ServingBenchReport,
-    BACKFILL_SCHEMA, KERNELS_SCHEMA, SERVING_SCHEMA,
+    BackfillBenchReport, EngineBenchReport, Json, KernelBenchReport, NetBenchReport,
+    ServingBenchReport, BACKFILL_SCHEMA, KERNELS_SCHEMA, NET_SCHEMA, SERVING_SCHEMA,
 };
 use std::process::ExitCode;
 
@@ -44,6 +45,16 @@ fn check(path: &str) -> Result<(), String> {
             println!(
                 "{path}: ok (serving-v1, {:.0} qps, p99 {:.0}us, ingest ratio {:.3}, {} cores)",
                 report.qps, report.p99_us, report.ingest_ratio, report.cores
+            );
+        }
+        Some(NET_SCHEMA) => {
+            let report = NetBenchReport::from_json(&value).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{path}: ok (net-v1, codec {:.1}x CSV, dist ratio {:.2}, {:.0}us/msg, {} cores)",
+                report.codec_vs_csv,
+                report.dist_ratio,
+                report.per_message_overhead_us,
+                report.cores
             );
         }
         Some(other) => return Err(format!("{path}: unknown schema '{other}'")),

@@ -1122,6 +1122,237 @@ impl ServingBenchReport {
     }
 }
 
+/// The recorded wire-transport benchmark artifact (`BENCH_net.json`),
+/// discriminated by `"schema": "net-v1"`.
+///
+/// Three claims, all CI-gated by [`NetBenchReport::from_json`]: the
+/// columnar frame codec beats the CSV text path it replaced by at least
+/// 5× round-trip at d = 1000 with zero steady-state allocations, the
+/// real 2-process loopback run holds at least 0.5× of the in-process
+/// single-address-space throughput (waived below 4 cores, where the two
+/// processes time-slice one core and the ratio measures the scheduler),
+/// and the recording ran fault-free (no restarts, no respawns). The
+/// measured per-message overhead is the calibration constant for the
+/// cluster cost model's modeled network delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetBenchReport {
+    /// What was measured and how.
+    pub benchmark: String,
+    /// Machine / build caveats for reproducing the numbers.
+    pub machine_note: String,
+    /// Cores available on the recording host (`available_parallelism`);
+    /// governs the distributed-ratio waiver.
+    pub cores: usize,
+    /// Observation dimensionality of the codec microbenchmark.
+    pub dim: usize,
+    /// Tuples per encoded frame.
+    pub batch: usize,
+    /// Tuples pushed through the codec per measured repetition.
+    pub tuples: u64,
+    /// The acceptance target the artifact was recorded against.
+    pub target: String,
+    /// Operator restarts plus worker respawns during the distributed
+    /// recording (must be 0 — artifacts are recorded fault-free).
+    pub restarts: u64,
+    /// Codec encode throughput over wire bytes, GB/s.
+    pub codec_encode_gbps: f64,
+    /// Codec decode throughput over wire bytes, GB/s.
+    pub codec_decode_gbps: f64,
+    /// Encode + decode round trips, tuples/s.
+    pub codec_roundtrip_tuples_per_s: f64,
+    /// CSV format + parse round trips of the same observations, tuples/s.
+    pub csv_roundtrip_tuples_per_s: f64,
+    /// `codec_roundtrip_tuples_per_s / csv_roundtrip_tuples_per_s`.
+    pub codec_vs_csv: f64,
+    /// Heap allocations during the measured codec stretch (must be 0).
+    pub codec_steady_allocs: u64,
+    /// Encoded frame size per tuple, bytes — the wire footprint.
+    pub frame_bytes_per_tuple: f64,
+    /// In-process baseline (`--workers 0`) ingest throughput, tuples/s.
+    pub local_tuples_per_s: f64,
+    /// 2-process loopback distributed ingest throughput, tuples/s.
+    pub dist_tuples_per_s: f64,
+    /// `dist_tuples_per_s / local_tuples_per_s`.
+    pub dist_ratio: f64,
+    /// Measured per-message overhead on loopback TCP (half the round
+    /// trip of a frame-sized message), microseconds. Calibrates the
+    /// cluster cost model's `network_delay_us`.
+    pub per_message_overhead_us: f64,
+}
+
+/// Value of the schema discriminator for [`NetBenchReport`].
+pub const NET_SCHEMA: &str = "net-v1";
+
+/// The codec must beat the CSV path it replaced by at least this factor
+/// round-trip at the recorded dimensionality.
+pub const NET_CODEC_FLOOR: f64 = 5.0;
+
+/// The 2-process loopback run must hold this fraction of in-process
+/// throughput, and the core count below which the floor is unmeasurable
+/// (two processes on one core measure time-slicing) and therefore waived.
+pub const NET_DIST_FLOOR: f64 = 0.5;
+const NET_MIN_CORES: usize = 4;
+
+impl NetBenchReport {
+    /// Serializes to the committed artifact layout.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(NET_SCHEMA.into())),
+            ("benchmark".into(), Json::Str(self.benchmark.clone())),
+            ("machine_note".into(), Json::Str(self.machine_note.clone())),
+            ("cores".into(), Json::Num(self.cores as f64)),
+            ("dim".into(), Json::Num(self.dim as f64)),
+            ("batch".into(), Json::Num(self.batch as f64)),
+            ("tuples".into(), Json::Num(self.tuples as f64)),
+            ("target".into(), Json::Str(self.target.clone())),
+            ("restarts".into(), Json::Num(self.restarts as f64)),
+            (
+                "codec_encode_gbps".into(),
+                Json::Num(self.codec_encode_gbps),
+            ),
+            (
+                "codec_decode_gbps".into(),
+                Json::Num(self.codec_decode_gbps),
+            ),
+            (
+                "codec_roundtrip_tuples_per_s".into(),
+                Json::Num(self.codec_roundtrip_tuples_per_s),
+            ),
+            (
+                "csv_roundtrip_tuples_per_s".into(),
+                Json::Num(self.csv_roundtrip_tuples_per_s),
+            ),
+            ("codec_vs_csv".into(), Json::Num(self.codec_vs_csv)),
+            (
+                "codec_steady_allocs".into(),
+                Json::Num(self.codec_steady_allocs as f64),
+            ),
+            (
+                "frame_bytes_per_tuple".into(),
+                Json::Num(self.frame_bytes_per_tuple),
+            ),
+            (
+                "local_tuples_per_s".into(),
+                Json::Num(self.local_tuples_per_s),
+            ),
+            (
+                "dist_tuples_per_s".into(),
+                Json::Num(self.dist_tuples_per_s),
+            ),
+            ("dist_ratio".into(), Json::Num(self.dist_ratio)),
+            (
+                "per_message_overhead_us".into(),
+                Json::Num(self.per_message_overhead_us),
+            ),
+        ])
+    }
+
+    /// Parses and schema-checks an artifact. CI-gate strictness: on top
+    /// of the usual missing-field / type / finiteness checks, the derived
+    /// ratios must agree with their numerators and denominators within
+    /// 2%, `codec_vs_csv` must clear the 5× floor, `codec_steady_allocs`
+    /// and `restarts` must be 0, and `dist_ratio` must clear the 0.5×
+    /// floor unless the recording host had fewer than 4 cores.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        match field(v, "schema")?.as_str() {
+            Some(NET_SCHEMA) => {}
+            other => return Err(format!("unexpected schema {other:?}")),
+        }
+        let report = NetBenchReport {
+            benchmark: str_field(v, "benchmark")?,
+            machine_note: str_field(v, "machine_note")?,
+            cores: num_field(v, "cores")? as usize,
+            dim: num_field(v, "dim")? as usize,
+            batch: num_field(v, "batch")? as usize,
+            tuples: num_field(v, "tuples")? as u64,
+            target: str_field(v, "target")?,
+            restarts: num_field(v, "restarts")? as u64,
+            codec_encode_gbps: num_field(v, "codec_encode_gbps")?,
+            codec_decode_gbps: num_field(v, "codec_decode_gbps")?,
+            codec_roundtrip_tuples_per_s: num_field(v, "codec_roundtrip_tuples_per_s")?,
+            csv_roundtrip_tuples_per_s: num_field(v, "csv_roundtrip_tuples_per_s")?,
+            codec_vs_csv: num_field(v, "codec_vs_csv")?,
+            codec_steady_allocs: num_field(v, "codec_steady_allocs")? as u64,
+            frame_bytes_per_tuple: num_field(v, "frame_bytes_per_tuple")?,
+            local_tuples_per_s: num_field(v, "local_tuples_per_s")?,
+            dist_tuples_per_s: num_field(v, "dist_tuples_per_s")?,
+            dist_ratio: num_field(v, "dist_ratio")?,
+            per_message_overhead_us: num_field(v, "per_message_overhead_us")?,
+        };
+        if report.cores == 0 {
+            return Err("'cores' must be positive".to_string());
+        }
+        if report.dim == 0 || report.batch == 0 || report.tuples == 0 {
+            return Err("'dim', 'batch', and 'tuples' must be positive".to_string());
+        }
+        if report.restarts > 0 {
+            return Err(format!(
+                "restarts {} — benchmark artifacts must be recorded fault-free",
+                report.restarts
+            ));
+        }
+        for (name, x) in [
+            ("codec_encode_gbps", report.codec_encode_gbps),
+            ("codec_decode_gbps", report.codec_decode_gbps),
+            (
+                "codec_roundtrip_tuples_per_s",
+                report.codec_roundtrip_tuples_per_s,
+            ),
+            (
+                "csv_roundtrip_tuples_per_s",
+                report.csv_roundtrip_tuples_per_s,
+            ),
+            ("frame_bytes_per_tuple", report.frame_bytes_per_tuple),
+            ("local_tuples_per_s", report.local_tuples_per_s),
+            ("dist_tuples_per_s", report.dist_tuples_per_s),
+            ("per_message_overhead_us", report.per_message_overhead_us),
+        ] {
+            if x <= 0.0 {
+                return Err(format!("'{name}' must be positive"));
+            }
+        }
+        let expect = report.codec_roundtrip_tuples_per_s / report.csv_roundtrip_tuples_per_s;
+        if (report.codec_vs_csv - expect).abs() > 0.02 * expect {
+            return Err(format!(
+                "codec_vs_csv {} inconsistent with the recorded rates (expected {expect:.3})",
+                report.codec_vs_csv
+            ));
+        }
+        if report.codec_vs_csv < NET_CODEC_FLOOR {
+            return Err(format!(
+                "codec_vs_csv {:.2} below the {NET_CODEC_FLOOR}x acceptance floor at d = {}",
+                report.codec_vs_csv, report.dim
+            ));
+        }
+        if report.codec_steady_allocs > 0 {
+            return Err(format!(
+                "codec_steady_allocs {} — the codec hot path must not allocate in steady state",
+                report.codec_steady_allocs
+            ));
+        }
+        let expect = report.dist_tuples_per_s / report.local_tuples_per_s;
+        if (report.dist_ratio - expect).abs() > 0.02 * expect {
+            return Err(format!(
+                "dist_ratio {} inconsistent with the recorded throughputs (expected {expect:.3})",
+                report.dist_ratio
+            ));
+        }
+        if report.cores >= NET_MIN_CORES && report.dist_ratio < NET_DIST_FLOOR {
+            return Err(format!(
+                "dist_ratio {:.3} below the {NET_DIST_FLOOR}x acceptance floor on a {}-core \
+                 host — the wire transport must not halve throughput on loopback",
+                report.dist_ratio, report.cores
+            ));
+        }
+        Ok(report)
+    }
+
+    /// Round-trips a report through text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1479,6 +1710,87 @@ mod tests {
         let mut report = sample_kernel_report();
         report.results[0].speedup = 9.0;
         let err = KernelBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("inconsistent"), "{err}");
+    }
+
+    fn sample_net_report() -> NetBenchReport {
+        NetBenchReport {
+            benchmark: "wire transport".into(),
+            machine_note: "test".into(),
+            cores: 8,
+            dim: 1000,
+            batch: 64,
+            tuples: 6400,
+            target: "codec >= 5x CSV, dist >= 0.5x local".into(),
+            restarts: 0,
+            codec_encode_gbps: 4.0,
+            codec_decode_gbps: 6.0,
+            codec_roundtrip_tuples_per_s: 400_000.0,
+            csv_roundtrip_tuples_per_s: 40_000.0,
+            codec_vs_csv: 10.0,
+            codec_steady_allocs: 0,
+            frame_bytes_per_tuple: 8_030.0,
+            local_tuples_per_s: 60_000.0,
+            dist_tuples_per_s: 45_000.0,
+            dist_ratio: 0.75,
+            per_message_overhead_us: 40.0,
+        }
+    }
+
+    #[test]
+    fn net_report_round_trips() {
+        let report = sample_net_report();
+        let text = report.to_json().to_string();
+        assert_eq!(NetBenchReport::parse(&text).unwrap(), report);
+    }
+
+    #[test]
+    fn net_report_rejects_nonzero_restarts_and_allocs() {
+        let mut report = sample_net_report();
+        report.restarts = 1;
+        let err = NetBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("fault-free"), "{err}");
+        report.restarts = 0;
+        report.codec_steady_allocs = 3;
+        let err = NetBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("allocate"), "{err}");
+    }
+
+    #[test]
+    fn net_report_enforces_codec_floor_unconditionally() {
+        let mut report = sample_net_report();
+        report.codec_roundtrip_tuples_per_s = 120_000.0;
+        report.codec_vs_csv = 3.0;
+        // Even on a tiny host: the codec bench is single-threaded and
+        // CPU-bound, so the floor is measurable everywhere.
+        report.cores = 1;
+        let err = NetBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("5x acceptance floor"), "{err}");
+    }
+
+    #[test]
+    fn net_report_enforces_dist_floor_with_core_waiver() {
+        let mut report = sample_net_report();
+        report.dist_tuples_per_s = 24_000.0;
+        report.dist_ratio = 0.4;
+        let err = NetBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("0.5x acceptance floor"), "{err}");
+        // Two processes time-slicing one core measure the scheduler, not
+        // the transport: waived below 4 cores.
+        report.cores = 1;
+        assert!(NetBenchReport::parse(&report.to_json().to_string()).is_ok());
+    }
+
+    #[test]
+    fn net_report_catches_inconsistent_ratios() {
+        let mut report = sample_net_report();
+        report.codec_vs_csv = 7.0;
+        let err = NetBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("inconsistent"), "{err}");
+
+        let mut report = sample_net_report();
+        report.dist_ratio = 0.9;
+        let err = NetBenchReport::parse(&report.to_json().to_string()).unwrap_err();
         assert!(err.contains("inconsistent"), "{err}");
     }
 }

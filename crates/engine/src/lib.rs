@@ -23,6 +23,7 @@
 
 pub mod app;
 pub mod backfill;
+pub mod distributed;
 pub mod epoch;
 pub mod messages;
 pub mod pca_operator;
@@ -36,10 +37,13 @@ pub use backfill::{
     backfill, partition_csv_files, partition_csv_rows, BackfillConfig, BackfillOutcome,
     CorpusSlice, PartitionWorker,
 };
+pub use distributed::{
+    run_coordinator, run_local, run_worker, stub_source, CoordinatorReport, DistSpec,
+};
 pub use epoch::{EigenSnapshot, EpochReader, EpochStore, PinnedSnapshot};
 pub use messages::{
-    Heartbeat, PeerState, SyncCommand, KIND_HEARTBEAT, KIND_PEER_STATE, KIND_SNAPSHOT,
-    KIND_SYNC_COMMAND,
+    register_wire_codecs, Heartbeat, PeerState, SyncCommand, KIND_HEARTBEAT, KIND_PEER_STATE,
+    KIND_SNAPSHOT, KIND_SYNC_COMMAND,
 };
 pub use pca_operator::StreamingPcaOp;
 pub use persist::{read_snapshot, recovery_path, write_snapshot, SnapshotWriter};

@@ -64,15 +64,17 @@
 //! * `on_finish` runs before the operator's own end-of-stream propagates,
 //!   so terminal operators can emit final results.
 
-use crate::checkpoint::PeCheckpointer;
+use crate::checkpoint::{self, PeCheckpointer};
 use crate::fault::{FaultAction, FaultTarget, RestartPolicy};
 use crate::graph::{GraphBuilder, LinkKind, PortKind};
 use crate::metrics::{LinkCounters, LinkSnapshot, MetricsRegistry, OpCounters, OpSnapshot};
+use crate::netio::{AckMode, NetTransport};
 use crate::operator::{EmitSink, OpContext, Operator, SourceState};
 use crate::tuple::{DataTuple, Frame, FramePool, Punctuation, Tuple};
 use crossbeam::channel::{bounded, Receiver, Select, Sender};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -272,6 +274,28 @@ struct ChanMeta {
     cur: Vec<Tuple>,
     pool: Arc<FramePool>,
     inflight: Arc<AtomicUsize>,
+    /// Tuples routed off this channel so far. For socket-backed channels
+    /// this is the durable consumption watermark persisted as a
+    /// `__netlink{id}` pseudo-part in the PE manifest.
+    routed: u64,
+    /// Socket-link bookkeeping when this channel's upstream runs in another
+    /// process; `None` for ordinary in-process channels.
+    net: Option<NetIn>,
+}
+
+/// Receiver-side counters shared with the [`NetTransport`] for one
+/// socket-backed incoming channel.
+struct NetIn {
+    /// Global edge index — the wire link id and the `__netlink{id}` key.
+    link_id: u64,
+    /// Checkpoint-stable watermark: entries whose effects are durable on
+    /// disk. The transport acknowledges up to this point when the PE
+    /// checkpoints (AckMode::Stable); ignored in receipt-ack mode.
+    stable: Arc<AtomicU64>,
+    /// Entries the transport has pushed into the channel. Preset from the
+    /// manifest on rehydrate so the RESUME handshake asks the sender to
+    /// skip what this PE already consumed durably.
+    delivered: Arc<AtomicU64>,
 }
 
 impl ChanMeta {
@@ -365,6 +389,11 @@ struct PeRuntime {
     /// True once `on_start` hooks have run; a restarted PE must not re-run
     /// them (operators resume via `Checkpoint::restore`, not a fresh start).
     started: bool,
+    /// Snapshot set recovered at startup (distributed rehydrate): operator
+    /// state restored right after the `on_start` hooks of the first
+    /// scheduler entry, so a respawned worker resumes where its manifest
+    /// left off instead of reprocessing from scratch.
+    rehydrate: Option<checkpoint::SnapshotSet>,
 }
 
 /// Traffic report for one cross-PE link.
@@ -457,6 +486,30 @@ impl RunReport {
     }
 }
 
+/// One process's share of a distributed run (see [`Engine::start_in_partition`]).
+///
+/// Every participating process builds the *identical* graph and names the
+/// operators it owns; edges whose endpoints land in different processes are
+/// carried by `net` as codec frames over TCP (keyed by the edge's global
+/// index), edges between two foreign operators are skipped entirely, and
+/// everything else is wired exactly as in a single-process run. Operator
+/// fusion must respect the partition: two operators fused into one PE must
+/// live in the same process.
+pub struct NetPartition {
+    /// Names of the operators this process runs. PE threads are spawned
+    /// only for PEs whose members are all listed here.
+    pub local_ops: HashSet<String>,
+    /// The socket transport carrying boundary edges. Must be bound but not
+    /// yet started; the engine registers its links and starts it.
+    pub net: Arc<NetTransport>,
+    /// Data-plane address of the peer process for each *outgoing* boundary
+    /// edge, keyed by the edge's global index in graph insertion order.
+    pub peers: HashMap<u64, SocketAddr>,
+    /// Recover local PEs from their checkpoint manifests before running —
+    /// the respawned-worker path. Requires a checkpoint dir on the builder.
+    pub rehydrate: bool,
+}
+
 /// A running dataflow; obtain one via [`Engine::start`].
 pub struct RunningEngine {
     handles: Vec<std::thread::JoinHandle<()>>,
@@ -465,6 +518,9 @@ pub struct RunningEngine {
     op_names: Vec<String>,
     link_endpoints: Vec<(String, String)>,
     started: Instant,
+    /// Socket transport for distributed runs; shut down after the local PEs
+    /// drain (senders first flush + await acks for every queued frame).
+    net: Option<Arc<NetTransport>>,
 }
 
 impl RunningEngine {
@@ -506,6 +562,13 @@ impl RunningEngine {
         for h in self.handles {
             h.join().expect("PE thread panicked");
         }
+        // Transport shutdown comes after the PEs drain: senders hold their
+        // retransmit queues until the peer acknowledges every frame, so a
+        // worker's results are on the coordinator's side of the wire before
+        // this returns.
+        if let Some(net) = &self.net {
+            net.shutdown();
+        }
         let links = self
             .link_endpoints
             .into_iter()
@@ -530,7 +593,23 @@ pub struct Engine;
 impl Engine {
     /// Builds and launches the dataflow; returns a handle for live metrics
     /// and stopping.
-    pub fn start(mut builder: GraphBuilder) -> RunningEngine {
+    pub fn start(builder: GraphBuilder) -> RunningEngine {
+        Engine::start_inner(builder, None)
+    }
+
+    /// Launches this process's share of a distributed dataflow.
+    ///
+    /// Every participating process builds the *identical* graph (same
+    /// operators, same insertion order — edge indices are the wire link
+    /// ids) and declares which operators it owns via the partition. PE
+    /// threads are spawned only for local operators; edges crossing the
+    /// process boundary travel as codec frames over the partition's
+    /// [`NetTransport`] with exactly-once redelivery on reconnect.
+    pub fn start_in_partition(builder: GraphBuilder, partition: NetPartition) -> RunningEngine {
+        Engine::start_inner(builder, Some(partition))
+    }
+
+    fn start_inner(mut builder: GraphBuilder, partition: Option<NetPartition>) -> RunningEngine {
         builder.apply_placements();
         let (op_pe, pes) = builder.resolve_pes();
         let n_ops = builder.ops.len();
@@ -553,6 +632,31 @@ impl Engine {
 
         // Build slots per PE.
         let op_names: Vec<String> = builder.ops.iter().map(|o| o.name.clone()).collect();
+
+        // Which operators run in this process. Without a partition: all.
+        let is_local: Vec<bool> = match &partition {
+            Some(p) => op_names.iter().map(|n| p.local_ops.contains(n)).collect(),
+            None => vec![true; n_ops],
+        };
+        if let Some(p) = &partition {
+            for name in &p.local_ops {
+                assert!(
+                    op_names.iter().any(|n| n == name),
+                    "partition names unknown operator '{name}'"
+                );
+            }
+            // Fusion exchanges tuples by pointer inside one address space; a
+            // PE must therefore live wholly in one process.
+            for ops in &pes {
+                assert!(
+                    ops.iter().all(|&g| is_local[g]) || ops.iter().all(|&g| !is_local[g]),
+                    "partition splits a fused PE across processes: {:?}",
+                    ops.iter()
+                        .map(|&g| op_names[g].as_str())
+                        .collect::<Vec<_>>()
+                );
+            }
+        }
 
         // Resolve the fault plan against the graph now, so a typo in a
         // fault spec fails the run loudly instead of injecting nothing.
@@ -578,9 +682,9 @@ impl Engine {
                          link faults model the network and need a cross-PE edge"
                     );
                 }
-                // Storage faults name persistence domains, not graph
+                // Storage and wire faults name fault domains, not graph
                 // elements — nothing to resolve.
-                FaultTarget::Storage(_) => {}
+                FaultTarget::Storage(_) | FaultTarget::Wire => {}
             }
         }
 
@@ -630,56 +734,148 @@ impl Engine {
         // keeps roughly the same backpressure depth at any batch size.
         let batch = builder.batch_size.max(1);
         let frame_cap = (builder.channel_capacity.div_ceil(batch)).max(1);
+        let checkpoint_dir = builder.checkpoint_dir.take();
         let mut link_endpoints: Vec<(String, String)> = Vec::new();
         let mut rxs_per_pe: Vec<Vec<Receiver<Frame>>> =
             (0..pes.len()).map(|_| Vec::new()).collect();
         let mut metas_per_pe: Vec<Vec<ChanMeta>> = (0..pes.len()).map(|_| Vec::new()).collect();
-        for e in &builder.edges {
+        for (eid, e) in builder.edges.iter().enumerate() {
             let from_pe = op_pe[e.from];
             let to_pe = op_pe[e.to];
-            let slot = &mut slots_per_pe[from_pe][local_idx[e.from]];
-            if from_pe == to_pe {
-                slot.out_ports[e.out_port].push(Target::Local {
-                    op: local_idx[e.to],
-                    port: e.port,
-                });
-            } else {
-                let (tx, rx) = bounded(frame_cap);
-                let link = metrics.register_link();
-                link_endpoints.push((op_names[e.from].clone(), op_names[e.to].clone()));
-                let delay = match e.kind {
-                    LinkKind::Network { model_delay_us } if model_delay_us > 0 => {
-                        Some(Duration::from_micros(model_delay_us))
-                    }
-                    _ => None,
-                };
-                let pool = Arc::new(FramePool::new(POOL_DEPTH));
-                let inflight = Arc::new(AtomicUsize::new(0));
-                slot.out_ports[e.out_port].push(Target::Remote(RemoteEdge {
-                    tx,
-                    counters: link,
-                    delay,
-                    batch,
-                    buf: pool.take(batch),
-                    pool: Arc::clone(&pool),
-                    inflight: Arc::clone(&inflight),
-                    faults: InjectedFault::arm(
-                        plan.link_faults(&op_names[e.from], &op_names[e.to]),
-                    ),
-                    fault_data_seen: 0,
-                }));
-                rxs_per_pe[to_pe].push(rx);
-                metas_per_pe[to_pe].push(ChanMeta {
-                    to_local: local_idx[e.to],
-                    port: e.port,
-                    got_eos: false,
-                    alive: true,
-                    cur: Vec::new(),
-                    pool,
-                    inflight,
-                });
+            match (is_local[e.from], is_local[e.to]) {
+                (true, true) if from_pe == to_pe => {
+                    slots_per_pe[from_pe][local_idx[e.from]].out_ports[e.out_port].push(
+                        Target::Local {
+                            op: local_idx[e.to],
+                            port: e.port,
+                        },
+                    );
+                }
+                (true, true) => {
+                    let (tx, rx) = bounded(frame_cap);
+                    let link = metrics.register_link();
+                    link_endpoints.push((op_names[e.from].clone(), op_names[e.to].clone()));
+                    let delay = match e.kind {
+                        LinkKind::Network { model_delay_us } if model_delay_us > 0 => {
+                            Some(Duration::from_micros(model_delay_us))
+                        }
+                        _ => None,
+                    };
+                    let pool = Arc::new(FramePool::new(POOL_DEPTH));
+                    let inflight = Arc::new(AtomicUsize::new(0));
+                    slots_per_pe[from_pe][local_idx[e.from]].out_ports[e.out_port].push(
+                        Target::Remote(RemoteEdge {
+                            tx,
+                            counters: link,
+                            delay,
+                            batch,
+                            buf: pool.take(batch),
+                            pool: Arc::clone(&pool),
+                            inflight: Arc::clone(&inflight),
+                            faults: InjectedFault::arm(
+                                plan.link_faults(&op_names[e.from], &op_names[e.to]),
+                            ),
+                            fault_data_seen: 0,
+                        }),
+                    );
+                    rxs_per_pe[to_pe].push(rx);
+                    metas_per_pe[to_pe].push(ChanMeta {
+                        to_local: local_idx[e.to],
+                        port: e.port,
+                        got_eos: false,
+                        alive: true,
+                        cur: Vec::new(),
+                        pool,
+                        inflight,
+                        routed: 0,
+                        net: None,
+                    });
+                }
+                (true, false) => {
+                    // Outgoing boundary edge: batched exactly like an
+                    // in-process remote edge, but the channel drains into
+                    // the socket transport, which encodes each frame once
+                    // and retransmits it until the peer acknowledges. The
+                    // modeled delay never applies — this is the real wire.
+                    let p = partition.as_ref().expect("boundary edge implies partition");
+                    let peer = *p.peers.get(&(eid as u64)).unwrap_or_else(|| {
+                        panic!(
+                            "no peer address for boundary edge {eid} ({} -> {})",
+                            op_names[e.from], op_names[e.to]
+                        )
+                    });
+                    let (tx, rx) = bounded(frame_cap);
+                    let link = metrics.register_link();
+                    link_endpoints.push((op_names[e.from].clone(), op_names[e.to].clone()));
+                    let pool = Arc::new(FramePool::new(POOL_DEPTH));
+                    let inflight = Arc::new(AtomicUsize::new(0));
+                    slots_per_pe[from_pe][local_idx[e.from]].out_ports[e.out_port].push(
+                        Target::Remote(RemoteEdge {
+                            tx,
+                            counters: link,
+                            delay: None,
+                            batch,
+                            buf: pool.take(batch),
+                            pool: Arc::clone(&pool),
+                            inflight: Arc::clone(&inflight),
+                            faults: InjectedFault::arm(
+                                plan.link_faults(&op_names[e.from], &op_names[e.to]),
+                            ),
+                            fault_data_seen: 0,
+                        }),
+                    );
+                    p.net.add_outgoing(eid as u64, rx, pool, inflight, peer);
+                }
+                (false, true) => {
+                    // Incoming boundary edge: the transport decodes frames
+                    // into the channel; the consuming PE sees an ordinary
+                    // frame channel. With a checkpoint dir the sender must
+                    // hold every frame until its effects are durable here
+                    // (acks advance at checkpoints); otherwise receipt is
+                    // final.
+                    let p = partition.as_ref().expect("boundary edge implies partition");
+                    let (tx, rx) = bounded(frame_cap);
+                    let link = metrics.register_link();
+                    drop(link); // receive side has no sender to count on
+                    link_endpoints.push((op_names[e.from].clone(), op_names[e.to].clone()));
+                    let pool = Arc::new(FramePool::new(POOL_DEPTH));
+                    let inflight = Arc::new(AtomicUsize::new(0));
+                    let stable = Arc::new(AtomicU64::new(0));
+                    let ack = if checkpoint_dir.is_some() {
+                        AckMode::Stable(Arc::clone(&stable))
+                    } else {
+                        AckMode::Receipt
+                    };
+                    let delivered = p.net.add_incoming(
+                        eid as u64,
+                        tx,
+                        Arc::clone(&pool),
+                        Arc::clone(&inflight),
+                        ack,
+                    );
+                    rxs_per_pe[to_pe].push(rx);
+                    metas_per_pe[to_pe].push(ChanMeta {
+                        to_local: local_idx[e.to],
+                        port: e.port,
+                        got_eos: false,
+                        alive: true,
+                        cur: Vec::new(),
+                        pool,
+                        inflight,
+                        routed: 0,
+                        net: Some(NetIn {
+                            link_id: eid as u64,
+                            stable,
+                            delivered,
+                        }),
+                    });
+                }
+                (false, false) => {} // both ends foreign: the owner wires it
             }
-            // In-degrees on the destination slot.
+            // In-degrees on the destination slot. Tracked for every edge —
+            // a local consumer must count boundary edges (EOS arrives over
+            // the wire as ordinary punctuation), and bumping a foreign slot
+            // is harmless since its PE never runs here.
             let dst = &mut slots_per_pe[to_pe][local_idx[e.to]];
             match e.port {
                 PortKind::Data => dst.data_in_degree += 1,
@@ -688,18 +884,28 @@ impl Engine {
         }
 
         let stop = Arc::new(AtomicBool::new(false));
-        let checkpoint_dir = builder.checkpoint_dir.take();
         let mut handles = Vec::with_capacity(pes.len());
-        for (pe_index, ((slots, rxs), metas)) in slots_per_pe
+        for (pe_index, ((slots, rxs), mut metas)) in slots_per_pe
             .into_iter()
             .zip(rxs_per_pe)
             .zip(metas_per_pe)
             .enumerate()
         {
+            // Foreign PEs run in another process; their slots (and the
+            // operator boxes inside) are simply dropped here.
+            if !pes[pe_index].iter().all(|&g| is_local[g]) {
+                continue;
+            }
             let checkpoint = checkpoint_dir.as_ref().map(|dir| {
                 PeCheckpointer::new_with_vfs(dir, pe_index, Arc::clone(&vfs))
                     .expect("create checkpoint directory")
             });
+            let mut rehydrate = None;
+            if partition.as_ref().is_some_and(|p| p.rehydrate) {
+                if let Some(ckpt) = checkpoint.as_ref() {
+                    rehydrate = recover_for_rehydrate(ckpt, pe_index, &mut metas);
+                }
+            }
             let pe = PeRuntime {
                 slots,
                 rxs,
@@ -713,6 +919,7 @@ impl Engine {
                 last_ckpt_total: 0,
                 ckpt_failures: 0,
                 started: false,
+                rehydrate,
             };
             handles.push(
                 std::thread::Builder::new()
@@ -722,6 +929,16 @@ impl Engine {
             );
         }
 
+        // Links and watermarks are all registered; open the wire. Wire
+        // faults from the plan shim this process's outgoing sockets.
+        let net = partition.map(|p| p.net);
+        if let Some(net) = &net {
+            if let Some(spec) = plan.wire_spec() {
+                net.set_faults(spec);
+            }
+            net.start();
+        }
+
         RunningEngine {
             handles,
             stop,
@@ -729,6 +946,7 @@ impl Engine {
             op_names,
             link_endpoints,
             started: Instant::now(),
+            net,
         }
     }
 
@@ -881,7 +1099,11 @@ fn run_pe(mut pe: PeRuntime) {
 /// is returned, never panicked — the previous manifest generations stay
 /// readable, so callers degrade (skip + counter + backoff) instead of
 /// killing the PE over a full disk.
-fn write_pe_checkpoint(slots: &mut [OpSlot], ckpt: &mut PeCheckpointer) -> std::io::Result<()> {
+fn write_pe_checkpoint(
+    slots: &mut [OpSlot],
+    metas: &[ChanMeta],
+    ckpt: &mut PeCheckpointer,
+) -> std::io::Result<()> {
     let mut parts = Vec::new();
     for slot in slots.iter_mut() {
         if slot.finished {
@@ -891,10 +1113,86 @@ fn write_pe_checkpoint(slots: &mut [OpSlot], ckpt: &mut PeCheckpointer) -> std::
             parts.push((slot.name.clone(), cp.snapshot()));
         }
     }
+    // Socket-link watermarks ride along as `__netlink{id}` pseudo-parts:
+    // they are what lets a respawned process resume the wire exactly where
+    // its durable state left off, so they are persisted even when no
+    // operator in the PE is checkpointable right now.
+    let mut stabilize = Vec::new();
+    for m in metas {
+        if let Some(net) = &m.net {
+            parts.push((
+                format!("__netlink{}", net.link_id),
+                checkpoint::encode_kv(&[("routed", m.routed.to_string())]),
+            ));
+            stabilize.push((Arc::clone(&net.stable), m.routed));
+        }
+    }
     if parts.is_empty() {
         return Ok(());
     }
-    ckpt.write(&parts)
+    ckpt.write(&parts)?;
+    // Only a *successful* write moves the stable watermark — the sender
+    // must keep retransmitting anything the manifest does not yet cover.
+    for (stable, routed) in stabilize {
+        stable.fetch_max(routed, Ordering::SeqCst);
+    }
+    Ok(())
+}
+
+/// Startup-time recovery for a respawned distributed worker: reads the
+/// PE's manifest, presets the socket-link watermarks (`__netlink{id}`
+/// parts) so the RESUME handshake asks each sender to skip what this PE
+/// already consumed durably, and returns the operator parts for restore
+/// after the `on_start` hooks run.
+fn recover_for_rehydrate(
+    ckpt: &PeCheckpointer,
+    pe_index: usize,
+    metas: &mut [ChanMeta],
+) -> Option<checkpoint::SnapshotSet> {
+    let recovery = ckpt.recover();
+    if recovery.quarantined > 0 || recovery.fell_back {
+        eprintln!(
+            "[engine] PE {pe_index} rehydrate degraded: {} file(s) quarantined, {}",
+            recovery.quarantined,
+            if recovery.set.is_some() {
+                "fell back to an older generation"
+            } else {
+                "starting fresh"
+            }
+        );
+    }
+    let parts = recovery.set?;
+    let mut op_parts = Vec::new();
+    for (name, blob) in parts {
+        let Some(id) = name.strip_prefix("__netlink") else {
+            op_parts.push((name, blob));
+            continue;
+        };
+        let Ok(link_id) = id.parse::<u64>() else {
+            continue;
+        };
+        let routed =
+            match checkpoint::decode_kv(&blob).and_then(|map| checkpoint::kv_u64(&map, "routed")) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!(
+                        "[engine] PE {pe_index} netlink watermark {link_id} unreadable ({e}); \
+                     the sender will replay that link from zero"
+                    );
+                    continue;
+                }
+            };
+        if let Some(m) = metas
+            .iter_mut()
+            .find(|m| m.net.as_ref().is_some_and(|n| n.link_id == link_id))
+        {
+            m.routed = routed;
+            let net = m.net.as_ref().expect("just matched on net");
+            net.stable.store(routed, Ordering::SeqCst);
+            net.delivered.store(routed, Ordering::SeqCst);
+        }
+    }
+    Some(op_parts)
 }
 
 /// The PE-level supervisor's recovery path. Returns false when the restart
@@ -906,6 +1204,7 @@ fn restart_pe(pe: &mut PeRuntime, clean: bool) -> bool {
     let policy = pe.policy;
     let PeRuntime {
         slots,
+        metas,
         stop,
         pending,
         pe_index,
@@ -952,7 +1251,7 @@ fn restart_pe(pe: &mut PeRuntime, clean: bool) -> bool {
         // the last *periodic* manifest (loss bounded by the checkpoint
         // cadence).
         if clean {
-            if let Err(e) = write_pe_checkpoint(slots, ckpt) {
+            if let Err(e) = write_pe_checkpoint(slots, metas, ckpt) {
                 eprintln!(
                     "[supervisor] PE {pe_index} teardown checkpoint failed ({e}); \
                      recovering from the last durable generation"
@@ -1059,6 +1358,7 @@ fn run_pe_once(pe: &mut PeRuntime) {
         ckpt_failures,
         started,
         pe_index,
+        rehydrate,
         ..
     } = pe;
     let slots = &mut slots[..];
@@ -1067,13 +1367,22 @@ fn run_pe_once(pe: &mut PeRuntime) {
     let stop = &**stop;
 
     // Periodic checkpoint cadence: the tightest cadence any member
-    // operator asks for. None when nothing in this PE is checkpointable.
+    // operator asks for. A PE fed over the wire checkpoints at the default
+    // cadence even when no member is checkpointable — its manifests carry
+    // the netlink watermarks that let stable acks release the sender's
+    // retransmit queue.
+    let has_net = metas.iter().any(|m| m.net.is_some());
     let cadence: Option<u64> = slots
         .iter_mut()
         .filter(|s| !s.finished)
         .filter_map(|s| s.op.as_mut().and_then(|op| op.checkpoint()))
         .map(|cp| cp.checkpoint_every().max(1))
-        .min();
+        .min()
+        .or(if has_net && checkpoint.is_some() {
+            Some(crate::checkpoint::DEFAULT_CHECKPOINT_EVERY)
+        } else {
+            None
+        });
 
     if !*started {
         *started = true;
@@ -1085,6 +1394,28 @@ fn run_pe_once(pe: &mut PeRuntime) {
             with_op!(slots, pending, stop, i, |op, ctx| op.on_start(ctx));
         }
         drain_pending(slots, pending, stop);
+
+        // Distributed rehydrate: a respawned worker restores its operators
+        // from the recovered manifest *after* their start hooks, mirroring
+        // the restart_pe recovery order. Wire watermarks were preset before
+        // the transport started accepting, so upstream replay begins
+        // exactly where this state leaves off.
+        if let Some(parts) = rehydrate.take() {
+            for (name, blob) in &parts {
+                let Some(i) = slots.iter().position(|s| &s.name == name && !s.finished) else {
+                    continue; // operator finished since that checkpoint
+                };
+                if let Some(cp) = slots[i].op.as_mut().and_then(|op| op.checkpoint()) {
+                    if let Err(e) = cp.restore(blob) {
+                        eprintln!(
+                            "[engine] operator '{name}' failed to rehydrate from the PE \
+                             manifest ({e}); keeping its fresh state"
+                        );
+                    }
+                }
+            }
+            drain_pending(slots, pending, stop);
+        }
 
         // Operators with no inputs that aren't sources are trivially
         // finished.
@@ -1202,14 +1533,25 @@ fn run_pe_once(pe: &mut PeRuntime) {
         //    effective window doubles per consecutive failure (capped at
         //    64×) so a full disk is retried at a gentle rate.
         if let (Some(every), Some(ckpt)) = (cadence, checkpoint.as_mut()) {
+            // Count routed entries on net-fed channels on top of data
+            // tuples: a PE consuming only control traffic (e.g. a
+            // snapshot sink) must still advance its link watermarks, or
+            // the senders' stable acks — and their replay-queue pruning —
+            // stall until the terminal flush. Data tuples arriving over a
+            // link land in both sums, which merely tightens the cadence.
             let total: u64 = slots
                 .iter()
                 .map(|s| s.counters.tuples_in.load(Ordering::Relaxed))
-                .sum();
+                .sum::<u64>()
+                + metas
+                    .iter()
+                    .filter(|m| m.net.is_some())
+                    .map(|m| m.routed)
+                    .sum::<u64>();
             let effective = every << (*ckpt_failures).min(6);
             if total.saturating_sub(*last_ckpt_total) >= effective {
                 *last_ckpt_total = total;
-                match write_pe_checkpoint(slots, ckpt) {
+                match write_pe_checkpoint(slots, metas, ckpt) {
                     Ok(()) => *ckpt_failures = 0,
                     Err(e) => {
                         *ckpt_failures += 1;
@@ -1247,6 +1589,18 @@ fn run_pe_once(pe: &mut PeRuntime) {
             // yield briefly instead of spinning.
             flush_all(slots);
             std::thread::yield_now();
+        }
+    }
+
+    // Terminal watermark flush: a PE fed over the wire persists its final
+    // netlink watermarks so the stable acks cover everything it consumed —
+    // without this, the peer's sender would hold its whole retransmit
+    // queue at shutdown and exit with an unacked-tail warning.
+    if has_net {
+        if let Some(ckpt) = checkpoint.as_mut() {
+            if let Err(e) = write_pe_checkpoint(slots, metas, ckpt) {
+                eprintln!("[supervisor] PE {pe_index} terminal checkpoint failed ({e})");
+            }
         }
     }
 }
@@ -1321,6 +1675,7 @@ fn route_one(
     ci: usize,
     t: Tuple,
 ) {
+    metas[ci].routed += 1;
     if t.is_eos() {
         metas[ci].got_eos = true;
         metas[ci].alive = false;

@@ -25,6 +25,8 @@
 //! io-fsync-err          every fsync (file and directory) fails
 //! io-corrupt@store:N    the N-th state-store disk write lands bit-rotted
 //! io-crash@op:K         the K-th disk operation and every later one fails
+//! net-drop-conn@link:N      the N-th frame write on each wire link drops the conn
+//! net-partial-write@link:N  the N-th frame write lands half its bytes, then drops
 //! ```
 //!
 //! `kill-pe` targets an *operator* (PE indices depend on fusion resolution
@@ -45,7 +47,15 @@
 //! disk-operation counter) and their indices count disk writes/operations,
 //! not tuples. They compile into an [`crate::vfs::IoFaultSpec`] via
 //! [`FaultPlan::io_spec`] and are injected by [`crate::vfs::FaultVfs`].
+//!
+//! The `net-*` kinds target the *wire* the same way: the domain word
+//! `link` covers every socket-backed cross-process link, and indices
+//! count frame writes per link (monotone across reconnects, so a fault
+//! fires exactly once). They compile into a
+//! [`crate::netio::WireFaultSpec`] via [`FaultPlan::wire_spec`] and are
+//! injected by the sender-side socket shim in [`crate::netio`].
 
+use crate::netio::WireFaultSpec;
 use crate::vfs::IoFaultSpec;
 use std::time::Duration;
 
@@ -91,6 +101,11 @@ pub enum FaultAction {
     IoCorrupt(u64),
     /// The `K`-th disk operation and every later one fails (crash).
     IoCrash(u64),
+    /// The `N`-th frame write on a wire link drops the connection.
+    NetDropConn(u64),
+    /// The `N`-th frame write on a wire link lands half its bytes, then
+    /// drops the connection.
+    NetPartialWrite(u64),
 }
 
 impl FaultAction {
@@ -135,6 +150,10 @@ pub enum FaultTarget {
     /// The storage layer (`io-*` faults). Not resolved against the graph:
     /// storage faults apply to whatever persistence the run performs.
     Storage(StorageDomain),
+    /// The socket transport (`net-*` faults). Not resolved against the
+    /// graph: wire faults apply to every socket-backed cross-process link
+    /// the run establishes.
+    Wire,
 }
 
 /// One injected fault: an action bound to a target.
@@ -191,8 +210,8 @@ impl FaultPlan {
                     *from = f(from);
                     *to = f(to);
                 }
-                // Storage domains are not operator names.
-                FaultTarget::Storage(_) => {}
+                // Storage domains and the wire are not operator names.
+                FaultTarget::Storage(_) | FaultTarget::Wire => {}
             }
         }
         self
@@ -240,6 +259,25 @@ impl FaultPlan {
                     })
                 }
                 _ => unreachable!("storage targets only carry io actions"),
+            }
+        }
+        any.then_some(spec)
+    }
+
+    /// Compiles the plan's wire faults into a socket-shim fault schedule,
+    /// or `None` when the plan contains no `net-*` entries.
+    pub fn wire_spec(&self) -> Option<WireFaultSpec> {
+        let mut spec = WireFaultSpec::default();
+        let mut any = false;
+        for fault in &self.faults {
+            if fault.target != FaultTarget::Wire {
+                continue;
+            }
+            any = true;
+            match fault.action {
+                FaultAction::NetDropConn(n) => spec.drop_conn.push(n),
+                FaultAction::NetPartialWrite(n) => spec.partial_write.push(n),
+                _ => unreachable!("wire targets only carry net actions"),
             }
         }
         any.then_some(spec)
@@ -352,9 +390,18 @@ fn parse_entry(entry: &str) -> Result<Fault, String> {
             FaultTarget::Storage(StorageDomain::AnyOp),
             FaultAction::IoCrash(parse_n(k, "operation index")?),
         ),
+        ("net-drop-conn", ["link", n]) => (
+            FaultTarget::Wire,
+            FaultAction::NetDropConn(parse_n(n, "frame-write index")?),
+        ),
+        ("net-partial-write", ["link", n]) => (
+            FaultTarget::Wire,
+            FaultAction::NetPartialWrite(parse_n(n, "frame-write index")?),
+        ),
         ("io-enospc" | "io-torn", _) => return Err(bad("expected KIND@pe:N")),
         ("io-corrupt", _) => return Err(bad("expected io-corrupt@store:N")),
         ("io-crash", _) => return Err(bad("expected io-crash@op:K")),
+        ("net-drop-conn" | "net-partial-write", _) => return Err(bad("expected KIND@link:N")),
         ("io-fsync-err", _) => return Err(bad("io-fsync-err takes no target or argument")),
         ("panic" | "kill-pe" | "poison-nan" | "poison-inf" | "drop" | "dup", _) => {
             return Err(bad("expected KIND@TARGET:N"))
@@ -363,8 +410,8 @@ fn parse_entry(entry: &str) -> Result<Fault, String> {
         (other, _) => {
             return Err(bad(&format!(
                 "unknown fault kind '{other}' (expected panic, kill-pe, poison-nan, poison-inf, \
-                 stall, drop, dup, delay, io-enospc, io-torn, io-fsync-err, io-corrupt, or \
-                 io-crash)"
+                 stall, drop, dup, delay, io-enospc, io-torn, io-fsync-err, io-corrupt, \
+                 io-crash, net-drop-conn, or net-partial-write)"
             )))
         }
     };
@@ -464,6 +511,35 @@ mod tests {
         assert!(spec.fsync_err);
         assert_eq!(spec.corrupt_store, vec![2]);
         assert_eq!(spec.crash_at_op, Some(11));
+    }
+
+    #[test]
+    fn parses_wire_faults_into_a_spec() {
+        let plan = FaultPlan::parse("net-drop-conn@link:3, net-partial-write@link:7").unwrap();
+        assert_eq!(plan.faults.len(), 2);
+        assert_eq!(plan.faults[0].target, FaultTarget::Wire);
+        assert_eq!(plan.faults[0].action, FaultAction::NetDropConn(3));
+        assert!(!FaultAction::NetDropConn(1).is_op_action());
+        let spec = plan.wire_spec().unwrap();
+        assert_eq!(spec.drop_conn, vec![3]);
+        assert_eq!(spec.partial_write, vec![7]);
+        assert!(plan.io_spec().is_none());
+        // Wire targets survive renames untouched.
+        let renamed = plan.rename_targets(|n| format!("x-{n}"));
+        assert_eq!(renamed.faults[0].target, FaultTarget::Wire);
+    }
+
+    #[test]
+    fn wire_faults_reject_malformed_entries() {
+        for bad in [
+            "net-drop-conn@pe:1",     // wrong domain word
+            "net-drop-conn@link:0",   // indices are 1-based
+            "net-partial-write@link", // missing index
+            "net-drop-conn@a>b:1",    // wire faults take the link domain, not a named edge
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} must be rejected");
+        }
+        assert!(FaultPlan::parse("panic@a:1").unwrap().wire_spec().is_none());
     }
 
     #[test]

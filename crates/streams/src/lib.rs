@@ -45,10 +45,12 @@
 
 pub mod backfill;
 pub mod checkpoint;
+pub mod codec;
 pub mod engine;
 pub mod fault;
 pub mod graph;
 pub mod metrics;
+pub mod netio;
 pub mod operator;
 pub mod ops;
 pub mod optimize;
@@ -59,9 +61,11 @@ pub use backfill::{
     content_hash, run_partitions, BackfillStats, Partition, PartitionSource, StateStore,
 };
 pub use checkpoint::{Checkpoint, DEFAULT_CHECKPOINT_EVERY};
-pub use engine::{Engine, LinkReport, RunReport};
+pub use codec::{decode_frame, encode_frame, register_control_codec, CodecError, ColumnarFrame};
+pub use engine::{Engine, LinkReport, NetPartition, RunReport};
 pub use fault::{Fault, FaultAction, FaultPlan, FaultTarget, RestartPolicy, StorageDomain};
 pub use graph::{GraphBuilder, LinkKind, OpId, PortKind, DEFAULT_BATCH_SIZE};
+pub use netio::{AckMode, NetTransport, WireFaultSpec, WIRE_VERSION};
 pub use operator::{OpContext, Operator, SourceState};
 pub use tuple::{ControlTuple, DataTuple, Frame, FramePool, Punctuation, Tuple};
 pub use vfs::{FaultVfs, IoFaultSpec, RealVfs, Vfs};

@@ -1,0 +1,109 @@
+//! Proves the frame codec's hot path is allocation-free in steady state:
+//! once the caller-owned encode buffer and `ColumnarFrame` have grown to
+//! the working-set size, a stretch of encode → decode round trips performs
+//! zero heap allocations on the codec thread.
+//!
+//! Materialization into `Tuple`s is deliberately outside the measured
+//! stretch — it hands out `Arc`-owned vectors and is documented as the
+//! allocating step; cross-PE routing consumes the columnar form directly.
+//!
+//! Same thread-filtered counting-allocator pattern as
+//! `crates/engine/tests/serving_alloc.rs`; this file must contain exactly
+//! one `#[test]` because the tracked flag is file-global state.
+
+use spca_streams::{decode_frame, encode_frame, ColumnarFrame, DataTuple, Tuple};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct ThreadFilteredAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    // const-initialized TLS: reading it never allocates, so it is safe
+    // to consult from inside the global allocator.
+    static TRACKED: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_if_tracked() {
+    // try_with: TLS may be unavailable during thread teardown.
+    if TRACKED.try_with(Cell::get).unwrap_or(false) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for ThreadFilteredAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_if_tracked();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_if_tracked();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_if_tracked();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: ThreadFilteredAlloc = ThreadFilteredAlloc;
+
+const DIM: usize = 1000;
+const BATCH: usize = 64;
+
+#[test]
+fn steady_state_encode_decode_does_not_allocate() {
+    // Build the input batch up front (allocates freely: Arcs, vectors).
+    // Every 7th tuple carries a gap mask so the presence-bitmap path is
+    // exercised inside the measured stretch.
+    let tuples: Vec<Tuple> = (0..BATCH)
+        .map(|i| {
+            let values: Vec<f64> = (0..DIM).map(|j| ((i * DIM + j) as f64).sin()).collect();
+            let d = if i % 7 == 0 {
+                let mask: Vec<bool> = (0..DIM).map(|j| (i + j) % 5 != 0).collect();
+                DataTuple::masked(i as u64, values, mask)
+            } else {
+                DataTuple::new(i as u64, values)
+            };
+            Tuple::Data(d)
+        })
+        .collect();
+
+    let mut buf = Vec::new();
+    let mut cols = ColumnarFrame::default();
+
+    TRACKED.with(|t| t.set(true));
+
+    // Warm-up: grow `buf` and the frame's column vectors to working size.
+    for _ in 0..8 {
+        encode_frame(&tuples, &mut buf).unwrap();
+        let consumed = decode_frame(&buf, &mut cols).unwrap();
+        assert_eq!(consumed, buf.len());
+    }
+
+    // Measured stretch: every round trip must reuse the grown buffers.
+    ALLOCS.store(0, Ordering::SeqCst);
+    for _ in 0..200 {
+        encode_frame(&tuples, &mut buf).unwrap();
+        let consumed = decode_frame(&buf, &mut cols).unwrap();
+        assert_eq!(consumed, buf.len());
+        assert_eq!(cols.n_entries(), BATCH);
+    }
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    TRACKED.with(|t| t.set(false));
+
+    assert_eq!(
+        allocs, 0,
+        "codec allocated {allocs} times during steady-state encode/decode \
+         of {BATCH}-tuple frames at d={DIM}"
+    );
+}

@@ -18,8 +18,8 @@
 use astro_stream_pca::cluster::{ClusterSim, ClusterSpec, CostModel, Placement, SimConfig};
 use astro_stream_pca::core::PcaConfig;
 use astro_stream_pca::engine::{
-    persist, AppConfig, EigenQueryHandler, EpochStore, FaultCounters, ParallelPcaApp, ServeShared,
-    SyncStrategy,
+    persist, AppConfig, DistSpec, EigenQueryHandler, EpochStore, FaultCounters, ParallelPcaApp,
+    ServeShared, SyncStrategy,
 };
 use astro_stream_pca::spectra::contaminants::{self, ContaminantKind};
 use astro_stream_pca::spectra::io;
@@ -41,6 +41,21 @@ use std::time::Duration;
 fn allowed_flags(cmd: &str) -> &'static [&'static str] {
     match cmd {
         "generate" => &["out", "n", "pixels", "zmax", "contamination", "seed"],
+        "coordinator" => &[
+            "input",
+            "listen",
+            "data",
+            "workers",
+            "engines",
+            "components",
+            "memory",
+            "batch",
+            "capacity",
+            "snapshot-every",
+            "snapshots",
+            "snapshot-dir",
+        ],
+        "worker" => &["coordinator", "index", "data"],
         "run" => &[
             "input",
             "listen",
@@ -109,6 +124,8 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&opts),
         "run" => cmd_run(&opts),
         "serve" => cmd_serve(&opts),
+        "coordinator" => cmd_coordinator(&opts),
+        "worker" => cmd_worker(&opts),
         "backfill" => cmd_backfill(&opts),
         "inspect" => cmd_inspect(&opts),
         "simulate" => cmd_simulate(&opts),
@@ -148,6 +165,14 @@ USAGE:
                 [--engines 4] [--components 4] [--memory 5000] [--dim D]
                 [--sync ring|broadcast|none] [--batch 64] [--threads 4]
                 [--rate-limit QPS] [--serve-for SECS] [--publish-every 64]
+  spca coordinator --input extract.csv --snapshots DIR --workers 2
+                --listen IP:PORT [--data IP:PORT] [--engines N]
+                [--components 4] [--memory 5000] [--batch 64]
+                [--capacity 1048576] [--snapshot-every 0]
+                [--snapshot-dir DIR]
+                (--workers 0 runs the same graph in-process — the
+                 bit-identity baseline; --listen/--data are then unused)
+  spca worker   --coordinator IP:PORT --index N --data IP:PORT
   spca backfill --input extract.csv|DIR [--partitions 8] [--workers 0]
                 [--state-dir spca-state] [--components 4] [--memory 5000]
                 [--out merged.snapshot]
@@ -306,6 +331,113 @@ fn ingest_source_and_dim(opts: &Opts) -> Result<(Box<dyn Operator>, usize), Stri
         })?,
     };
     Ok((source, dim))
+}
+
+/// Assembles the distributed run spec shared by `coordinator` (both the
+/// socket mode and the `--workers 0` in-process baseline).
+fn parse_dist_spec(opts: &Opts, input: &std::path::Path) -> Result<DistSpec, String> {
+    let workers: usize = opts.num("workers", 2)?;
+    let engines: usize = opts.num("engines", workers.max(1))?;
+    if engines == 0 {
+        return Err("--engines must be at least 1".to_string());
+    }
+    let components: usize = opts.num("components", 4)?;
+    let memory: usize = opts.num("memory", 5000)?;
+    let batch: usize = opts.num("batch", astro_stream_pca::streams::DEFAULT_BATCH_SIZE)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".to_string());
+    }
+    // Bit-identity between runs needs the split to never shed to a
+    // different engine, so default the channel capacity far above any
+    // realistic corpus (see the distributed module docs).
+    let capacity: usize = opts.num("capacity", 1 << 20)?;
+    if capacity == 0 {
+        return Err("--capacity must be at least 1".to_string());
+    }
+    let snapshot_every: u64 = opts.num("snapshot-every", 0)?;
+    let snapshots = PathBuf::from(
+        opts.get("snapshots")
+            .ok_or("--snapshots is required (where engine eigensystems are persisted)")?,
+    );
+    let recovery = opts.get("snapshot-dir").map(PathBuf::from);
+    let first = io::read_csv(input).map_err(|e| e.to_string())?;
+    let dim = first.first().ok_or("input file is empty")?.0.len();
+    if components + 2 >= dim {
+        return Err(format!(
+            "--components {components} too large for dimension {dim}"
+        ));
+    }
+    Ok(DistSpec {
+        n_engines: engines,
+        n_workers: workers.max(1),
+        dim,
+        components,
+        memory,
+        batch,
+        capacity,
+        snapshot_every,
+        snapshots,
+        recovery,
+        coord_data: std::net::SocketAddr::from(([127, 0, 0, 1], 0)),
+        worker_data: Vec::new(),
+    })
+}
+
+fn cmd_coordinator(opts: &Opts) -> Result<(), String> {
+    let input = PathBuf::from(opts.get("input").ok_or("--input is required")?);
+    if !input.exists() {
+        return Err(format!("input file '{}' does not exist", input.display()));
+    }
+    let workers: usize = opts.num("workers", 2)?;
+    let spec = parse_dist_spec(opts, &input)?;
+    if workers == 0 {
+        // In-process baseline: identical graph and parameters, no sockets.
+        let report =
+            astro_stream_pca::engine::run_local(&spec, Box::new(CsvFileSource::new(&input)));
+        let processed = report.op("split").map_or(0, |o| o.tuples_in);
+        println!(
+            "local baseline complete: {processed} observations across {} engines; snapshots in {}",
+            spec.n_engines,
+            spec.snapshots.display()
+        );
+        return Ok(());
+    }
+    let listen = parse_serve_addr("listen", opts.get("listen").ok_or("--listen is required")?)?;
+    let data = parse_serve_addr("data", opts.get("data").unwrap_or("127.0.0.1:0"))?;
+    let out = astro_stream_pca::engine::run_coordinator(listen, data, input, spec.clone())
+        .map_err(|e| format!("coordinator failed: {e}"))?;
+    let processed = out.report.op("split").map_or(0, |o| o.tuples_in);
+    println!(
+        "distributed run complete: {processed} observations across {} engines on {} workers \
+         ({} respawned); snapshots in {}",
+        spec.n_engines,
+        spec.n_workers,
+        out.respawns,
+        spec.snapshots.display()
+    );
+    Ok(())
+}
+
+fn cmd_worker(opts: &Opts) -> Result<(), String> {
+    let coordinator = parse_serve_addr(
+        "coordinator",
+        opts.get("coordinator").ok_or("--coordinator is required")?,
+    )?;
+    let index: usize = opts
+        .get("index")
+        .ok_or("--index is required")?
+        .parse()
+        .map_err(|_| {
+            format!(
+                "--index: cannot parse '{}'",
+                opts.get("index").unwrap_or("")
+            )
+        })?;
+    let data = parse_serve_addr("data", opts.get("data").ok_or("--data is required")?)?;
+    let _report = astro_stream_pca::engine::run_worker(coordinator, index, data)
+        .map_err(|e| format!("worker {index} failed: {e}"))?;
+    println!("worker {index} finished");
+    Ok(())
 }
 
 fn parse_sync(opts: &Opts) -> Result<SyncStrategy, String> {

@@ -413,3 +413,143 @@ fn valid_generate_round_trips() {
     assert!(out_csv.exists());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn distributed_subcommands_reject_unknown_and_duplicate_flags() {
+    for (cmd, bogus) in [("worker", "--cordinator"), ("coordinator", "--workerz")] {
+        let out = spca(&[cmd, bogus, "x"]);
+        assert!(!out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(bogus), "{cmd}: got: {stderr}");
+        assert!(stderr.contains(cmd), "{cmd}: got: {stderr}");
+    }
+    let out = spca(&[
+        "worker",
+        "--index",
+        "0",
+        "--index",
+        "1",
+        "--coordinator",
+        "127.0.0.1:1",
+        "--data",
+        "127.0.0.1:1",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("more than once"), "got: {stderr}");
+
+    let out = spca(&["coordinator", "--workers"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing a value"));
+}
+
+#[test]
+fn worker_rejects_malformed_addresses() {
+    for bad in ["localhost:99", "10.0.0.1", "1.2.3.4:notaport", "[::1]"] {
+        let out = spca(&[
+            "worker",
+            "--coordinator",
+            bad,
+            "--index",
+            "0",
+            "--data",
+            "127.0.0.1:1",
+        ]);
+        assert!(!out.status.success(), "addr '{bad}' must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("as IP:PORT") && stderr.contains(bad),
+            "addr '{bad}': got: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn worker_accepts_bracketed_ipv6_addresses() {
+    // A well-formed [addr]:port must get past address validation; the
+    // invocation then dies on the unparsable --index, proving the
+    // address itself was accepted without dialing anything.
+    let out = spca(&[
+        "worker",
+        "--coordinator",
+        "[::1]:7400",
+        "--index",
+        "x",
+        "--data",
+        "[::1]:7401",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--index") && !stderr.contains("as IP:PORT"),
+        "got: {stderr}"
+    );
+}
+
+#[test]
+fn worker_requires_its_mandatory_flags() {
+    for (args, missing) in [
+        (
+            vec!["worker", "--index", "0", "--data", "127.0.0.1:1"],
+            "--coordinator",
+        ),
+        (
+            vec![
+                "worker",
+                "--coordinator",
+                "127.0.0.1:1",
+                "--data",
+                "127.0.0.1:1",
+            ],
+            "--index",
+        ),
+        (
+            vec!["worker", "--coordinator", "127.0.0.1:1", "--index", "0"],
+            "--data",
+        ),
+    ] {
+        let out = spca(&args);
+        assert!(!out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(missing),
+            "expected '{missing}' in: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn coordinator_validates_listen_address_before_any_networking() {
+    let dir = std::env::temp_dir().join(format!("spca-coord-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("tiny.csv");
+    let gen = spca(&[
+        "generate",
+        "--out",
+        csv.to_str().unwrap(),
+        "--n",
+        "8",
+        "--pixels",
+        "16",
+    ]);
+    assert!(gen.status.success());
+
+    let out = spca(&[
+        "coordinator",
+        "--input",
+        csv.to_str().unwrap(),
+        "--snapshots",
+        dir.join("snaps").to_str().unwrap(),
+        "--workers",
+        "2",
+        "--listen",
+        "not-an-address",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--listen") && stderr.contains("as IP:PORT"),
+        "got: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
