@@ -6,13 +6,14 @@
 //! Artifacts self-identify via a `"schema"` discriminator field:
 //! `"kernels-v1"` selects the kernel-dispatch schema, `"backfill-v1"` the
 //! partitioned-backfill schema, `"serving-v1"` the always-on-serving
-//! schema, `"net-v1"` the wire-transport schema; its absence selects the
-//! original engine-transport schema (recorded before discriminators
-//! existed).
+//! schema, `"net-v1"` the wire-transport schema, `"elastic-v1"` the
+//! elastic-rescale schema; its absence selects the original
+//! engine-transport schema (recorded before discriminators existed).
 
 use spca_bench::json::{
-    BackfillBenchReport, EngineBenchReport, Json, KernelBenchReport, NetBenchReport,
-    ServingBenchReport, BACKFILL_SCHEMA, KERNELS_SCHEMA, NET_SCHEMA, SERVING_SCHEMA,
+    BackfillBenchReport, ElasticBenchReport, EngineBenchReport, Json, KernelBenchReport,
+    NetBenchReport, ServingBenchReport, BACKFILL_SCHEMA, ELASTIC_SCHEMA, KERNELS_SCHEMA,
+    NET_SCHEMA, SERVING_SCHEMA,
 };
 use std::process::ExitCode;
 
@@ -54,6 +55,20 @@ fn check(path: &str) -> Result<(), String> {
                 report.codec_vs_csv,
                 report.dist_ratio,
                 report.per_message_overhead_us,
+                report.cores
+            );
+        }
+        Some(ELASTIC_SCHEMA) => {
+            let report =
+                ElasticBenchReport::from_json(&value).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{path}: ok (elastic-v1, {} out / {} in, consistency {:.4}, out {:.1}ms / in \
+                 {:.1}ms, {} cores)",
+                report.scale_outs,
+                report.scale_ins,
+                report.consistency,
+                report.scale_out_latency_ms,
+                report.scale_in_latency_ms,
                 report.cores
             );
         }

@@ -1353,6 +1353,206 @@ impl NetBenchReport {
     }
 }
 
+/// The recorded elastic-rescale benchmark (`BENCH_elastic.json`). The
+/// gates encode the autoscaling acceptance bar: a run that scales out
+/// and back in mid-stream must lose zero tuples, must stay fault-free
+/// (no restarts, no PE restarts — rescales are not failures), and the
+/// final merged eigensystem must agree with a fixed-fleet reference over
+/// the same observations within the documented subspace tolerance.
+/// Rescale latency (bootstrap + admission for scale-out, drain + merge
+/// for scale-in) is gated below a generous ceiling — waived when the
+/// recording host has fewer than 4 cores, where every thread time-slices
+/// and the latency measures the scheduler, not the migration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticBenchReport {
+    /// What was measured and how.
+    pub benchmark: String,
+    /// Machine / build caveats for reproducing the numbers.
+    pub machine_note: String,
+    /// Cores available on the recording host (`available_parallelism`);
+    /// governs the rescale-latency waiver.
+    pub cores: usize,
+    /// Observation dimensionality.
+    pub dim: usize,
+    /// Total tuples streamed through the elastic run.
+    pub tuples: u64,
+    /// The acceptance target the artifact was recorded against.
+    pub target: String,
+    /// Operator restarts during the recording (must be 0 — a rescale is
+    /// not a failure and must not be absorbed by the restart machinery).
+    pub restarts: u64,
+    /// Whole-PE restarts during the recording (must be 0).
+    pub pe_restarts: u64,
+    /// Engines admitted across the run (from the run report; ≥ 1).
+    pub scale_outs: u64,
+    /// Engines retired across the run (from the run report; ≥ 1).
+    pub scale_ins: u64,
+    /// `source tuples_out − Σ pca tuples_in` (must be 0).
+    pub tuple_loss: u64,
+    /// Wall-clock of the scale-out migration: checkpoint-format
+    /// bootstrap + membership flip, milliseconds.
+    pub scale_out_latency_ms: f64,
+    /// Wall-clock of the scale-in migration: membership flip + drain +
+    /// final merge, milliseconds.
+    pub scale_in_latency_ms: f64,
+    /// Subspace distance between the elastic run's merged eigensystem
+    /// and the fixed-fleet reference over the same observations.
+    pub consistency: f64,
+    /// Provisioned engine ceiling of the elastic run.
+    pub max_engines: usize,
+    /// Active fleet size when the stream ended.
+    pub final_engines: usize,
+}
+
+/// Value of the schema discriminator for [`ElasticBenchReport`].
+pub const ELASTIC_SCHEMA: &str = "elastic-v1";
+
+/// Documented consistency bound: the elastic run and its fixed-fleet
+/// reference must agree to this subspace distance (mirrors
+/// `crates/engine/tests/elastic.rs`).
+pub const ELASTIC_CONSISTENCY_TOL: f64 = 0.25;
+
+/// A single rescale (bootstrap or drain + merge, excluding stream time)
+/// must complete within this many milliseconds on a multi-core host.
+pub const ELASTIC_LATENCY_CEILING_MS: f64 = 1_000.0;
+const ELASTIC_MIN_CORES: usize = 4;
+
+impl ElasticBenchReport {
+    /// Serializes to the committed artifact layout.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(ELASTIC_SCHEMA.into())),
+            ("benchmark".into(), Json::Str(self.benchmark.clone())),
+            ("machine_note".into(), Json::Str(self.machine_note.clone())),
+            ("cores".into(), Json::Num(self.cores as f64)),
+            ("dim".into(), Json::Num(self.dim as f64)),
+            ("tuples".into(), Json::Num(self.tuples as f64)),
+            ("target".into(), Json::Str(self.target.clone())),
+            ("restarts".into(), Json::Num(self.restarts as f64)),
+            ("pe_restarts".into(), Json::Num(self.pe_restarts as f64)),
+            ("scale_outs".into(), Json::Num(self.scale_outs as f64)),
+            ("scale_ins".into(), Json::Num(self.scale_ins as f64)),
+            ("tuple_loss".into(), Json::Num(self.tuple_loss as f64)),
+            (
+                "scale_out_latency_ms".into(),
+                Json::Num(self.scale_out_latency_ms),
+            ),
+            (
+                "scale_in_latency_ms".into(),
+                Json::Num(self.scale_in_latency_ms),
+            ),
+            ("consistency".into(), Json::Num(self.consistency)),
+            ("max_engines".into(), Json::Num(self.max_engines as f64)),
+            ("final_engines".into(), Json::Num(self.final_engines as f64)),
+        ])
+    }
+
+    /// Parses and schema-checks an artifact. CI-gate strictness: a
+    /// recorded elastic run must contain at least one scale-out and one
+    /// scale-in, zero tuple loss, zero restarts of either kind, a
+    /// consistency distance within [`ELASTIC_CONSISTENCY_TOL`], a final
+    /// fleet within `1..=max_engines`, and rescale latencies under
+    /// [`ELASTIC_LATENCY_CEILING_MS`] unless the recording host had
+    /// fewer than 4 cores.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        match field(v, "schema")?.as_str() {
+            Some(ELASTIC_SCHEMA) => {}
+            other => return Err(format!("unexpected schema {other:?}")),
+        }
+        let report = ElasticBenchReport {
+            benchmark: str_field(v, "benchmark")?,
+            machine_note: str_field(v, "machine_note")?,
+            cores: num_field(v, "cores")? as usize,
+            dim: num_field(v, "dim")? as usize,
+            tuples: num_field(v, "tuples")? as u64,
+            target: str_field(v, "target")?,
+            restarts: num_field(v, "restarts")? as u64,
+            pe_restarts: num_field(v, "pe_restarts")? as u64,
+            scale_outs: num_field(v, "scale_outs")? as u64,
+            scale_ins: num_field(v, "scale_ins")? as u64,
+            tuple_loss: num_field(v, "tuple_loss")? as u64,
+            scale_out_latency_ms: num_field(v, "scale_out_latency_ms")?,
+            scale_in_latency_ms: num_field(v, "scale_in_latency_ms")?,
+            consistency: num_field(v, "consistency")?,
+            max_engines: num_field(v, "max_engines")? as usize,
+            final_engines: num_field(v, "final_engines")? as usize,
+        };
+        if report.cores == 0 {
+            return Err("'cores' must be positive".to_string());
+        }
+        if report.dim == 0 || report.tuples == 0 {
+            return Err("'dim' and 'tuples' must be positive".to_string());
+        }
+        if report.restarts > 0 || report.pe_restarts > 0 {
+            return Err(format!(
+                "restarts {} / pe_restarts {} — a rescale is not a failure; elastic artifacts \
+                 must be recorded fault-free",
+                report.restarts, report.pe_restarts
+            ));
+        }
+        if report.scale_outs == 0 || report.scale_ins == 0 {
+            return Err(format!(
+                "scale_outs {} / scale_ins {} — the recorded run must contain at least one \
+                 rescale in each direction",
+                report.scale_outs, report.scale_ins
+            ));
+        }
+        if report.tuple_loss > 0 {
+            return Err(format!(
+                "tuple_loss {} — rescales must conserve every tuple",
+                report.tuple_loss
+            ));
+        }
+        for (name, x) in [
+            ("scale_out_latency_ms", report.scale_out_latency_ms),
+            ("scale_in_latency_ms", report.scale_in_latency_ms),
+        ] {
+            if !x.is_finite() || x <= 0.0 {
+                return Err(format!("'{name}' must be positive and finite"));
+            }
+        }
+        if !report.consistency.is_finite() || report.consistency < 0.0 {
+            return Err("'consistency' must be a finite non-negative distance".to_string());
+        }
+        if report.consistency > ELASTIC_CONSISTENCY_TOL {
+            return Err(format!(
+                "consistency {:.4} above the {ELASTIC_CONSISTENCY_TOL} subspace tolerance — the \
+                 elastic run diverged from its fixed-fleet reference",
+                report.consistency
+            ));
+        }
+        if report.max_engines == 0
+            || report.final_engines == 0
+            || report.final_engines > report.max_engines
+        {
+            return Err(format!(
+                "final_engines {} outside 1..=max_engines ({})",
+                report.final_engines, report.max_engines
+            ));
+        }
+        if report.cores >= ELASTIC_MIN_CORES {
+            for (name, x) in [
+                ("scale_out_latency_ms", report.scale_out_latency_ms),
+                ("scale_in_latency_ms", report.scale_in_latency_ms),
+            ] {
+                if x > ELASTIC_LATENCY_CEILING_MS {
+                    return Err(format!(
+                        "{name} {x:.1} above the {ELASTIC_LATENCY_CEILING_MS} ms ceiling on a \
+                         {}-core host",
+                        report.cores
+                    ));
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Round-trips a report through text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1792,5 +1992,94 @@ mod tests {
         report.dist_ratio = 0.9;
         let err = NetBenchReport::parse(&report.to_json().to_string()).unwrap_err();
         assert!(err.contains("inconsistent"), "{err}");
+    }
+
+    fn sample_elastic_report() -> ElasticBenchReport {
+        ElasticBenchReport {
+            benchmark: "elastic rescale".into(),
+            machine_note: "test".into(),
+            cores: 8,
+            dim: 32,
+            tuples: 200_000,
+            target: "zero loss, consistency <= 0.25".into(),
+            restarts: 0,
+            pe_restarts: 0,
+            scale_outs: 1,
+            scale_ins: 1,
+            tuple_loss: 0,
+            scale_out_latency_ms: 12.5,
+            scale_in_latency_ms: 40.0,
+            consistency: 0.03,
+            max_engines: 3,
+            final_engines: 1,
+        }
+    }
+
+    #[test]
+    fn elastic_report_round_trips() {
+        let report = sample_elastic_report();
+        let back = ElasticBenchReport::parse(&report.to_json().to_string()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn elastic_report_rejects_faulted_or_lossy_recordings() {
+        let mut report = sample_elastic_report();
+        report.restarts = 1;
+        let err = ElasticBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("fault-free"), "{err}");
+
+        let mut report = sample_elastic_report();
+        report.pe_restarts = 2;
+        let err = ElasticBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("fault-free"), "{err}");
+
+        let mut report = sample_elastic_report();
+        report.tuple_loss = 3;
+        let err = ElasticBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("conserve"), "{err}");
+    }
+
+    #[test]
+    fn elastic_report_requires_a_rescale_in_each_direction() {
+        let mut report = sample_elastic_report();
+        report.scale_ins = 0;
+        let err = ElasticBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("each direction"), "{err}");
+
+        let mut report = sample_elastic_report();
+        report.scale_outs = 0;
+        assert!(ElasticBenchReport::parse(&report.to_json().to_string()).is_err());
+    }
+
+    #[test]
+    fn elastic_report_enforces_consistency_unconditionally() {
+        let mut report = sample_elastic_report();
+        report.consistency = 0.5;
+        let err = ElasticBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("subspace tolerance"), "{err}");
+        // No core waiver for correctness: a 1-core host must still agree
+        // with the fixed-fleet reference.
+        report.cores = 1;
+        assert!(ElasticBenchReport::parse(&report.to_json().to_string()).is_err());
+    }
+
+    #[test]
+    fn elastic_report_latency_ceiling_waived_below_four_cores() {
+        let mut report = sample_elastic_report();
+        report.scale_in_latency_ms = 5_000.0;
+        let err = ElasticBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("ceiling"), "{err}");
+        // On a time-sliced host the latency measures the scheduler.
+        report.cores = 1;
+        assert!(ElasticBenchReport::parse(&report.to_json().to_string()).is_ok());
+    }
+
+    #[test]
+    fn elastic_report_bounds_the_final_fleet() {
+        let mut report = sample_elastic_report();
+        report.final_engines = 4; // above max_engines = 3
+        let err = ElasticBenchReport::parse(&report.to_json().to_string()).unwrap_err();
+        assert!(err.contains("max_engines"), "{err}");
     }
 }

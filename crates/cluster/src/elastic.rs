@@ -34,9 +34,18 @@ pub struct ElasticPolicy {
     pub min_engines: usize,
     /// Upper bound (cloud quota).
     pub max_engines: usize,
+    /// Epochs to hold after *any* scaling action before considering the
+    /// next one. Without this hysteresis, offered load sitting at a
+    /// capacity boundary (or a noisy capacity measurement straddling it)
+    /// flips `+step_up`/`-step_down` on consecutive epochs forever.
+    pub cooldown_epochs: usize,
 }
 
 impl Default for ElasticPolicy {
+    /// Defaults shared by the DES simulation and the live autoscaler
+    /// (`spca-engine`'s `ElasticSupervisor` builds its policy from this
+    /// same `Default`, so the two loops stay calibrated against each
+    /// other).
     fn default() -> Self {
         ElasticPolicy {
             scale_up_below: 0.95,
@@ -45,7 +54,48 @@ impl Default for ElasticPolicy {
             step_down: 1,
             min_engines: 1,
             max_engines: 40,
+            cooldown_epochs: 1,
         }
+    }
+}
+
+impl ElasticPolicy {
+    /// The scaling decision for one monitoring epoch: `+n` to add engines,
+    /// `-n` to remove, `0` to hold. Pure and shared: `simulate_elastic`
+    /// drives it with DES capacities, the live autoscaler with measured
+    /// throughput — same thresholds, same hysteresis, by construction.
+    ///
+    /// `capacity` estimates sustainable throughput at a pool size (only
+    /// consulted for the current and candidate-smaller pools);
+    /// `epochs_since_action` is how many epochs ago the last nonzero
+    /// action happened (pass `cooldown_epochs` or more when none has).
+    pub fn decide(
+        &self,
+        offered: f64,
+        engines: usize,
+        mut capacity: impl FnMut(usize) -> f64,
+        epochs_since_action: usize,
+    ) -> i64 {
+        if epochs_since_action < self.cooldown_epochs {
+            return 0;
+        }
+        let achieved = capacity(engines).min(offered);
+        let satisfaction = if offered > 0.0 {
+            achieved / offered
+        } else {
+            1.0
+        };
+        if satisfaction < self.scale_up_below && engines < self.max_engines {
+            let next = (engines + self.step_up).min(self.max_engines);
+            return (next - engines) as i64;
+        }
+        if engines > self.min_engines {
+            let smaller = engines.saturating_sub(self.step_down).max(self.min_engines);
+            if capacity(smaller) >= offered * self.scale_up_below * self.scale_down_margin {
+                return -((engines - smaller) as i64);
+            }
+        }
+        0
     }
 }
 
@@ -91,6 +141,10 @@ pub fn simulate_elastic(
         })
     };
 
+    // Free to act on the first epoch; afterwards the cooldown counts up
+    // from every nonzero action.
+    let mut since_action = policy.cooldown_epochs;
+
     for &offered in offered_load {
         let cap = capacity(engines);
         let achieved = cap.min(offered);
@@ -101,21 +155,13 @@ pub fn simulate_elastic(
         };
 
         // Decide the action for the next epoch.
-        let mut action = 0i64;
-        if satisfaction < policy.scale_up_below && engines < policy.max_engines {
-            let next = (engines + policy.step_up).min(policy.max_engines);
-            action = (next - engines) as i64;
-            engines = next;
-        } else if engines > policy.min_engines {
-            let smaller = engines
-                .saturating_sub(policy.step_down)
-                .max(policy.min_engines);
-            let smaller_cap = capacity(smaller);
-            if smaller_cap >= offered * policy.scale_up_below * policy.scale_down_margin {
-                action = -((engines - smaller) as i64);
-                engines = smaller;
-            }
-        }
+        let action = policy.decide(offered, engines, &mut capacity, since_action);
+        engines = (engines as i64 + action) as usize;
+        since_action = if action != 0 {
+            0
+        } else {
+            since_action.saturating_add(1)
+        };
 
         reports.push(EpochReport {
             offered,
@@ -202,6 +248,86 @@ mod tests {
             "oscillating pool: {tail:?}"
         );
         assert!(reports.last().unwrap().satisfaction > 0.9);
+    }
+
+    /// Drives [`ElasticPolicy::decide`] through an epoch loop against a
+    /// per-epoch capacity estimate, mirroring `simulate_elastic`'s
+    /// bookkeeping without the DES. Returns the action sequence.
+    fn drive_policy(policy: &ElasticPolicy, caps: &[f64], offered: f64) -> Vec<i64> {
+        let mut engines = policy.min_engines.max(1);
+        let mut since_action = policy.cooldown_epochs;
+        caps.iter()
+            .map(|&per_engine| {
+                let action =
+                    policy.decide(offered, engines, |n| per_engine * n as f64, since_action);
+                engines = (engines as i64 + action) as usize;
+                since_action = if action != 0 {
+                    0
+                } else {
+                    since_action.saturating_add(1)
+                };
+                action
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cooldown_prevents_consecutive_epoch_flapping() {
+        // A noisy capacity estimate straddling the boundary: low epochs
+        // make the pool look starved (scale up), high epochs make the
+        // shrunk pool look sufficient (scale down). Without a cooldown the
+        // policy acts on consecutive epochs, flipping forever.
+        let caps: Vec<f64> = (0..20)
+            .map(|e| if e % 2 == 0 { 900.0 } else { 1300.0 })
+            .collect();
+        let offered = 2000.0;
+
+        let no_cooldown = ElasticPolicy {
+            cooldown_epochs: 0,
+            ..Default::default()
+        };
+        let flappy = drive_policy(&no_cooldown, &caps, offered);
+        assert!(
+            flappy
+                .windows(2)
+                .any(|w| w[0] != 0 && w[1] != 0 && w[0].signum() != w[1].signum()),
+            "expected consecutive opposite actions without cooldown: {flappy:?}"
+        );
+
+        // The default policy (cooldown_epochs >= 1) never acts on two
+        // consecutive epochs, so +up/-down flips cannot alternate back to
+        // back — and it acts strictly less often overall.
+        let policy = ElasticPolicy::default();
+        assert!(policy.cooldown_epochs >= 1, "default cooldown must be >= 1");
+        let damped = drive_policy(&policy, &caps, offered);
+        assert!(
+            damped.windows(2).all(|w| w[0] == 0 || w[1] == 0),
+            "cooldown violated: {damped:?}"
+        );
+        let acts = |v: &[i64]| v.iter().filter(|&&a| a != 0).count();
+        assert!(
+            acts(&damped) < acts(&flappy),
+            "cooldown did not reduce churn: {} vs {}",
+            acts(&damped),
+            acts(&flappy)
+        );
+    }
+
+    #[test]
+    fn simulate_elastic_honors_the_cooldown() {
+        let (spec, cost, cfg) = setup();
+        // Load swinging across the pool's capacity boundary every epoch.
+        let load: Vec<f64> = (0..16)
+            .map(|e| if e % 2 == 0 { 6000.0 } else { 1200.0 })
+            .collect();
+        let reports = simulate_elastic(&spec, &cost, &cfg, &load, &ElasticPolicy::default());
+        assert!(
+            reports
+                .windows(2)
+                .all(|w| w[0].action == 0 || w[1].action == 0),
+            "consecutive-epoch actions despite cooldown: {:?}",
+            reports.iter().map(|r| r.action).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ use parking_lot::Mutex;
 use spca_core::{PcaConfig, RobustPca};
 use spca_streams::ops::{CallbackSink, CollectSink, Split, SplitStrategy, Throttle};
 use spca_streams::{
-    DataTuple, FaultPlan, GraphBuilder, LinkKind, Operator, PortKind, RestartPolicy,
+    ActiveSet, DataTuple, FaultPlan, GraphBuilder, LinkKind, Operator, PortKind, RestartPolicy,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -102,6 +102,14 @@ pub struct AppConfig {
     /// Snapshot publication cadence in processed tuples per engine
     /// (0 = only on initialization, merges, and finish).
     pub publish_every: u64,
+    /// Elastic autoscaling ceiling: when set, the builder provisions this
+    /// many engines up front but only the first `n_engines` start active —
+    /// the rest idle as standbys until an [`crate::autoscale`] supervisor
+    /// admits them through the shared [`ActiveSet`]. Elastic mode implies
+    /// failure-aware synchronization (full-mesh peer wiring, heartbeats,
+    /// liveness-driven port maps), because the membership-independent mesh
+    /// port map is what lets an admitted engine join without rewiring.
+    pub max_engines: Option<usize>,
 }
 
 impl AppConfig {
@@ -134,6 +142,7 @@ impl AppConfig {
             heartbeat_every: 64,
             epoch_store: None,
             publish_every: 64,
+            max_engines: None,
         }
     }
 }
@@ -160,8 +169,12 @@ pub struct AppHandles {
     pub outcomes: Option<Arc<Mutex<Vec<DataTuple>>>>,
     /// Quarantined (flagged) observations, when `quarantine` was set.
     pub quarantined: Option<Arc<Mutex<Vec<DataTuple>>>>,
-    /// Live handles to each engine's PCA state.
+    /// Live handles to each engine's PCA state (one per *provisioned*
+    /// engine in elastic mode, standbys included).
     pub engine_states: Vec<Arc<Mutex<RobustPca>>>,
+    /// Shared membership handle in elastic mode: the autoscaler flips it,
+    /// the split and sync controller obey it.
+    pub active: Option<Arc<ActiveSet>>,
 }
 
 /// Builder for the complete application graph.
@@ -183,9 +196,17 @@ impl ParallelPcaApp {
         sync_gate: Option<u64>,
     ) -> (GraphBuilder, AppHandles) {
         assert!(cfg.n_engines >= 1, "need at least one engine");
-        let n = cfg.n_engines;
+        // Elastic mode provisions the ceiling up front; membership (which
+        // prefix of the fleet is live) is the only thing that changes at
+        // runtime, so the topology stays static while the fleet does not.
+        let n = cfg
+            .max_engines
+            .map(|m| m.max(cfg.n_engines))
+            .unwrap_or(cfg.n_engines);
+        let elastic = cfg.max_engines.is_some() && n > 1;
+        let active = elastic.then(|| ActiveSet::new(cfg.n_engines, n));
         let failure_aware =
-            cfg.failure_aware_sync && n > 1 && !matches!(cfg.sync, SyncStrategy::None);
+            (cfg.failure_aware_sync || elastic) && n > 1 && !matches!(cfg.sync, SyncStrategy::None);
         let mut g = GraphBuilder::new()
             .with_channel_capacity(cfg.channel_capacity)
             .with_batch_size(cfg.batch_size)
@@ -208,7 +229,11 @@ impl ParallelPcaApp {
         };
 
         let src = g.add_source("source", source);
-        let split = g.add_op("split", Box::new(Split::new(cfg.split)));
+        let mut split_op = Split::new(cfg.split);
+        if let Some(ref a) = active {
+            split_op = split_op.with_active_set(Arc::clone(a));
+        }
+        let split = g.add_op("split", Box::new(split_op));
         g.connect(src, 0, split, PortKind::Data);
 
         // Engines with their peer topology.
@@ -282,12 +307,18 @@ impl ParallelPcaApp {
             } else {
                 cfg.sync_period
             };
-            let mut controller = SyncController::new(cfg.sync, n, period);
+            // In elastic mode the ring starts at the *active* prefix and
+            // reconciles against the membership handle on every drive.
+            let ring_size = if elastic { cfg.n_engines } else { n };
+            let mut controller = SyncController::new(cfg.sync, ring_size, period);
             if failure_aware {
                 // Startup grace: engines announce themselves with their
                 // first heartbeat; give slow starters a few timeouts.
                 controller =
                     controller.with_liveness(cfg.liveness_timeout, cfg.liveness_timeout * 4);
+            }
+            if let Some(ref a) = active {
+                controller = controller.with_membership(Arc::clone(a));
             }
             let ctrl = g.add_source("sync-controller", Box::new(controller));
             ctrl_id = Some(ctrl);
@@ -396,6 +427,7 @@ impl ParallelPcaApp {
                 outcomes,
                 quarantined,
                 engine_states,
+                active,
             },
         )
     }
@@ -545,6 +577,39 @@ mod tests {
         let merged = h.hub.merged_estimate().unwrap();
         let dist = subspace_distance(&merged.basis, truth.basis()).unwrap();
         assert!(dist < 0.3, "merged distance {dist}");
+    }
+
+    #[test]
+    fn elastic_topology_provisions_standbys_with_mesh_wiring() {
+        let mut cfg = AppConfig::new(1, pca_cfg());
+        cfg.max_engines = Some(3);
+        let (g, h) = ParallelPcaApp::build(&cfg, planted_source(10, 20));
+        // Provisioned fleet of 3 with failure-aware wiring: source→split 1,
+        // split→engines 3, full-mesh peer edges 3·2 = 6, source→controller
+        // 1, controller→engines 3, monitor edges 3, liveness edges 3.
+        assert_eq!(g.edge_list().len(), 1 + 3 + 6 + 1 + 3 + 3 + 3);
+        let active = h.active.expect("elastic mode exposes the active set");
+        assert_eq!(active.active(), 1, "only the initial prefix is live");
+        assert_eq!(active.max(), 3);
+        assert_eq!(h.engine_states.len(), 3, "standbys have state handles");
+    }
+
+    #[test]
+    fn elastic_run_without_supervisor_keeps_standbys_idle() {
+        let mut cfg = AppConfig::new(1, pca_cfg());
+        cfg.max_engines = Some(3);
+        cfg.sync_period = Duration::from_millis(5);
+        let (g, h) = ParallelPcaApp::build(&cfg, planted_source(1200, 21));
+        let report = Engine::run(g);
+        // Nobody flipped the active set: all traffic lands on engine 0 and
+        // the standbys never observe a tuple.
+        assert_eq!(report.tuples_in_matching("pca-"), 1200);
+        assert_eq!(h.engine_states[0].lock().n_obs(), 1200);
+        assert_eq!(h.engine_states[1].lock().n_obs(), 0);
+        assert_eq!(h.engine_states[2].lock().n_obs(), 0);
+        assert_eq!(h.hub.engines_reporting(), 1, "standbys report nothing");
+        assert_eq!(report.total_scale_outs(), 0);
+        assert_eq!(report.total_scale_ins(), 0);
     }
 
     #[test]

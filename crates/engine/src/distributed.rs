@@ -56,9 +56,57 @@ use crate::sync::SyncStrategy;
 const HEARTBEAT_PERIOD: Duration = Duration::from_millis(50);
 /// A worker whose control socket is silent this long is declared dead.
 const LIVENESS_WINDOW: Duration = Duration::from_secs(5);
-/// Most respawns any single worker slot gets before the coordinator
-/// gives up on it (a crash-loop backstop).
+/// Most *consecutive* respawns any single worker slot gets before the
+/// coordinator gives up on it (a crash-loop backstop). The budget is
+/// windowed, not lifetime: a respawned worker that re-registers and stays
+/// healthy past [`LIVENESS_WINDOW`] earns its slot a fresh budget — only
+/// an actual crash *loop* (deaths with no healthy run in between) burns
+/// through it.
 const MAX_RESPAWNS: usize = 5;
+
+/// One worker slot's respawn bookkeeping: the consecutive-death burst
+/// (gating the crash-loop backstop) and the lifetime total (reporting).
+///
+/// Previously the backstop counted lifetime deaths, so a long-lived fleet
+/// whose worker was killed sporadically — healthy for hours in between —
+/// was permanently abandoned on the sixth death. The burst counter resets
+/// via [`RespawnBudget::mark_healthy`] once the respawned worker has
+/// stayed up past the liveness window, restoring the intended semantics:
+/// the cap stops *loops*, not sporadic faults.
+#[derive(Debug, Clone)]
+struct RespawnBudget {
+    /// Deaths since the last healthy run.
+    burst: usize,
+    /// Lifetime deaths (monotonic; feeds `CoordinatorReport::respawns`).
+    total: usize,
+    /// Burst ceiling.
+    max_burst: usize,
+}
+
+impl RespawnBudget {
+    fn new(max_burst: usize) -> Self {
+        RespawnBudget {
+            burst: 0,
+            total: 0,
+            max_burst,
+        }
+    }
+
+    /// Records a death. Returns `(attempt, within_budget)`: the attempt
+    /// number within the current burst, and whether the slot still gets a
+    /// respawn.
+    fn record_death(&mut self) -> (usize, bool) {
+        self.burst += 1;
+        self.total += 1;
+        (self.burst, self.burst <= self.max_burst)
+    }
+
+    /// The respawned worker re-registered and stayed healthy past the
+    /// liveness window: forgive the burst.
+    fn mark_healthy(&mut self) {
+        self.burst = 0;
+    }
+}
 /// How long the coordinator waits for the initial `REGISTER` round and
 /// for the final `DONE` round.
 const RENDEZVOUS_DEADLINE: Duration = Duration::from_secs(60);
@@ -399,7 +447,7 @@ pub struct CoordinatorReport {
 struct CoordShared {
     stop: AtomicBool,
     done: Mutex<Vec<bool>>,
-    respawns: Mutex<Vec<usize>>,
+    respawns: Mutex<Vec<RespawnBudget>>,
     children: Mutex<Vec<Child>>,
 }
 
@@ -464,7 +512,7 @@ pub fn run_coordinator(
     let shared = Arc::new(CoordShared {
         stop: AtomicBool::new(false),
         done: Mutex::new(vec![false; spec.n_workers]),
-        respawns: Mutex::new(vec![0; spec.n_workers]),
+        respawns: Mutex::new(vec![RespawnBudget::new(MAX_RESPAWNS); spec.n_workers]),
         children: Mutex::new(Vec::new()),
     });
     let mut monitors = Vec::new();
@@ -562,7 +610,7 @@ pub fn run_coordinator(
             }
         }
     }
-    let respawns = shared.respawns.lock().iter().sum();
+    let respawns = shared.respawns.lock().iter().map(|b| b.total).sum();
     Ok(CoordinatorReport { report, respawns })
 }
 
@@ -609,7 +657,9 @@ fn spawn_monitor(
                 stream.set_read_timeout(Some(Duration::from_millis(200)))?;
                 let mut reader = BufReader::new(stream.try_clone()?);
                 let mut acc = String::new();
+                let connected = Instant::now();
                 let mut last_seen = Instant::now();
+                let mut forgiven = false;
                 loop {
                     if shared.stop.load(Ordering::Relaxed) {
                         return Ok(true);
@@ -621,6 +671,13 @@ fn spawn_monitor(
                                 continue; // Partial line; keep accumulating.
                             }
                             last_seen = Instant::now();
+                            // Healthy past the liveness window: this run is
+                            // no longer part of a crash loop, so the slot's
+                            // respawn budget resets.
+                            if !forgiven && connected.elapsed() > LIVENESS_WINDOW {
+                                shared.respawns.lock()[idx].mark_healthy();
+                                forgiven = true;
+                            }
                             let done = acc.trim().starts_with("DONE");
                             acc.clear();
                             if done {
@@ -649,13 +706,12 @@ fn spawn_monitor(
             // The worker died mid-run: respawn it against the same data
             // address so in-flight senders reconnect, with rehydration
             // picking up from its checkpoint manifest.
-            let count = {
-                let mut r = shared.respawns.lock();
-                r[idx] += 1;
-                r[idx]
-            };
-            if count > MAX_RESPAWNS {
-                eprintln!("[coordinator] worker {idx} exceeded {MAX_RESPAWNS} respawns; giving up");
+            let (attempt, within_budget) = shared.respawns.lock()[idx].record_death();
+            if !within_budget {
+                eprintln!(
+                    "[coordinator] worker {idx} died {attempt} times without a healthy run; \
+                     giving up"
+                );
                 return;
             }
             let exe = match std::env::current_exe() {
@@ -667,7 +723,7 @@ fn spawn_monitor(
                     return;
                 }
             };
-            eprintln!("[coordinator] respawning worker {idx} (attempt {count})");
+            eprintln!("[coordinator] respawning worker {idx} (attempt {attempt})");
             match Command::new(exe)
                 .args([
                     "worker",
@@ -709,6 +765,42 @@ mod tests {
                 "[::1]:4502".parse().unwrap(),
             ],
         }
+    }
+
+    #[test]
+    fn respawn_budget_resets_after_a_healthy_run() {
+        // Regression: the cap used to count lifetime deaths, so a worker
+        // killed sporadically over a long run was permanently abandoned on
+        // death MAX+1 even though every respawn came back healthy.
+        let mut b = RespawnBudget::new(2);
+        // Killed twice, with a healthy run re-registering in between each.
+        for round in 0..2 {
+            let (attempt, ok) = b.record_death();
+            assert_eq!(attempt, 1, "round {round}: burst restarts at 1");
+            assert!(ok, "round {round}: sporadic death stays within budget");
+            b.mark_healthy(); // respawn re-registered, survived the window
+        }
+        // A third sporadic death is still fine — and so is a tenth.
+        for _ in 0..8 {
+            let (_, ok) = b.record_death();
+            assert!(ok);
+            b.mark_healthy();
+        }
+        assert_eq!(b.total, 10, "lifetime total keeps counting for the report");
+    }
+
+    #[test]
+    fn respawn_budget_still_stops_a_crash_loop() {
+        let mut b = RespawnBudget::new(2);
+        b.record_death();
+        b.mark_healthy();
+        // Now a genuine loop: deaths with no healthy run in between.
+        assert!(b.record_death().1);
+        assert!(b.record_death().1);
+        let (attempt, ok) = b.record_death();
+        assert!(!ok, "third consecutive death exceeds a budget of 2");
+        assert_eq!(attempt, 3);
+        assert_eq!(b.total, 4);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //!   eigensystems, merged global estimates, outlier feed.
 
 pub mod app;
+pub mod autoscale;
 pub mod backfill;
 pub mod distributed;
 pub mod epoch;
@@ -33,6 +34,7 @@ pub mod serve;
 pub mod sync;
 
 pub use app::{normalize_fault_targets, AppConfig, AppHandles, ParallelPcaApp};
+pub use autoscale::{ElasticRuntime, ElasticSupervisor, ScaleError, ScaleEvent};
 pub use backfill::{
     backfill, partition_csv_files, partition_csv_rows, BackfillConfig, BackfillOutcome,
     CorpusSlice, PartitionWorker,

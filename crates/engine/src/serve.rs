@@ -55,6 +55,10 @@ pub struct FaultCounters {
     /// Periodic checkpoints skipped because the write failed (the PE
     /// keeps running and backs off its checkpoint window).
     pub checkpoint_skips: u64,
+    /// Engines admitted by the elastic autoscaler (scale-out events).
+    pub scale_outs: u64,
+    /// Engines retired by the elastic autoscaler (scale-in events).
+    pub scale_ins: u64,
 }
 
 impl FaultCounters {
@@ -69,6 +73,8 @@ impl FaultCounters {
             io_faults: report.total_io_faults(),
             quarantined_snapshots: report.total_quarantined_snapshots(),
             checkpoint_skips: report.total_checkpoint_skips(),
+            scale_outs: report.total_scale_outs(),
+            scale_ins: report.total_scale_ins(),
         }
     }
 
@@ -84,6 +90,8 @@ impl FaultCounters {
             c.io_faults += s.io_faults;
             c.quarantined_snapshots += s.quarantined_snapshots;
             c.checkpoint_skips += s.checkpoint_skips;
+            c.scale_outs += s.scale_outs;
+            c.scale_ins += s.scale_ins;
         }
         c
     }
@@ -227,6 +235,8 @@ impl EigenQueryHandler {
         let _ = writeln!(b, "spca_io_faults {}", c.io_faults);
         let _ = writeln!(b, "spca_quarantined_snapshots {}", c.quarantined_snapshots);
         let _ = writeln!(b, "spca_checkpoint_skips {}", c.checkpoint_skips);
+        let _ = writeln!(b, "spca_scale_outs {}", c.scale_outs);
+        let _ = writeln!(b, "spca_scale_ins {}", c.scale_ins);
         if let Some(stats) = self.shared.server_stats.get() {
             let _ = writeln!(
                 b,
@@ -508,6 +518,8 @@ mod tests {
             io_faults: 5,
             quarantined_snapshots: 2,
             checkpoint_skips: 9,
+            scale_outs: 4,
+            scale_ins: 3,
         });
         let server = start_server(&shared);
         let addr = server.local_addr();
@@ -526,6 +538,8 @@ mod tests {
         assert!(body.contains("spca_io_faults 5"), "{body}");
         assert!(body.contains("spca_quarantined_snapshots 2"), "{body}");
         assert!(body.contains("spca_checkpoint_skips 9"), "{body}");
+        assert!(body.contains("spca_scale_outs 4"), "{body}");
+        assert!(body.contains("spca_scale_ins 3"), "{body}");
         assert!(
             body.contains("spca_requests_total{endpoint=\"score\"} 1"),
             "{body}"

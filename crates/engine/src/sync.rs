@@ -16,7 +16,7 @@ use crate::messages::{
     Heartbeat, PeerState, SyncCommand, KIND_HEARTBEAT, KIND_SNAPSHOT, KIND_SYNC_COMMAND,
 };
 use spca_streams::checkpoint::{decode_kv, encode_kv, kv_parse, kv_u64, Checkpoint};
-use spca_streams::{ControlTuple, DataTuple, OpContext, Operator, SourceState};
+use spca_streams::{ActiveSet, ControlTuple, DataTuple, OpContext, Operator, SourceState};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -96,6 +96,10 @@ pub struct SyncController {
     cursor: usize,
     last: Option<Instant>,
     liveness: Option<Liveness>,
+    /// Elastic membership: when set, the controller reconciles its ring
+    /// against the shared active count on every drive — admitting engines
+    /// the autoscaler activated and retiring ones it shut down.
+    membership: Option<Arc<ActiveSet>>,
     /// Commands issued so far.
     pub issued: u64,
     /// Ticks where the rotating sender was skipped as dead, plus ticks
@@ -119,6 +123,7 @@ impl SyncController {
             cursor: 0,
             last: None,
             liveness: None,
+            membership: None,
             issued: 0,
             skipped_dead: 0,
             ignored_control: 0,
@@ -138,6 +143,61 @@ impl SyncController {
             heard: vec![None; self.n_engines],
         });
         self
+    }
+
+    /// Tracks the autoscaler's shared active-engine count: on every drive
+    /// the controller grows or shrinks its ring (and liveness table) to
+    /// match `active.active()`. Requires full-mesh peer wiring over the
+    /// *provisioned* fleet, exactly like liveness mode — the port map
+    /// (`j` for `j < sender`, else `j - 1`) is membership-independent
+    /// there, so admitted engines need no rewiring.
+    pub fn with_membership(mut self, active: Arc<ActiveSet>) -> Self {
+        self.membership = Some(active);
+        self
+    }
+
+    /// Grows the ring by one engine (the next provisioned index). The
+    /// liveness table grows with it, and the newcomer is stamped as
+    /// freshly heard so it gets one full timeout to start heartbeating
+    /// before being skipped as dead — the moral equivalent of the startup
+    /// grace, re-granted at admission.
+    pub fn admit_engine(&mut self) {
+        self.n_engines += 1;
+        if let Some(lv) = self.liveness.as_mut() {
+            lv.heard.push(Some(Instant::now()));
+            debug_assert_eq!(lv.heard.len(), self.n_engines);
+        }
+    }
+
+    /// Shrinks the ring by one engine (the highest index — membership is
+    /// a prefix). The liveness table shrinks with it and the rotation
+    /// cursor is re-clamped so it keeps visiting every remaining engine.
+    /// Saturates at one engine.
+    pub fn retire_engine(&mut self) {
+        if self.n_engines <= 1 {
+            return;
+        }
+        self.n_engines -= 1;
+        if let Some(lv) = self.liveness.as_mut() {
+            lv.heard.truncate(self.n_engines);
+        }
+        self.cursor %= self.n_engines;
+    }
+
+    /// Reconciles the ring with the shared membership handle, counting
+    /// each admission/retirement as a scale event in the run report.
+    fn reconcile_membership(&mut self, ctx: &mut OpContext<'_>) {
+        let Some(target) = self.membership.as_ref().map(|m| m.active()) else {
+            return;
+        };
+        while self.n_engines < target {
+            self.admit_engine();
+            ctx.add_scale_out();
+        }
+        while self.n_engines > target && self.n_engines > 1 {
+            self.retire_engine();
+            ctx.add_scale_in();
+        }
     }
 
     /// Whether engine `i` currently counts as alive.
@@ -223,8 +283,18 @@ impl Operator for SyncController {
     }
 
     fn drive(&mut self, ctx: &mut OpContext<'_>) -> SourceState {
-        if matches!(self.strategy, SyncStrategy::None) || self.n_engines <= 1 {
+        if matches!(self.strategy, SyncStrategy::None) {
             return SourceState::Done;
+        }
+        self.reconcile_membership(ctx);
+        if self.n_engines <= 1 {
+            // With elastic membership a one-engine fleet can grow back:
+            // stay scheduled and idle instead of finishing the controller.
+            return if self.membership.is_some() {
+                SourceState::Idle
+            } else {
+                SourceState::Done
+            };
         }
         if let Some(lv) = &mut self.liveness {
             lv.started.get_or_insert_with(Instant::now);
@@ -563,6 +633,137 @@ mod tests {
         let lv = r.liveness.as_ref().unwrap();
         assert!(lv.started.is_none());
         assert!(lv.heard.iter().all(|h| h.is_none()));
+    }
+
+    // ---- elastic membership (admit/retire) ----
+
+    /// Collects one full rotation of sync commands and returns the set of
+    /// sender ports that emitted.
+    fn senders_in_rotation(c: &mut SyncController, n_ports: usize, rounds: usize) -> Vec<usize> {
+        let sink = with_ctx(n_ports, |ctx| {
+            let mut emitted = 0;
+            while emitted < rounds {
+                match c.drive(ctx) {
+                    SourceState::Emitted => emitted += 1,
+                    _ => std::thread::sleep(Duration::from_micros(50)),
+                }
+            }
+        });
+        (0..n_ports)
+            .filter(|&p| !sink.ports[p].is_empty())
+            .collect()
+    }
+
+    #[test]
+    fn ring_grows_then_shrinks_without_losing_the_cursor() {
+        // Regression: liveness tables and the rotation cursor used to be
+        // sized once at construction, so growing the fleet indexed out of
+        // bounds and shrinking could leave the cursor past the end.
+        let mut c = SyncController::new(SyncStrategy::Ring, 2, Duration::from_micros(10))
+            .with_liveness(Duration::from_secs(60), Duration::from_secs(60));
+        // Grow 2 -> 4: both newcomers must join the rotation and the
+        // liveness table must cover them (no out-of-bounds panic when they
+        // heartbeat or when the rotation reaches them).
+        c.admit_engine();
+        c.admit_engine();
+        beat(&mut c, 2);
+        beat(&mut c, 3);
+        let senders = senders_in_rotation(&mut c, 4, 4);
+        assert_eq!(
+            senders,
+            vec![0, 1, 2, 3],
+            "rotation must cover the grown ring"
+        );
+
+        // Shrink 4 -> 3 with the cursor parked on the retired engine.
+        c.cursor = 3;
+        c.retire_engine();
+        assert!(c.cursor < 3, "cursor must be re-clamped after retirement");
+        let senders = senders_in_rotation(&mut c, 4, 3);
+        assert_eq!(
+            senders,
+            vec![0, 1, 2],
+            "retired engine must leave the rotation"
+        );
+        // Commands never address the retired engine as a receiver either.
+        let sink = with_ctx(4, |ctx| {
+            let mut emitted = 0;
+            while emitted < 6 {
+                match c.drive(ctx) {
+                    SourceState::Emitted => emitted += 1,
+                    _ => std::thread::sleep(Duration::from_micros(50)),
+                }
+            }
+        });
+        for port in 0..3 {
+            for t in &sink.ports[port] {
+                let Tuple::Control(ct) = t else { continue };
+                let cmd = ct.payload_as::<SyncCommand>().unwrap();
+                // Sender `port`'s peer port for engine 3 is 2 in full-mesh
+                // order (3 > sender for every remaining sender).
+                assert!(
+                    !cmd.share_ports.contains(&2),
+                    "sender {port} still shares with retired engine: {cmd:?}"
+                );
+            }
+        }
+        assert!(sink.ports[3].is_empty(), "retired engine got a command");
+    }
+
+    #[test]
+    fn retirement_saturates_at_one_engine() {
+        let mut c = SyncController::new(SyncStrategy::Ring, 2, Duration::from_micros(10));
+        c.retire_engine();
+        c.retire_engine();
+        c.retire_engine();
+        // Still valid: one engine, cursor 0, and drive finishes cleanly
+        // (no membership handle, so a 1-engine ring is done).
+        with_ctx(2, |ctx| {
+            assert_eq!(c.drive(ctx), SourceState::Done);
+        });
+    }
+
+    #[test]
+    fn membership_handle_drives_admission_and_retirement() {
+        use spca_streams::metrics::OpCounters;
+        use spca_streams::operator::testing::{with_sink_counters, CaptureSink};
+        let active = ActiveSet::new(1, 3);
+        let mut c = SyncController::new(SyncStrategy::Ring, 1, Duration::from_micros(10))
+            .with_liveness(Duration::from_secs(60), Duration::from_secs(60))
+            .with_membership(Arc::clone(&active));
+
+        let counters = OpCounters::default();
+        let mut sink = CaptureSink::new(3);
+        with_sink_counters(&mut sink, &counters, |ctx| {
+            // One active engine: idle (not Done — the fleet can grow).
+            assert_eq!(c.drive(ctx), SourceState::Idle);
+            // Autoscaler admits two engines; the controller reconciles on
+            // the next drive and the ring starts rotating over all three.
+            active.set_active(3);
+            let mut emitted = 0;
+            while emitted < 3 {
+                match c.drive(ctx) {
+                    SourceState::Emitted => emitted += 1,
+                    _ => std::thread::sleep(Duration::from_micros(50)),
+                }
+            }
+        });
+        let snap = counters.snapshot();
+        assert_eq!(snap.scale_outs, 2, "two admissions = two scale-out events");
+        assert_eq!(snap.scale_ins, 0);
+        assert!(
+            (0..3).all(|p| !sink.ports[p].is_empty()),
+            "all three rotate"
+        );
+
+        // Scale back in to one engine.
+        let mut sink2 = CaptureSink::new(3);
+        active.set_active(1);
+        with_sink_counters(&mut sink2, &counters, |ctx| {
+            assert_eq!(c.drive(ctx), SourceState::Idle);
+        });
+        let snap = counters.snapshot();
+        assert_eq!(snap.scale_ins, 2, "two retirements = two scale-in events");
     }
 
     #[test]

@@ -484,6 +484,16 @@ impl RunReport {
     pub fn total_checkpoint_skips(&self) -> u64 {
         self.ops.iter().map(|(_, s)| s.checkpoint_skips).sum()
     }
+
+    /// Total elastic scale-out events (engines admitted into the fleet).
+    pub fn total_scale_outs(&self) -> u64 {
+        self.ops.iter().map(|(_, s)| s.scale_outs).sum()
+    }
+
+    /// Total elastic scale-in events (engines retired from the fleet).
+    pub fn total_scale_ins(&self) -> u64 {
+        self.ops.iter().map(|(_, s)| s.scale_ins).sum()
+    }
 }
 
 /// One process's share of a distributed run (see [`Engine::start_in_partition`]).

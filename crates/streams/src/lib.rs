@@ -49,6 +49,7 @@ pub mod codec;
 pub mod engine;
 pub mod fault;
 pub mod graph;
+pub mod membership;
 pub mod metrics;
 pub mod netio;
 pub mod operator;
@@ -62,9 +63,10 @@ pub use backfill::{
 };
 pub use checkpoint::{Checkpoint, DEFAULT_CHECKPOINT_EVERY};
 pub use codec::{decode_frame, encode_frame, register_control_codec, CodecError, ColumnarFrame};
-pub use engine::{Engine, LinkReport, NetPartition, RunReport};
+pub use engine::{Engine, LinkReport, NetPartition, RunReport, RunningEngine};
 pub use fault::{Fault, FaultAction, FaultPlan, FaultTarget, RestartPolicy, StorageDomain};
 pub use graph::{GraphBuilder, LinkKind, OpId, PortKind, DEFAULT_BATCH_SIZE};
+pub use membership::ActiveSet;
 pub use netio::{AckMode, NetTransport, WireFaultSpec, WIRE_VERSION};
 pub use operator::{OpContext, Operator, SourceState};
 pub use tuple::{ControlTuple, DataTuple, Frame, FramePool, Punctuation, Tuple};

@@ -1,0 +1,80 @@
+//! Runtime engine membership for elastic scaling.
+//!
+//! The dataflow topology is fixed once an engine starts: operators, ports
+//! and edges cannot be added mid-run. Elastic scaling therefore
+//! *pre-provisions* the graph for the maximum fleet and moves a shared
+//! membership boundary at runtime: engines `0..active` are live targets,
+//! engines `active..max` are warm standbys that receive no traffic and
+//! take no part in synchronization. An [`ActiveSet`] is that boundary —
+//! one atomic read on the hot path, written only by the autoscaler.
+//!
+//! The prefix discipline (always admit the lowest standby, always retire
+//! the highest active engine) keeps every consumer's bookkeeping trivial:
+//! the split routes over `0..active`, the sync controller rotates over
+//! `0..active`, and scale-in/scale-out are single atomic stores.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared, atomically updated count of active engines out of a
+/// pre-provisioned pool (prefix membership: engines `0..active()` are
+/// live). Cloned handles observe each other's updates immediately.
+#[derive(Debug)]
+pub struct ActiveSet {
+    active: AtomicUsize,
+    max: usize,
+}
+
+impl ActiveSet {
+    /// A membership handle starting with `initial` active engines out of
+    /// `max` provisioned. `initial` is clamped into `1..=max`.
+    pub fn new(initial: usize, max: usize) -> Arc<Self> {
+        let max = max.max(1);
+        Arc::new(ActiveSet {
+            active: AtomicUsize::new(initial.clamp(1, max)),
+            max,
+        })
+    }
+
+    /// Number of currently active engines (the live prefix).
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Total provisioned engines (the upper bound on [`ActiveSet::active`]).
+    pub fn max(&self) -> usize {
+        self.max
+    }
+
+    /// Moves the membership boundary; the value is clamped into
+    /// `1..=max`. Returns the count actually installed.
+    pub fn set_active(&self, n: usize) -> usize {
+        let n = n.clamp(1, self.max);
+        self.active.store(n, Ordering::Release);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_into_bounds() {
+        let a = ActiveSet::new(0, 4);
+        assert_eq!(a.active(), 1);
+        assert_eq!(a.max(), 4);
+        assert_eq!(a.set_active(9), 4);
+        assert_eq!(a.active(), 4);
+        assert_eq!(a.set_active(0), 1);
+        assert_eq!(a.active(), 1);
+    }
+
+    #[test]
+    fn updates_are_visible_across_clones() {
+        let a = ActiveSet::new(2, 8);
+        let b = Arc::clone(&a);
+        a.set_active(5);
+        assert_eq!(b.active(), 5);
+    }
+}

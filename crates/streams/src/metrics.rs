@@ -39,6 +39,10 @@ pub struct OpCounters {
     /// Periodic PE checkpoints skipped because the write failed (ENOSPC,
     /// fsync error, dead device) — the PE keeps running and backs off.
     pub checkpoint_skips: AtomicU64,
+    /// Elastic scale-out events (engines admitted into the active fleet).
+    pub scale_outs: AtomicU64,
+    /// Elastic scale-in events (engines retired from the active fleet).
+    pub scale_ins: AtomicU64,
 }
 
 /// Live counters for one cross-PE link.
@@ -75,6 +79,10 @@ pub struct OpSnapshot {
     pub quarantined_snapshots: u64,
     /// Periodic checkpoints skipped because the write failed.
     pub checkpoint_skips: u64,
+    /// Elastic scale-out events (engines admitted).
+    pub scale_outs: u64,
+    /// Elastic scale-in events (engines retired).
+    pub scale_ins: u64,
 }
 
 /// Immutable snapshot of one link's counters.
@@ -101,6 +109,8 @@ impl OpCounters {
             io_faults: self.io_faults.load(Ordering::Relaxed),
             quarantined_snapshots: self.quarantined_snapshots.load(Ordering::Relaxed),
             checkpoint_skips: self.checkpoint_skips.load(Ordering::Relaxed),
+            scale_outs: self.scale_outs.load(Ordering::Relaxed),
+            scale_ins: self.scale_ins.load(Ordering::Relaxed),
         }
     }
 
@@ -146,6 +156,14 @@ impl OpCounters {
 
     pub(crate) fn add_checkpoint_skip(&self) {
         self.checkpoint_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_scale_out(&self) {
+        self.scale_outs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_scale_in(&self) {
+        self.scale_ins.fetch_add(1, Ordering::Relaxed);
     }
 }
 

@@ -172,6 +172,19 @@ impl<'a> OpContext<'a> {
     pub fn add_sync_skip(&self) {
         self.counters.add_sync_skip();
     }
+
+    /// Records an elastic scale-out event (an engine admitted into the
+    /// active fleet). Shows up as `scale_outs` in the operator's
+    /// `OpSnapshot`/`RunReport`.
+    pub fn add_scale_out(&self) {
+        self.counters.add_scale_out();
+    }
+
+    /// Records an elastic scale-in event (an engine retired from the
+    /// active fleet).
+    pub fn add_scale_in(&self) {
+        self.counters.add_scale_in();
+    }
 }
 
 /// Test harness for operator unit tests: an in-memory sink capturing

@@ -15,10 +15,12 @@
 //! full does the split block (backpressure to the source).
 
 use crate::checkpoint::{decode_kv, encode_kv, kv_parse, kv_u64, Checkpoint};
+use crate::membership::ActiveSet;
 use crate::operator::{OpContext, Operator};
 use crate::tuple::{DataTuple, Tuple};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Seed for the random strategy's generator — fixed so runs (and restarts)
 /// are reproducible.
@@ -48,6 +50,10 @@ pub struct Split {
     replay: u64,
     /// Tuples that had to block because every target was full.
     pub blocked: u64,
+    /// Elastic membership: when set, only ports `0..active()` receive
+    /// traffic (standby engines past the boundary see no tuples until the
+    /// autoscaler admits them).
+    active: Option<Arc<ActiveSet>>,
 }
 
 impl Split {
@@ -60,6 +66,23 @@ impl Split {
             picks: 0,
             replay: 0,
             blocked: 0,
+            active: None,
+        }
+    }
+
+    /// Restricts routing to the active-membership prefix: only ports
+    /// `0..active.active()` receive tuples. The autoscaler re-seeds the
+    /// split by moving the boundary — no graph mutation, no new RNG.
+    pub fn with_active_set(mut self, active: Arc<ActiveSet>) -> Self {
+        self.active = Some(active);
+        self
+    }
+
+    /// Ports currently eligible for traffic out of `n` wired ports.
+    fn active_of(&self, n: usize) -> usize {
+        match &self.active {
+            Some(a) => a.active().min(n).max(1),
+            None => n,
         }
     }
 
@@ -67,7 +90,9 @@ impl Split {
         if self.replay > 0 {
             // Fast-forward the freshly reseeded generator past the draws
             // consumed before the checkpoint. The port count is fixed for a
-            // given graph, so the draws replay bit-for-bit.
+            // given graph — and the random draw is always over the full
+            // port range even under elastic membership — so the draws
+            // replay bit-for-bit regardless of scaling history.
             if self.strategy == SplitStrategy::Random {
                 for _ in 0..self.replay {
                     let _ = self.rng.gen_range(0..n);
@@ -76,14 +101,19 @@ impl Split {
             self.replay = 0;
         }
         self.picks += 1;
+        let active = self.active_of(n);
         match self.strategy {
-            SplitStrategy::Random => self.rng.gen_range(0..n),
+            // Draw over the full port range, then fold into the active
+            // prefix: the RNG consumption stays independent of membership,
+            // which is what keeps checkpoint replay deterministic across
+            // rescale events.
+            SplitStrategy::Random => self.rng.gen_range(0..n) % active,
             SplitStrategy::RoundRobin => {
-                let i = self.next_rr % n;
+                let i = self.next_rr % active;
                 self.next_rr = self.next_rr.wrapping_add(1);
                 i
             }
-            SplitStrategy::LeastLoaded => (0..n)
+            SplitStrategy::LeastLoaded => (0..active)
                 .min_by_key(|&p| ctx.backlog(p).unwrap_or(usize::MAX))
                 .unwrap_or(0),
         }
@@ -97,11 +127,13 @@ impl Operator for Split {
             return;
         }
         let first = self.pick(n, ctx);
-        // Try the chosen target, then the rest in cyclic order; block on
-        // the original choice only if all are full.
+        let active = self.active_of(n);
+        // Try the chosen target, then the rest of the *active* set in
+        // cyclic order; block on the original choice only if all are full.
+        // Standby ports never receive traffic, even under backpressure.
         let mut t = Tuple::Data(tuple);
-        for off in 0..n {
-            let port = (first + off) % n;
+        for off in 0..active {
+            let port = (first + off) % active;
             match ctx.try_emit(port, t) {
                 Ok(()) => return,
                 Err(back) => t = back,
@@ -250,6 +282,96 @@ mod tests {
         restored.restore(&bytes).unwrap();
         let sink = feed(&mut restored, 4, 1);
         assert_eq!(sink.data_at(3).len(), 1);
+    }
+
+    #[test]
+    fn active_set_confines_traffic_to_the_prefix() {
+        let active = ActiveSet::new(2, 4);
+        let mut s = Split::new(SplitStrategy::Random).with_active_set(Arc::clone(&active));
+        let sink = feed(&mut s, 4, 400);
+        assert!(sink.data_at(0).len() > 100);
+        assert!(sink.data_at(1).len() > 100);
+        assert!(sink.data_at(2).is_empty(), "standby port 2 got traffic");
+        assert!(sink.data_at(3).is_empty(), "standby port 3 got traffic");
+    }
+
+    #[test]
+    fn admitted_engine_starts_receiving_and_retired_engine_stops() {
+        let active = ActiveSet::new(1, 3);
+        let mut s = Split::new(SplitStrategy::RoundRobin).with_active_set(Arc::clone(&active));
+        let sink1 = feed(&mut s, 3, 10);
+        assert_eq!(sink1.data_at(0).len(), 10);
+        active.set_active(3); // scale out
+        let sink2 = feed(&mut s, 3, 9);
+        assert_eq!(sink2.data_at(0).len(), 3);
+        assert_eq!(sink2.data_at(1).len(), 3);
+        assert_eq!(sink2.data_at(2).len(), 3);
+        active.set_active(2); // retire engine 2
+        let sink3 = feed(&mut s, 3, 10);
+        assert!(sink3.data_at(2).is_empty(), "retired port 2 got traffic");
+        assert_eq!(sink3.data_at(0).len() + sink3.data_at(1).len(), 10);
+    }
+
+    #[test]
+    fn active_set_shed_path_never_touches_standby_ports() {
+        let active = ActiveSet::new(2, 3);
+        let mut s = Split::new(SplitStrategy::Random).with_active_set(Arc::clone(&active));
+        let counters = OpCounters::default();
+        let mut sink = CaptureSink::new(3);
+        sink.full_ports = vec![true, true, false]; // only the standby is open
+        {
+            let mut ctx = OpContext::new(&mut sink, &counters);
+            for seq in 0..5 {
+                s.process(DataTuple::new(seq, vec![]), &mut ctx);
+            }
+        }
+        // Both active ports full: the split blocks rather than leaking
+        // tuples to the standby engine.
+        assert_eq!(s.blocked, 5);
+        assert!(sink.data_at(2).is_empty(), "standby port received sheds");
+    }
+
+    #[test]
+    fn random_split_replay_is_deterministic_across_rescale_history() {
+        // A split that scaled out mid-stream, checkpointed, and was
+        // restored must route the remaining tuples exactly like an
+        // uninterrupted split with the same membership history: the RNG
+        // draw is over the full port range, so membership never shifts
+        // the consumed sequence.
+        let mk = || {
+            let active = ActiveSet::new(1, 4);
+            let s = Split::new(SplitStrategy::Random).with_active_set(Arc::clone(&active));
+            (s, active)
+        };
+        let (mut whole, active_w) = mk();
+        let a = feed(&mut whole, 4, 100);
+        active_w.set_active(3);
+        let b = with_ctx(4, |ctx| {
+            for seq in 100..300 {
+                whole.process(DataTuple::new(seq, vec![seq as f64]), ctx);
+            }
+        });
+
+        let (mut part, active_p) = mk();
+        let a2 = feed(&mut part, 4, 100);
+        active_p.set_active(3);
+        let bytes = Checkpoint::snapshot(&part);
+        let (mut restored, active_r) = mk();
+        restored.restore(&bytes).unwrap();
+        active_r.set_active(3);
+        let b2 = with_ctx(4, |ctx| {
+            for seq in 100..300 {
+                restored.process(DataTuple::new(seq, vec![seq as f64]), ctx);
+            }
+        });
+
+        for p in 0..4 {
+            let mut got: Vec<u64> = a2.data_at(p).iter().map(|d| d.seq).collect();
+            got.extend(b2.data_at(p).iter().map(|d| d.seq));
+            let mut want: Vec<u64> = a.data_at(p).iter().map(|d| d.seq).collect();
+            want.extend(b.data_at(p).iter().map(|d| d.seq));
+            assert_eq!(got, want, "port {p}");
+        }
     }
 
     #[test]

@@ -18,8 +18,8 @@
 use astro_stream_pca::cluster::{ClusterSim, ClusterSpec, CostModel, Placement, SimConfig};
 use astro_stream_pca::core::PcaConfig;
 use astro_stream_pca::engine::{
-    persist, AppConfig, DistSpec, EigenQueryHandler, EpochStore, FaultCounters, ParallelPcaApp,
-    ServeShared, SyncStrategy,
+    persist, AppConfig, AppHandles, DistSpec, EigenQueryHandler, ElasticRuntime, ElasticSupervisor,
+    EpochStore, FaultCounters, ParallelPcaApp, ScaleEvent, ServeShared, SyncStrategy,
 };
 use astro_stream_pca::spectra::contaminants::{self, ContaminantKind};
 use astro_stream_pca::spectra::io;
@@ -75,6 +75,8 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "serve-threads",
             "rate-limit",
             "publish-every",
+            "elastic",
+            "max-engines",
         ],
         "serve" => &[
             "addr",
@@ -159,6 +161,7 @@ USAGE:
                 [--warm-start merged.snapshot]
                 [--serve IP:PORT [--serve-threads 4] [--rate-limit QPS]
                  [--publish-every 64]]
+                [--elastic EPOCH_MS [--max-engines N]]
   spca serve    --addr IP:PORT
                 --input extract.csv | --listen 127.0.0.1:7070 |
                 --url http://host/data.csv
@@ -203,6 +206,16 @@ Every flag is --key value; unknown flags are rejected.
   previous manifest generation. Every absorbed fault shows up in the
   fault summary and /metrics (spca_io_faults, spca_quarantined_snapshots,
   spca_checkpoint_skips).
+
+--elastic turns on live autoscaling: the fleet starts at --engines and a
+  supervisor probes throughput and queue growth every EPOCH_MS, scaling
+  out to at most --max-engines (default 2x --engines) under backlog and
+  back in when capacity is wasted. A joining engine is bootstrapped from
+  the fleet's merged eigensystem via the checkpoint format and held out
+  of state sharing until its 1.5*N independence gate re-passes; a
+  retiring engine is drained and its state folded into the survivors.
+  Scale events land in the fault summary and /metrics (spca_scale_outs,
+  spca_scale_ins).
 
 serve answers live eigensystem queries over HTTP while the stream is
   ingested: POST /project, /reconstruct, /score, /topk?k=K (CSV
@@ -531,6 +544,40 @@ fn run_mirroring_counters(
     report
 }
 
+/// Runs an elastic dataflow to completion: the autoscaling supervisor
+/// ticks in the polling loop (probing throughput and queue growth, and
+/// executing live rescales through the shared membership handle), while
+/// fault counters are mirrored into `/metrics` when serving is attached.
+fn run_elastic(
+    graph: astro_stream_pca::streams::GraphBuilder,
+    handles: &AppHandles,
+    epoch: Duration,
+    shared: Option<&Arc<ServeShared>>,
+) -> (astro_stream_pca::streams::RunReport, Vec<ScaleEvent>) {
+    let runtime = ElasticRuntime::new(handles).expect("app built with max_engines");
+    let mut supervisor = ElasticSupervisor::new(runtime, epoch);
+    let running = Engine::start(graph);
+    while !running.is_finished() {
+        if let Some(ev) = supervisor.tick(&running) {
+            println!(
+                "autoscaler: {:+} engines -> fleet of {} ({:.1} ms migration)",
+                ev.action,
+                ev.active_after,
+                ev.latency.as_secs_f64() * 1e3
+            );
+        }
+        if let Some(shared) = shared {
+            shared.set_counters(FaultCounters::from_op_snapshots(&running.op_snapshots()));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let report = running.join();
+    if let Some(shared) = shared {
+        shared.set_counters(FaultCounters::from_report(&report));
+    }
+    (report, supervisor.events.clone())
+}
+
 fn print_server_stats(server: &HttpServer) {
     let stats = server.stats();
     use std::sync::atomic::Ordering::Relaxed;
@@ -575,6 +622,22 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     if serve_addr.is_some() {
         validate_serve_threads("serve-threads", serve_threads)?;
     }
+    let elastic_epoch_ms: Option<u64> = opts
+        .get("elastic")
+        .map(|_| opts.num("elastic", 0))
+        .transpose()?;
+    if elastic_epoch_ms == Some(0) {
+        return Err("--elastic needs a monitoring epoch of at least 1 ms".to_string());
+    }
+    let max_engines: usize = opts.num("max-engines", engines.saturating_mul(2).max(2))?;
+    if opts.get("max-engines").is_some() && elastic_epoch_ms.is_none() {
+        return Err("--max-engines requires --elastic".to_string());
+    }
+    if elastic_epoch_ms.is_some() && max_engines < engines {
+        return Err(format!(
+            "--max-engines {max_engines} is below the starting fleet of {engines} engines"
+        ));
+    }
 
     let (source, dim) = ingest_source_and_dim(opts)?;
     if components + 2 >= dim {
@@ -601,6 +664,9 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     }
     if let Some(dir) = opts.get("snapshot-dir") {
         cfg.recovery_dir = Some(PathBuf::from(dir));
+    }
+    if elastic_epoch_ms.is_some() {
+        cfg.max_engines = Some(max_engines);
     }
     if let Some(path) = opts.get("warm-start") {
         let eig = persist::read_snapshot(std::path::Path::new(path))
@@ -631,10 +697,30 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     };
 
     let (graph, handles) = ParallelPcaApp::build(&cfg, source);
-    println!("running {engines} engines (d = {dim}, p = {components}, N = {memory}) ...");
-    let report = match &serving {
-        Some((shared, _)) => run_mirroring_counters(graph, shared),
-        None => Engine::run(graph),
+    if let Some(ms) = elastic_epoch_ms {
+        println!(
+            "running {engines} engines elastically (ceiling {max_engines}, epoch {ms} ms, \
+             d = {dim}, p = {components}, N = {memory}) ..."
+        );
+    } else {
+        println!("running {engines} engines (d = {dim}, p = {components}, N = {memory}) ...");
+    }
+    let mut scale_events: Vec<ScaleEvent> = Vec::new();
+    let report = match elastic_epoch_ms {
+        Some(ms) => {
+            let (report, events) = run_elastic(
+                graph,
+                &handles,
+                Duration::from_millis(ms),
+                serving.as_ref().map(|(shared, _)| shared),
+            );
+            scale_events = events;
+            report
+        }
+        None => match &serving {
+            Some((shared, _)) => run_mirroring_counters(graph, shared),
+            None => Engine::run(graph),
+        },
     };
     let consumed = report.tuples_in_matching("pca-");
     println!(
@@ -653,6 +739,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         report.total_quarantined_snapshots(),
         report.total_checkpoint_skips(),
     );
+    let (scale_outs, scale_ins) = (report.total_scale_outs(), report.total_scale_ins());
     if restarts
         + pe_restarts
         + quarantined
@@ -660,6 +747,8 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         + io_faults
         + quarantined_snapshots
         + checkpoint_skips
+        + scale_outs
+        + scale_ins
         > 0
     {
         println!(
@@ -667,7 +756,21 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
              (operator-weighted), {quarantined} quarantined tuples, \
              {sync_skips} skipped syncs, {io_faults} storage faults absorbed, \
              {quarantined_snapshots} quarantined snapshots, \
-             {checkpoint_skips} skipped checkpoints"
+             {checkpoint_skips} skipped checkpoints, \
+             {scale_outs} scale-outs, {scale_ins} scale-ins"
+        );
+    }
+    if elastic_epoch_ms.is_some() {
+        let outs = scale_events.iter().filter(|e| e.action > 0).count();
+        let ins = scale_events.iter().filter(|e| e.action < 0).count();
+        let final_fleet = scale_events
+            .last()
+            .map(|e| e.active_after)
+            .unwrap_or(engines);
+        println!(
+            "autoscaler summary: {} rescale events ({outs} out, {ins} in), \
+             final fleet {final_fleet} engines",
+            scale_events.len()
         );
     }
 

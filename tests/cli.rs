@@ -329,6 +329,38 @@ fn run_serve_flag_validates_address_and_dependents() {
 }
 
 #[test]
+fn run_elastic_flags_validate_before_any_work() {
+    // A zero monitoring epoch is meaningless.
+    let out = spca(&["run", "--input", "nonexistent.csv", "--elastic", "0"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--elastic"), "got: {stderr}");
+    assert!(stderr.contains("at least 1 ms"), "got: {stderr}");
+
+    // --max-engines is an elastic-only knob.
+    let out = spca(&["run", "--input", "nonexistent.csv", "--max-engines", "4"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("requires --elastic"), "got: {stderr}");
+
+    // The ceiling must cover the starting fleet.
+    let out = spca(&[
+        "run",
+        "--input",
+        "nonexistent.csv",
+        "--engines",
+        "4",
+        "--elastic",
+        "200",
+        "--max-engines",
+        "2",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("below the starting fleet"), "got: {stderr}");
+}
+
+#[test]
 fn backfill_cold_then_warm_round_trip() {
     let dir = std::env::temp_dir().join(format!("spca-cli-backfill-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
